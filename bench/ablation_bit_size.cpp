@@ -1,0 +1,43 @@
+// Ablation B (paper Sections 6-7) — BIT capacity sweep.
+//
+// "Since only the most frequently executed branches within the important
+// application loops are targeted, a small number of BIT entries would
+// suffice."  Sweep 1..32 entries on the G.721 encoder and report the
+// cycles / hardware-cost trade-off: benefit should saturate well before 32.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+
+using namespace asbr;
+using namespace asbr::bench;
+
+int main(int argc, char** argv) {
+    const Options options = parseOptions(argc, argv);
+
+    const Prepared prepared = prepare(BenchId::kG721Encode, options);
+    auto baseline = makeBimodal2048();
+    const PipelineResult base = runPipeline(prepared, *baseline);
+    const auto accuracy = accuracyMap(base.stats);
+
+    TextTable table("Ablation: BIT entries vs cycles (G.721 Encode, bi-512 aux)");
+    table.setHeader({"BIT entries", "selected", "folds", "cycles",
+                     "improvement vs bimodal", "ASBR storage bits"});
+
+    for (const std::size_t entries : {1, 2, 4, 8, 16, 32}) {
+        const AsbrSetup setup =
+            prepareAsbr(prepared, entries, ValueStage::kMemEnd, accuracy);
+        auto aux = makeAux512();
+        const PipelineResult r = runPipeline(prepared, *aux, setup.unit.get());
+        table.addRow({std::to_string(entries),
+                      std::to_string(setup.candidates.size()),
+                      formatWithCommas(setup.unit->stats().folds),
+                      formatWithCommas(r.stats.cycles),
+                      formatPercent(improvement(base.stats.cycles, r.stats.cycles)),
+                      formatWithCommas(setup.unit->storageBits())});
+    }
+    printTable(options, table);
+    std::puts("Expected shape: improvement grows with capacity and saturates —");
+    std::puts("a 16-entry BIT captures nearly all of the benefit (the paper's size).");
+    return 0;
+}

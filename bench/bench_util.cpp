@@ -1,0 +1,163 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "asbr/extract.hpp"
+#include "sim/functional.hpp"
+#include "util/ensure.hpp"
+#include "workloads/input_gen.hpp"
+
+namespace asbr::bench {
+
+Options parseOptions(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto numArg = [&arg](const char* prefix) -> std::optional<std::uint64_t> {
+            const std::size_t len = std::strlen(prefix);
+            if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+            return std::strtoull(arg.c_str() + len, nullptr, 10);
+        };
+        if (arg == "--quick") {
+            options.adpcmSamples = 8'000;
+            options.g721Samples = 2'000;
+        } else if (const auto v = numArg("--seed=")) {
+            options.seed = *v;
+        } else if (const auto v = numArg("--adpcm=")) {
+            options.adpcmSamples = *v;
+        } else if (const auto v = numArg("--g721=")) {
+            options.g721Samples = *v;
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options: --quick --seed=N --adpcm=N --g721=N --csv\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s' (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+std::size_t samplesFor(const Options& options, BenchId id) {
+    const bool heavy =
+        id == BenchId::kG721Encode || id == BenchId::kG721Decode;
+    const std::size_t want = heavy ? options.g721Samples : options.adpcmSamples;
+    return std::min(want, benchMaxSamples(id));
+}
+
+Prepared prepare(BenchId id, const Options& options, bool scheduleConditions) {
+    Prepared prepared;
+    prepared.id = id;
+    prepared.program = buildBench(id, scheduleConditions);
+    prepared.pcm = generateSpeech(samplesFor(options, id), options.seed);
+    if (!benchIsEncoder(id)) {
+        // Decoders consume the matching encoder's output, as in MediaBench.
+        switch (id) {
+            case BenchId::kAdpcmDecode:
+                prepared.codes = adpcmEncodeRef(prepared.pcm);
+                break;
+            case BenchId::kG721Decode:
+                prepared.codes = g721EncodeRef(prepared.pcm);
+                break;
+            case BenchId::kG711Decode:
+                prepared.codes = g711EncodeRef(prepared.pcm);
+                break;
+            default:
+                ASBR_ENSURE(false, "prepare: unexpected decoder");
+        }
+    }
+    return prepared;
+}
+
+Memory makeMemory(const Prepared& prepared) {
+    Memory memory;
+    memory.loadProgram(prepared.program);
+    if (benchIsEncoder(prepared.id)) {
+        loadPcmInput(memory, prepared.program, prepared.pcm);
+    } else {
+        loadCodeInput(memory, prepared.program, prepared.codes);
+    }
+    return memory;
+}
+
+PipelineResult runPipeline(const Prepared& prepared, BranchPredictor& predictor,
+                           FetchCustomizer* customizer,
+                           const PipelineConfig& config) {
+    Memory memory = makeMemory(prepared);
+    predictor.reset();
+    PipelineSim sim(prepared.program, memory, predictor, config, customizer);
+    PipelineResult result = sim.run();
+    ASBR_ENSURE(result.exited && result.exitCode == 0,
+                "benchmark did not exit cleanly");
+    return result;
+}
+
+ProgramProfile profileOf(const Prepared& prepared) {
+    Memory memory = makeMemory(prepared);
+    return profileProgram(prepared.program, memory);
+}
+
+std::map<std::uint32_t, double> accuracyMap(const PipelineStats& stats) {
+    std::map<std::uint32_t, double> out;
+    for (const auto& [pc, site] : stats.branchSites) out[pc] = site.accuracy();
+    return out;
+}
+
+std::size_t paperBitEntries(BenchId id) {
+    switch (id) {
+        case BenchId::kAdpcmEncode: return 4;
+        case BenchId::kAdpcmDecode: return 3;
+        case BenchId::kG721Encode: return 16;
+        case BenchId::kG721Decode: return 15;
+        case BenchId::kG711Encode:
+        case BenchId::kG711Decode: return 8;  // extension: not in the paper
+    }
+    return 16;
+}
+
+std::uint32_t thresholdFor(ValueStage stage) {
+    switch (stage) {
+        case ValueStage::kExEnd: return 2;
+        case ValueStage::kMemEnd: return 3;
+        case ValueStage::kCommit: return 4;
+    }
+    return 3;
+}
+
+AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
+                      ValueStage updateStage,
+                      const std::map<std::uint32_t, double>& accuracyByPc) {
+    const ProgramProfile profile = profileOf(prepared);
+    SelectionConfig config;
+    config.bitCapacity = bitEntries;
+    config.threshold = thresholdFor(updateStage);
+    AsbrSetup setup;
+    setup.candidates =
+        selectFoldableBranches(prepared.program, profile, accuracyByPc, config);
+    AsbrConfig unitConfig;
+    unitConfig.updateStage = updateStage;
+    unitConfig.bitCapacity = std::max<std::size_t>(bitEntries, 1);
+    setup.unit = std::make_unique<AsbrUnit>(unitConfig);
+    setup.unit->loadBank(
+        0, extractBranchInfos(prepared.program, candidatePcs(setup.candidates)));
+    return setup;
+}
+
+std::unique_ptr<BranchPredictor> makeAux512() { return makeBimodal(512, 512); }
+
+std::unique_ptr<BranchPredictor> makeAux256() { return makeBimodal(256, 512); }
+
+void printTable(const Options& options, const TextTable& table) {
+    std::fputs(table.render().c_str(), stdout);
+    if (options.csv) std::fputs(table.toCsv().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+}  // namespace asbr::bench

@@ -1,0 +1,100 @@
+// Shared plumbing for the table/figure regeneration binaries.
+//
+// Every binary in bench/ reproduces one table or figure from the paper's
+// evaluation (Section 8) or an ablation of a design choice DESIGN.md calls
+// out.  This header provides workload preparation, pipeline invocation and
+// the ASBR profile->select->extract pipeline so each binary stays a short,
+// readable script.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asbr/asbr_unit.hpp"
+#include "bp/predictor.hpp"
+#include "profile/profiler.hpp"
+#include "profile/selection.hpp"
+#include "sim/pipeline.hpp"
+#include "util/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace asbr::bench {
+
+/// Command-line options shared by all bench binaries.
+///   --quick        small inputs (CI-speed smoke run)
+///   --seed=N       input generator seed
+///   --adpcm=N      ADPCM sample count
+///   --g721=N       G.721 sample count
+///   --csv          additionally print tables as CSV
+struct Options {
+    std::size_t adpcmSamples = 100'000;
+    std::size_t g721Samples = 20'000;
+    std::uint64_t seed = 2001;
+    bool csv = false;
+};
+
+[[nodiscard]] Options parseOptions(int argc, char** argv);
+
+/// Samples to feed a given benchmark under these options.
+[[nodiscard]] std::size_t samplesFor(const Options& options, BenchId id);
+
+/// A compiled benchmark plus its input data (decoders get codes produced by
+/// the native encoder, mirroring how MediaBench chains encode -> decode).
+struct Prepared {
+    BenchId id;
+    Program program;
+    std::vector<std::int16_t> pcm;
+    std::vector<std::uint8_t> codes;
+};
+
+[[nodiscard]] Prepared prepare(BenchId id, const Options& options,
+                               bool scheduleConditions = true);
+
+/// Fresh memory image holding program + input.
+[[nodiscard]] Memory makeMemory(const Prepared& prepared);
+
+/// One cycle-accurate run.
+[[nodiscard]] PipelineResult runPipeline(const Prepared& prepared,
+                                         BranchPredictor& predictor,
+                                         FetchCustomizer* customizer = nullptr,
+                                         const PipelineConfig& config = {});
+
+/// Functional profile of the prepared benchmark.
+[[nodiscard]] ProgramProfile profileOf(const Prepared& prepared);
+
+/// Per-site accuracy map from a pipeline run (reference-predictor input to
+/// branch selection).
+[[nodiscard]] std::map<std::uint32_t, double> accuracyMap(
+    const PipelineStats& stats);
+
+/// Paper branch-selection counts: 16 for G.721 encode, 15 for decode, 4 for
+/// ADPCM encode, 3 for decode.
+[[nodiscard]] std::size_t paperBitEntries(BenchId id);
+
+/// Profile + select + extract, returning a ready ASBR unit and the chosen
+/// candidates.
+struct AsbrSetup {
+    std::vector<Candidate> candidates;
+    std::unique_ptr<AsbrUnit> unit;
+};
+
+[[nodiscard]] AsbrSetup prepareAsbr(
+    const Prepared& prepared, std::size_t bitEntries,
+    ValueStage updateStage = ValueStage::kMemEnd,
+    const std::map<std::uint32_t, double>& accuracyByPc = {});
+
+/// Threshold (2/3/4) implied by a BDT update stage.
+[[nodiscard]] std::uint32_t thresholdFor(ValueStage stage);
+
+/// Auxiliary predictors used in Figure 11: bi-512 / bi-256 with the BTB cut
+/// to a quarter of the baseline's 2048 entries.
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeAux512();
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeAux256();
+
+/// Print a rendered table (and CSV when requested).
+void printTable(const Options& options, const TextTable& table);
+
+}  // namespace asbr::bench

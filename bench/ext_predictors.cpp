@@ -1,0 +1,58 @@
+// Extension (not a paper table): full predictor shoot-out across all six
+// workloads — the paper's three baselines plus McFarling's tournament
+// predictor [cited as ref 3], always-taken, and ASBR + bi-512 — laid out as
+// cost (storage bits) vs performance (cycles).  Answers the natural
+// follow-up question: does a stronger general-purpose predictor close the
+// gap ASBR closes?  (It narrows it but costs ~1.5x the baseline storage,
+// while ASBR does better with ~4x less.)
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace asbr;
+using namespace asbr::bench;
+
+int main(int argc, char** argv) {
+    const Options options = parseOptions(argc, argv);
+
+    TextTable table("Extension: predictor shoot-out (cycles; lower is better)");
+    table.setHeader({"benchmark", "not taken", "always taken", "bimodal-2048",
+                     "gshare-2048", "tournament", "ASBR + bi-512",
+                     "ASBR folds"});
+
+    for (const BenchId id : kAllBenchesExtended) {
+        const Prepared prepared = prepare(id, options);
+        auto run = [&prepared](BranchPredictor& p,
+                               FetchCustomizer* unit = nullptr) {
+            return runPipeline(prepared, p, unit).stats.cycles;
+        };
+        auto notTaken = makeNotTaken();
+        AlwaysTakenPredictor alwaysTaken(2048);
+        auto bimodal = makeBimodal2048();
+        auto gshare = makeGshare2048();
+        auto tournament = makeTournament2048();
+
+        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id));
+        auto aux = makeAux512();
+        const std::uint64_t asbrCycles =
+            run(*aux, setup.unit.get());
+
+        table.addRow({benchName(id), formatWithCommas(run(*notTaken)),
+                      formatWithCommas(run(alwaysTaken)),
+                      formatWithCommas(run(*bimodal)),
+                      formatWithCommas(run(*gshare)),
+                      formatWithCommas(run(*tournament)),
+                      formatWithCommas(asbrCycles),
+                      formatWithCommas(setup.unit->stats().folds)});
+    }
+    printTable(options, table);
+
+    std::printf("storage bits: bimodal-2048 %llu | gshare-2048 %llu | "
+                "tournament %llu | ASBR+bi-512 %llu\n",
+                static_cast<unsigned long long>(makeBimodal2048()->storageBits()),
+                static_cast<unsigned long long>(makeGshare2048()->storageBits()),
+                static_cast<unsigned long long>(makeTournament2048()->storageBits()),
+                static_cast<unsigned long long>(makeAux512()->storageBits() +
+                                                AsbrUnit().storageBits()));
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: assemble a small ep32 program, run it on the functional ISS
+// and on the cycle-accurate pipeline, and read the statistics.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "asm/assembler.hpp"
+#include "bp/predictor.hpp"
+#include "mem/memory.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+
+int main() {
+    using namespace asbr;
+
+    // A tiny program: sum the words of an array, print the sum, exit.
+    const Program program = assemble(R"(
+        .data
+values: .word 3, 1, 4, 1, 5, 9, 2, 6
+        .text
+main:   la   s0, values
+        li   s1, 8          # element count
+        li   s2, 0          # sum
+loop:   lw   t0, 0(s0)
+        addiu s0, s0, 4
+        addiu s1, s1, -1
+        addu s2, s2, t0
+        bnez s1, loop
+        move a0, s2
+        li   v0, 3          # print integer syscall
+        sys
+        li   a0, 0
+        li   v0, 1          # exit syscall
+        sys
+    )");
+
+    // 1. Functional run: architectural results only.
+    Memory functionalMemory;
+    functionalMemory.loadProgram(program);
+    FunctionalSim iss(program, functionalMemory);
+    const FunctionalResult functional = iss.run();
+    std::printf("functional : output \"%s\", %llu instructions\n",
+                functional.output.c_str(),
+                static_cast<unsigned long long>(functional.instructions));
+
+    // 2. Cycle-accurate run with a bimodal predictor.
+    Memory pipelineMemory;
+    pipelineMemory.loadProgram(program);
+    auto predictor = makeBimodal2048();
+    PipelineSim pipeline(program, pipelineMemory, *predictor);
+    const PipelineResult timed = pipeline.run();
+    std::printf("pipeline   : output \"%s\", %llu cycles, CPI %.2f\n",
+                timed.output.c_str(),
+                static_cast<unsigned long long>(timed.stats.cycles),
+                timed.stats.cpi());
+    std::printf("branches   : %llu executed, %.0f%% predicted correctly\n",
+                static_cast<unsigned long long>(timed.stats.condBranches),
+                100.0 * timed.stats.predictorAccuracy());
+    std::printf("stalls     : %llu load-use, %llu i$ cycles, %llu d$ cycles\n",
+                static_cast<unsigned long long>(timed.stats.loadUseStalls),
+                static_cast<unsigned long long>(timed.stats.icacheStallCycles),
+                static_cast<unsigned long long>(timed.stats.dcacheStallCycles));
+    return timed.output == functional.output ? 0 : 1;
+}

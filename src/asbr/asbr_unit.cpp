@@ -1,0 +1,61 @@
+#include "asbr/asbr_unit.hpp"
+
+#include <algorithm>
+
+namespace asbr {
+
+AsbrUnit::AsbrUnit(const AsbrConfig& config)
+    : config_(config), bit_(config.bitCapacity, config.bitBanks) {}
+
+void AsbrUnit::loadBank(std::size_t bank, std::vector<BranchInfo> entries) {
+    bit_.loadBank(bank, std::move(entries));
+}
+
+std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
+    std::uint32_t pc, const Instruction& fetched) {
+    const BranchInfo* entry = bit_.lookup(pc);
+    if (entry == nullptr) return std::nullopt;
+    ++stats_.lookups;
+    // The BIT identifies branches by PC before decode; entries are extracted
+    // from the same program image, so a mismatch means corrupted
+    // customization data.
+    ASBR_ENSURE(isCondBranch(fetched.op) && fetched.rs == entry->conditionReg,
+                "BIT entry does not match the fetched instruction");
+    if (!bdt_.isValid(entry->conditionReg)) {
+        ++stats_.blockedInvalid;
+        return std::nullopt;  // predicate producer in flight — use predictor
+    }
+    ++stats_.folds;
+    const bool taken = bdt_.direction(entry->conditionReg, entry->cond);
+    if (taken) {
+        ++stats_.foldsTaken;
+        return FoldOutcome{entry->bti, entry->bta, true};
+    }
+    return FoldOutcome{entry->bfi, pc + kInstrBytes, false};
+}
+
+void AsbrUnit::onProducerDecoded(std::uint8_t reg) {
+    bdt_.producerDecoded(reg);
+}
+
+void AsbrUnit::onValueAvailable(std::uint8_t reg, std::int32_t value,
+                                ValueStage stage, ValueStage firstStage) {
+    // Values are captured at the configured stage, or at first availability
+    // when that is later (loads cannot be captured before MEM).
+    const ValueStage effective = std::max(config_.updateStage, firstStage);
+    if (stage == effective) bdt_.update(reg, value);
+}
+
+void AsbrUnit::onStore(std::uint32_t addr, std::int32_t value) {
+    if (addr != kBitBankSelectAddr) return;
+    ++stats_.bankSwitches;
+    bit_.selectBank(static_cast<std::size_t>(value));
+}
+
+void AsbrUnit::reset() {
+    bdt_.reset();
+    stats_ = AsbrStats{};
+    bit_.selectBank(0);
+}
+
+}  // namespace asbr

@@ -1,0 +1,85 @@
+// The Application-Specific Branch Resolution unit — the paper's core
+// contribution, packaged as a FetchCustomizer the pipeline consults on every
+// fetch.
+//
+// Phase 1 (Early Condition Evaluation): onValueAvailable events from the
+// pipeline update the BDT at the configured pipeline point (commit,
+// post-execute forwarding path, or execute end — Section 5.2's threshold
+// optimization).
+//
+// Phase 2 (branch folding, paper Figure 4): onFetch looks the PC up in the
+// active BIT bank; on a match with a valid (no in-flight producer) condition
+// register, the branch is replaced by its target or fall-through instruction
+// and the fetch stream is redirected, so the branch never enters the
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asbr/bdt.hpp"
+#include "asbr/bit.hpp"
+#include "sim/fetch_customizer.hpp"
+
+namespace asbr {
+
+/// Memory-mapped control register: a store to this address selects the
+/// active BIT bank (paper Section 7, "writing a special value to a control
+/// register just before entering the loop").
+inline constexpr std::uint32_t kBitBankSelectAddr = 0xFFFF'0000u;
+
+/// Configuration of the ASBR hardware.
+struct AsbrConfig {
+    /// Pipeline point where the early condition evaluation captures values.
+    /// kCommit  = paper's base scheme       (threshold 4 on a 5-stage pipe)
+    /// kMemEnd  = forwarding path after EX  (threshold 3)
+    /// kExEnd   = evaluate within EX        (threshold 2, most aggressive)
+    ValueStage updateStage = ValueStage::kMemEnd;
+    std::size_t bitCapacity = 16;
+    std::size_t bitBanks = 1;
+};
+
+/// Fold statistics for cost/benefit reporting.
+struct AsbrStats {
+    std::uint64_t lookups = 0;        ///< fetches of BIT-resident branches
+    std::uint64_t folds = 0;          ///< successfully folded
+    std::uint64_t foldsTaken = 0;
+    std::uint64_t blockedInvalid = 0; ///< producer in flight — fell back to predictor
+    std::uint64_t bankSwitches = 0;
+};
+
+class AsbrUnit final : public FetchCustomizer {
+public:
+    explicit AsbrUnit(const AsbrConfig& config = {});
+
+    /// Customization: load branch information into a BIT bank (normally bank
+    /// 0; additional banks cover further loops).
+    void loadBank(std::size_t bank, std::vector<BranchInfo> entries);
+
+    /// FetchCustomizer interface --------------------------------------------
+    std::optional<FoldOutcome> onFetch(std::uint32_t pc,
+                                       const Instruction& fetched) override;
+    void onProducerDecoded(std::uint8_t reg) override;
+    void onValueAvailable(std::uint8_t reg, std::int32_t value, ValueStage stage,
+                          ValueStage firstStage) override;
+    void onStore(std::uint32_t addr, std::int32_t value) override;
+    void reset() override;
+
+    [[nodiscard]] const AsbrStats& stats() const { return stats_; }
+    [[nodiscard]] const AsbrConfig& config() const { return config_; }
+    [[nodiscard]] const BranchIdentificationTable& bit() const { return bit_; }
+    [[nodiscard]] const BranchDirectionTable& bdt() const { return bdt_; }
+
+    /// Hardware cost proxy in bits (BIT + BDT).
+    [[nodiscard]] std::uint64_t storageBits() const {
+        return bit_.storageBits() + BranchDirectionTable::storageBits();
+    }
+
+private:
+    AsbrConfig config_;
+    BranchIdentificationTable bit_;
+    BranchDirectionTable bdt_;
+    AsbrStats stats_;
+};
+
+}  // namespace asbr

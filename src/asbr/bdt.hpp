@@ -1,0 +1,87 @@
+// Branch Direction Table (paper Section 4, Figure 8).
+//
+// One entry per architectural register.  Each entry holds the precomputed
+// direction bit for every zero-comparison branch condition the ISA supports,
+// plus a validity counter tracking in-flight producers of the register:
+// the counter is incremented when a producing instruction is decoded and
+// decremented when the value reaches the early-condition-evaluation logic.
+// A branch may only be folded when the counter of its condition register is
+// zero — otherwise the precomputed direction bits could be stale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+class BranchDirectionTable {
+public:
+    BranchDirectionTable() { reset(); }
+
+    /// Early Condition Evaluation (paper Figure 3): recompute all condition
+    /// bits for `r` from the freshly produced value and release one pending
+    /// producer.
+    void update(std::uint8_t r, std::int32_t value) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        Entry& e = entries_[r];
+        ASBR_ENSURE(e.pending > 0, "BDT: update without pending producer");
+        --e.pending;
+        for (int c = 0; c < kNumConds; ++c)
+            e.bits[static_cast<std::size_t>(c)] =
+                evalCond(static_cast<Cond>(c), value);
+    }
+
+    /// A producer of `r` completed decode; direction bits for `r` are stale
+    /// until the matching update() arrives.
+    void producerDecoded(std::uint8_t r) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        ++entries_[r].pending;
+    }
+
+    /// True when no producer of `r` is in flight (folding is legal).
+    [[nodiscard]] bool isValid(std::uint8_t r) const {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        return entries_[r].pending == 0;
+    }
+
+    /// Precomputed direction for condition `c` on register `r`.  Only
+    /// meaningful when isValid(r).
+    [[nodiscard]] bool direction(std::uint8_t r, Cond c) const {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        return entries_[r].bits[static_cast<std::size_t>(c)];
+    }
+
+    [[nodiscard]] std::uint32_t pendingCount(std::uint8_t r) const {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        return entries_[r].pending;
+    }
+
+    /// All registers valid with value 0 (machine reset state).
+    void reset() {
+        for (Entry& e : entries_) {
+            e.pending = 0;
+            for (int c = 0; c < kNumConds; ++c)
+                e.bits[static_cast<std::size_t>(c)] =
+                    evalCond(static_cast<Cond>(c), 0);
+        }
+    }
+
+    /// Storage cost in bits: per register, one bit per condition plus a
+    /// small validity counter (paper area proxy; 3-bit counters suffice for
+    /// a 5-stage in-order pipeline).
+    [[nodiscard]] static std::uint64_t storageBits() {
+        return static_cast<std::uint64_t>(kNumRegs) * (kNumConds + 3);
+    }
+
+private:
+    struct Entry {
+        std::array<bool, kNumConds> bits{};
+        std::uint32_t pending = 0;
+    };
+    std::array<Entry, kNumRegs> entries_;
+};
+
+}  // namespace asbr

@@ -1,0 +1,85 @@
+// Branch Identification Table (paper Section 7).
+//
+// Each entry carries the statically pre-decoded branch information the fold
+// logic needs in the fetch stage: the branch's own PC (used for
+// identification), the Direction Index (condition register + condition), the
+// Branch Target Address, and the target / fall-through instructions that
+// replace the folded branch.  The table supports multiple banks; only one
+// bank is active at a time and software switches banks by writing a control
+// register at loop transitions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+/// Statically pre-decoded information for one foldable branch — the fields
+/// of one BIT entry (PC, DI, BTA, BTI/inst1, BFI/inst2).
+struct BranchInfo {
+    std::uint32_t pc = 0;           ///< branch address (identification tag)
+    std::uint8_t conditionReg = 0;  ///< DI: BDT entry holding the predicate
+    Cond cond = Cond::kEqz;         ///< DI: which condition bit to read
+    std::uint32_t bta = 0;          ///< branch target address
+    Instruction bti;                ///< instruction at the target
+    Instruction bfi;                ///< instruction on the fall-through path
+};
+
+class BranchIdentificationTable {
+public:
+    /// `capacity` is the per-bank entry count (paper: 16).
+    explicit BranchIdentificationTable(std::size_t capacity = 16,
+                                       std::size_t numBanks = 1)
+        : capacity_(capacity) {
+        ASBR_ENSURE(capacity >= 1, "BIT capacity must be >= 1");
+        ASBR_ENSURE(numBanks >= 1, "BIT needs at least one bank");
+        banks_.resize(numBanks);
+    }
+
+    /// Load entries into a bank (customization / program-code upload).
+    /// Truncation is an error — selection must respect the capacity.
+    void loadBank(std::size_t bank, std::vector<BranchInfo> entries) {
+        ASBR_ENSURE(bank < banks_.size(), "BIT: bad bank index");
+        ASBR_ENSURE(entries.size() <= capacity_, "BIT: bank over capacity");
+        for (std::size_t i = 0; i < entries.size(); ++i)
+            for (std::size_t j = i + 1; j < entries.size(); ++j)
+                ASBR_ENSURE(entries[i].pc != entries[j].pc,
+                            "BIT: duplicate branch PC in bank");
+        banks_[bank] = std::move(entries);
+    }
+
+    /// Select the active bank (control-register write at run time).
+    void selectBank(std::size_t bank) {
+        ASBR_ENSURE(bank < banks_.size(), "BIT: bad bank index");
+        active_ = bank;
+    }
+
+    [[nodiscard]] std::size_t activeBank() const { return active_; }
+    [[nodiscard]] std::size_t numBanks() const { return banks_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Fully-associative PC match against the active bank (fetch stage).
+    [[nodiscard]] const BranchInfo* lookup(std::uint32_t pc) const {
+        for (const BranchInfo& e : banks_[active_])
+            if (e.pc == pc) return &e;
+        return nullptr;
+    }
+
+    /// Storage cost in bits per the paper's area proxy: PC tag (30) +
+    /// DI (5 reg + 3 cond) + BTA (30) + two 32-bit instruction slots.
+    [[nodiscard]] std::uint64_t storageBits() const {
+        return static_cast<std::uint64_t>(capacity_) * banks_.size() *
+               (30 + 5 + 3 + 30 + 32 + 32);
+    }
+
+private:
+    std::size_t capacity_;
+    std::size_t active_ = 0;
+    std::vector<std::vector<BranchInfo>> banks_;
+};
+
+}  // namespace asbr

@@ -1,0 +1,46 @@
+#include "asbr/extract.hpp"
+
+namespace asbr {
+
+bool isExtractableBranch(const Program& program, std::uint32_t pc) {
+    if (!program.inText(pc)) return false;
+    const Instruction& ins = program.at(pc);
+    if (!isCondBranch(ins.op)) return false;
+    const std::uint32_t bta =
+        pc + kInstrBytes + static_cast<std::uint32_t>(ins.imm) * kInstrBytes;
+    return program.inText(bta) && program.inText(pc + kInstrBytes);
+}
+
+BranchInfo extractBranchInfo(const Program& program, std::uint32_t pc) {
+    ASBR_ENSURE(isExtractableBranch(program, pc),
+                "extractBranchInfo: not an extractable branch");
+    const Instruction& ins = program.at(pc);
+    BranchInfo info;
+    info.pc = pc;
+    info.conditionReg = ins.rs;
+    info.cond = branchCond(ins.op);
+    info.bta = pc + kInstrBytes + static_cast<std::uint32_t>(ins.imm) * kInstrBytes;
+    info.bti = program.at(info.bta);
+    info.bfi = program.at(pc + kInstrBytes);
+    return info;
+}
+
+std::vector<BranchInfo> extractBranchInfos(const Program& program,
+                                           std::span<const std::uint32_t> pcs) {
+    std::vector<BranchInfo> out;
+    out.reserve(pcs.size());
+    for (std::uint32_t pc : pcs) out.push_back(extractBranchInfo(program, pc));
+    return out;
+}
+
+std::vector<std::uint32_t> allConditionalBranches(const Program& program) {
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const std::uint32_t pc =
+            program.textBase + static_cast<std::uint32_t>(i) * kInstrBytes;
+        if (isExtractableBranch(program, pc)) out.push_back(pc);
+    }
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,33 @@
+// Static extraction of branch information from a linked program image —
+// the compile-time side of the ASBR methodology ("pre-decoded statically
+// during compile time and provided to the branch resolution logic").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asbr/bit.hpp"
+#include "asm/program.hpp"
+
+namespace asbr {
+
+/// True when the instruction at `pc` is a conditional branch whose BranchInfo
+/// can be extracted: the target and the fall-through successor must both lie
+/// inside the text segment.
+[[nodiscard]] bool isExtractableBranch(const Program& program, std::uint32_t pc);
+
+/// Build the BIT entry for the branch at `pc`.  Throws EnsureError when
+/// !isExtractableBranch(program, pc).
+[[nodiscard]] BranchInfo extractBranchInfo(const Program& program,
+                                           std::uint32_t pc);
+
+/// Extract a whole bank at once.
+[[nodiscard]] std::vector<BranchInfo> extractBranchInfos(
+    const Program& program, std::span<const std::uint32_t> pcs);
+
+/// Enumerate the PCs of every extractable conditional branch in the program.
+[[nodiscard]] std::vector<std::uint32_t> allConditionalBranches(
+    const Program& program);
+
+}  // namespace asbr

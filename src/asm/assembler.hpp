@@ -1,0 +1,58 @@
+// Two-pass text assembler for ep32.
+//
+// Supported syntax (one statement per line, '#' or ';' comments):
+//
+//   .text / .data              switch section
+//   .globl name                mark entry symbol (informational)
+//   .word v[, v...]            32-bit data (value or symbol)
+//   .half v[, v...]            16-bit data
+//   .byte v[, v...]            8-bit data
+//   .space N                   N zero bytes
+//   .align N                   align to 2^N bytes
+//   label:                     define a label in the current section
+//   mnemonic operands          one ep32 instruction
+//
+// Pseudo-instructions (expanded deterministically in pass 1):
+//   li   rd, imm32             ori / lui / lui+ori as needed
+//   la   rd, sym[+off]         lui+ori absolute address
+//   move rd, rs                addu rd, rs, zero
+//   b    label                 j label
+//   neg  rd, rs                subu rd, zero, rs
+//   not  rd, rs                nor  rd, rs, zero
+//
+// Branch operands accept a label or a numeric word offset.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "asm/program.hpp"
+
+namespace asbr {
+
+/// Assembly failure with 1-based source line information.
+class AsmError : public std::runtime_error {
+public:
+    AsmError(int line, const std::string& message)
+        : std::runtime_error("asm:" + std::to_string(line) + ": " + message),
+          line_(line) {}
+
+    [[nodiscard]] int line() const { return line_; }
+
+private:
+    int line_;
+};
+
+/// Assembler options.
+struct AsmOptions {
+    std::uint32_t textBase = kTextBase;
+    std::uint32_t dataBase = kDataBase;
+    /// Entry symbol; falls back to the first text address when absent.
+    std::string entrySymbol = "main";
+};
+
+/// Assemble a full translation unit into a linked Program.
+[[nodiscard]] Program assemble(const std::string& source,
+                               const AsmOptions& options = {});
+
+}  // namespace asbr

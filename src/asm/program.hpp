@@ -1,0 +1,59 @@
+// Linked program image produced by the assembler and consumed by the
+// simulators, the profiler and the ASBR static-information extractor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+/// Default memory layout (byte addresses).
+inline constexpr std::uint32_t kTextBase = 0x0000'1000;
+inline constexpr std::uint32_t kDataBase = 0x0010'0000;
+inline constexpr std::uint32_t kStackTop = 0x7FFF'FF00;
+
+/// A fully-resolved ep32 program: text, initialized data and symbol table.
+struct Program {
+    std::uint32_t textBase = kTextBase;
+    std::uint32_t dataBase = kDataBase;
+    std::vector<Instruction> code;   ///< decoded text section, one per word
+    std::vector<std::uint8_t> data;  ///< initialized data section bytes
+    std::map<std::string, std::uint32_t> symbols;  ///< label -> address
+    std::uint32_t entry = kTextBase;               ///< initial PC
+    std::vector<int> lineOf;  ///< source line per instruction (diagnostics)
+
+    [[nodiscard]] std::uint32_t textEnd() const {
+        return textBase + static_cast<std::uint32_t>(code.size()) * kInstrBytes;
+    }
+
+    [[nodiscard]] bool inText(std::uint32_t addr) const {
+        return addr >= textBase && addr < textEnd() && (addr & 3u) == 0;
+    }
+
+    /// Instruction at a text address.
+    [[nodiscard]] const Instruction& at(std::uint32_t addr) const {
+        ASBR_ENSURE(inText(addr), "Program::at: address outside text");
+        return code[(addr - textBase) / kInstrBytes];
+    }
+
+    /// Address of a symbol; throws when undefined.
+    [[nodiscard]] std::uint32_t symbol(const std::string& name) const {
+        const auto it = symbols.find(name);
+        ASBR_ENSURE(it != symbols.end(), "undefined symbol: " + name);
+        return it->second;
+    }
+
+    /// Source line of the instruction at `addr` (-1 when unknown).
+    [[nodiscard]] int sourceLine(std::uint32_t addr) const {
+        if (!inText(addr)) return -1;
+        const std::size_t i = (addr - textBase) / kInstrBytes;
+        return i < lineOf.size() ? lineOf[i] : -1;
+    }
+};
+
+}  // namespace asbr

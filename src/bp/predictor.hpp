@@ -1,0 +1,194 @@
+// Branch predictor library.
+//
+// The paper's baseline architecture uses three general-purpose predictors
+// (not-taken, bimodal-2048 + BTB-2048, gshare 11-bit/2048 + BTB-2048) and,
+// after ASBR folds out the selected branches, small auxiliary bimodal
+// predictors (512/256 counters with a quarter-size BTB).  Everything sits
+// behind one interface so the pipeline and the profiler treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+/// Fetch-stage prediction for a conditional branch.
+struct Prediction {
+    bool taken = false;
+    /// Target from the BTB; empty means the fetch stage cannot redirect even
+    /// if `taken` is set (treated as a not-taken fetch path).
+    std::optional<std::uint32_t> target;
+
+    /// The direction fetch actually follows.
+    [[nodiscard]] bool effectiveTaken() const { return taken && target.has_value(); }
+};
+
+/// Direct-mapped branch target buffer with full tags.
+class Btb {
+public:
+    explicit Btb(std::uint32_t entries);
+
+    [[nodiscard]] std::optional<std::uint32_t> lookup(std::uint32_t pc) const;
+    void update(std::uint32_t pc, std::uint32_t target);
+    void reset();
+    [[nodiscard]] std::uint32_t entries() const {
+        return static_cast<std::uint32_t>(lines_.size());
+    }
+    /// Storage bits: tag (30) + target (30) + valid per entry.
+    [[nodiscard]] std::uint64_t storageBits() const { return lines_.size() * 61ull; }
+
+private:
+    struct Line {
+        bool valid = false;
+        std::uint32_t pc = 0;
+        std::uint32_t target = 0;
+    };
+    std::vector<Line> lines_;
+};
+
+/// Common interface for all direction predictors.
+class BranchPredictor {
+public:
+    virtual ~BranchPredictor() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Fetch-stage query for the conditional branch at `pc`.
+    virtual Prediction predict(std::uint32_t pc) = 0;
+
+    /// Resolve-time training with the actual outcome.
+    virtual void update(std::uint32_t pc, bool taken, std::uint32_t target) = 0;
+
+    virtual void reset() = 0;
+
+    /// Storage cost in bits — the paper's area-proxy for predictor cost.
+    [[nodiscard]] virtual std::uint64_t storageBits() const = 0;
+};
+
+/// Always predicts not-taken ("the default in many embedded processors that
+/// lack branch predictors").
+class NotTakenPredictor final : public BranchPredictor {
+public:
+    [[nodiscard]] std::string name() const override { return "not taken"; }
+    Prediction predict(std::uint32_t) override { return {}; }
+    void update(std::uint32_t, bool, std::uint32_t) override {}
+    void reset() override {}
+    [[nodiscard]] std::uint64_t storageBits() const override { return 0; }
+};
+
+/// Predicts taken whenever the BTB knows the target.
+class AlwaysTakenPredictor final : public BranchPredictor {
+public:
+    explicit AlwaysTakenPredictor(std::uint32_t btbEntries) : btb_(btbEntries) {}
+    [[nodiscard]] std::string name() const override { return "always taken"; }
+    Prediction predict(std::uint32_t pc) override { return {true, btb_.lookup(pc)}; }
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override {
+        if (taken) btb_.update(pc, target);
+    }
+    void reset() override { btb_.reset(); }
+    [[nodiscard]] std::uint64_t storageBits() const override {
+        return btb_.storageBits();
+    }
+
+private:
+    Btb btb_;
+};
+
+/// Classic bimodal predictor: a table of 2-bit saturating counters indexed by
+/// the branch PC, plus a BTB for taken-path targets [McFarling 93].
+class BimodalPredictor final : public BranchPredictor {
+public:
+    BimodalPredictor(std::uint32_t counters, std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
+    std::vector<std::uint8_t> counters_;
+    Btb btb_;
+};
+
+/// Two-level gshare predictor: global history XORed into the PC index
+/// [McFarling 93].  History is updated at resolve time.
+class GSharePredictor final : public BranchPredictor {
+public:
+    GSharePredictor(std::uint32_t historyBits, std::uint32_t counters,
+                    std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
+    std::uint32_t historyBits_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+    Btb btb_;
+};
+
+/// Profile-directed static predictor: a fixed most-likely direction (and
+/// statically-known target) per branch PC — models compile-time static
+/// prediction [Young & Smith 99] as an extension baseline.
+class ProfiledStaticPredictor final : public BranchPredictor {
+public:
+    struct Entry {
+        std::uint32_t pc = 0;
+        bool taken = false;
+        std::uint32_t target = 0;
+    };
+    explicit ProfiledStaticPredictor(std::vector<Entry> entries);
+    [[nodiscard]] std::string name() const override { return "profiled static"; }
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t, bool, std::uint32_t) override {}
+    void reset() override {}
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    std::vector<Entry> entries_;  // sorted by pc
+};
+
+/// McFarling's combining (tournament) predictor [McFarling 93]: a bimodal
+/// and a gshare component share a BTB; a table of 2-bit chooser counters
+/// indexed by PC picks which component to trust, trained towards whichever
+/// component was right when they disagree.
+class TournamentPredictor final : public BranchPredictor {
+public:
+    TournamentPredictor(std::uint32_t choosers, std::uint32_t counters,
+                        std::uint32_t historyBits, std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    [[nodiscard]] bool bimodalTaken(std::uint32_t pc) const;
+    [[nodiscard]] bool gshareTaken(std::uint32_t pc) const;
+
+    std::vector<std::uint8_t> choosers_;  // >=2 prefers gshare
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    std::uint32_t historyBits_;
+    std::uint32_t history_ = 0;
+    Btb btb_;
+};
+
+/// Factory helpers matching the paper's configurations.
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeNotTaken();
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal2048();
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeGshare2048();
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal(std::uint32_t counters,
+                                                           std::uint32_t btbEntries);
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeTournament2048();
+
+}  // namespace asbr

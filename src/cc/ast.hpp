@@ -1,0 +1,133 @@
+// Abstract syntax tree for mcc, the mini-C compiler used to build the
+// benchmark workloads (the paper compiled MediaBench with gcc for
+// SimpleScalar; mcc plays that role for ep32).
+//
+// Language subset:
+//   - types: int (32-bit), short, char; global scalars and 1-D global arrays;
+//     locals and parameters are int scalars
+//   - functions with up to 4 int parameters, int or void return
+//   - statements: blocks, if/else, while, do-while, for, return, break,
+//     continue, expression statements
+//   - expressions: assignment (= and compound), ?:, || && | ^ & == != < <= >
+//     >= << >> + - * / % unary - ! ~ ++ -- (pre/post), array indexing, calls,
+//     integer literals
+//   - intrinsics: __putint(e), __putchar(e), __bitbank(e)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asbr::cc {
+
+/// Element type of a variable or array.
+enum class BaseType { kVoid, kInt, kShort, kChar };
+
+[[nodiscard]] inline int sizeOf(BaseType t) {
+    switch (t) {
+        case BaseType::kInt: return 4;
+        case BaseType::kShort: return 2;
+        case BaseType::kChar: return 1;
+        case BaseType::kVoid: return 0;
+    }
+    return 0;
+}
+
+enum class ExprKind {
+    kIntLit,
+    kVar,       // identifier
+    kIndex,     // base[index] — base must be a global array name
+    kCall,      // callee(args)
+    kUnary,     // op operand
+    kBinary,    // lhs op rhs
+    kAssign,    // target (kVar/kIndex) op= value ; op '=' for plain
+    kTernary,   // cond ? thenExpr : elseExpr
+    kIncDec,    // ++/-- on kVar/kIndex, prefix or postfix
+};
+
+enum class UnOp { kNeg, kNot, kBitNot };
+
+enum class BinOp {
+    kAdd, kSub, kMul, kDiv, kMod,
+    kShl, kShr,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kBitAnd, kBitOr, kBitXor,
+    kLogAnd, kLogOr,
+};
+
+struct Expr {
+    ExprKind kind = ExprKind::kIntLit;
+    int line = 0;
+
+    std::int64_t value = 0;   // kIntLit
+    std::string name;         // kVar, kIndex (array), kCall (callee)
+    UnOp unOp = UnOp::kNeg;
+    BinOp binOp = BinOp::kAdd;  // kBinary; compound-assign op for kAssign
+    bool compound = false;      // kAssign: += etc.
+    bool increment = false;     // kIncDec: ++ vs --
+    bool prefix = false;        // kIncDec
+    std::unique_ptr<Expr> a;    // operand / lhs / cond / index target base...
+    std::unique_ptr<Expr> b;    // rhs / then
+    std::unique_ptr<Expr> c;    // else
+    std::vector<std::unique_ptr<Expr>> args;  // kCall
+};
+
+enum class StmtKind {
+    kExpr,
+    kBlock,
+    kIf,
+    kWhile,
+    kDoWhile,
+    kFor,
+    kReturn,
+    kBreak,
+    kContinue,
+    kDecl,   // local declarations
+    kEmpty,
+};
+
+struct LocalDecl {
+    std::string name;
+    std::unique_ptr<Expr> init;  // may be null
+};
+
+struct Stmt {
+    StmtKind kind = StmtKind::kEmpty;
+    int line = 0;
+    std::unique_ptr<Expr> expr;   // kExpr, kReturn (may be null), conditions
+    std::unique_ptr<Stmt> body;   // loop/if body
+    std::unique_ptr<Stmt> elseBody;
+    std::unique_ptr<Stmt> init;   // kFor
+    std::unique_ptr<Expr> post;   // kFor
+    std::vector<std::unique_ptr<Stmt>> block;  // kBlock
+    std::vector<LocalDecl> decls;              // kDecl
+};
+
+struct GlobalDecl {
+    std::string name;
+    BaseType type = BaseType::kInt;
+    bool isArray = false;
+    std::int64_t arraySize = 0;
+    std::vector<std::int64_t> init;  // const-evaluated initializers
+    int line = 0;
+};
+
+struct Param {
+    std::string name;
+};
+
+struct FuncDef {
+    std::string name;
+    BaseType returnType = BaseType::kInt;  // kInt or kVoid
+    std::vector<Param> params;
+    std::unique_ptr<Stmt> body;  // kBlock
+    int line = 0;
+};
+
+struct TranslationUnit {
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDef> functions;
+};
+
+}  // namespace asbr::cc

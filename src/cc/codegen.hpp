@@ -1,0 +1,25 @@
+// ep32 code generation for mcc.
+//
+// Calling convention (o32-flavoured):
+//   - arguments in a0..a3 (max 4), result in v0
+//   - t0..t9 are caller-saved expression temporaries
+//   - s0..s7 are callee-saved; the first 8 scalar locals/params of each
+//     function live there, the rest in stack slots
+//   - `at` is the code generator's address-forming scratch register
+//   - gp addresses the small-data area (all globals)
+//
+// The generated program starts at `__start`, which calls main and passes its
+// return value to the exit syscall.
+#pragma once
+
+#include <string>
+
+#include "cc/ast.hpp"
+
+namespace asbr::cc {
+
+/// Generate ep32 assembly text for a parsed translation unit.
+/// Requires a `main` function (signals the entry point).
+[[nodiscard]] std::string generateAssembly(const TranslationUnit& unit);
+
+}  // namespace asbr::cc

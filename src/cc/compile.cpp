@@ -1,0 +1,24 @@
+#include "cc/compile.hpp"
+
+#include "cc/codegen.hpp"
+#include "cc/parser.hpp"
+
+namespace asbr::cc {
+
+Compiled compile(const std::string& source, const CompileOptions& options) {
+    Compiled result;
+    const TranslationUnit unit = parse(source);
+    result.assembly = generateAssembly(unit);
+
+    AsmOptions asmOptions;
+    asmOptions.textBase = options.textBase;
+    asmOptions.dataBase = options.dataBase;
+    asmOptions.entrySymbol = "__start";
+    result.program = assemble(result.assembly, asmOptions);
+
+    if (options.scheduleConditions)
+        result.schedule = scheduleConditionChains(result.program);
+    return result;
+}
+
+}  // namespace asbr::cc

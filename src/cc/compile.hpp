@@ -1,0 +1,30 @@
+// One-call compilation pipeline: C subset -> assembly -> linked Program.
+#pragma once
+
+#include <string>
+
+#include "asm/assembler.hpp"
+#include "cc/ast.hpp"
+#include "cc/lexer.hpp"  // CompileError
+#include "cc/schedule.hpp"
+
+namespace asbr::cc {
+
+struct CompileOptions {
+    /// Run the branch-condition scheduling pass (Section 5.1 support).
+    bool scheduleConditions = true;
+    std::uint32_t textBase = kTextBase;
+    std::uint32_t dataBase = kDataBase;
+};
+
+struct Compiled {
+    std::string assembly;   ///< generated (pre-scheduling) assembly text
+    Program program;        ///< linked image, scheduled when requested
+    ScheduleStats schedule; ///< all-zero when scheduling was disabled
+};
+
+/// Compile a translation unit.  Throws CompileError / AsmError on failure.
+[[nodiscard]] Compiled compile(const std::string& source,
+                               const CompileOptions& options = {});
+
+}  // namespace asbr::cc

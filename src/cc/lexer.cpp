@@ -1,0 +1,212 @@
+#include "cc/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace asbr::cc {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywordTable() {
+    static const std::unordered_map<std::string, Tok> table = {
+        {"int", Tok::kKwInt},         {"short", Tok::kKwShort},
+        {"char", Tok::kKwChar},       {"void", Tok::kKwVoid},
+        {"const", Tok::kKwConst},     {"if", Tok::kKwIf},
+        {"else", Tok::kKwElse},       {"while", Tok::kKwWhile},
+        {"do", Tok::kKwDo},           {"for", Tok::kKwFor},
+        {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
+        {"continue", Tok::kKwContinue},
+    };
+    return table;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = src.size();
+
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < n ? src[i + k] : '\0';
+    };
+    auto push = [&](Tok kind, std::size_t width) {
+        out.push_back({kind, line, 0, {}});
+        i += width;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && src[i] != '\n') ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') ++line;
+                ++i;
+            }
+            if (i + 1 >= n) throw CompileError(line, "unterminated comment");
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::int64_t value = 0;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                i += 2;
+                if (!std::isxdigit(static_cast<unsigned char>(peek())))
+                    throw CompileError(line, "bad hex literal");
+                while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                    const char d = src[i++];
+                    int digit = d <= '9' ? d - '0'
+                                         : (std::tolower(d) - 'a' + 10);
+                    value = value * 16 + digit;
+                    if (value > 0xFFFFFFFFLL)
+                        throw CompileError(line, "integer literal too large");
+                }
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                    value = value * 10 + (src[i++] - '0');
+                    if (value > 0xFFFFFFFFLL)
+                        throw CompileError(line, "integer literal too large");
+                }
+            }
+            out.push_back({Tok::kIntLit, line, value, {}});
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')
+                ++i;
+            const std::string text = src.substr(start, i - start);
+            const auto it = keywordTable().find(text);
+            if (it != keywordTable().end()) {
+                out.push_back({it->second, line, 0, {}});
+            } else {
+                out.push_back({Tok::kIdent, line, 0, text});
+            }
+            continue;
+        }
+        switch (c) {
+            case '(': push(Tok::kLParen, 1); break;
+            case ')': push(Tok::kRParen, 1); break;
+            case '{': push(Tok::kLBrace, 1); break;
+            case '}': push(Tok::kRBrace, 1); break;
+            case '[': push(Tok::kLBracket, 1); break;
+            case ']': push(Tok::kRBracket, 1); break;
+            case ';': push(Tok::kSemi, 1); break;
+            case ',': push(Tok::kComma, 1); break;
+            case '?': push(Tok::kQuestion, 1); break;
+            case ':': push(Tok::kColon, 1); break;
+            case '~': push(Tok::kTilde, 1); break;
+            case '+':
+                if (peek(1) == '+') push(Tok::kPlusPlus, 2);
+                else if (peek(1) == '=') push(Tok::kPlusAssign, 2);
+                else push(Tok::kPlus, 1);
+                break;
+            case '-':
+                if (peek(1) == '-') push(Tok::kMinusMinus, 2);
+                else if (peek(1) == '=') push(Tok::kMinusAssign, 2);
+                else push(Tok::kMinus, 1);
+                break;
+            case '*':
+                if (peek(1) == '=') push(Tok::kStarAssign, 2);
+                else push(Tok::kStar, 1);
+                break;
+            case '/':
+                if (peek(1) == '=') push(Tok::kSlashAssign, 2);
+                else push(Tok::kSlash, 1);
+                break;
+            case '%':
+                if (peek(1) == '=') push(Tok::kPercentAssign, 2);
+                else push(Tok::kPercent, 1);
+                break;
+            case '&':
+                if (peek(1) == '&') push(Tok::kAmpAmp, 2);
+                else if (peek(1) == '=') push(Tok::kAmpAssign, 2);
+                else push(Tok::kAmp, 1);
+                break;
+            case '|':
+                if (peek(1) == '|') push(Tok::kPipePipe, 2);
+                else if (peek(1) == '=') push(Tok::kPipeAssign, 2);
+                else push(Tok::kPipe, 1);
+                break;
+            case '^':
+                if (peek(1) == '=') push(Tok::kCaretAssign, 2);
+                else push(Tok::kCaret, 1);
+                break;
+            case '!':
+                if (peek(1) == '=') push(Tok::kNe, 2);
+                else push(Tok::kBang, 1);
+                break;
+            case '=':
+                if (peek(1) == '=') push(Tok::kEq, 2);
+                else push(Tok::kAssign, 1);
+                break;
+            case '<':
+                if (peek(1) == '<' && peek(2) == '=') push(Tok::kShlAssign, 3);
+                else if (peek(1) == '<') push(Tok::kShl, 2);
+                else if (peek(1) == '=') push(Tok::kLe, 2);
+                else push(Tok::kLt, 1);
+                break;
+            case '>':
+                if (peek(1) == '>' && peek(2) == '=') push(Tok::kShrAssign, 3);
+                else if (peek(1) == '>') push(Tok::kShr, 2);
+                else if (peek(1) == '=') push(Tok::kGe, 2);
+                else push(Tok::kGt, 1);
+                break;
+            default:
+                throw CompileError(line, std::string("unexpected character '") +
+                                             c + "'");
+        }
+    }
+    out.push_back({Tok::kEof, line, 0, {}});
+    return out;
+}
+
+const char* tokName(Tok t) {
+    switch (t) {
+        case Tok::kEof: return "end of file";
+        case Tok::kIntLit: return "integer literal";
+        case Tok::kIdent: return "identifier";
+        case Tok::kKwInt: return "'int'";
+        case Tok::kKwShort: return "'short'";
+        case Tok::kKwChar: return "'char'";
+        case Tok::kKwVoid: return "'void'";
+        case Tok::kKwConst: return "'const'";
+        case Tok::kKwIf: return "'if'";
+        case Tok::kKwElse: return "'else'";
+        case Tok::kKwWhile: return "'while'";
+        case Tok::kKwDo: return "'do'";
+        case Tok::kKwFor: return "'for'";
+        case Tok::kKwReturn: return "'return'";
+        case Tok::kKwBreak: return "'break'";
+        case Tok::kKwContinue: return "'continue'";
+        case Tok::kLParen: return "'('";
+        case Tok::kRParen: return "')'";
+        case Tok::kLBrace: return "'{'";
+        case Tok::kRBrace: return "'}'";
+        case Tok::kLBracket: return "'['";
+        case Tok::kRBracket: return "']'";
+        case Tok::kSemi: return "';'";
+        case Tok::kComma: return "','";
+        case Tok::kQuestion: return "'?'";
+        case Tok::kColon: return "':'";
+        case Tok::kAssign: return "'='";
+        default: return "operator";
+    }
+}
+
+}  // namespace asbr::cc

@@ -1,0 +1,58 @@
+// Lexer for the mcc C subset.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace asbr::cc {
+
+/// Compilation failure with 1-based source line information.
+class CompileError : public std::runtime_error {
+public:
+    CompileError(int line, const std::string& message)
+        : std::runtime_error("mcc:" + std::to_string(line) + ": " + message),
+          line_(line) {}
+
+    [[nodiscard]] int line() const { return line_; }
+
+private:
+    int line_;
+};
+
+enum class Tok {
+    kEof,
+    kIntLit,
+    kIdent,
+    // keywords
+    kKwInt, kKwShort, kKwChar, kKwVoid, kKwConst,
+    kKwIf, kKwElse, kKwWhile, kKwDo, kKwFor,
+    kKwReturn, kKwBreak, kKwContinue,
+    // punctuation / operators
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kSemi, kComma, kQuestion, kColon,
+    kAssign,                        // =
+    kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+    kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kAmp, kPipe, kCaret, kTilde, kBang,
+    kAmpAmp, kPipePipe,
+    kEq, kNe, kLt, kLe, kGt, kGe, kShl, kShr,
+    kPlusPlus, kMinusMinus,
+};
+
+struct Token {
+    Tok kind = Tok::kEof;
+    int line = 1;
+    std::int64_t value = 0;  // kIntLit
+    std::string text;        // kIdent
+};
+
+/// Tokenize a full translation unit.  // and /* */ comments are skipped.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+/// Human-readable token name for diagnostics.
+[[nodiscard]] const char* tokName(Tok t);
+
+}  // namespace asbr::cc

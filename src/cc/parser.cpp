@@ -1,0 +1,523 @@
+#include "cc/parser.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace asbr::cc {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+    TranslationUnit parseUnit() {
+        TranslationUnit unit;
+        while (!at(Tok::kEof)) {
+            // const? type ident  -> global or function
+            accept(Tok::kKwConst);
+            const BaseType type = parseType();
+            const Token nameTok = expect(Tok::kIdent);
+            if (at(Tok::kLParen)) {
+                unit.functions.push_back(parseFunction(type, nameTok));
+            } else {
+                parseGlobal(unit, type, nameTok);
+            }
+        }
+        return unit;
+    }
+
+private:
+    // ------------------------------------------------------- token flow ----
+    [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+    [[nodiscard]] bool at(Tok k) const { return cur().kind == k; }
+    [[nodiscard]] int line() const { return cur().line; }
+
+    bool accept(Tok k) {
+        if (!at(k)) return false;
+        ++pos_;
+        return true;
+    }
+
+    Token expect(Tok k) {
+        if (!at(k))
+            throw CompileError(line(), std::string("expected ") + tokName(k) +
+                                           ", got " + tokName(cur().kind));
+        return toks_[pos_++];
+    }
+
+    // ------------------------------------------------------ declarations ----
+    BaseType parseType() {
+        if (accept(Tok::kKwInt)) return BaseType::kInt;
+        if (accept(Tok::kKwShort)) return BaseType::kShort;
+        if (accept(Tok::kKwChar)) return BaseType::kChar;
+        if (accept(Tok::kKwVoid)) return BaseType::kVoid;
+        throw CompileError(line(), "expected a type");
+    }
+
+    void parseGlobal(TranslationUnit& unit, BaseType type, const Token& first) {
+        if (type == BaseType::kVoid)
+            throw CompileError(first.line, "variables cannot be void");
+        Token nameTok = first;
+        while (true) {
+            GlobalDecl g;
+            g.name = nameTok.text;
+            g.type = type;
+            g.line = nameTok.line;
+            if (accept(Tok::kLBracket)) {
+                g.isArray = true;
+                if (!at(Tok::kRBracket)) {
+                    g.arraySize = evalConst(*parseExpr());
+                    if (g.arraySize <= 0)
+                        throw CompileError(g.line, "array size must be positive");
+                }
+                expect(Tok::kRBracket);
+            }
+            if (accept(Tok::kAssign)) {
+                if (g.isArray) {
+                    expect(Tok::kLBrace);
+                    if (!at(Tok::kRBrace)) {
+                        do {
+                            g.init.push_back(evalConst(*parseAssignment()));
+                        } while (accept(Tok::kComma));
+                    }
+                    expect(Tok::kRBrace);
+                    if (g.arraySize == 0) {
+                        g.arraySize = static_cast<std::int64_t>(g.init.size());
+                    } else if (static_cast<std::int64_t>(g.init.size()) >
+                               g.arraySize) {
+                        throw CompileError(g.line, "too many initializers");
+                    }
+                } else {
+                    g.init.push_back(evalConst(*parseAssignment()));
+                }
+            }
+            if (g.isArray && g.arraySize == 0)
+                throw CompileError(g.line, "array needs a size or initializer");
+            unit.globals.push_back(std::move(g));
+            if (!accept(Tok::kComma)) break;
+            nameTok = expect(Tok::kIdent);
+        }
+        expect(Tok::kSemi);
+    }
+
+    FuncDef parseFunction(BaseType type, const Token& nameTok) {
+        if (type == BaseType::kShort || type == BaseType::kChar)
+            throw CompileError(nameTok.line,
+                               "functions return int or void only");
+        FuncDef fn;
+        fn.name = nameTok.text;
+        fn.returnType = type;
+        fn.line = nameTok.line;
+        expect(Tok::kLParen);
+        if (!at(Tok::kRParen)) {
+            if (at(Tok::kKwVoid) && toks_[pos_ + 1].kind == Tok::kRParen) {
+                ++pos_;
+            } else {
+                do {
+                    accept(Tok::kKwConst);
+                    const BaseType pt = parseType();
+                    if (pt == BaseType::kVoid)
+                        throw CompileError(line(), "void parameter");
+                    fn.params.push_back({expect(Tok::kIdent).text});
+                } while (accept(Tok::kComma));
+            }
+        }
+        expect(Tok::kRParen);
+        if (fn.params.size() > 4)
+            throw CompileError(fn.line, "at most 4 parameters supported");
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    // --------------------------------------------------------- statements ----
+    std::unique_ptr<Stmt> parseBlock() {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::kBlock;
+        stmt->line = line();
+        expect(Tok::kLBrace);
+        while (!accept(Tok::kRBrace)) {
+            if (at(Tok::kEof)) throw CompileError(line(), "unterminated block");
+            stmt->block.push_back(parseStmt());
+        }
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt> parseStmt() {
+        const int ln = line();
+        if (at(Tok::kLBrace)) return parseBlock();
+        if (accept(Tok::kSemi)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kEmpty;
+            s->line = ln;
+            return s;
+        }
+        if (at(Tok::kKwInt) || at(Tok::kKwShort) || at(Tok::kKwChar) ||
+            at(Tok::kKwConst)) {
+            return parseLocalDecl();
+        }
+        if (accept(Tok::kKwIf)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kIf;
+            s->line = ln;
+            expect(Tok::kLParen);
+            s->expr = parseExpr();
+            expect(Tok::kRParen);
+            s->body = parseStmt();
+            if (accept(Tok::kKwElse)) s->elseBody = parseStmt();
+            return s;
+        }
+        if (accept(Tok::kKwWhile)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kWhile;
+            s->line = ln;
+            expect(Tok::kLParen);
+            s->expr = parseExpr();
+            expect(Tok::kRParen);
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept(Tok::kKwDo)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kDoWhile;
+            s->line = ln;
+            s->body = parseStmt();
+            expect(Tok::kKwWhile);
+            expect(Tok::kLParen);
+            s->expr = parseExpr();
+            expect(Tok::kRParen);
+            expect(Tok::kSemi);
+            return s;
+        }
+        if (accept(Tok::kKwFor)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kFor;
+            s->line = ln;
+            expect(Tok::kLParen);
+            if (!at(Tok::kSemi)) {
+                if (at(Tok::kKwInt)) {
+                    s->init = parseLocalDecl();  // consumes ';'
+                } else {
+                    auto init = std::make_unique<Stmt>();
+                    init->kind = StmtKind::kExpr;
+                    init->line = line();
+                    init->expr = parseExpr();
+                    s->init = std::move(init);
+                    expect(Tok::kSemi);
+                }
+            } else {
+                expect(Tok::kSemi);
+            }
+            if (!at(Tok::kSemi)) s->expr = parseExpr();
+            expect(Tok::kSemi);
+            if (!at(Tok::kRParen)) s->post = parseExpr();
+            expect(Tok::kRParen);
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept(Tok::kKwReturn)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kReturn;
+            s->line = ln;
+            if (!at(Tok::kSemi)) s->expr = parseExpr();
+            expect(Tok::kSemi);
+            return s;
+        }
+        if (accept(Tok::kKwBreak)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kBreak;
+            s->line = ln;
+            expect(Tok::kSemi);
+            return s;
+        }
+        if (accept(Tok::kKwContinue)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kContinue;
+            s->line = ln;
+            expect(Tok::kSemi);
+            return s;
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kExpr;
+        s->line = ln;
+        s->expr = parseExpr();
+        expect(Tok::kSemi);
+        return s;
+    }
+
+    std::unique_ptr<Stmt> parseLocalDecl() {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kDecl;
+        s->line = line();
+        accept(Tok::kKwConst);
+        const BaseType t = parseType();
+        if (t != BaseType::kInt)
+            throw CompileError(s->line, "locals must be int");
+        do {
+            LocalDecl d;
+            d.name = expect(Tok::kIdent).text;
+            if (at(Tok::kLBracket))
+                throw CompileError(line(), "local arrays not supported");
+            if (accept(Tok::kAssign)) d.init = parseAssignment();
+            s->decls.push_back(std::move(d));
+        } while (accept(Tok::kComma));
+        expect(Tok::kSemi);
+        return s;
+    }
+
+    // -------------------------------------------------------- expressions ----
+    std::unique_ptr<Expr> parseExpr() { return parseAssignment(); }
+
+    std::unique_ptr<Expr> parseAssignment() {
+        auto lhs = parseTernary();
+        BinOp op = BinOp::kAdd;
+        bool compound = true;
+        switch (cur().kind) {
+            case Tok::kAssign: compound = false; break;
+            case Tok::kPlusAssign: op = BinOp::kAdd; break;
+            case Tok::kMinusAssign: op = BinOp::kSub; break;
+            case Tok::kStarAssign: op = BinOp::kMul; break;
+            case Tok::kSlashAssign: op = BinOp::kDiv; break;
+            case Tok::kPercentAssign: op = BinOp::kMod; break;
+            case Tok::kAmpAssign: op = BinOp::kBitAnd; break;
+            case Tok::kPipeAssign: op = BinOp::kBitOr; break;
+            case Tok::kCaretAssign: op = BinOp::kBitXor; break;
+            case Tok::kShlAssign: op = BinOp::kShl; break;
+            case Tok::kShrAssign: op = BinOp::kShr; break;
+            default: return lhs;
+        }
+        const int ln = line();
+        ++pos_;  // consume the assignment operator
+        if (lhs->kind != ExprKind::kVar && lhs->kind != ExprKind::kIndex)
+            throw CompileError(ln, "assignment target must be a variable or "
+                                   "array element");
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kAssign;
+        node->line = ln;
+        node->binOp = op;
+        node->compound = compound;
+        node->a = std::move(lhs);
+        node->b = parseAssignment();  // right-associative
+        return node;
+    }
+
+    std::unique_ptr<Expr> parseTernary() {
+        auto cond = parseBinary(0);
+        if (!accept(Tok::kQuestion)) return cond;
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kTernary;
+        node->line = cond->line;
+        node->a = std::move(cond);
+        node->b = parseExpr();
+        expect(Tok::kColon);
+        node->c = parseTernary();
+        return node;
+    }
+
+    struct OpInfo {
+        BinOp op;
+        int precedence;
+    };
+
+    [[nodiscard]] static const OpInfo* binOpInfo(Tok t) {
+        // Precedence: higher binds tighter.
+        static const std::unordered_map<int, OpInfo> table = {
+            {static_cast<int>(Tok::kPipePipe), {BinOp::kLogOr, 1}},
+            {static_cast<int>(Tok::kAmpAmp), {BinOp::kLogAnd, 2}},
+            {static_cast<int>(Tok::kPipe), {BinOp::kBitOr, 3}},
+            {static_cast<int>(Tok::kCaret), {BinOp::kBitXor, 4}},
+            {static_cast<int>(Tok::kAmp), {BinOp::kBitAnd, 5}},
+            {static_cast<int>(Tok::kEq), {BinOp::kEq, 6}},
+            {static_cast<int>(Tok::kNe), {BinOp::kNe, 6}},
+            {static_cast<int>(Tok::kLt), {BinOp::kLt, 7}},
+            {static_cast<int>(Tok::kLe), {BinOp::kLe, 7}},
+            {static_cast<int>(Tok::kGt), {BinOp::kGt, 7}},
+            {static_cast<int>(Tok::kGe), {BinOp::kGe, 7}},
+            {static_cast<int>(Tok::kShl), {BinOp::kShl, 8}},
+            {static_cast<int>(Tok::kShr), {BinOp::kShr, 8}},
+            {static_cast<int>(Tok::kPlus), {BinOp::kAdd, 9}},
+            {static_cast<int>(Tok::kMinus), {BinOp::kSub, 9}},
+            {static_cast<int>(Tok::kStar), {BinOp::kMul, 10}},
+            {static_cast<int>(Tok::kSlash), {BinOp::kDiv, 10}},
+            {static_cast<int>(Tok::kPercent), {BinOp::kMod, 10}},
+        };
+        const auto it = table.find(static_cast<int>(t));
+        return it == table.end() ? nullptr : &it->second;
+    }
+
+    std::unique_ptr<Expr> parseBinary(int minPrec) {
+        auto lhs = parseUnary();
+        while (true) {
+            const OpInfo* info = binOpInfo(cur().kind);
+            if (info == nullptr || info->precedence < minPrec) return lhs;
+            const int ln = line();
+            ++pos_;
+            auto rhs = parseBinary(info->precedence + 1);
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::kBinary;
+            node->line = ln;
+            node->binOp = info->op;
+            node->a = std::move(lhs);
+            node->b = std::move(rhs);
+            lhs = std::move(node);
+        }
+    }
+
+    std::unique_ptr<Expr> parseUnary() {
+        const int ln = line();
+        if (accept(Tok::kMinus)) return makeUnary(UnOp::kNeg, ln);
+        if (accept(Tok::kBang)) return makeUnary(UnOp::kNot, ln);
+        if (accept(Tok::kTilde)) return makeUnary(UnOp::kBitNot, ln);
+        if (accept(Tok::kPlus)) return parseUnary();
+        if (accept(Tok::kPlusPlus)) return makeIncDec(true, true, ln);
+        if (accept(Tok::kMinusMinus)) return makeIncDec(false, true, ln);
+        return parsePostfix();
+    }
+
+    std::unique_ptr<Expr> makeUnary(UnOp op, int ln) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kUnary;
+        node->line = ln;
+        node->unOp = op;
+        node->a = parseUnary();
+        return node;
+    }
+
+    std::unique_ptr<Expr> makeIncDec(bool increment, bool prefix, int ln,
+                                     std::unique_ptr<Expr> target = nullptr) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kIncDec;
+        node->line = ln;
+        node->increment = increment;
+        node->prefix = prefix;
+        node->a = target ? std::move(target) : parseUnary();
+        if (node->a->kind != ExprKind::kVar && node->a->kind != ExprKind::kIndex)
+            throw CompileError(ln, "++/-- needs a variable or array element");
+        return node;
+    }
+
+    std::unique_ptr<Expr> parsePostfix() {
+        auto e = parsePrimary();
+        while (true) {
+            const int ln = line();
+            if (accept(Tok::kLBracket)) {
+                if (e->kind != ExprKind::kVar)
+                    throw CompileError(ln, "only named arrays can be indexed");
+                auto node = std::make_unique<Expr>();
+                node->kind = ExprKind::kIndex;
+                node->line = ln;
+                node->name = e->name;
+                node->a = parseExpr();
+                expect(Tok::kRBracket);
+                e = std::move(node);
+            } else if (accept(Tok::kLParen)) {
+                if (e->kind != ExprKind::kVar)
+                    throw CompileError(ln, "only named functions can be called");
+                auto node = std::make_unique<Expr>();
+                node->kind = ExprKind::kCall;
+                node->line = ln;
+                node->name = e->name;
+                if (!at(Tok::kRParen)) {
+                    do {
+                        node->args.push_back(parseAssignment());
+                    } while (accept(Tok::kComma));
+                }
+                expect(Tok::kRParen);
+                if (node->args.size() > 4)
+                    throw CompileError(ln, "at most 4 arguments supported");
+                e = std::move(node);
+            } else if (accept(Tok::kPlusPlus)) {
+                e = makeIncDec(true, false, ln, std::move(e));
+            } else if (accept(Tok::kMinusMinus)) {
+                e = makeIncDec(false, false, ln, std::move(e));
+            } else {
+                return e;
+            }
+        }
+    }
+
+    std::unique_ptr<Expr> parsePrimary() {
+        const int ln = line();
+        if (at(Tok::kIntLit)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::kIntLit;
+            node->line = ln;
+            node->value = toks_[pos_++].value;
+            return node;
+        }
+        if (at(Tok::kIdent)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::kVar;
+            node->line = ln;
+            node->name = toks_[pos_++].text;
+            return node;
+        }
+        if (accept(Tok::kLParen)) {
+            auto e = parseExpr();
+            expect(Tok::kRParen);
+            return e;
+        }
+        throw CompileError(ln, std::string("unexpected ") + tokName(cur().kind));
+    }
+
+    // ------------------------------------------------- constant evaluation ----
+    static std::int64_t evalConst(const Expr& e) {
+        switch (e.kind) {
+            case ExprKind::kIntLit:
+                return e.value;
+            case ExprKind::kUnary: {
+                const std::int64_t v = evalConst(*e.a);
+                switch (e.unOp) {
+                    case UnOp::kNeg: return -v;
+                    case UnOp::kNot: return v == 0 ? 1 : 0;
+                    case UnOp::kBitNot: return ~v;
+                }
+                break;
+            }
+            case ExprKind::kBinary: {
+                const std::int64_t a = evalConst(*e.a);
+                const std::int64_t b = evalConst(*e.b);
+                switch (e.binOp) {
+                    case BinOp::kAdd: return a + b;
+                    case BinOp::kSub: return a - b;
+                    case BinOp::kMul: return a * b;
+                    case BinOp::kDiv:
+                        if (b == 0) throw CompileError(e.line, "divide by zero");
+                        return a / b;
+                    case BinOp::kMod:
+                        if (b == 0) throw CompileError(e.line, "mod by zero");
+                        return a % b;
+                    case BinOp::kShl: return a << (b & 31);
+                    case BinOp::kShr: return a >> (b & 31);
+                    case BinOp::kBitAnd: return a & b;
+                    case BinOp::kBitOr: return a | b;
+                    case BinOp::kBitXor: return a ^ b;
+                    case BinOp::kLt: return a < b;
+                    case BinOp::kLe: return a <= b;
+                    case BinOp::kGt: return a > b;
+                    case BinOp::kGe: return a >= b;
+                    case BinOp::kEq: return a == b;
+                    case BinOp::kNe: return a != b;
+                    case BinOp::kLogAnd: return (a != 0 && b != 0) ? 1 : 0;
+                    case BinOp::kLogOr: return (a != 0 || b != 0) ? 1 : 0;
+                }
+                break;
+            }
+            default:
+                break;
+        }
+        throw CompileError(e.line, "initializer is not a constant expression");
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::string& source) {
+    Parser parser(lex(source));
+    return parser.parseUnit();
+}
+
+}  // namespace asbr::cc

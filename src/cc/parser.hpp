@@ -1,0 +1,13 @@
+// Recursive-descent parser for the mcc C subset.
+#pragma once
+
+#include "cc/ast.hpp"
+#include "cc/lexer.hpp"
+
+namespace asbr::cc {
+
+/// Parse a whole translation unit.  Throws CompileError on syntax errors and
+/// on non-constant global initializers.
+[[nodiscard]] TranslationUnit parse(const std::string& source);
+
+}  // namespace asbr::cc

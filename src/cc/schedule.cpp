@@ -1,0 +1,212 @@
+#include "cc/schedule.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace asbr::cc {
+
+namespace {
+
+bool isBarrier(Op op) { return op == Op::kSys; }
+
+bool endsBlock(Op op) { return isControl(op) || isBarrier(op); }
+
+/// Basic-block leader flags for every instruction index.
+std::vector<bool> computeLeaders(const Program& program) {
+    const std::size_t n = program.code.size();
+    std::vector<bool> leader(n, false);
+    if (n == 0) return leader;
+    leader[0] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction& ins = program.code[i];
+        if (isCondBranch(ins.op)) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(i) + 1 + ins.imm;
+            if (target >= 0 && target < static_cast<std::int64_t>(n))
+                leader[static_cast<std::size_t>(target)] = true;
+        } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
+            const std::uint32_t addr =
+                static_cast<std::uint32_t>(ins.imm) * kInstrBytes;
+            if (program.inText(addr))
+                leader[(addr - program.textBase) / kInstrBytes] = true;
+        }
+        if (endsBlock(ins.op) && i + 1 < n) leader[i + 1] = true;
+    }
+    // The entry point is a leader too.
+    if (program.inText(program.entry))
+        leader[(program.entry - program.textBase) / kInstrBytes] = true;
+    return leader;
+}
+
+/// Dependence-respecting list scheduler for one block [lo, hi) whose last
+/// instruction (hi-1) is a conditional branch.  Returns the new order of the
+/// body [lo, hi-1) as indices into the program.
+std::vector<std::size_t> scheduleBlock(const Program& program, std::size_t lo,
+                                       std::size_t hi) {
+    const std::size_t branchIdx = hi - 1;
+    const std::size_t bodyLen = branchIdx - lo;
+    std::vector<std::size_t> order;
+    order.reserve(bodyLen);
+
+    // Build the dependence DAG over the body.
+    // preds[k] = body-relative indices that must precede body instruction k.
+    std::vector<std::vector<std::size_t>> preds(bodyLen);
+    auto addEdge = [&preds](std::size_t from, std::size_t to) {
+        preds[to].push_back(from);
+    };
+    for (std::size_t j = 0; j < bodyLen; ++j) {
+        const Instruction& insJ = program.code[lo + j];
+        const auto dstJ = destReg(insJ);
+        const SrcRegs srcJ = srcRegs(insJ);
+        const bool memJ = isLoad(insJ.op) || isStore(insJ.op);
+        for (std::size_t i = 0; i < j; ++i) {
+            const Instruction& insI = program.code[lo + i];
+            const auto dstI = destReg(insI);
+            const SrcRegs srcI = srcRegs(insI);
+            bool dep = false;
+            // RAW: j reads i's destination.
+            if (dstI && *dstI != reg::zero) {
+                for (int s = 0; s < srcJ.count; ++s)
+                    if (srcJ.regs[s] == *dstI) dep = true;
+                // WAW.
+                if (dstJ && *dstJ == *dstI) dep = true;
+            }
+            // WAR: j writes a register i reads.
+            if (dstJ && *dstJ != reg::zero) {
+                for (int s = 0; s < srcI.count; ++s)
+                    if (srcI.regs[s] == *dstJ) dep = true;
+            }
+            // Memory: conservative — keep all load/store pairs ordered except
+            // load-load.
+            const bool memI = isLoad(insI.op) || isStore(insI.op);
+            if (memI && memJ && !(isLoad(insI.op) && isLoad(insJ.op))) dep = true;
+            if (dep) addEdge(i, j);
+        }
+    }
+
+    // Mark the condition chain: the last writer of the branch register and
+    // its transitive true-dependence ancestors.
+    const Instruction& branch = program.code[branchIdx];
+    std::vector<bool> chain(bodyLen, false);
+    std::int64_t condDef = -1;
+    if (branch.rs != reg::zero) {
+        for (std::size_t i = bodyLen; i-- > 0;) {
+            const auto dst = destReg(program.code[lo + i]);
+            if (dst && *dst == branch.rs) {
+                condDef = static_cast<std::int64_t>(i);
+                break;
+            }
+        }
+    }
+    if (condDef < 0) {
+        // Condition defined outside this block: nothing to gain.
+        for (std::size_t i = 0; i < bodyLen; ++i) order.push_back(lo + i);
+        return order;
+    }
+    // Transitive ancestors through register true-dependences.
+    std::vector<std::size_t> work{static_cast<std::size_t>(condDef)};
+    chain[static_cast<std::size_t>(condDef)] = true;
+    while (!work.empty()) {
+        const std::size_t k = work.back();
+        work.pop_back();
+        const SrcRegs srcs = srcRegs(program.code[lo + k]);
+        for (int s = 0; s < srcs.count; ++s) {
+            const std::uint8_t r = srcs.regs[s];
+            if (r == reg::zero) continue;
+            for (std::size_t i = k; i-- > 0;) {
+                const auto dst = destReg(program.code[lo + i]);
+                if (dst && *dst == r) {
+                    if (!chain[i]) {
+                        chain[i] = true;
+                        work.push_back(i);
+                    }
+                    break;  // only the last writer before k matters
+                }
+            }
+        }
+        // Memory/order predecessors must also be hoisted for the chain to
+        // move: include them so a chain load can drag its store barrier.
+        for (std::size_t p : preds[k]) {
+            if (!chain[p]) {
+                chain[p] = true;
+                work.push_back(p);
+            }
+        }
+    }
+
+    // Priority list scheduling: chain instructions as early as possible.
+    std::vector<std::size_t> remainingPreds(bodyLen, 0);
+    for (std::size_t k = 0; k < bodyLen; ++k) {
+        std::sort(preds[k].begin(), preds[k].end());
+        preds[k].erase(std::unique(preds[k].begin(), preds[k].end()),
+                       preds[k].end());
+        remainingPreds[k] = preds[k].size();
+    }
+    std::vector<std::vector<std::size_t>> succs(bodyLen);
+    for (std::size_t k = 0; k < bodyLen; ++k)
+        for (std::size_t p : preds[k]) succs[p].push_back(k);
+
+    std::vector<bool> emitted(bodyLen, false);
+    for (std::size_t step = 0; step < bodyLen; ++step) {
+        std::int64_t pick = -1;
+        bool pickIsChain = false;
+        for (std::size_t k = 0; k < bodyLen; ++k) {
+            if (emitted[k] || remainingPreds[k] != 0) continue;
+            if (pick < 0 || (chain[k] && !pickIsChain)) {
+                pick = static_cast<std::int64_t>(k);
+                pickIsChain = chain[k];
+            }
+        }
+        ASBR_ENSURE(pick >= 0, "scheduler deadlock (cyclic dependence?)");
+        const auto k = static_cast<std::size_t>(pick);
+        emitted[k] = true;
+        order.push_back(lo + k);
+        for (std::size_t s : succs[k]) --remainingPreds[s];
+    }
+    return order;
+}
+
+}  // namespace
+
+ScheduleStats scheduleConditionChains(Program& program) {
+    ScheduleStats stats;
+    const std::vector<bool> leaders = computeLeaders(program);
+    const std::size_t n = program.code.size();
+
+    std::vector<Instruction> newCode = program.code;
+    std::vector<int> newLines = program.lineOf;
+    newLines.resize(n, -1);
+
+    std::size_t lo = 0;
+    while (lo < n) {
+        std::size_t hi = lo + 1;
+        while (hi < n && !leaders[hi] && !endsBlock(program.code[hi - 1].op))
+            ++hi;
+        // [lo, hi) is one basic block.
+        if (hi - lo >= 3 && isCondBranch(program.code[hi - 1].op)) {
+            ++stats.blocksConsidered;
+            const std::vector<std::size_t> order =
+                scheduleBlock(program, lo, hi);
+            bool changed = false;
+            for (std::size_t k = 0; k < order.size(); ++k) {
+                if (order[k] != lo + k) {
+                    changed = true;
+                    ++stats.instructionsMoved;
+                }
+                newCode[lo + k] = program.code[order[k]];
+                newLines[lo + k] = order[k] < program.lineOf.size()
+                                       ? program.lineOf[order[k]]
+                                       : -1;
+            }
+            if (changed) ++stats.blocksChanged;
+        }
+        lo = hi;
+    }
+    program.code = std::move(newCode);
+    program.lineOf = std::move(newLines);
+    return stats;
+}
+
+}  // namespace asbr::cc

@@ -1,0 +1,30 @@
+// Branch-condition instruction scheduling (paper Section 5.1).
+//
+// ASBR can only fold a branch when its predicate-defining instruction runs
+// far enough ahead of the branch fetch.  This pass reorders instructions
+// *within basic blocks* so that the dependence chain feeding each
+// block-ending conditional branch is scheduled as early as data and memory
+// dependences allow, pushing independent instructions into the def-to-branch
+// window.  It is the automated equivalent of the paper's manual scheduling.
+//
+// The pass is a pure permutation inside each block: instruction counts and
+// all label addresses are unchanged, so it can run on a fully-linked Program.
+#pragma once
+
+#include <cstdint>
+
+#include "asm/program.hpp"
+
+namespace asbr::cc {
+
+/// Statistics from one scheduling run.
+struct ScheduleStats {
+    std::uint32_t blocksConsidered = 0;  ///< blocks ending in a cond branch
+    std::uint32_t blocksChanged = 0;
+    std::uint32_t instructionsMoved = 0;  ///< positions that changed
+};
+
+/// Reorder `program` in place; returns what moved.
+ScheduleStats scheduleConditionChains(Program& program);
+
+}  // namespace asbr::cc

@@ -1,0 +1,64 @@
+#include "isa/disasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace asbr {
+
+namespace {
+
+bool isRAlu(Op op) { return op >= Op::kAddu && op <= Op::kRemu; }
+
+bool isIAlu(Op op) { return op >= Op::kAddiu && op <= Op::kSra; }
+
+std::string hex(std::uint32_t v) {
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& ins) {
+    std::ostringstream os;
+    os << opName(ins.op);
+    const Op op = ins.op;
+    if (op == Op::kNop || op == Op::kSys) return os.str();
+    os << ' ';
+    if (isRAlu(op)) {
+        os << regName(ins.rd) << ", " << regName(ins.rs) << ", " << regName(ins.rt);
+    } else if (op == Op::kLui) {
+        os << regName(ins.rd) << ", " << ins.imm;
+    } else if (isIAlu(op)) {
+        os << regName(ins.rd) << ", " << regName(ins.rs) << ", " << ins.imm;
+    } else if (isLoad(op)) {
+        os << regName(ins.rd) << ", " << ins.imm << '(' << regName(ins.rs) << ')';
+    } else if (isStore(op)) {
+        os << regName(ins.rt) << ", " << ins.imm << '(' << regName(ins.rs) << ')';
+    } else if (isCondBranch(op)) {
+        os << regName(ins.rs) << ", " << ins.imm;
+    } else if (op == Op::kJ || op == Op::kJal) {
+        os << hex(static_cast<std::uint32_t>(ins.imm) * kInstrBytes);
+    } else if (op == Op::kJr) {
+        os << regName(ins.rs);
+    } else if (op == Op::kJalr) {
+        os << regName(ins.rd) << ", " << regName(ins.rs);
+    }
+    return os.str();
+}
+
+std::string disassembleAt(const Instruction& ins, std::uint32_t pc) {
+    std::ostringstream os;
+    os << std::hex << std::setw(8) << std::setfill('0') << pc << ": " << std::dec;
+    if (isCondBranch(ins.op)) {
+        const std::uint32_t target =
+            pc + kInstrBytes +
+            static_cast<std::uint32_t>(ins.imm) * kInstrBytes;
+        os << opName(ins.op) << ' ' << regName(ins.rs) << ", " << hex(target);
+        return os.str();
+    }
+    os << disassemble(ins);
+    return os.str();
+}
+
+}  // namespace asbr

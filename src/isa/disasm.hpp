@@ -1,0 +1,19 @@
+// Textual disassembly of ep32 instructions, round-trippable through the
+// assembler (asm module) for everything except label names.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace asbr {
+
+/// Render one instruction, e.g. "addu t0, t1, t2" or "bnez a0, -3".
+/// Branch/jump operands are shown numerically (no symbol table here).
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+/// Render with the instruction's address, resolving branch targets to
+/// absolute addresses: "00001004: bnez a0, 0x1010".
+[[nodiscard]] std::string disassembleAt(const Instruction& ins, std::uint32_t pc);
+
+}  // namespace asbr

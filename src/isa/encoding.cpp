@@ -1,0 +1,88 @@
+#include "isa/encoding.hpp"
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+namespace {
+
+bool isRLayout(Op op) {
+    return isMulDiv(op) || (op >= Op::kAddu && op <= Op::kSrav) ||
+           op == Op::kJr || op == Op::kJalr;
+}
+
+bool isJLayout(Op op) { return op == Op::kJ || op == Op::kJal; }
+
+bool isUnsignedImm(Op op) {
+    return op == Op::kAndi || op == Op::kOri || op == Op::kXori || op == Op::kLui;
+}
+
+bool isShiftImm(Op op) {
+    return op == Op::kSll || op == Op::kSrl || op == Op::kSra;
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& ins) {
+    const auto op = static_cast<std::uint32_t>(ins.op);
+    ASBR_ENSURE(op < static_cast<std::uint32_t>(kNumOps), "encode: bad opcode");
+    ASBR_ENSURE(ins.rd < kNumRegs && ins.rs < kNumRegs && ins.rt < kNumRegs,
+                "encode: bad register number");
+
+    if (isJLayout(ins.op)) {
+        ASBR_ENSURE(ins.imm >= 0 && ins.imm < (1 << 26), "encode: jump index range");
+        return (op << 26) | static_cast<std::uint32_t>(ins.imm);
+    }
+    if (isRLayout(ins.op)) {
+        return (op << 26) | (static_cast<std::uint32_t>(ins.rd) << 21) |
+               (static_cast<std::uint32_t>(ins.rs) << 16) |
+               (static_cast<std::uint32_t>(ins.rt) << 11);
+    }
+    // I layout.  Stores carry their data register in the rd field.
+    const std::uint8_t rdField = isStore(ins.op) ? ins.rt : ins.rd;
+    if (isShiftImm(ins.op)) {
+        ASBR_ENSURE(ins.imm >= 0 && ins.imm < 32, "encode: shift amount range");
+    } else if (isUnsignedImm(ins.op)) {
+        ASBR_ENSURE(fitsUimm16(ins.imm), "encode: unsigned immediate range");
+    } else {
+        ASBR_ENSURE(fitsSimm16(ins.imm), "encode: signed immediate range");
+    }
+    return (op << 26) | (static_cast<std::uint32_t>(rdField) << 21) |
+           (static_cast<std::uint32_t>(ins.rs) << 16) |
+           (static_cast<std::uint32_t>(ins.imm) & 0xFFFFu);
+}
+
+Instruction decode(std::uint32_t word) {
+    Instruction ins;
+    const std::uint32_t opField = word >> 26;
+    ASBR_ENSURE(opField < static_cast<std::uint32_t>(kNumOps),
+                "decode: bad opcode field");
+    ins.op = static_cast<Op>(opField);
+
+    if (isJLayout(ins.op)) {
+        ins.imm = static_cast<std::int32_t>(word & 0x03FFFFFFu);
+        return ins;
+    }
+    if (isRLayout(ins.op)) {
+        ins.rd = static_cast<std::uint8_t>((word >> 21) & 0x1Fu);
+        ins.rs = static_cast<std::uint8_t>((word >> 16) & 0x1Fu);
+        ins.rt = static_cast<std::uint8_t>((word >> 11) & 0x1Fu);
+        return ins;
+    }
+    const auto rdField = static_cast<std::uint8_t>((word >> 21) & 0x1Fu);
+    ins.rs = static_cast<std::uint8_t>((word >> 16) & 0x1Fu);
+    if (isStore(ins.op)) {
+        ins.rt = rdField;
+    } else {
+        ins.rd = rdField;
+    }
+    const std::uint32_t imm16 = word & 0xFFFFu;
+    if (isUnsignedImm(ins.op) || isShiftImm(ins.op)) {
+        ins.imm = static_cast<std::int32_t>(imm16);
+    } else {
+        ins.imm = static_cast<std::int32_t>(static_cast<std::int16_t>(imm16));
+    }
+    return ins;
+}
+
+}  // namespace asbr

@@ -1,0 +1,36 @@
+// Binary encoding of ep32 instructions.
+//
+// Layouts (bit 31 .. bit 0):
+//   R-type:   [op:6][rd:5][rs:5][rt:5][pad:11]
+//   I-type:   [op:6][rd:5][rs:5][imm:16]          (branches put rs in the rs
+//                                                  field and leave rd = 0)
+//   J-type:   [op:6][index:26]                    (J / JAL)
+//
+// Shift-by-immediate instructions use the I layout with imm = shamt (0..31).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace asbr {
+
+/// Encode an instruction into its 32-bit word.  Throws EnsureError when a
+/// field is out of range (immediate does not fit 16 bits, bad shamt, ...).
+[[nodiscard]] std::uint32_t encode(const Instruction& ins);
+
+/// Decode a 32-bit word.  Throws EnsureError on an invalid opcode field.
+[[nodiscard]] Instruction decode(std::uint32_t word);
+
+/// True when `value` is representable as the signed 16-bit immediate.
+[[nodiscard]] constexpr bool fitsSimm16(std::int64_t value) {
+    return value >= -32768 && value <= 32767;
+}
+
+/// True when `value` is representable as the unsigned 16-bit immediate used
+/// by andi/ori/xori.
+[[nodiscard]] constexpr bool fitsUimm16(std::int64_t value) {
+    return value >= 0 && value <= 65535;
+}
+
+}  // namespace asbr

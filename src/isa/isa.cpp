@@ -1,0 +1,156 @@
+#include "isa/isa.hpp"
+
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+namespace {
+
+constexpr std::array<const char*, kNumOps> kOpNames = {
+    "addu", "subu", "and",  "or",   "xor",  "nor",  "slt",  "sltu", "sllv",
+    "srlv", "srav", "mul",  "mulh", "div",  "divu", "rem",  "remu", "addiu",
+    "andi", "ori",  "xori", "slti", "sltiu", "lui", "sll",  "srl",  "sra",
+    "lb",   "lbu",  "lh",   "lhu",  "lw",   "sb",   "sh",   "sw",   "beqz",
+    "bnez", "blez", "bgtz", "bltz", "bgez", "j",    "jal",  "jr",   "jalr",
+    "sys",  "nop",
+};
+
+constexpr std::array<const char*, kNumRegs> kRegNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2",
+    "t3",   "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+constexpr std::array<const char*, kNumConds> kCondNames = {
+    "eqz", "nez", "lez", "gtz", "ltz", "gez",
+};
+
+}  // namespace
+
+bool isCondBranch(Op op) { return op >= Op::kBeqz && op <= Op::kBgez; }
+
+bool isJump(Op op) { return op >= Op::kJ && op <= Op::kJalr; }
+
+bool isControl(Op op) { return isCondBranch(op) || isJump(op); }
+
+bool isLoad(Op op) { return op >= Op::kLb && op <= Op::kLw; }
+
+bool isStore(Op op) { return op >= Op::kSb && op <= Op::kSw; }
+
+bool isMulDiv(Op op) { return op >= Op::kMul && op <= Op::kRemu; }
+
+Cond branchCond(Op op) {
+    ASBR_ENSURE(isCondBranch(op), "branchCond on non-branch");
+    return static_cast<Cond>(static_cast<int>(op) - static_cast<int>(Op::kBeqz));
+}
+
+Op condToBranchOp(Cond c) {
+    return static_cast<Op>(static_cast<int>(Op::kBeqz) + static_cast<int>(c));
+}
+
+Cond negateCond(Cond c) {
+    switch (c) {
+        case Cond::kEqz: return Cond::kNez;
+        case Cond::kNez: return Cond::kEqz;
+        case Cond::kLez: return Cond::kGtz;
+        case Cond::kGtz: return Cond::kLez;
+        case Cond::kLtz: return Cond::kGez;
+        case Cond::kGez: return Cond::kLtz;
+    }
+    return Cond::kEqz;
+}
+
+std::optional<std::uint8_t> destReg(const Instruction& ins) {
+    const Op op = ins.op;
+    if (isStore(op) || isCondBranch(op) || op == Op::kJ || op == Op::kJr ||
+        op == Op::kSys || op == Op::kNop) {
+        return std::nullopt;
+    }
+    if (op == Op::kJal) return reg::ra;
+    return ins.rd;  // ALU, loads, JALR
+}
+
+SrcRegs srcRegs(const Instruction& ins) {
+    SrcRegs out;
+    auto add = [&out](std::uint8_t r) { out.regs[out.count++] = r; };
+    const Op op = ins.op;
+    if (op == Op::kNop || op == Op::kJ || op == Op::kJal) return out;
+    if (op == Op::kLui) return out;  // imm only
+    if (op == Op::kSys) {
+        // By convention SYS reads v0 (service) and a0 (argument).
+        add(reg::v0);
+        add(reg::a0);
+        return out;
+    }
+    if (isStore(op)) {
+        add(ins.rs);  // base address
+        add(ins.rt);  // data
+        return out;
+    }
+    if (isCondBranch(op) || op == Op::kJr || op == Op::kJalr) {
+        add(ins.rs);
+        return out;
+    }
+    // R-type ALU reads rs and rt; I-type ALU and loads read rs only.
+    add(ins.rs);
+    if (op <= Op::kRemu) add(ins.rt);
+    return out;
+}
+
+const char* opName(Op op) {
+    const int i = static_cast<int>(op);
+    ASBR_ENSURE(i >= 0 && i < kNumOps, "opName: bad opcode");
+    return kOpNames[static_cast<std::size_t>(i)];
+}
+
+std::optional<Op> opFromName(const std::string& name) {
+    static const std::unordered_map<std::string, Op> table = [] {
+        std::unordered_map<std::string, Op> t;
+        for (int i = 0; i < kNumOps; ++i)
+            t.emplace(kOpNames[static_cast<std::size_t>(i)], static_cast<Op>(i));
+        return t;
+    }();
+    const auto it = table.find(name);
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+}
+
+const char* regName(std::uint8_t r) {
+    ASBR_ENSURE(r < kNumRegs, "regName: bad register");
+    return kRegNames[r];
+}
+
+std::optional<std::uint8_t> regFromName(const std::string& name) {
+    std::string s = name;
+    if (!s.empty() && s.front() == '$') s.erase(0, 1);
+    if (s.empty()) return std::nullopt;
+    // Numeric forms: "4" or "r4".
+    std::string num = s;
+    if (num.front() == 'r' && num.size() > 1 &&
+        num.find_first_not_of("0123456789", 1) == std::string::npos) {
+        num.erase(0, 1);
+    }
+    if (num.find_first_not_of("0123456789") == std::string::npos) {
+        const int v = std::stoi(num);
+        if (v >= 0 && v < kNumRegs) return static_cast<std::uint8_t>(v);
+        return std::nullopt;
+    }
+    static const std::unordered_map<std::string, std::uint8_t> table = [] {
+        std::unordered_map<std::string, std::uint8_t> t;
+        for (int i = 0; i < kNumRegs; ++i)
+            t.emplace(kRegNames[static_cast<std::size_t>(i)],
+                      static_cast<std::uint8_t>(i));
+        return t;
+    }();
+    const auto it = table.find(s);
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+}
+
+const char* condName(Cond c) {
+    return kCondNames[static_cast<std::size_t>(c)];
+}
+
+}  // namespace asbr

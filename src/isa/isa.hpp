@@ -1,0 +1,162 @@
+// ep32 instruction set architecture.
+//
+// ep32 is the MIPS-like, 32-register load/store ISA the reproduction's
+// embedded core executes.  It mirrors the architecture the paper simulates
+// with SimpleScalar: single-word 32-bit instructions, no delay slots, and
+// conditional branches that support *all zero comparisons* (the property the
+// Branch Direction Table exploits — every branch predicate is a comparison of
+// one register against zero).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace asbr {
+
+/// Number of architectural general-purpose registers.  r0 is hardwired to 0.
+inline constexpr int kNumRegs = 32;
+
+/// Byte size of one instruction word.
+inline constexpr std::uint32_t kInstrBytes = 4;
+
+/// ABI register numbers (MIPS o32-style names).
+namespace reg {
+inline constexpr std::uint8_t zero = 0;
+inline constexpr std::uint8_t at = 1;
+inline constexpr std::uint8_t v0 = 2;
+inline constexpr std::uint8_t v1 = 3;
+inline constexpr std::uint8_t a0 = 4;
+inline constexpr std::uint8_t a1 = 5;
+inline constexpr std::uint8_t a2 = 6;
+inline constexpr std::uint8_t a3 = 7;
+inline constexpr std::uint8_t t0 = 8;   // t0..t7 = 8..15
+inline constexpr std::uint8_t t7 = 15;
+inline constexpr std::uint8_t s0 = 16;  // s0..s7 = 16..23
+inline constexpr std::uint8_t s7 = 23;
+inline constexpr std::uint8_t t8 = 24;
+inline constexpr std::uint8_t t9 = 25;
+inline constexpr std::uint8_t k0 = 26;
+inline constexpr std::uint8_t k1 = 27;
+inline constexpr std::uint8_t gp = 28;
+inline constexpr std::uint8_t sp = 29;
+inline constexpr std::uint8_t fp = 30;
+inline constexpr std::uint8_t ra = 31;
+}  // namespace reg
+
+/// Every ep32 opcode.  The numeric value is the 6-bit encoding field.
+enum class Op : std::uint8_t {
+    // R-type ALU (rd <- rs OP rt)
+    kAddu, kSubu, kAnd, kOr, kXor, kNor, kSlt, kSltu, kSllv, kSrlv, kSrav,
+    kMul, kMulh, kDiv, kDivu, kRem, kRemu,
+    // I-type ALU (rd <- rs OP imm)
+    kAddiu, kAndi, kOri, kXori, kSlti, kSltiu, kLui,
+    kSll, kSrl, kSra,  // shift by immediate amount
+    // Loads (rd <- mem[rs + imm]) and stores (mem[rs + imm] <- rt)
+    kLb, kLbu, kLh, kLhu, kLw, kSb, kSh, kSw,
+    // Conditional branches on a zero comparison of rs.
+    // Target = pc + 4 + imm*4 (imm counts instruction words).
+    kBeqz, kBnez, kBlez, kBgtz, kBltz, kBgez,
+    // Jumps.  J/JAL: imm is an absolute instruction-word index within the
+    // current 256MB region.  JR: pc <- rs.  JALR: rd <- pc+4; pc <- rs.
+    kJ, kJal, kJr, kJalr,
+    // System call: service number in v0, arguments in a0..a2, result in v0.
+    kSys,
+    // Canonical no-op.
+    kNop,
+};
+
+/// Number of distinct opcodes (for table sizing / encode validation).
+inline constexpr int kNumOps = static_cast<int>(Op::kNop) + 1;
+
+/// The zero-comparison branch conditions supported by the ISA — the exact
+/// per-register condition bits the Branch Direction Table precomputes.
+enum class Cond : std::uint8_t { kEqz, kNez, kLez, kGtz, kLtz, kGez };
+
+inline constexpr int kNumConds = 6;
+
+/// Evaluate a zero-comparison condition on a register value.
+[[nodiscard]] constexpr bool evalCond(Cond c, std::int32_t value) {
+    switch (c) {
+        case Cond::kEqz: return value == 0;
+        case Cond::kNez: return value != 0;
+        case Cond::kLez: return value <= 0;
+        case Cond::kGtz: return value > 0;
+        case Cond::kLtz: return value < 0;
+        case Cond::kGez: return value >= 0;
+    }
+    return false;
+}
+
+/// One decoded ep32 instruction.
+///
+/// Field roles by class:
+///  - R-type ALU:  rd <- rs OP rt
+///  - I-type ALU:  rd <- rs OP imm    (shifts-by-immediate use imm as shamt)
+///  - load:        rd <- mem[rs+imm]
+///  - store:       mem[rs+imm] <- rt
+///  - branch:      test rs, offset imm (instruction words, relative to pc+4)
+///  - J/JAL:       imm = absolute instruction-word index
+///  - JR/JALR:     target in rs (JALR links into rd)
+struct Instruction {
+    Op op = Op::kNop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t rt = 0;
+    std::int32_t imm = 0;
+
+    bool operator==(const Instruction&) const = default;
+};
+
+/// Static classification of an opcode.
+[[nodiscard]] bool isCondBranch(Op op);
+[[nodiscard]] bool isJump(Op op);
+[[nodiscard]] bool isControl(Op op);  // branch or jump
+[[nodiscard]] bool isLoad(Op op);
+[[nodiscard]] bool isStore(Op op);
+[[nodiscard]] bool isMulDiv(Op op);
+
+/// The branch condition for a conditional-branch opcode.
+[[nodiscard]] Cond branchCond(Op op);
+
+/// The conditional-branch opcode for a condition (inverse of branchCond).
+[[nodiscard]] Op condToBranchOp(Cond c);
+
+/// The logically-negated condition (e.g. kEqz -> kNez).
+[[nodiscard]] Cond negateCond(Cond c);
+
+/// Destination register written by the instruction, if any.  Writes to r0
+/// are reported here but discarded by the machine.
+[[nodiscard]] std::optional<std::uint8_t> destReg(const Instruction& ins);
+
+/// Source registers read by the instruction (0, 1 or 2 entries).
+struct SrcRegs {
+    std::array<std::uint8_t, 2> regs{};
+    int count = 0;
+};
+[[nodiscard]] SrcRegs srcRegs(const Instruction& ins);
+
+/// Lowercase mnemonic ("addu", "beqz", ...).
+[[nodiscard]] const char* opName(Op op);
+
+/// Parse a mnemonic; nullopt for unknown strings.
+[[nodiscard]] std::optional<Op> opFromName(const std::string& name);
+
+/// ABI name of a register ("zero", "a0", "t3", ...).
+[[nodiscard]] const char* regName(std::uint8_t r);
+
+/// Parse a register name: "$a0", "a0", "$4", "r4" all accept register 4.
+[[nodiscard]] std::optional<std::uint8_t> regFromName(const std::string& name);
+
+/// Condition mnemonic suffix ("eqz", "nez", ...).
+[[nodiscard]] const char* condName(Cond c);
+
+/// System-call service numbers (placed in v0 before `sys`).
+enum class Syscall : std::int32_t {
+    kExit = 1,     // a0 = exit code
+    kPutChar = 2,  // a0 = character
+    kPutInt = 3,   // a0 = signed integer, printed in decimal
+};
+
+}  // namespace asbr

@@ -1,0 +1,68 @@
+#include "mem/cache.hpp"
+
+namespace asbr {
+
+namespace {
+bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+    ASBR_ENSURE(isPow2(config.lineBytes) && config.lineBytes >= 4,
+                "line size must be a power of two >= 4");
+    ASBR_ENSURE(config.assoc >= 1, "associativity must be >= 1");
+    ASBR_ENSURE(config.sizeBytes % (config.lineBytes * config.assoc) == 0,
+                "size must be a multiple of lineBytes*assoc");
+    ASBR_ENSURE(isPow2(config.numSets()), "number of sets must be a power of two");
+    lines_.resize(config.numLines());
+}
+
+std::uint32_t Cache::setIndex(std::uint32_t addr) const {
+    return (addr / config_.lineBytes) & (config_.numSets() - 1);
+}
+
+std::uint32_t Cache::tagOf(std::uint32_t addr) const {
+    return (addr / config_.lineBytes) / config_.numSets();
+}
+
+std::uint32_t Cache::access(std::uint32_t addr) {
+    ++tick_;
+    ++stats_.accesses;
+    const std::uint32_t set = setIndex(addr);
+    const std::uint32_t tag = tagOf(addr);
+    Line* base = &lines_[set * config_.assoc];
+    Line* victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            return 0;
+        }
+        if (!line.valid || line.lastUse < victim->lastUse ||
+            (victim->valid && !line.valid)) {
+            victim = &line;
+        }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    return config_.missPenalty;
+}
+
+bool Cache::probe(std::uint32_t addr) const {
+    const std::uint32_t set = setIndex(addr);
+    const std::uint32_t tag = tagOf(addr);
+    const Line* base = &lines_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) return true;
+    }
+    return false;
+}
+
+void Cache::reset() {
+    for (Line& line : lines_) line = Line{};
+    stats_ = CacheStats{};
+    tick_ = 0;
+}
+
+}  // namespace asbr

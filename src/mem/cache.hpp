@@ -1,0 +1,73 @@
+// Set-associative cache timing model.
+//
+// The cache models *timing only*: data always lives in Memory, and the cache
+// tracks tags + LRU state to decide whether an access hits.  This matches the
+// role caches play in the paper's SimpleScalar configuration (8KB I / 8KB D):
+// they contribute stall cycles, not functional behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+/// Geometry and timing of one cache.
+struct CacheConfig {
+    std::uint32_t sizeBytes = 8 * 1024;
+    std::uint32_t lineBytes = 32;
+    std::uint32_t assoc = 2;
+    std::uint32_t missPenalty = 8;  ///< extra cycles on a miss
+
+    [[nodiscard]] std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+    [[nodiscard]] std::uint32_t numSets() const { return numLines() / assoc; }
+};
+
+/// Aggregate cache statistics.
+struct CacheStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    [[nodiscard]] double missRate() const {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+class Cache {
+public:
+    explicit Cache(const CacheConfig& config);
+
+    /// Access one address; returns the stall penalty in cycles (0 on hit).
+    /// Misses allocate the line (write-allocate for stores).
+    std::uint32_t access(std::uint32_t addr);
+
+    /// True when the line containing addr is currently resident (no state
+    /// change) — used by tests and by the fetch stage's "free" re-probe of a
+    /// just-filled line.
+    [[nodiscard]] bool probe(std::uint32_t addr) const;
+
+    /// Invalidate everything (e.g. between benchmark runs).
+    void reset();
+
+    [[nodiscard]] const CacheStats& stats() const { return stats_; }
+    [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+private:
+    struct Line {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t lastUse = 0;  // for LRU
+    };
+
+    [[nodiscard]] std::uint32_t setIndex(std::uint32_t addr) const;
+    [[nodiscard]] std::uint32_t tagOf(std::uint32_t addr) const;
+
+    CacheConfig config_;
+    std::vector<Line> lines_;  // sets_ * assoc_, row-major by set
+    CacheStats stats_;
+    std::uint64_t tick_ = 0;
+};
+
+}  // namespace asbr

@@ -1,0 +1,75 @@
+#include "mem/memory.hpp"
+
+#include "isa/encoding.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+const Memory::Page* Memory::findPage(std::uint32_t addr) const {
+    const auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::pageFor(std::uint32_t addr) {
+    auto& slot = pages_[addr >> kPageBits];
+    if (!slot) slot = std::make_unique<Page>(Page{});
+    return *slot;
+}
+
+std::uint8_t Memory::read8(std::uint32_t addr) const {
+    const Page* page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+std::uint16_t Memory::read16(std::uint32_t addr) const {
+    ASBR_ENSURE((addr & 1u) == 0, "unaligned 16-bit read");
+    return static_cast<std::uint16_t>(read8(addr) |
+                                      (static_cast<std::uint16_t>(read8(addr + 1)) << 8));
+}
+
+std::uint32_t Memory::read32(std::uint32_t addr) const {
+    ASBR_ENSURE((addr & 3u) == 0, "unaligned 32-bit read");
+    return static_cast<std::uint32_t>(read8(addr)) |
+           (static_cast<std::uint32_t>(read8(addr + 1)) << 8) |
+           (static_cast<std::uint32_t>(read8(addr + 2)) << 16) |
+           (static_cast<std::uint32_t>(read8(addr + 3)) << 24);
+}
+
+void Memory::write8(std::uint32_t addr, std::uint8_t value) {
+    pageFor(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void Memory::write16(std::uint32_t addr, std::uint16_t value) {
+    ASBR_ENSURE((addr & 1u) == 0, "unaligned 16-bit write");
+    write8(addr, static_cast<std::uint8_t>(value & 0xFF));
+    write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void Memory::write32(std::uint32_t addr, std::uint32_t value) {
+    ASBR_ENSURE((addr & 3u) == 0, "unaligned 32-bit write");
+    write8(addr, static_cast<std::uint8_t>(value & 0xFF));
+    write8(addr + 1, static_cast<std::uint8_t>((value >> 8) & 0xFF));
+    write8(addr + 2, static_cast<std::uint8_t>((value >> 16) & 0xFF));
+    write8(addr + 3, static_cast<std::uint8_t>((value >> 24) & 0xFF));
+}
+
+void Memory::writeBlock(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        write8(addr + static_cast<std::uint32_t>(i), bytes[i]);
+}
+
+void Memory::readBlock(std::uint32_t addr, std::span<std::uint8_t> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = read8(addr + static_cast<std::uint32_t>(i));
+}
+
+void Memory::loadProgram(const Program& program) {
+    std::uint32_t addr = program.textBase;
+    for (const Instruction& ins : program.code) {
+        write32(addr, encode(ins));
+        addr += kInstrBytes;
+    }
+    writeBlock(program.dataBase, program.data);
+}
+
+}  // namespace asbr

@@ -1,0 +1,61 @@
+// Byte-addressable sparse main memory.
+//
+// Backing store is a page map so the full 32-bit address space (text, data,
+// heap, stack) is usable without reserving 4GB.  All multi-byte accesses are
+// little-endian and must be naturally aligned — ep32 has no unaligned
+// accesses, and benchmarks that violate alignment are bugs we want to catch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "asm/program.hpp"
+
+namespace asbr {
+
+class Memory {
+public:
+    /// Read/write primitives.  Throw EnsureError on misalignment.
+    [[nodiscard]] std::uint8_t read8(std::uint32_t addr) const;
+    [[nodiscard]] std::uint16_t read16(std::uint32_t addr) const;
+    [[nodiscard]] std::uint32_t read32(std::uint32_t addr) const;
+    void write8(std::uint32_t addr, std::uint8_t value);
+    void write16(std::uint32_t addr, std::uint16_t value);
+    void write32(std::uint32_t addr, std::uint32_t value);
+
+    /// Bulk helpers.
+    void writeBlock(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+    void readBlock(std::uint32_t addr, std::span<std::uint8_t> out) const;
+
+    /// Copy a program image (encoded text + initialized data) into memory.
+    void loadProgram(const Program& program);
+
+    /// Convenience typed accessors used by workload harnesses.
+    [[nodiscard]] std::int32_t readWord(std::uint32_t addr) const {
+        return static_cast<std::int32_t>(read32(addr));
+    }
+    void writeWord(std::uint32_t addr, std::int32_t value) {
+        write32(addr, static_cast<std::uint32_t>(value));
+    }
+    [[nodiscard]] std::int16_t readHalf(std::uint32_t addr) const {
+        return static_cast<std::int16_t>(read16(addr));
+    }
+    void writeHalf(std::uint32_t addr, std::int16_t value) {
+        write16(addr, static_cast<std::uint16_t>(value));
+    }
+
+private:
+    static constexpr std::uint32_t kPageBits = 12;
+    static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    [[nodiscard]] const Page* findPage(std::uint32_t addr) const;
+    Page& pageFor(std::uint32_t addr);
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace asbr

@@ -1,0 +1,55 @@
+#include "profile/profiler.hpp"
+
+#include <array>
+
+#include "sim/functional.hpp"
+
+namespace asbr {
+
+double BranchProfile::foldableFraction(std::uint32_t threshold) const {
+    if (execs == 0) return 0.0;
+    std::uint64_t n = 0;
+    switch (threshold) {
+        case 2: n = distGe2; break;
+        case 3: n = distGe3; break;
+        case 4: n = distGe4; break;
+        default: ASBR_ENSURE(false, "threshold must be 2, 3 or 4");
+    }
+    return static_cast<double>(n) / static_cast<double>(execs);
+}
+
+ProgramProfile profileProgram(const Program& program, Memory& memory,
+                              std::uint64_t maxInstructions) {
+    ProgramProfile profile;
+
+    // Dynamic index of the last committed write to each register.  Registers
+    // never written count as defined "infinitely long ago" (machine reset),
+    // so branches on them are always foldable.
+    std::array<std::int64_t, kNumRegs> lastDef{};
+    lastDef.fill(-(1LL << 40));
+    std::int64_t index = 0;
+
+    FunctionalSim sim(program, memory);
+    sim.setTraceHook([&](const Instruction& ins, const StepResult& sr) {
+        if (sr.isBranch) {
+            BranchProfile& bp = profile.branches[sr.pc];
+            bp.pc = sr.pc;
+            ++bp.execs;
+            if (sr.branchTaken) ++bp.taken;
+            const std::uint64_t distance =
+                static_cast<std::uint64_t>(index - lastDef[ins.rs]);
+            if (distance >= 2) ++bp.distGe2;
+            if (distance >= 3) ++bp.distGe3;
+            if (distance >= 4) ++bp.distGe4;
+            if (distance < bp.minDistance) bp.minDistance = distance;
+        }
+        if (sr.write) lastDef[sr.write->reg] = index;
+        ++index;
+    });
+
+    const FunctionalResult r = sim.run(maxInstructions);
+    profile.instructions = r.instructions;
+    return profile;
+}
+
+}  // namespace asbr

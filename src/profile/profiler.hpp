@@ -1,0 +1,50 @@
+// Branch profiling over a functional run.
+//
+// For every conditional branch the profiler records execution count, taken
+// count, and the dynamic def-to-branch distance distribution against the
+// three ASBR thresholds (2 = EX-end update, 3 = post-EX forwarding,
+// 4 = commit update).  The distance is measured in committed instructions
+// between the last producer of the branch's condition register and the
+// branch itself — the paper's "distance" property (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "asm/program.hpp"
+#include "mem/memory.hpp"
+
+namespace asbr {
+
+/// Dynamic statistics for one conditional-branch site.
+struct BranchProfile {
+    std::uint32_t pc = 0;
+    std::uint64_t execs = 0;
+    std::uint64_t taken = 0;
+    /// Executions whose predicate-defining instruction was at least
+    /// N dynamic instructions before the branch.
+    std::uint64_t distGe2 = 0;
+    std::uint64_t distGe3 = 0;
+    std::uint64_t distGe4 = 0;
+    std::uint64_t minDistance = UINT64_MAX;  ///< smallest observed distance
+
+    [[nodiscard]] double takenRate() const {
+        return execs == 0 ? 0.0 : static_cast<double>(taken) / static_cast<double>(execs);
+    }
+    /// Fraction of executions foldable at a given threshold (2, 3 or 4).
+    [[nodiscard]] double foldableFraction(std::uint32_t threshold) const;
+};
+
+/// Whole-program profile.
+struct ProgramProfile {
+    std::uint64_t instructions = 0;
+    std::map<std::uint32_t, BranchProfile> branches;
+};
+
+/// Run the program functionally and collect the branch profile.
+/// `memory` must already hold the program image and any workload input.
+[[nodiscard]] ProgramProfile profileProgram(const Program& program, Memory& memory,
+                                            std::uint64_t maxInstructions =
+                                                500'000'000);
+
+}  // namespace asbr

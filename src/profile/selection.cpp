@@ -1,0 +1,58 @@
+#include "profile/selection.hpp"
+
+#include <algorithm>
+
+#include "asbr/extract.hpp"
+
+namespace asbr {
+
+std::vector<Candidate> selectFoldableBranches(
+    const Program& program, const ProgramProfile& profile,
+    const std::map<std::uint32_t, double>& accuracyByPc,
+    const SelectionConfig& config) {
+    ASBR_ENSURE(config.threshold >= 2 && config.threshold <= 4,
+                "threshold must be 2, 3 or 4");
+    std::vector<Candidate> candidates;
+    const auto minExecs = static_cast<std::uint64_t>(
+        config.minExecFraction * static_cast<double>(profile.instructions));
+
+    for (const auto& [pc, bp] : profile.branches) {
+        if (bp.execs < std::max<std::uint64_t>(minExecs, 1)) continue;
+        if (!isExtractableBranch(program, pc)) continue;
+        const double foldable = bp.foldableFraction(config.threshold);
+        if (foldable < config.minFoldableFraction) continue;
+
+        Candidate c;
+        c.pc = pc;
+        c.execs = bp.execs;
+        c.takenRate = bp.takenRate();
+        const auto it = accuracyByPc.find(pc);
+        c.accuracy = it == accuracyByPc.end() ? 1.0 : it->second;
+        c.foldableFraction = foldable;
+        // Expected benefit: foldable executions weighted by how often the
+        // reference predictor gets this site wrong, plus a small term for the
+        // pipeline-occupancy saving every fold provides regardless of
+        // predictability (the folded branch never issues).
+        c.score = static_cast<double>(c.execs) * foldable *
+                  ((1.0 - c.accuracy) + 0.05);
+        candidates.push_back(c);
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.pc < b.pc;
+              });
+    if (candidates.size() > config.bitCapacity)
+        candidates.resize(config.bitCapacity);
+    return candidates;
+}
+
+std::vector<std::uint32_t> candidatePcs(const std::vector<Candidate>& candidates) {
+    std::vector<std::uint32_t> pcs;
+    pcs.reserve(candidates.size());
+    for (const Candidate& c : candidates) pcs.push_back(c.pc);
+    return pcs;
+}
+
+}  // namespace asbr

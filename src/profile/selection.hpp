@@ -1,0 +1,50 @@
+// Branch selection for ASBR (paper Section 6).
+//
+// "Frequently executed, hard-to-predict branches are especially propitious
+// to resolve by using ASBR."  The selector scores every extractable branch
+// by expected benefit — dynamic executions that are both foldable at the
+// configured threshold *and* likely mispredicted by the reference predictor
+// — and returns the top `bitCapacity` candidates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "profile/profiler.hpp"
+
+namespace asbr {
+
+/// Selection policy knobs.
+struct SelectionConfig {
+    std::size_t bitCapacity = 16;   ///< BIT entries available
+    std::uint32_t threshold = 3;    ///< 2 / 3 / 4, per the BDT update stage
+    double minExecFraction = 1e-4;  ///< ignore branches rarer than this
+    double minFoldableFraction = 0.5;  ///< require mostly-foldable branches
+};
+
+/// A scored candidate branch.
+struct Candidate {
+    std::uint32_t pc = 0;
+    std::uint64_t execs = 0;
+    double takenRate = 0.0;
+    double accuracy = 1.0;          ///< reference predictor accuracy (1 = easy)
+    double foldableFraction = 0.0;  ///< at the configured threshold
+    double score = 0.0;             ///< expected mispredictions removed
+};
+
+/// Score and rank foldable branches.  `accuracyByPc` supplies the reference
+/// predictor's per-site accuracy (from a baseline pipeline run); sites
+/// missing from the map are treated as never-executed-under-prediction and
+/// get accuracy 1 (no benefit).
+[[nodiscard]] std::vector<Candidate> selectFoldableBranches(
+    const Program& program, const ProgramProfile& profile,
+    const std::map<std::uint32_t, double>& accuracyByPc,
+    const SelectionConfig& config = {});
+
+/// The PCs of the selected candidates, ready for extractBranchInfos().
+[[nodiscard]] std::vector<std::uint32_t> candidatePcs(
+    const std::vector<Candidate>& candidates);
+
+}  // namespace asbr

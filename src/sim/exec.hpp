@@ -1,0 +1,65 @@
+// Shared architectural semantics of ep32 instructions.
+//
+// Both the functional ISS and the cycle-accurate pipeline execute
+// instructions through step(), so they are functionally equivalent by
+// construction — the pipeline layers *timing* on top.  Differential tests
+// assert the equivalence anyway.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/isa.hpp"
+#include "mem/memory.hpp"
+
+namespace asbr {
+
+/// Architectural register file + PC.  r0 reads as zero and swallows writes.
+struct ArchState {
+    std::array<std::int32_t, kNumRegs> regs{};
+    std::uint32_t pc = 0;
+
+    [[nodiscard]] std::int32_t reg(std::uint8_t r) const { return regs[r]; }
+    void setReg(std::uint8_t r, std::int32_t v) {
+        if (r != reg::zero) regs[r] = v;
+    }
+};
+
+/// Program I/O and termination collected across a run.
+struct IoContext {
+    std::string output;
+    bool exited = false;
+    std::int32_t exitCode = 0;
+};
+
+/// A completed register write (for pipeline forwarding / BDT updates).
+struct RegWrite {
+    std::uint8_t reg = 0;
+    std::int32_t value = 0;
+};
+
+/// Everything the timing model needs to know about one executed instruction.
+struct StepResult {
+    std::uint32_t pc = 0;        ///< address the instruction executed at
+    std::uint32_t nextPc = 0;    ///< architectural successor PC
+    std::optional<RegWrite> write;
+    bool isBranch = false;       ///< conditional branch
+    bool branchTaken = false;
+    std::uint32_t branchTarget = 0;  ///< valid when isBranch
+    bool memAccess = false;      ///< load or store touched memory
+    std::uint32_t memAddr = 0;
+    bool isLoadOp = false;
+    bool isStoreOp = false;
+    std::int32_t storeValue = 0;  ///< value written (valid when isStoreOp)
+};
+
+/// Execute one instruction at state.pc against memory, updating state
+/// (including state.pc) and io.  `overridePc`, when set, executes the
+/// instruction as if it were located at that address (used for folded branch
+/// target instructions injected by the ASBR unit).
+StepResult step(ArchState& state, Memory& memory, const Instruction& ins,
+                IoContext& io, std::optional<std::uint32_t> overridePc = {});
+
+}  // namespace asbr

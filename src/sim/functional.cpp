@@ -1,0 +1,36 @@
+#include "sim/functional.hpp"
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+FunctionalSim::FunctionalSim(const Program& program, Memory& memory)
+    : program_(program), memory_(memory) {
+    reset();
+}
+
+void FunctionalSim::reset() {
+    state_ = ArchState{};
+    state_.pc = program_.entry;
+    state_.setReg(reg::sp, static_cast<std::int32_t>(kStackTop));
+    state_.setReg(reg::gp, static_cast<std::int32_t>(program_.dataBase + 0x8000));
+}
+
+FunctionalResult FunctionalSim::run(std::uint64_t maxInstructions) {
+    FunctionalResult result;
+    IoContext io;
+    while (!io.exited) {
+        ASBR_ENSURE(result.instructions < maxInstructions,
+                    "functional run exceeded instruction limit");
+        const Instruction& ins = program_.at(state_.pc);
+        const StepResult sr = step(state_, memory_, ins, io);
+        ++result.instructions;
+        if (hook_) hook_(ins, sr);
+    }
+    result.exited = io.exited;
+    result.exitCode = io.exitCode;
+    result.output = std::move(io.output);
+    return result;
+}
+
+}  // namespace asbr

@@ -1,0 +1,52 @@
+// Fast functional instruction-set simulator.
+//
+// Used by the profiler (per-branch statistics, def-to-branch distance
+// analysis) and as the golden reference in differential tests against the
+// cycle-accurate pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "asm/program.hpp"
+#include "mem/memory.hpp"
+#include "sim/exec.hpp"
+
+namespace asbr {
+
+/// Outcome of a functional run.
+struct FunctionalResult {
+    std::uint64_t instructions = 0;
+    bool exited = false;
+    std::int32_t exitCode = 0;
+    std::string output;
+};
+
+class FunctionalSim {
+public:
+    /// Observer invoked after each committed instruction.
+    using TraceHook = std::function<void(const Instruction&, const StepResult&)>;
+
+    FunctionalSim(const Program& program, Memory& memory);
+
+    /// Reset architectural state (PC to entry, SP to stack top, regs to 0).
+    void reset();
+
+    /// Run until exit or the instruction limit; throws EnsureError if the
+    /// limit is reached (runaway program).
+    FunctionalResult run(std::uint64_t maxInstructions = 500'000'000);
+
+    /// Install an optional per-instruction observer.
+    void setTraceHook(TraceHook hook) { hook_ = std::move(hook); }
+
+    [[nodiscard]] const ArchState& state() const { return state_; }
+    [[nodiscard]] ArchState& state() { return state_; }
+
+private:
+    const Program& program_;
+    Memory& memory_;
+    ArchState state_;
+    TraceHook hook_;
+};
+
+}  // namespace asbr

@@ -1,0 +1,265 @@
+#include "sim/pipeline.hpp"
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+PipelineSim::PipelineSim(const Program& program, Memory& memory,
+                         BranchPredictor& predictor, const PipelineConfig& config,
+                         FetchCustomizer* customizer)
+    : program_(program),
+      memory_(memory),
+      predictor_(predictor),
+      config_(config),
+      customizer_(customizer),
+      icache_(config.icache),
+      dcache_(config.dcache) {
+    state_.pc = program_.entry;
+    state_.setReg(reg::sp, static_cast<std::int32_t>(kStackTop));
+    state_.setReg(reg::gp, static_cast<std::int32_t>(program_.dataBase + 0x8000));
+    fetchPc_ = program_.entry;
+}
+
+std::uint32_t PipelineSim::exOccupancy(Op op) const {
+    if (op == Op::kMul || op == Op::kMulh) return config_.mulLatency;
+    if (op == Op::kDiv || op == Op::kDivu || op == Op::kRem || op == Op::kRemu)
+        return config_.divLatency;
+    return 1;
+}
+
+void PipelineSim::emitValue(const Slot& slot, ValueStage stage) {
+    if (!customizer_ || !slot.exec.write) return;
+    const ValueStage first =
+        slot.exec.isLoadOp ? ValueStage::kMemEnd : ValueStage::kExEnd;
+    customizer_->onValueAvailable(slot.exec.write->reg, slot.exec.write->value,
+                                  stage, first);
+}
+
+void PipelineSim::stageWriteback() {
+    if (!memWb_.valid) return;
+    ++stats_.committed;
+    emitValue(memWb_, ValueStage::kCommit);
+    memWb_.valid = false;
+}
+
+void PipelineSim::stageMemory() {
+    if (!exMem_.valid) return;
+    if (!memStarted_) {
+        memStarted_ = true;
+        if (exMem_.exec.memAccess) {
+            const std::uint32_t penalty = dcache_.access(exMem_.exec.memAddr);
+            if (penalty > 0) {
+                memBusy_ = penalty;
+                stats_.dcacheStallCycles += penalty;
+            }
+        }
+    }
+    if (memBusy_ > 0) {
+        --memBusy_;
+        return;  // stalled; memWb_ is already drained by stageWriteback
+    }
+    if (customizer_ && exMem_.exec.isStoreOp) {
+        customizer_->onStore(exMem_.exec.memAddr, exMem_.exec.storeValue);
+    }
+    emitValue(exMem_, ValueStage::kMemEnd);
+    memWb_ = exMem_;
+    exMem_.valid = false;
+    memStarted_ = false;
+}
+
+void PipelineSim::stageExecute() {
+    if (!idEx_.valid) return;
+    ASBR_ENSURE(!idEx_.outOfText,
+                "executing outside the text segment (runaway control flow)");
+    if (!exStarted_) {
+        exStarted_ = true;
+        idEx_.exec = step(state_, memory_, idEx_.ins, io_, idEx_.pc);
+        const std::uint32_t occupancy = exOccupancy(idEx_.ins.op);
+        if (occupancy > 1) {
+            exBusy_ = occupancy - 1;
+            stats_.mulDivStallCycles += occupancy - 1;
+        }
+    }
+    if (exBusy_ > 0) {
+        --exBusy_;
+        return;
+    }
+    if (exMem_.valid) return;  // structural stall: MEM is busy
+
+    const StepResult& e = idEx_.exec;
+
+    if (idEx_.wasFolded) {
+        ++stats_.foldedBranches;
+        ++stats_.condBranches;
+        BranchSiteStats& site = stats_.branchSites[idEx_.foldOrigin];
+        ++site.execs;
+        ++site.folded;
+        if (idEx_.foldTaken) ++site.taken;
+    }
+    if (e.isBranch) {
+        ++stats_.condBranches;
+        ++stats_.predictedBranches;
+        BranchSiteStats& site = stats_.branchSites[idEx_.pc];
+        ++site.execs;
+        if (e.branchTaken) ++site.taken;
+        predictor_.update(idEx_.pc, e.branchTaken, e.branchTarget);
+        const bool correct = idEx_.predictedNext == e.nextPc;
+        if (correct) {
+            ++stats_.predictedCorrect;
+            ++site.predicted;
+        } else {
+            ++stats_.mispredicts;
+            redirect(e.nextPc);
+        }
+    } else if (e.nextPc != idEx_.predictedNext) {
+        // Indirect jump (jr/jalr) resolving in EX.
+        ++stats_.mispredicts;
+        redirect(e.nextPc);
+    }
+
+    if (io_.exited) {
+        halting_ = true;
+        ifId_.valid = false;
+    }
+
+    if (!e.isLoadOp) emitValue(idEx_, ValueStage::kExEnd);
+    exMem_ = idEx_;
+    idEx_.valid = false;
+    exStarted_ = false;
+}
+
+void PipelineSim::redirect(std::uint32_t target) {
+    ifId_.valid = false;
+    flushedThisCycle_ = true;
+    fetchPc_ = target;
+    ifBusy_ = 0;  // cancel any wrong-path I-cache fill in flight
+    redirectStall_ = config_.redirectBubbles;
+}
+
+void PipelineSim::stageDecode() {
+    if (!ifId_.valid || flushedThisCycle_ || halting_) return;
+    if (idEx_.valid) return;  // EX occupied (multi-cycle op or structural stall)
+    if (loadUseHazard_) {
+        const SrcRegs srcs = srcRegs(ifId_.ins);
+        // loadUseHazard_ is only set when the EX instruction at cycle start
+        // was a load; hazardReg_ is its destination.
+        for (int i = 0; i < srcs.count; ++i) {
+            if (srcs.regs[i] != reg::zero && srcs.regs[i] == hazardReg_) {
+                ++stats_.loadUseStalls;
+                return;
+            }
+        }
+    }
+    if (customizer_) {
+        const auto d = destReg(ifId_.ins);
+        if (d && *d != reg::zero) customizer_->onProducerDecoded(*d);
+    }
+    idEx_ = ifId_;
+    ifId_.valid = false;
+}
+
+void PipelineSim::stageFetch() {
+    if (halting_ || flushedThisCycle_) return;
+    if (ifId_.valid) return;  // ID did not drain the latch
+    if (redirectStall_ > 0) {
+        --redirectStall_;
+        ++stats_.redirectStallCycles;
+        return;
+    }
+    if (!program_.inText(fetchPc_)) {
+        // Speculative fetch past the text segment (prefetch beyond an exit
+        // syscall or down a wrong path).  Deliver an inert bubble; it is an
+        // error only if it reaches execute (genuine runaway control flow).
+        Slot bubble;
+        bubble.valid = true;
+        bubble.pc = fetchPc_;
+        bubble.ins = Instruction{};  // nop
+        bubble.predictedNext = fetchPc_ + kInstrBytes;
+        bubble.outOfText = true;
+        fetchPc_ = bubble.predictedNext;
+        ifId_ = bubble;
+        return;
+    }
+    if (ifBusy_ > 0) {
+        --ifBusy_;
+        if (ifBusy_ > 0) {
+            ++stats_.icacheStallCycles;
+            return;
+        }
+        // Miss serviced; the instruction is delivered this cycle.
+    } else {
+        const std::uint32_t penalty = icache_.access(fetchPc_);
+        if (penalty > 0) {
+            ifBusy_ = penalty;
+            ++stats_.icacheStallCycles;
+            return;
+        }
+    }
+
+    std::uint32_t pc = fetchPc_;
+    Instruction ins = program_.at(pc);
+
+    Slot slot;
+    if (customizer_) {
+        if (const auto fold = customizer_->onFetch(pc, ins)) {
+            // Accounting happens when the replacement reaches EX — fetches
+            // on a wrong path are squashed and must not count.
+            slot.wasFolded = true;
+            slot.foldOrigin = pc;
+            slot.foldTaken = fold->taken;
+            pc = fold->replacementPc;
+            ins = fold->replacement;
+        }
+    }
+
+    slot.valid = true;
+    slot.pc = pc;
+    slot.ins = ins;
+    if (isCondBranch(ins.op)) {
+        const Prediction p = predictor_.predict(pc);
+        slot.wasPredicted = true;
+        slot.predictedNext = p.effectiveTaken() ? *p.target : pc + kInstrBytes;
+    } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
+        slot.predictedNext = (pc & 0xF000'0000u) |
+                             (static_cast<std::uint32_t>(ins.imm) * kInstrBytes);
+    } else {
+        slot.predictedNext = pc + kInstrBytes;
+    }
+    fetchPc_ = slot.predictedNext;
+    ifId_ = slot;
+    ++stats_.fetched;
+}
+
+PipelineResult PipelineSim::run() {
+    if (customizer_) customizer_->reset();
+    while (true) {
+        ++stats_.cycles;
+        ASBR_ENSURE(stats_.cycles <= config_.maxCycles,
+                    "pipeline run exceeded cycle limit");
+        flushedThisCycle_ = false;
+        // Snapshot for the load-use interlock: the instruction occupying EX
+        // at the start of the cycle.
+        loadUseHazard_ = idEx_.valid && isLoad(idEx_.ins.op);
+        hazardReg_ = loadUseHazard_ ? idEx_.ins.rd : reg::zero;
+
+        stageWriteback();
+        stageMemory();
+        stageExecute();
+        stageDecode();
+        stageFetch();
+
+        if (io_.exited && !idEx_.valid && !exMem_.valid && !memWb_.valid) break;
+    }
+
+    PipelineResult result;
+    stats_.icache = icache_.stats();
+    stats_.dcache = dcache_.stats();
+    result.stats = stats_;
+    result.exited = io_.exited;
+    result.exitCode = io_.exitCode;
+    result.output = io_.output;
+    result.finalState = state_;
+    return result;
+}
+
+}  // namespace asbr

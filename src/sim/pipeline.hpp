@@ -1,0 +1,171 @@
+// Cycle-accurate 5-stage in-order single-issue pipeline (IF ID EX MEM WB).
+//
+// Timing model (matching the paper's embedded-core configuration):
+//  - full forwarding EX->EX and MEM->EX; one-cycle load-use interlock
+//  - conditional branches predicted in IF (customizer first, then the branch
+//    predictor + BTB) and resolved in EX; a mispredict flushes the two
+//    younger stages => 2-cycle penalty
+//  - direct jumps (j/jal) redirect in IF (predecode); jr/jalr resolve in EX
+//  - multi-cycle mul/div occupy EX (blocking)
+//  - I-cache miss stalls fetch; D-cache miss stalls MEM; penalties from
+//    CacheConfig
+//
+// Architectural execution happens when an instruction enters EX; wrong-path
+// instructions never get past ID, so the pipeline is functionally equivalent
+// to the functional ISS by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "asm/program.hpp"
+#include "bp/predictor.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "sim/exec.hpp"
+#include "sim/fetch_customizer.hpp"
+
+namespace asbr {
+
+/// Pipeline configuration.
+struct PipelineConfig {
+    CacheConfig icache{8 * 1024, 32, 2, 8};
+    CacheConfig dcache{8 * 1024, 32, 2, 8};
+    std::uint32_t mulLatency = 4;   ///< EX occupancy cycles for mul/mulh
+    std::uint32_t divLatency = 12;  ///< EX occupancy cycles for div/rem
+    /// Extra fetch bubbles after a control-flow redirect (mispredict or
+    /// jr/jalr), modeling a registered fetch address.  Total mispredict
+    /// penalty = 2 (flushed stages) + redirectBubbles; the default of 1
+    /// matches the 3-cycle penalty of the paper's SimpleScalar fetch path.
+    std::uint32_t redirectBubbles = 1;
+    std::uint64_t maxCycles = 4'000'000'000ULL;
+};
+
+/// Per-branch-site dynamic statistics.
+struct BranchSiteStats {
+    std::uint64_t execs = 0;      ///< dynamic executions (incl. folded)
+    std::uint64_t taken = 0;
+    std::uint64_t predicted = 0;  ///< correct fetch redirects (excl. folded)
+    std::uint64_t folded = 0;     ///< executions resolved by the customizer
+
+    [[nodiscard]] double accuracy() const {
+        const std::uint64_t p = execs - folded;
+        return p == 0 ? 0.0 : static_cast<double>(predicted) / static_cast<double>(p);
+    }
+    [[nodiscard]] double takenRate() const {
+        return execs == 0 ? 0.0 : static_cast<double>(taken) / static_cast<double>(execs);
+    }
+};
+
+/// Aggregate run statistics.
+struct PipelineStats {
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;   ///< architecturally completed instructions
+    std::uint64_t fetched = 0;     ///< instructions entering the pipeline
+                                   ///< (includes wrong-path, excludes folded-out branches)
+    std::uint64_t condBranches = 0;   ///< executed conditional branches (incl. folded)
+    std::uint64_t foldedBranches = 0; ///< resolved by the fetch customizer
+    std::uint64_t predictedBranches = 0;  ///< handled by the predictor
+    std::uint64_t predictedCorrect = 0;   ///< ... with a correct fetch redirect
+    std::uint64_t mispredicts = 0;        ///< control flushes (branches + jr/jalr)
+    std::uint64_t loadUseStalls = 0;
+    std::uint64_t redirectStallCycles = 0;
+    std::uint64_t icacheStallCycles = 0;
+    std::uint64_t dcacheStallCycles = 0;
+    std::uint64_t mulDivStallCycles = 0;
+    CacheStats icache;
+    CacheStats dcache;
+    std::map<std::uint32_t, BranchSiteStats> branchSites;
+
+    [[nodiscard]] double cpi() const {
+        return committed == 0 ? 0.0
+                              : static_cast<double>(cycles) / static_cast<double>(committed);
+    }
+    /// Direction-prediction accuracy over predictor-handled branches.
+    [[nodiscard]] double predictorAccuracy() const {
+        return predictedBranches == 0
+                   ? 0.0
+                   : static_cast<double>(predictedCorrect) /
+                         static_cast<double>(predictedBranches);
+    }
+    /// Overall branch-resolution accuracy counting folds as certain.
+    [[nodiscard]] double resolutionAccuracy() const {
+        return condBranches == 0
+                   ? 0.0
+                   : static_cast<double>(predictedCorrect + foldedBranches) /
+                         static_cast<double>(condBranches);
+    }
+};
+
+/// Result of a pipeline run.
+struct PipelineResult {
+    PipelineStats stats;
+    bool exited = false;
+    std::int32_t exitCode = 0;
+    std::string output;
+    ArchState finalState;
+};
+
+class PipelineSim {
+public:
+    /// `predictor` must outlive the simulator; `customizer` may be null.
+    PipelineSim(const Program& program, Memory& memory,
+                BranchPredictor& predictor, const PipelineConfig& config = {},
+                FetchCustomizer* customizer = nullptr);
+
+    /// Run the program to completion (exit syscall).  Throws EnsureError if
+    /// config.maxCycles is exceeded.
+    PipelineResult run();
+
+private:
+    struct Slot {
+        bool valid = false;
+        std::uint32_t pc = 0;
+        Instruction ins;
+        std::uint32_t predictedNext = 0;
+        bool wasPredicted = false;   ///< predictor consulted in IF
+        bool wasFolded = false;      ///< injected by the customizer
+        std::uint32_t foldOrigin = 0;  ///< folded branch's own PC
+        bool foldTaken = false;      ///< resolved direction of the fold
+        bool outOfText = false;      ///< speculative fetch past the text end
+        StepResult exec;             ///< filled when entering EX
+    };
+
+    void redirect(std::uint32_t target);
+    void stageWriteback();
+    void stageMemory();
+    void stageExecute();
+    void stageDecode();
+    void stageFetch();
+
+    void emitValue(const Slot& slot, ValueStage stage);
+    [[nodiscard]] std::uint32_t exOccupancy(Op op) const;
+
+    const Program& program_;
+    Memory& memory_;
+    BranchPredictor& predictor_;
+    PipelineConfig config_;
+    FetchCustomizer* customizer_;
+
+    Cache icache_;
+    Cache dcache_;
+    ArchState state_;
+    IoContext io_;
+    PipelineStats stats_;
+
+    Slot ifId_, idEx_, exMem_, memWb_;
+    std::uint32_t fetchPc_ = 0;
+    std::uint32_t ifBusy_ = 0;   ///< remaining I-cache miss stall cycles
+    std::uint32_t exBusy_ = 0;   ///< remaining extra EX cycles (mul/div)
+    std::uint32_t memBusy_ = 0;  ///< remaining D-cache miss stall cycles
+    std::uint32_t redirectStall_ = 0;  ///< remaining post-redirect bubbles
+    bool exStarted_ = false;     ///< idEx_ already executed architecturally
+    bool memStarted_ = false;    ///< exMem_ already probed the D-cache
+    bool flushedThisCycle_ = false;
+    bool halting_ = false;       ///< exit syscall executed; drain only
+    bool loadUseHazard_ = false;
+    std::uint8_t hazardReg_ = 0;  ///< dest of the load in EX at cycle start
+};
+
+}  // namespace asbr

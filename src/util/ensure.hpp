@@ -1,0 +1,37 @@
+// Runtime invariant checking.
+//
+// ASBR_ENSURE is used for preconditions and internal invariants across the
+// library.  Violations throw (never abort) so that tests can assert on
+// failure paths and embedding applications can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asbr {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class EnsureError : public std::logic_error {
+public:
+    explicit EnsureError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ensureFail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+    std::ostringstream os;
+    os << "ASBR_ENSURE failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw EnsureError(os.str());
+}
+}  // namespace detail
+
+}  // namespace asbr
+
+/// Check a precondition/invariant; throws asbr::EnsureError when false.
+#define ASBR_ENSURE(expr, msg)                                              \
+    do {                                                                    \
+        if (!(expr)) ::asbr::detail::ensureFail(#expr, __FILE__, __LINE__,  \
+                                                std::string(msg));          \
+    } while (0)

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic inputs in the reproduction (synthetic PCM, random program
+// generation in property tests) flow through this xorshift64* generator so
+// every experiment is bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+/// xorshift64* PRNG — tiny, fast, and stable across platforms.
+class Xorshift64 {
+public:
+    explicit Xorshift64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 1) {}
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545F4914F6CDD1DULL;
+    }
+
+    /// Uniform value in [0, bound).  bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        ASBR_ENSURE(bound > 0, "below() requires positive bound");
+        return next() % bound;
+    }
+
+    /// Uniform value in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        ASBR_ENSURE(lo <= hi, "range() requires lo <= hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Uniform double in [0, 1).
+    double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial with probability p.
+    bool chance(double p) { return real() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace asbr

@@ -1,0 +1,38 @@
+// Small statistics helpers used by the profiler and bench harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace asbr {
+
+/// Running counter pair expressing an accuracy/hit-rate style ratio.
+struct Ratio {
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+
+    void record(bool hit) {
+        ++total;
+        hits += hit ? 1 : 0;
+    }
+
+    /// hits/total, or 0 when nothing was recorded.
+    [[nodiscard]] double value() const {
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for spans of size < 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values; 0 for an empty span.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Relative improvement of `after` over `before` (positive = got faster),
+/// e.g. cycles dropping 100 -> 84 yields 0.16.
+[[nodiscard]] double improvement(std::uint64_t before, std::uint64_t after);
+
+}  // namespace asbr

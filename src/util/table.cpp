@@ -1,0 +1,115 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+    ASBR_ENSURE(rows_.empty(), "setHeader must precede addRow");
+    header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+    ASBR_ENSURE(header_.empty() || row.size() == header_.size(),
+                "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> columnWidths(const std::vector<std::string>& header,
+                                      const std::vector<std::vector<std::string>>& rows) {
+    std::size_t cols = header.size();
+    for (const auto& r : rows) cols = std::max(cols, r.size());
+    std::vector<std::size_t> w(cols, 0);
+    for (std::size_t i = 0; i < header.size(); ++i) w[i] = header[i].size();
+    for (const auto& r : rows)
+        for (std::size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+    return w;
+}
+
+void renderRow(std::ostringstream& os, const std::vector<std::string>& row,
+               const std::vector<std::size_t>& widths) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+}
+
+void renderRule(std::ostringstream& os, const std::vector<std::size_t>& widths) {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+}
+
+std::string csvEscape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+    std::ostringstream os;
+    const auto widths = columnWidths(header_, rows_);
+    if (!title_.empty()) os << title_ << '\n';
+    renderRule(os, widths);
+    if (!header_.empty()) {
+        renderRow(os, header_, widths);
+        renderRule(os, widths);
+    }
+    for (const auto& r : rows_) renderRow(os, r, widths);
+    renderRule(os, widths);
+    return os.str();
+}
+
+std::string TextTable::toCsv() const {
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ',';
+            os << csvEscape(row[i]);
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+}
+
+std::string formatWithCommas(std::uint64_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0) out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string formatFixed(double value, int digits) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string formatPercent(double fraction, int digits) {
+    return formatFixed(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace asbr

@@ -1,0 +1,44 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates a paper table/figure; TextTable renders the
+// rows in an aligned, monospace layout and can also emit CSV for downstream
+// plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asbr {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+class TextTable {
+public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /// Set the header row.  Must be called before any addRow.
+    void setHeader(std::vector<std::string> header);
+
+    /// Append a data row; must match the header width when a header is set.
+    void addRow(std::vector<std::string> row);
+
+    /// Render with box-drawing separators.
+    [[nodiscard]] std::string render() const;
+
+    /// Render as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+    [[nodiscard]] std::string toCsv() const;
+
+    [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the bench binaries.
+[[nodiscard]] std::string formatWithCommas(std::uint64_t value);
+[[nodiscard]] std::string formatFixed(double value, int digits);
+[[nodiscard]] std::string formatPercent(double fraction, int digits = 0);
+
+}  // namespace asbr

@@ -1,0 +1,207 @@
+#include "workloads/adpcm.hpp"
+
+#include <algorithm>
+
+namespace asbr {
+
+namespace {
+
+// Shared declarations for both benchmark programs.  Scalars and small tables
+// come first so they stay inside the gp small-data window; the large I/O
+// buffers go last.
+constexpr const char* kCommon = R"(
+int n_samples;
+
+int indexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+short in_pcm[262144];
+char io_code[262144];
+short out_pcm[262144];
+)";
+
+constexpr const char* kEncoderMain = R"(
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int step = stepsizeTable[0];
+    int n = n_samples;
+    for (int i = 0; i < n; i++) {
+        int val = in_pcm[i];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+        step >>= 1;
+        if (diff >= step) { delta |= 1; vpdiff += step; }
+
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        delta |= sign;
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        step = stepsizeTable[index];
+
+        io_code[i] = delta;
+    }
+    return 0;
+}
+)";
+
+constexpr const char* kDecoderMain = R"(
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int step = stepsizeTable[0];
+    int n = n_samples;
+    for (int i = 0; i < n; i++) {
+        int delta = io_code[i] & 15;
+
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+
+        int sign = delta & 8;
+        delta &= 7;
+
+        int vpdiff = step >> 3;
+        if (delta & 4) vpdiff += step;
+        if (delta & 2) vpdiff += step >> 1;
+        if (delta & 1) vpdiff += step >> 2;
+
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        step = stepsizeTable[index];
+        out_pcm[i] = valpred;
+    }
+    return 0;
+}
+)";
+
+constexpr std::int32_t kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                          -1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr std::int32_t kStepsizeTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+}  // namespace
+
+std::string adpcmEncoderSource() {
+    return std::string(kCommon) + kEncoderMain;
+}
+
+std::string adpcmDecoderSource() {
+    return std::string(kCommon) + kDecoderMain;
+}
+
+std::uint8_t AdpcmCodec::encode(std::int16_t sample) {
+    std::int32_t step = kStepsizeTable[index_];
+    std::int32_t diff = sample - valpred_;
+    std::int32_t sign = 0;
+    if (diff < 0) {
+        sign = 8;
+        diff = -diff;
+    }
+
+    std::int32_t delta = 0;
+    std::int32_t vpdiff = step >> 3;
+    if (diff >= step) {
+        delta = 4;
+        diff -= step;
+        vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+        delta |= 2;
+        diff -= step;
+        vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+        delta |= 1;
+        vpdiff += step;
+    }
+
+    if (sign) valpred_ -= vpdiff;
+    else valpred_ += vpdiff;
+    valpred_ = std::clamp(valpred_, -32768, 32767);
+
+    delta |= sign;
+    index_ += kIndexTable[delta];
+    index_ = std::clamp(index_, 0, 88);
+    return static_cast<std::uint8_t>(delta);
+}
+
+std::int16_t AdpcmCodec::decode(std::uint8_t code) {
+    const std::int32_t step = kStepsizeTable[index_];
+    std::int32_t delta = code & 15;
+
+    index_ += kIndexTable[delta];
+    index_ = std::clamp(index_, 0, 88);
+
+    const std::int32_t sign = delta & 8;
+    delta &= 7;
+
+    std::int32_t vpdiff = step >> 3;
+    if (delta & 4) vpdiff += step;
+    if (delta & 2) vpdiff += step >> 1;
+    if (delta & 1) vpdiff += step >> 2;
+
+    if (sign) valpred_ -= vpdiff;
+    else valpred_ += vpdiff;
+    valpred_ = std::clamp(valpred_, -32768, 32767);
+
+    return static_cast<std::int16_t>(valpred_);
+}
+
+std::vector<std::uint8_t> adpcmEncodeRef(std::span<const std::int16_t> pcm) {
+    AdpcmCodec codec;
+    std::vector<std::uint8_t> out;
+    out.reserve(pcm.size());
+    for (std::int16_t s : pcm) out.push_back(codec.encode(s));
+    return out;
+}
+
+std::vector<std::int16_t> adpcmDecodeRef(std::span<const std::uint8_t> codes) {
+    AdpcmCodec codec;
+    std::vector<std::int16_t> out;
+    out.reserve(codes.size());
+    for (std::uint8_t c : codes) out.push_back(codec.decode(c));
+    return out;
+}
+
+}  // namespace asbr

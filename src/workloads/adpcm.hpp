@@ -1,0 +1,44 @@
+// IMA/DVI ADPCM codec — the MediaBench "ADPCM Encode/Decode" benchmark pair.
+//
+// The algorithm is the public-domain Intel/DVI IMA ADPCM (the exact code
+// MediaBench ships as adpcm.c).  It exists here twice:
+//   - kAdpcmEncoderSource / kAdpcmDecoderSource: the benchmark programs in
+//     the mcc C subset, compiled onto ep32 and measured by the simulators;
+//   - AdpcmCodec: a native C++ transliteration of the same code, used as the
+//     golden reference in differential tests.
+// One code per byte is produced (MediaBench packs two per byte; the packing
+// loop is control-irrelevant and omitted on both sides identically).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asbr {
+
+/// mcc source of the benchmark programs.
+[[nodiscard]] std::string adpcmEncoderSource();
+[[nodiscard]] std::string adpcmDecoderSource();
+
+/// Native golden-reference codec (streaming, one sample at a time).
+class AdpcmCodec {
+public:
+    /// Encode one 16-bit sample to a 4-bit code.
+    [[nodiscard]] std::uint8_t encode(std::int16_t sample);
+
+    /// Decode one 4-bit code to a 16-bit sample.
+    [[nodiscard]] std::int16_t decode(std::uint8_t code);
+
+private:
+    std::int32_t valpred_ = 0;
+    std::int32_t index_ = 0;
+};
+
+/// Whole-buffer conveniences.
+[[nodiscard]] std::vector<std::uint8_t> adpcmEncodeRef(
+    std::span<const std::int16_t> pcm);
+[[nodiscard]] std::vector<std::int16_t> adpcmDecodeRef(
+    std::span<const std::uint8_t> codes);
+
+}  // namespace asbr

@@ -1,0 +1,123 @@
+#include "workloads/g711.hpp"
+
+namespace asbr {
+
+namespace {
+
+// The classic Sun g711.c algorithm: bias, sign-fold, segment search over
+// seg_end, mantissa extraction; decode inverts exactly.
+constexpr const char* kCommon = R"(
+int n_samples;
+
+int seg_end[8] = {0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF, 0x3FFF, 0x7FFF};
+
+int search_seg(int val) {
+    int i;
+    for (i = 0; i < 8; i++)
+        if (val <= seg_end[i]) break;
+    return i;
+}
+
+int linear2ulaw(int pcm) {
+    int mask;
+    if (pcm < 0) {
+        pcm = 132 - pcm;        /* BIAS - pcm */
+        mask = 0x7F;
+    } else {
+        pcm += 132;             /* BIAS */
+        mask = 0xFF;
+    }
+    int seg = search_seg(pcm);
+    if (seg >= 8) return 0x7F ^ mask;
+    int uval = (seg << 4) | ((pcm >> (seg + 3)) & 0xF);
+    return uval ^ mask;
+}
+
+int ulaw2linear(int uval) {
+    int u = uval ^ 0xFF;        /* complement within 8 bits */
+    int t = ((u & 0xF) << 3) + 132;
+    t <<= (u & 0x70) >> 4;
+    if (u & 0x80) return 132 - t;
+    return t - 132;
+}
+
+short in_pcm[262144];
+char io_code[262144];
+short out_pcm[262144];
+)";
+
+constexpr const char* kEncoderMain = R"(
+int main() {
+    int n = n_samples;
+    for (int i = 0; i < n; i++) {
+        io_code[i] = linear2ulaw(in_pcm[i]);
+    }
+    return 0;
+}
+)";
+
+constexpr const char* kDecoderMain = R"(
+int main() {
+    int n = n_samples;
+    for (int i = 0; i < n; i++) {
+        out_pcm[i] = ulaw2linear(io_code[i] & 0xFF);
+    }
+    return 0;
+}
+)";
+
+constexpr std::int32_t kSegEnd[8] = {0xFF,  0x1FF,  0x3FF,  0x7FF,
+                                     0xFFF, 0x1FFF, 0x3FFF, 0x7FFF};
+constexpr std::int32_t kBias = 132;
+
+std::int32_t searchSeg(std::int32_t val) {
+    int i = 0;
+    for (; i < 8; ++i)
+        if (val <= kSegEnd[i]) break;
+    return i;
+}
+
+}  // namespace
+
+std::string g711EncoderSource() { return std::string(kCommon) + kEncoderMain; }
+
+std::string g711DecoderSource() { return std::string(kCommon) + kDecoderMain; }
+
+std::uint8_t linearToUlaw(std::int16_t sample) {
+    std::int32_t pcm = sample;
+    std::int32_t mask;
+    if (pcm < 0) {
+        pcm = kBias - pcm;
+        mask = 0x7F;
+    } else {
+        pcm += kBias;
+        mask = 0xFF;
+    }
+    const std::int32_t seg = searchSeg(pcm);
+    if (seg >= 8) return static_cast<std::uint8_t>(0x7F ^ mask);
+    const std::int32_t uval = (seg << 4) | ((pcm >> (seg + 3)) & 0xF);
+    return static_cast<std::uint8_t>(uval ^ mask);
+}
+
+std::int16_t ulawToLinear(std::uint8_t code) {
+    const std::int32_t u = code ^ 0xFF;
+    std::int32_t t = ((u & 0xF) << 3) + kBias;
+    t <<= (u & 0x70) >> 4;
+    return static_cast<std::int16_t>((u & 0x80) ? kBias - t : t - kBias);
+}
+
+std::vector<std::uint8_t> g711EncodeRef(std::span<const std::int16_t> pcm) {
+    std::vector<std::uint8_t> out;
+    out.reserve(pcm.size());
+    for (std::int16_t s : pcm) out.push_back(linearToUlaw(s));
+    return out;
+}
+
+std::vector<std::int16_t> g711DecodeRef(std::span<const std::uint8_t> codes) {
+    std::vector<std::int16_t> out;
+    out.reserve(codes.size());
+    for (std::uint8_t c : codes) out.push_back(ulawToLinear(c));
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,31 @@
+// G.711 µ-law codec — extension workload.
+//
+// Not part of the paper's evaluation, but the natural third member of the
+// MediaBench speech-coding family it draws from (the Sun g72x distribution
+// ships g711.c alongside g721.c).  The µ-law encoder's segment search is the
+// same table-search control pattern as G.721's quan(), making it a useful
+// additional data point for ASBR.  Implemented like the other workloads:
+// mcc benchmark source + native C++ golden reference, cross-checked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asbr {
+
+/// mcc source of the benchmark programs.
+[[nodiscard]] std::string g711EncoderSource();
+[[nodiscard]] std::string g711DecoderSource();
+
+/// Native golden references (stateless codec).
+[[nodiscard]] std::uint8_t linearToUlaw(std::int16_t sample);
+[[nodiscard]] std::int16_t ulawToLinear(std::uint8_t code);
+
+[[nodiscard]] std::vector<std::uint8_t> g711EncodeRef(
+    std::span<const std::int16_t> pcm);
+[[nodiscard]] std::vector<std::int16_t> g711DecodeRef(
+    std::span<const std::uint8_t> codes);
+
+}  // namespace asbr

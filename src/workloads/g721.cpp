@@ -1,0 +1,583 @@
+#include "workloads/g721.hpp"
+
+namespace asbr {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// mcc benchmark source.  State scalars/small arrays first (gp window); the
+// large I/O buffers last.  update() communicates through u_* globals because
+// the C subset caps functions at 4 parameters.
+// ---------------------------------------------------------------------------
+constexpr const char* kCommon = R"(
+int n_samples;
+
+/* predictor / quantizer state (g72x_state) */
+int yl = 34816;
+int yu = 544;
+int dms = 0;
+int dml = 0;
+int ap = 0;
+int td = 0;
+int a[2] = {0, 0};
+int pk[2] = {0, 0};
+int sr[2] = {32, 32};
+int b[6] = {0, 0, 0, 0, 0, 0};
+int dq[6] = {32, 32, 32, 32, 32, 32};
+
+/* update() inputs (mcc functions take at most 4 parameters) */
+int u_y; int u_wi; int u_fi; int u_dq; int u_sr; int u_dqsez;
+
+/* power2/qtab carry one sentinel entry beyond the searched range so the
+ * software-pipelined quan loops below can prefetch the next comparison
+ * without reading out of bounds; the sentinel never affects the result. */
+int power2[16] = {1, 2, 4, 8, 16, 32, 64, 128,
+                  256, 512, 1024, 2048, 4096, 8192, 16384, 32767};
+int qtab[8] = {-124, 80, 178, 246, 300, 349, 400, 32767};
+int dqlntab[16] = {-2048, 4, 135, 213, 273, 323, 373, 425,
+                   425, 373, 323, 273, 213, 135, 4, -2048};
+int witab[16] = {-12, 18, 41, 64, 112, 198, 355, 1122,
+                 1122, 355, 198, 112, 64, 41, 18, -12};
+int fitab[16] = {0, 0, 0, 0x200, 0x200, 0x200, 0x600, 0xE00,
+                 0xE00, 0x600, 0x200, 0x200, 0x200, 0, 0, 0};
+
+/* quan(), software-pipelined (paper Section 5.1 / Figure 5): the comparison
+ * for the *next* table entry is computed one iteration ahead, so the
+ * data-dependent exit branch tests a register whose producer ran a full
+ * loop body earlier — wide enough for ASBR to fold it. */
+int quan_power2(int val) {
+    int d = val - power2[0];
+    int k = 15;
+    while (k) {
+        int dn = val - power2[16 - k];
+        if (d < 0) break;
+        k--;
+        d = dn;
+    }
+    return 15 - k;
+}
+
+int quan_qtab(int val) {
+    int d = val - qtab[0];
+    int k = 7;
+    while (k) {
+        int dn = val - qtab[8 - k];
+        if (d < 0) break;
+        k--;
+        d = dn;
+    }
+    return 7 - k;
+}
+
+int fmult(int an, int srn) {
+    int anmag; int anexp; int anmant; int wanexp; int wanmant; int retval;
+    if (an > 0) anmag = an;
+    else anmag = (-an) & 0x1FFF;
+    anexp = quan_power2(anmag) - 6;
+    if (anmag == 0) anmant = 32;
+    else if (anexp >= 0) anmant = anmag >> anexp;
+    else anmant = anmag << (-anexp);
+    wanexp = anexp + ((srn >> 6) & 15) - 13;
+    wanmant = (anmant * (srn & 63) + 0x30) >> 4;
+    if (wanexp >= 0) retval = (wanmant << wanexp) & 0x7FFF;
+    else if (wanexp > -16) retval = wanmant >> (-wanexp);
+    else retval = 0;
+    if ((an ^ srn) < 0) return -retval;
+    return retval;
+}
+
+int predictor_zero() {
+    int sezi = fmult(b[0] >> 2, dq[0]);
+    for (int i = 1; i < 6; i++)
+        sezi += fmult(b[i] >> 2, dq[i]);
+    return sezi;
+}
+
+int predictor_pole() {
+    return fmult(a[1] >> 2, sr[1]) + fmult(a[0] >> 2, sr[0]);
+}
+
+int step_size() {
+    if (ap >= 256) return yu;
+    int y = yl >> 6;
+    int dif = yu - y;
+    int al = ap >> 2;
+    if (dif > 0) y += (dif * al) >> 6;
+    else if (dif < 0) y += (dif * al + 0x3F) >> 6;
+    return y;
+}
+
+int quantize(int d, int y) {
+    int dqm = d;
+    if (d < 0) dqm = -d;
+    int exp = quan_power2(dqm >> 1);
+    int mant = ((dqm << 7) >> exp) & 0x7F;
+    int dl = (exp << 7) + mant;
+    int dln = dl - (y >> 2);
+    int i = quan_qtab(dln);
+    if (d < 0) i = 15 - i;
+    else if (i == 0) i = 15;
+    return i;
+}
+
+int reconstruct(int sign, int dqln, int y) {
+    int dql = dqln + (y >> 2);
+    if (dql < 0) {
+        if (sign) return -0x8000;
+        return 0;
+    }
+    int dex = (dql >> 7) & 15;
+    int dqt = 128 + (dql & 127);
+    int dqv = (dqt << 7) >> (14 - dex);
+    if (sign) return dqv - 0x8000;
+    return dqv;
+}
+
+void update() {
+    int y = u_y;
+    int pk0 = 0;
+    if (u_dqsez < 0) pk0 = 1;
+    int mag = u_dq & 0x7FFF;
+
+    /* tone / transition detection thresholds */
+    int ylint = yl >> 15;
+    int ylfrac = (yl >> 10) & 31;
+    int thr2;
+    if (ylint > 9) thr2 = 31 << 10;
+    else thr2 = (32 + ylfrac) << ylint;
+    int thr3 = (thr2 + (thr2 >> 1)) >> 1;
+    int tr = 0;
+    if (td == 1) {
+        if (mag > thr3) tr = 1;
+    }
+
+    /* quantizer scale factor adaptation */
+    yu = y + ((u_wi - y) >> 5);
+    if (yu < 544) yu = 544;
+    if (yu > 5120) yu = 5120;
+    yl += yu + ((0 - yl) >> 6);
+
+    int a2p = 0;
+    if (tr == 1) {
+        a[0] = 0; a[1] = 0;
+        b[0] = 0; b[1] = 0; b[2] = 0; b[3] = 0; b[4] = 0; b[5] = 0;
+    } else {
+        int pks1 = pk0 ^ pk[0];
+
+        /* second-order predictor coefficient */
+        a2p = a[1] - (a[1] >> 7);
+        if (u_dqsez != 0) {
+            int fa1;
+            if (pks1) fa1 = a[0];
+            else fa1 = -a[0];
+            if (fa1 < -8191) a2p -= 0x100;
+            else if (fa1 > 8191) a2p += 0xFF;
+            else a2p += fa1 >> 5;
+
+            if (pk0 ^ pk[1]) {
+                if (a2p <= -12160) a2p = -12288;
+                else if (a2p >= 12416) a2p = 12288;
+                else a2p -= 0x80;
+            }
+            else if (a2p <= -12416) a2p = -12288;
+            else if (a2p >= 12160) a2p = 12288;
+            else a2p += 0x80;
+        }
+        a[1] = a2p;
+
+        /* first-order predictor coefficient */
+        a[0] -= a[0] >> 8;
+        if (u_dqsez != 0) {
+            if (pks1 == 0) a[0] += 192;
+            else a[0] -= 192;
+        }
+        int a1ul = 15360 - a2p;
+        if (a[0] < -a1ul) a[0] = -a1ul;
+        if (a[0] > a1ul) a[0] = a1ul;
+
+        /* sixth-order zero predictor coefficients */
+        for (int k = 0; k < 6; k++) {
+            b[k] -= b[k] >> 8;
+            if (mag) {
+                if ((u_dq ^ dq[k]) >= 0) b[k] += 128;
+                else b[k] -= 128;
+            }
+        }
+    }
+
+    /* shift the dq delay line, storing dq in floating-point format */
+    for (int k = 5; k > 0; k--) dq[k] = dq[k - 1];
+    if (mag == 0) {
+        if (u_dq >= 0) dq[0] = 0x20;
+        else dq[0] = 0x20 - 0x400;
+    } else {
+        int exp = quan_power2(mag);
+        if (u_dq >= 0) dq[0] = (exp << 6) + ((mag << 6) >> exp);
+        else dq[0] = (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    }
+
+    /* shift the sr delay line, same format */
+    sr[1] = sr[0];
+    if (u_sr == 0) {
+        sr[0] = 0x20;
+    } else if (u_sr > 0) {
+        int exp = quan_power2(u_sr);
+        sr[0] = (exp << 6) + ((u_sr << 6) >> exp);
+    } else if (u_sr > -32768) {
+        int srmag = -u_sr;
+        int exp = quan_power2(srmag);
+        sr[0] = (exp << 6) + ((srmag << 6) >> exp) - 0x400;
+    } else {
+        sr[0] = 0x20 - 0x400;
+    }
+
+    pk[1] = pk[0];
+    pk[0] = pk0;
+
+    /* tone detection */
+    if (tr == 1) td = 0;
+    else if (a2p < -11776) td = 1;
+    else td = 0;
+
+    /* adaptation speed control */
+    dms += (u_fi - dms) >> 5;
+    dml += (((u_fi << 2) - dml) >> 7);
+
+    if (tr == 1) {
+        ap = 256;
+    } else if (y < 1536) {
+        ap += (0x200 - ap) >> 4;
+    } else if (td == 1) {
+        ap += (0x200 - ap) >> 4;
+    } else {
+        int dif = (dms << 2) - dml;
+        if (dif < 0) dif = -dif;
+        if (dif >= (dml >> 3)) ap += (0x200 - ap) >> 4;
+        else ap += (0 - ap) >> 4;
+    }
+}
+
+short in_pcm[131072];
+char io_code[131072];
+short out_pcm[131072];
+)";
+
+constexpr const char* kEncoderMain = R"(
+int main() {
+    int n = n_samples;
+    for (int idx = 0; idx < n; idx++) {
+        int sl = in_pcm[idx] >> 2;
+
+        int sezi = predictor_zero();
+        int sez = sezi >> 1;
+        int sei = sezi + predictor_pole();
+        int se = sei >> 1;
+
+        int d = sl - se;
+        int y = step_size();
+        int code = quantize(d, y);
+        int dqv = reconstruct(code & 8, dqlntab[code], y);
+        int srv;
+        if (dqv < 0) srv = se - (dqv & 0x3FFF);
+        else srv = se + dqv;
+        int dqsez = srv + sez - se;
+
+        u_y = y;
+        u_wi = witab[code] << 5;
+        u_fi = fitab[code];
+        u_dq = dqv;
+        u_sr = srv;
+        u_dqsez = dqsez;
+        update();
+
+        io_code[idx] = code;
+    }
+    return 0;
+}
+)";
+
+constexpr const char* kDecoderMain = R"(
+int main() {
+    int n = n_samples;
+    for (int idx = 0; idx < n; idx++) {
+        int code = io_code[idx] & 15;
+
+        int sezi = predictor_zero();
+        int sez = sezi >> 1;
+        int sei = sezi + predictor_pole();
+        int se = sei >> 1;
+
+        int y = step_size();
+        int dqv = reconstruct(code & 8, dqlntab[code], y);
+        int srv;
+        if (dqv < 0) srv = se - (dqv & 0x3FFF);
+        else srv = se + dqv;
+        int dqsez = srv + sez - se;
+
+        u_y = y;
+        u_wi = witab[code] << 5;
+        u_fi = fitab[code];
+        u_dq = dqv;
+        u_sr = srv;
+        u_dqsez = dqsez;
+        update();
+
+        out_pcm[idx] = srv << 2;
+    }
+    return 0;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Native reference tables (identical values).
+// ---------------------------------------------------------------------------
+constexpr std::int32_t kPower2[15] = {1,   2,   4,    8,    16,   32,  64, 128,
+                                      256, 512, 1024, 2048, 4096, 8192, 16384};
+constexpr std::int32_t kQtab[7] = {-124, 80, 178, 246, 300, 349, 400};
+constexpr std::int32_t kDqlntab[16] = {-2048, 4,   135, 213, 273, 323, 373, 425,
+                                       425,   373, 323, 273, 213, 135, 4,   -2048};
+constexpr std::int32_t kWitab[16] = {-12, 18,  41,  64, 112, 198, 355, 1122,
+                                     1122, 355, 198, 112, 64, 41, 18, -12};
+constexpr std::int32_t kFitab[16] = {0,     0,     0,     0x200, 0x200, 0x200,
+                                     0x600, 0xE00, 0xE00, 0x600, 0x200, 0x200,
+                                     0x200, 0,     0,     0};
+
+std::int32_t quanPower2(std::int32_t val) {
+    int i = 0;
+    for (; i < 15; ++i)
+        if (val < kPower2[i]) break;
+    return i;
+}
+
+std::int32_t quanQtab(std::int32_t val) {
+    int i = 0;
+    for (; i < 7; ++i)
+        if (val < kQtab[i]) break;
+    return i;
+}
+
+std::int32_t fmult(std::int32_t an, std::int32_t srn) {
+    const std::int32_t anmag = an > 0 ? an : ((-an) & 0x1FFF);
+    const std::int32_t anexp = quanPower2(anmag) - 6;
+    const std::int32_t anmant =
+        anmag == 0 ? 32 : (anexp >= 0 ? anmag >> anexp : anmag << -anexp);
+    const std::int32_t wanexp = anexp + ((srn >> 6) & 15) - 13;
+    const std::int32_t wanmant = (anmant * (srn & 63) + 0x30) >> 4;
+    std::int32_t retval;
+    if (wanexp >= 0) retval = (wanmant << wanexp) & 0x7FFF;
+    else if (wanexp > -16) retval = wanmant >> -wanexp;
+    else retval = 0;
+    return ((an ^ srn) < 0) ? -retval : retval;
+}
+
+}  // namespace
+
+std::string g721EncoderSource() { return std::string(kCommon) + kEncoderMain; }
+
+std::string g721DecoderSource() { return std::string(kCommon) + kDecoderMain; }
+
+std::int32_t G721Codec::predictorZero() const {
+    std::int32_t sezi = fmult(b_[0] >> 2, dq_[0]);
+    for (int i = 1; i < 6; ++i) sezi += fmult(b_[i] >> 2, dq_[i]);
+    return sezi;
+}
+
+std::int32_t G721Codec::predictorPole() const {
+    return fmult(a_[1] >> 2, sr_[1]) + fmult(a_[0] >> 2, sr_[0]);
+}
+
+std::int32_t G721Codec::stepSize() const {
+    if (ap_ >= 256) return yu_;
+    std::int32_t y = yl_ >> 6;
+    const std::int32_t dif = yu_ - y;
+    const std::int32_t al = ap_ >> 2;
+    if (dif > 0) y += (dif * al) >> 6;
+    else if (dif < 0) y += (dif * al + 0x3F) >> 6;
+    return y;
+}
+
+std::int32_t G721Codec::quantize(std::int32_t d, std::int32_t y) const {
+    const std::int32_t dqm = d < 0 ? -d : d;
+    const std::int32_t exp = quanPower2(dqm >> 1);
+    const std::int32_t mant = ((dqm << 7) >> exp) & 0x7F;
+    const std::int32_t dl = (exp << 7) + mant;
+    const std::int32_t dln = dl - (y >> 2);
+    std::int32_t i = quanQtab(dln);
+    if (d < 0) i = 15 - i;
+    else if (i == 0) i = 15;
+    return i;
+}
+
+std::int32_t G721Codec::reconstruct(std::int32_t sign, std::int32_t dqln,
+                                    std::int32_t y) {
+    const std::int32_t dql = dqln + (y >> 2);
+    if (dql < 0) return sign ? -0x8000 : 0;
+    const std::int32_t dex = (dql >> 7) & 15;
+    const std::int32_t dqt = 128 + (dql & 127);
+    const std::int32_t dqv = (dqt << 7) >> (14 - dex);
+    return sign ? dqv - 0x8000 : dqv;
+}
+
+void G721Codec::update(std::int32_t y, std::int32_t wi, std::int32_t fi,
+                       std::int32_t dq, std::int32_t sr, std::int32_t dqsez) {
+    const std::int32_t pk0 = dqsez < 0 ? 1 : 0;
+    const std::int32_t mag = dq & 0x7FFF;
+
+    const std::int32_t ylint = yl_ >> 15;
+    const std::int32_t ylfrac = (yl_ >> 10) & 31;
+    const std::int32_t thr2 =
+        ylint > 9 ? 31 << 10 : (32 + ylfrac) << ylint;
+    const std::int32_t thr3 = (thr2 + (thr2 >> 1)) >> 1;
+    const std::int32_t tr = (td_ == 1 && mag > thr3) ? 1 : 0;
+
+    yu_ = y + ((wi - y) >> 5);
+    if (yu_ < 544) yu_ = 544;
+    if (yu_ > 5120) yu_ = 5120;
+    yl_ += yu_ + ((0 - yl_) >> 6);
+
+    std::int32_t a2p = 0;
+    if (tr == 1) {
+        a_[0] = a_[1] = 0;
+        for (int k = 0; k < 6; ++k) b_[k] = 0;
+    } else {
+        const std::int32_t pks1 = pk0 ^ pk_[0];
+
+        a2p = a_[1] - (a_[1] >> 7);
+        if (dqsez != 0) {
+            const std::int32_t fa1 = pks1 ? a_[0] : -a_[0];
+            if (fa1 < -8191) a2p -= 0x100;
+            else if (fa1 > 8191) a2p += 0xFF;
+            else a2p += fa1 >> 5;
+
+            if (pk0 ^ pk_[1]) {
+                if (a2p <= -12160) a2p = -12288;
+                else if (a2p >= 12416) a2p = 12288;
+                else a2p -= 0x80;
+            } else if (a2p <= -12416) {
+                a2p = -12288;
+            } else if (a2p >= 12160) {
+                a2p = 12288;
+            } else {
+                a2p += 0x80;
+            }
+        }
+        a_[1] = a2p;
+
+        a_[0] -= a_[0] >> 8;
+        if (dqsez != 0) {
+            if (pks1 == 0) a_[0] += 192;
+            else a_[0] -= 192;
+        }
+        const std::int32_t a1ul = 15360 - a2p;
+        if (a_[0] < -a1ul) a_[0] = -a1ul;
+        if (a_[0] > a1ul) a_[0] = a1ul;
+
+        for (int k = 0; k < 6; ++k) {
+            b_[k] -= b_[k] >> 8;
+            if (mag) {
+                if ((dq ^ dq_[k]) >= 0) b_[k] += 128;
+                else b_[k] -= 128;
+            }
+        }
+    }
+
+    for (int k = 5; k > 0; --k) dq_[k] = dq_[k - 1];
+    if (mag == 0) {
+        dq_[0] = dq >= 0 ? 0x20 : 0x20 - 0x400;
+    } else {
+        const std::int32_t exp = quanPower2(mag);
+        dq_[0] = dq >= 0 ? (exp << 6) + ((mag << 6) >> exp)
+                         : (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    }
+
+    sr_[1] = sr_[0];
+    if (sr == 0) {
+        sr_[0] = 0x20;
+    } else if (sr > 0) {
+        const std::int32_t exp = quanPower2(sr);
+        sr_[0] = (exp << 6) + ((sr << 6) >> exp);
+    } else if (sr > -32768) {
+        const std::int32_t srmag = -sr;
+        const std::int32_t exp = quanPower2(srmag);
+        sr_[0] = (exp << 6) + ((srmag << 6) >> exp) - 0x400;
+    } else {
+        sr_[0] = 0x20 - 0x400;
+    }
+
+    pk_[1] = pk_[0];
+    pk_[0] = pk0;
+
+    if (tr == 1) td_ = 0;
+    else if (a2p < -11776) td_ = 1;
+    else td_ = 0;
+
+    dms_ += (fi - dms_) >> 5;
+    dml_ += (((fi << 2) - dml_) >> 7);
+
+    if (tr == 1) {
+        ap_ = 256;
+    } else if (y < 1536) {
+        ap_ += (0x200 - ap_) >> 4;
+    } else if (td_ == 1) {
+        ap_ += (0x200 - ap_) >> 4;
+    } else {
+        std::int32_t dif = (dms_ << 2) - dml_;
+        if (dif < 0) dif = -dif;
+        if (dif >= (dml_ >> 3)) ap_ += (0x200 - ap_) >> 4;
+        else ap_ += (0 - ap_) >> 4;
+    }
+}
+
+std::uint8_t G721Codec::encode(std::int16_t sample) {
+    const std::int32_t sl = sample >> 2;
+
+    const std::int32_t sezi = predictorZero();
+    const std::int32_t sez = sezi >> 1;
+    const std::int32_t sei = sezi + predictorPole();
+    const std::int32_t se = sei >> 1;
+
+    const std::int32_t d = sl - se;
+    const std::int32_t y = stepSize();
+    const std::int32_t code = quantize(d, y);
+    const std::int32_t dqv = reconstruct(code & 8, kDqlntab[code], y);
+    const std::int32_t srv = dqv < 0 ? se - (dqv & 0x3FFF) : se + dqv;
+    const std::int32_t dqsez = srv + sez - se;
+
+    update(y, kWitab[code] << 5, kFitab[code], dqv, srv, dqsez);
+    return static_cast<std::uint8_t>(code);
+}
+
+std::int16_t G721Codec::decode(std::uint8_t rawCode) {
+    const std::int32_t code = rawCode & 15;
+
+    const std::int32_t sezi = predictorZero();
+    const std::int32_t sez = sezi >> 1;
+    const std::int32_t sei = sezi + predictorPole();
+    const std::int32_t se = sei >> 1;
+
+    const std::int32_t y = stepSize();
+    const std::int32_t dqv = reconstruct(code & 8, kDqlntab[code], y);
+    const std::int32_t srv = dqv < 0 ? se - (dqv & 0x3FFF) : se + dqv;
+    const std::int32_t dqsez = srv + sez - se;
+
+    update(y, kWitab[code] << 5, kFitab[code], dqv, srv, dqsez);
+    return static_cast<std::int16_t>(srv << 2);
+}
+
+std::vector<std::uint8_t> g721EncodeRef(std::span<const std::int16_t> pcm) {
+    G721Codec codec;
+    std::vector<std::uint8_t> out;
+    out.reserve(pcm.size());
+    for (std::int16_t s : pcm) out.push_back(codec.encode(s));
+    return out;
+}
+
+std::vector<std::int16_t> g721DecodeRef(std::span<const std::uint8_t> codes) {
+    G721Codec codec;
+    std::vector<std::int16_t> out;
+    out.reserve(codes.size());
+    for (std::uint8_t c : codes) out.push_back(codec.decode(c));
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,66 @@
+// G.721 32 kbit/s ADPCM codec — the MediaBench "G.721 Encode/Decode"
+// benchmark pair.
+//
+// The implementation follows the classic public-domain Sun/CCITT g72x code
+// structure: adaptive pole/zero predictor (fmult floating-point-format
+// multiplies), logarithmic quantizer with table search (quan), adaptive
+// step-size (yu/yl), and the control-dominated coefficient update with tone
+// and transition detection.  As with ADPCM it exists twice — the mcc
+// benchmark programs and a native C++ transliteration of the same code used
+// as the golden reference.  Bit-exact ITU conformance is not a goal (the
+// paper's claims do not depend on it); what matters is that both versions
+// compute identically and exercise the same branch structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asbr {
+
+/// mcc source of the benchmark programs.
+[[nodiscard]] std::string g721EncoderSource();
+[[nodiscard]] std::string g721DecoderSource();
+
+/// Native golden-reference codec (streaming).
+class G721Codec {
+public:
+    /// Encode one 16-bit sample to a 4-bit code.
+    [[nodiscard]] std::uint8_t encode(std::int16_t sample);
+
+    /// Decode one 4-bit code to a 16-bit sample.
+    [[nodiscard]] std::int16_t decode(std::uint8_t code);
+
+private:
+    [[nodiscard]] std::int32_t predictorZero() const;
+    [[nodiscard]] std::int32_t predictorPole() const;
+    [[nodiscard]] std::int32_t stepSize() const;
+    [[nodiscard]] std::int32_t quantize(std::int32_t d, std::int32_t y) const;
+    [[nodiscard]] static std::int32_t reconstruct(std::int32_t sign,
+                                                  std::int32_t dqln,
+                                                  std::int32_t y);
+    void update(std::int32_t y, std::int32_t wi, std::int32_t fi,
+                std::int32_t dq, std::int32_t sr, std::int32_t dqsez);
+
+    // Predictor/quantizer state (g72x_state equivalents).
+    std::int32_t yl_ = 34816;
+    std::int32_t yu_ = 544;
+    std::int32_t dms_ = 0;
+    std::int32_t dml_ = 0;
+    std::int32_t ap_ = 0;
+    std::int32_t a_[2] = {0, 0};
+    std::int32_t b_[6] = {0, 0, 0, 0, 0, 0};
+    std::int32_t pk_[2] = {0, 0};
+    std::int32_t dq_[6] = {32, 32, 32, 32, 32, 32};
+    std::int32_t sr_[2] = {32, 32};
+    std::int32_t td_ = 0;
+};
+
+/// Whole-buffer conveniences.
+[[nodiscard]] std::vector<std::uint8_t> g721EncodeRef(
+    std::span<const std::int16_t> pcm);
+[[nodiscard]] std::vector<std::int16_t> g721DecodeRef(
+    std::span<const std::uint8_t> codes);
+
+}  // namespace asbr

@@ -1,0 +1,75 @@
+#include "workloads/input_gen.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace asbr {
+
+namespace {
+
+/// Integer triangle oscillator: phase in [0, period), output in [-amp, amp].
+std::int32_t triangle(std::uint32_t phase, std::uint32_t period,
+                      std::int32_t amp) {
+    const std::uint32_t half = period / 2;
+    const std::uint32_t p = phase % period;
+    const std::int64_t up = p < half ? p : period - p;  // 0..half
+    return static_cast<std::int32_t>((2 * up - static_cast<std::int64_t>(half)) *
+                                     amp / static_cast<std::int64_t>(half));
+}
+
+}  // namespace
+
+std::vector<std::int16_t> generateSpeech(std::size_t count, std::uint64_t seed) {
+    Xorshift64 rng(seed);
+    std::vector<std::int16_t> out;
+    out.reserve(count);
+
+    // Three "formant" oscillators with drifting periods and amplitudes.
+    std::uint32_t period[3] = {61, 23, 9};   // ~130 Hz, ~350 Hz, ~900 Hz at 8 kHz
+    std::int32_t amp[3] = {9000, 4000, 1500};
+    std::uint32_t phase[3] = {0, 0, 0};
+    std::int32_t noiseState = 0;      // one-pole low-pass over white noise
+    std::int32_t envelope = 0;        // 0..256 voicing envelope
+    std::int32_t envelopeTarget = 256;
+    std::size_t segmentLeft = 0;
+
+    for (std::size_t n = 0; n < count; ++n) {
+        if (segmentLeft == 0) {
+            // New phoneme-like segment every 300-1500 samples: re-draw pitch,
+            // amplitudes and voicing (some segments are near-silence).
+            segmentLeft = 300 + rng.below(1200);
+            envelopeTarget = rng.chance(0.2) ? static_cast<std::int32_t>(rng.below(24))
+                                             : 128 + static_cast<std::int32_t>(rng.below(128));
+            period[0] = 40 + static_cast<std::uint32_t>(rng.below(60));
+            period[1] = 14 + static_cast<std::uint32_t>(rng.below(24));
+            period[2] = 6 + static_cast<std::uint32_t>(rng.below(10));
+            for (int k = 0; k < 3; ++k)
+                amp[k] = 800 + static_cast<std::int32_t>(rng.below(9000) >> k);
+        }
+        --segmentLeft;
+
+        // Smooth the envelope (attack/decay).
+        envelope += (envelopeTarget - envelope) / 32 +
+                    ((envelopeTarget > envelope) ? 1 : -1);
+        envelope = std::clamp(envelope, 0, 256);
+
+        std::int64_t sample = 0;
+        for (int k = 0; k < 3; ++k) {
+            sample += triangle(phase[k], period[k], amp[k]);
+            ++phase[k];
+        }
+        // Filtered noise floor (breathiness).
+        const auto white =
+            static_cast<std::int32_t>(static_cast<std::int64_t>(rng.below(4096)) - 2048);
+        noiseState += (white - noiseState) / 4;
+        sample += noiseState;
+
+        sample = sample * envelope / 256;
+        sample = std::clamp<std::int64_t>(sample, -32768, 32767);
+        out.push_back(static_cast<std::int16_t>(sample));
+    }
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,25 @@
+// Synthetic speech-like PCM input.
+//
+// The paper evaluates on MediaBench audio clips that are not available here.
+// This generator substitutes a deterministic, integer-only synthesis: a sum
+// of three triangle-wave "formants" whose pitch and amplitude drift slowly,
+// plus low-pass-filtered xorshift noise and occasional silence gaps.  The
+// ADPCM/G.721 control paths the paper exploits (step-size adaptation,
+// quantizer sign/magnitude tests, predictor updates) are driven by exactly
+// these signal dynamics, so the benchmarks' branch behaviour is comparable
+// even though absolute numbers differ from the original clips.
+//
+// Everything is integer arithmetic — outputs are bit-identical across
+// platforms and runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asbr {
+
+/// Generate `count` 16-bit PCM samples (8 kHz speech-band assumed).
+[[nodiscard]] std::vector<std::int16_t> generateSpeech(std::size_t count,
+                                                       std::uint64_t seed = 1);
+
+}  // namespace asbr
