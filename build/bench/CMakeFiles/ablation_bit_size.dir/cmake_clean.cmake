@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bit_size.dir/ablation_bit_size.cpp.o"
+  "CMakeFiles/ablation_bit_size.dir/ablation_bit_size.cpp.o.d"
+  "ablation_bit_size"
+  "ablation_bit_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bit_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

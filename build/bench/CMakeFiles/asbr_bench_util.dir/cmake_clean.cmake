@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/asbr_bench_util.dir/bench_util.cpp.o.d"
+  "libasbr_bench_util.a"
+  "libasbr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

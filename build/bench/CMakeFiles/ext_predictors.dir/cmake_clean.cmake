@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_predictors.dir/ext_predictors.cpp.o"
+  "CMakeFiles/ext_predictors.dir/ext_predictors.cpp.o.d"
+  "ext_predictors"
+  "ext_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_asbr.dir/fig11_asbr.cpp.o"
+  "CMakeFiles/fig11_asbr.dir/fig11_asbr.cpp.o.d"
+  "fig11_asbr"
+  "fig11_asbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_asbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

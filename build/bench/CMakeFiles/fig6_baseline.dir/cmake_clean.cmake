@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_baseline.dir/fig6_baseline.cpp.o"
+  "CMakeFiles/fig6_baseline.dir/fig6_baseline.cpp.o.d"
+  "fig6_baseline"
+  "fig6_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

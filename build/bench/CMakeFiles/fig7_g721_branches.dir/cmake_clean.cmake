@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_g721_branches.dir/fig7_g721_branches.cpp.o"
+  "CMakeFiles/fig7_g721_branches.dir/fig7_g721_branches.cpp.o.d"
+  "fig7_g721_branches"
+  "fig7_g721_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_g721_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

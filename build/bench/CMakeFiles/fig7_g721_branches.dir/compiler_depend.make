@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_g721_branches.
+# This may be replaced when dependencies are built.

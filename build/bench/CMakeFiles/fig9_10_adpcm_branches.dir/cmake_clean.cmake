@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_10_adpcm_branches.dir/fig9_10_adpcm_branches.cpp.o"
+  "CMakeFiles/fig9_10_adpcm_branches.dir/fig9_10_adpcm_branches.cpp.o.d"
+  "fig9_10_adpcm_branches"
+  "fig9_10_adpcm_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_10_adpcm_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig11_quick "/root/repo/build/bench/fig11_asbr" "--quick")
+set_tests_properties(bench_fig11_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;20;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig6_quick "/root/repo/build/bench/fig6_baseline" "--quick")
+set_tests_properties(bench_fig6_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;21;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_predictors_quick "/root/repo/build/bench/ext_predictors" "--quick")
+set_tests_properties(bench_ext_predictors_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")

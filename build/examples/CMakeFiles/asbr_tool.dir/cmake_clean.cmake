@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_tool.dir/asbr_tool.cpp.o"
+  "CMakeFiles/asbr_tool.dir/asbr_tool.cpp.o.d"
+  "asbr_tool"
+  "asbr_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_customize.dir/compile_and_customize.cpp.o"
+  "CMakeFiles/compile_and_customize.dir/compile_and_customize.cpp.o.d"
+  "compile_and_customize"
+  "compile_and_customize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_customize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_my_branch.dir/fold_my_branch.cpp.o"
+  "CMakeFiles/fold_my_branch.dir/fold_my_branch.cpp.o.d"
+  "fold_my_branch"
+  "fold_my_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_my_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

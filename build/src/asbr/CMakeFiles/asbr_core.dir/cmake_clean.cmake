@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_core.dir/asbr_unit.cpp.o"
+  "CMakeFiles/asbr_core.dir/asbr_unit.cpp.o.d"
+  "CMakeFiles/asbr_core.dir/extract.cpp.o"
+  "CMakeFiles/asbr_core.dir/extract.cpp.o.d"
+  "libasbr_core.a"
+  "libasbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_asm.dir/assembler.cpp.o"
+  "CMakeFiles/asbr_asm.dir/assembler.cpp.o.d"
+  "libasbr_asm.a"
+  "libasbr_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_bp.dir/predictor.cpp.o"
+  "CMakeFiles/asbr_bp.dir/predictor.cpp.o.d"
+  "libasbr_bp.a"
+  "libasbr_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

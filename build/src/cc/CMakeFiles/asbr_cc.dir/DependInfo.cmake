@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/codegen.cpp" "src/cc/CMakeFiles/asbr_cc.dir/codegen.cpp.o" "gcc" "src/cc/CMakeFiles/asbr_cc.dir/codegen.cpp.o.d"
+  "/root/repo/src/cc/compile.cpp" "src/cc/CMakeFiles/asbr_cc.dir/compile.cpp.o" "gcc" "src/cc/CMakeFiles/asbr_cc.dir/compile.cpp.o.d"
+  "/root/repo/src/cc/lexer.cpp" "src/cc/CMakeFiles/asbr_cc.dir/lexer.cpp.o" "gcc" "src/cc/CMakeFiles/asbr_cc.dir/lexer.cpp.o.d"
+  "/root/repo/src/cc/parser.cpp" "src/cc/CMakeFiles/asbr_cc.dir/parser.cpp.o" "gcc" "src/cc/CMakeFiles/asbr_cc.dir/parser.cpp.o.d"
+  "/root/repo/src/cc/schedule.cpp" "src/cc/CMakeFiles/asbr_cc.dir/schedule.cpp.o" "gcc" "src/cc/CMakeFiles/asbr_cc.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/asbr_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/asbr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_cc.dir/codegen.cpp.o"
+  "CMakeFiles/asbr_cc.dir/codegen.cpp.o.d"
+  "CMakeFiles/asbr_cc.dir/compile.cpp.o"
+  "CMakeFiles/asbr_cc.dir/compile.cpp.o.d"
+  "CMakeFiles/asbr_cc.dir/lexer.cpp.o"
+  "CMakeFiles/asbr_cc.dir/lexer.cpp.o.d"
+  "CMakeFiles/asbr_cc.dir/parser.cpp.o"
+  "CMakeFiles/asbr_cc.dir/parser.cpp.o.d"
+  "CMakeFiles/asbr_cc.dir/schedule.cpp.o"
+  "CMakeFiles/asbr_cc.dir/schedule.cpp.o.d"
+  "libasbr_cc.a"
+  "libasbr_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_isa.dir/disasm.cpp.o"
+  "CMakeFiles/asbr_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/asbr_isa.dir/encoding.cpp.o"
+  "CMakeFiles/asbr_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/asbr_isa.dir/isa.cpp.o"
+  "CMakeFiles/asbr_isa.dir/isa.cpp.o.d"
+  "libasbr_isa.a"
+  "libasbr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasbr_isa.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_mem.dir/cache.cpp.o"
+  "CMakeFiles/asbr_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/asbr_mem.dir/memory.cpp.o"
+  "CMakeFiles/asbr_mem.dir/memory.cpp.o.d"
+  "libasbr_mem.a"
+  "libasbr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_profile.dir/profiler.cpp.o"
+  "CMakeFiles/asbr_profile.dir/profiler.cpp.o.d"
+  "CMakeFiles/asbr_profile.dir/selection.cpp.o"
+  "CMakeFiles/asbr_profile.dir/selection.cpp.o.d"
+  "libasbr_profile.a"
+  "libasbr_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

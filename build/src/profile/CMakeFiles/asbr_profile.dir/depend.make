@@ -1,0 +1,2 @@
+# Empty dependencies file for asbr_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_sim.dir/exec.cpp.o"
+  "CMakeFiles/asbr_sim.dir/exec.cpp.o.d"
+  "CMakeFiles/asbr_sim.dir/functional.cpp.o"
+  "CMakeFiles/asbr_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/asbr_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/asbr_sim.dir/pipeline.cpp.o.d"
+  "libasbr_sim.a"
+  "libasbr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

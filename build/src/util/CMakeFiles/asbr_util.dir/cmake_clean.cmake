@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_util.dir/stats.cpp.o"
+  "CMakeFiles/asbr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/asbr_util.dir/table.cpp.o"
+  "CMakeFiles/asbr_util.dir/table.cpp.o.d"
+  "libasbr_util.a"
+  "libasbr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

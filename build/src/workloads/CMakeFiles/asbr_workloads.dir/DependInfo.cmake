@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adpcm.cpp" "src/workloads/CMakeFiles/asbr_workloads.dir/adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/asbr_workloads.dir/adpcm.cpp.o.d"
+  "/root/repo/src/workloads/g711.cpp" "src/workloads/CMakeFiles/asbr_workloads.dir/g711.cpp.o" "gcc" "src/workloads/CMakeFiles/asbr_workloads.dir/g711.cpp.o.d"
+  "/root/repo/src/workloads/g721.cpp" "src/workloads/CMakeFiles/asbr_workloads.dir/g721.cpp.o" "gcc" "src/workloads/CMakeFiles/asbr_workloads.dir/g721.cpp.o.d"
+  "/root/repo/src/workloads/input_gen.cpp" "src/workloads/CMakeFiles/asbr_workloads.dir/input_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/asbr_workloads.dir/input_gen.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/asbr_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/asbr_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/asbr_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asbr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/asbr_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/asbr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_workloads.dir/adpcm.cpp.o"
+  "CMakeFiles/asbr_workloads.dir/adpcm.cpp.o.d"
+  "CMakeFiles/asbr_workloads.dir/g711.cpp.o"
+  "CMakeFiles/asbr_workloads.dir/g711.cpp.o.d"
+  "CMakeFiles/asbr_workloads.dir/g721.cpp.o"
+  "CMakeFiles/asbr_workloads.dir/g721.cpp.o.d"
+  "CMakeFiles/asbr_workloads.dir/input_gen.cpp.o"
+  "CMakeFiles/asbr_workloads.dir/input_gen.cpp.o.d"
+  "CMakeFiles/asbr_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/asbr_workloads.dir/workloads.cpp.o.d"
+  "libasbr_workloads.a"
+  "libasbr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asbr_unit_test.dir/asbr_unit_test.cpp.o"
+  "CMakeFiles/asbr_unit_test.dir/asbr_unit_test.cpp.o.d"
+  "asbr_unit_test"
+  "asbr_unit_test.pdb"
+  "asbr_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asbr_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

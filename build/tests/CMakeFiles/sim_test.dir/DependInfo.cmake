@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/asbr_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/asbr/CMakeFiles/asbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/asbr_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/asbr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asbr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/asbr_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/asbr_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/asbr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
