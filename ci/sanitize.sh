@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI gate: build the whole tree under ASan+UBSan and run the test suite.
+# Any sanitizer report aborts the run (-fno-sanitize-recover=all).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+
+cmake -B "$BUILD_DIR" -S . -DASBR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: run the static fold-legality linter over hand-written fixtures.
+# An Illegal verdict (or BIT conflict / BranchInfo inconsistency) makes
+# asbr-verify exit nonzero, which fails this script for the *legal* fixtures
+# and is required for the illegal one.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+VERIFY="$BUILD_DIR/tools/asbr-verify"
+
+if [[ ! -x "$VERIFY" ]]; then
+    echo "ci/verify-workloads.sh: $VERIFY not built; run cmake --build first" >&2
+    exit 1
+fi
+
+status=0
+for fixture in tests/fixtures/*.s; do
+    base=$(basename "$fixture")
+    if [[ "$base" == illegal_* ]]; then
+        if "$VERIFY" "$fixture" --all --no-schedule --quiet; then
+            echo "FAIL: $fixture should have been flagged Illegal" >&2
+            status=1
+        else
+            echo "ok: $fixture flagged as expected"
+        fi
+    else
+        if "$VERIFY" "$fixture" --all --no-schedule --quiet; then
+            echo "ok: $fixture verified clean"
+        else
+            echo "FAIL: $fixture should verify clean" >&2
+            status=1
+        fi
+    fi
+done
+exit $status

@@ -1,0 +1,197 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace asbr::analysis {
+
+namespace {
+
+/// Conditional-branch target as an instruction index; nullopt when the
+/// target leaves the text segment.
+std::optional<InstrIndex> branchTarget(const Program& program, InstrIndex i) {
+    const Instruction& ins = program.code[i];
+    const std::int64_t t = static_cast<std::int64_t>(i) + 1 + ins.imm;
+    if (t < 0 || t >= static_cast<std::int64_t>(program.code.size()))
+        return std::nullopt;
+    return static_cast<InstrIndex>(t);
+}
+
+/// J/JAL target as an instruction index (exec.cpp semantics: absolute word
+/// index within the current 256MB region); nullopt when outside text.
+std::optional<InstrIndex> jumpTarget(const Program& program, InstrIndex i) {
+    const Instruction& ins = program.code[i];
+    const std::uint32_t pc = program.textBase + i * kInstrBytes;
+    const std::uint32_t addr =
+        (pc & 0xF000'0000u) |
+        (static_cast<std::uint32_t>(ins.imm) * kInstrBytes);
+    if (!program.inText(addr)) return std::nullopt;
+    return (addr - program.textBase) / kInstrBytes;
+}
+
+/// Intraprocedural successors used for function-membership discovery: calls
+/// are stepped over (flow resumes at the return point) and returns stop the
+/// walk.
+void intraSuccessors(const Program& program, InstrIndex i,
+                     std::vector<InstrIndex>& out) {
+    const std::size_t n = program.code.size();
+    const Instruction& ins = program.code[i];
+    out.clear();
+    if (isCondBranch(ins.op)) {
+        if (const auto t = branchTarget(program, i)) out.push_back(*t);
+        if (i + 1 < n) out.push_back(i + 1);
+    } else if (ins.op == Op::kJ) {
+        if (const auto t = jumpTarget(program, i)) out.push_back(*t);
+    } else if (ins.op == Op::kJal || ins.op == Op::kJalr) {
+        if (i + 1 < n) out.push_back(i + 1);  // resume at the return point
+    } else if (ins.op == Op::kJr) {
+        // return — the walk ends here
+    } else {
+        if (i + 1 < n) out.push_back(i + 1);
+    }
+}
+
+void addEdge(Cfg& cfg, std::size_t from, std::size_t to) {
+    auto& succs = cfg.blocks[from].succs;
+    if (std::find(succs.begin(), succs.end(), to) != succs.end()) return;
+    succs.push_back(to);
+    cfg.blocks[to].preds.push_back(from);
+}
+
+}  // namespace
+
+Cfg buildCfg(const Program& program) {
+    Cfg cfg;
+    cfg.program = &program;
+    const std::size_t n = program.code.size();
+    if (n == 0) return cfg;
+
+    // ---- function entries and call sites -------------------------------
+    const InstrIndex entryIdx = cfg.indexOf(program.entry);
+    cfg.functionEntries.push_back(entryIdx);
+    bool hasIndirectCall = false;
+    for (InstrIndex i = 0; i < n; ++i) {
+        const Instruction& ins = program.code[i];
+        if (ins.op == Op::kJal) {
+            if (const auto t = jumpTarget(program, i)) {
+                if (std::find(cfg.functionEntries.begin(),
+                              cfg.functionEntries.end(),
+                              *t) == cfg.functionEntries.end())
+                    cfg.functionEntries.push_back(*t);
+                cfg.callSites.push_back({i, *t});
+            }
+        } else if (ins.op == Op::kJalr) {
+            hasIndirectCall = true;
+        }
+    }
+    std::sort(cfg.functionEntries.begin(), cfg.functionEntries.end());
+
+    // ---- function membership (for jr-ra return matching) ---------------
+    // funcsOf[i] = entries of every function whose intraprocedural walk
+    // reaches instruction i.  Shared tails reached by several functions get
+    // several owners; the return edges become the union, which stays sound.
+    std::vector<std::vector<InstrIndex>> funcsOf(n);
+    {
+        std::vector<InstrIndex> stack, succs;
+        std::vector<char> seen(n);
+        for (const InstrIndex entry : cfg.functionEntries) {
+            std::fill(seen.begin(), seen.end(), 0);
+            stack.assign(1, entry);
+            seen[entry] = 1;
+            while (!stack.empty()) {
+                const InstrIndex i = stack.back();
+                stack.pop_back();
+                funcsOf[i].push_back(entry);
+                intraSuccessors(program, i, succs);
+                for (const InstrIndex s : succs)
+                    if (!seen[s]) {
+                        seen[s] = 1;
+                        stack.push_back(s);
+                    }
+            }
+        }
+    }
+
+    // ---- leaders and blocks --------------------------------------------
+    std::vector<char> leader(n, 0);
+    leader[entryIdx] = 1;
+    for (InstrIndex i = 0; i < n; ++i) {
+        const Instruction& ins = program.code[i];
+        if (isCondBranch(ins.op)) {
+            if (const auto t = branchTarget(program, i)) leader[*t] = 1;
+        } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
+            if (const auto t = jumpTarget(program, i)) leader[*t] = 1;
+        }
+        if (isControl(ins.op) && i + 1 < n) leader[i + 1] = 1;
+    }
+
+    cfg.blockOf.assign(n, kNoBlock);
+    for (InstrIndex i = 0; i < n;) {
+        BasicBlock block;
+        block.first = i;
+        while (true) {
+            cfg.blockOf[i] = cfg.blocks.size();
+            block.last = i;
+            ++i;
+            if (i >= n || leader[i] || isControl(program.code[block.last].op))
+                break;
+        }
+        cfg.blocks.push_back(std::move(block));
+    }
+    cfg.entryBlock = cfg.blockOf[entryIdx];
+
+    // Return points of every direct call site, plus — when indirect calls
+    // exist — of every jalr; used for conservative indirect-jump edges.
+    std::vector<InstrIndex> returnPoints;
+    for (const CallSite& cs : cfg.callSites)
+        if (cs.pc + 1 < n) returnPoints.push_back(cs.pc + 1);
+    if (hasIndirectCall)
+        for (InstrIndex i = 0; i < n; ++i)
+            if (program.code[i].op == Op::kJalr && i + 1 < n)
+                returnPoints.push_back(i + 1);
+
+    // ---- edges ----------------------------------------------------------
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const InstrIndex lastIdx = cfg.blocks[b].last;
+        const Instruction& ins = program.code[lastIdx];
+        if (isCondBranch(ins.op)) {
+            if (const auto t = branchTarget(program, lastIdx))
+                addEdge(cfg, b, cfg.blockOf[*t]);
+            if (lastIdx + 1 < n) addEdge(cfg, b, cfg.blockOf[lastIdx + 1]);
+        } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
+            if (const auto t = jumpTarget(program, lastIdx))
+                addEdge(cfg, b, cfg.blockOf[*t]);
+        } else if (ins.op == Op::kJr && ins.rs == reg::ra &&
+                   !funcsOf[lastIdx].empty()) {
+            // Return: edge to the return point of every call site of every
+            // function this instruction belongs to.  With indirect calls in
+            // the program the function may also be entered via jalr, so the
+            // jalr return points are added as well.
+            for (const CallSite& cs : cfg.callSites) {
+                if (cs.pc + 1 >= n) continue;
+                const auto& owners = funcsOf[lastIdx];
+                if (std::find(owners.begin(), owners.end(), cs.callee) !=
+                    owners.end())
+                    addEdge(cfg, b, cfg.blockOf[cs.pc + 1]);
+            }
+            if (hasIndirectCall)
+                for (InstrIndex i = 0; i < n; ++i)
+                    if (program.code[i].op == Op::kJalr && i + 1 < n)
+                        addEdge(cfg, b, cfg.blockOf[i + 1]);
+        } else if (ins.op == Op::kJr || ins.op == Op::kJalr) {
+            // Unresolvable indirect flow: over-approximate with every
+            // function entry and every return point.
+            cfg.blocks[b].endsInUnresolvedIndirect = true;
+            cfg.hasUnresolvedIndirect = true;
+            for (const InstrIndex e : cfg.functionEntries)
+                addEdge(cfg, b, cfg.blockOf[e]);
+            for (const InstrIndex r : returnPoints)
+                addEdge(cfg, b, cfg.blockOf[r]);
+        } else {
+            if (lastIdx + 1 < n) addEdge(cfg, b, cfg.blockOf[lastIdx + 1]);
+        }
+    }
+    return cfg;
+}
+
+}  // namespace asbr::analysis

@@ -1,0 +1,73 @@
+// Control-flow graph construction over a linked Program.
+//
+// Basic blocks and successor edges are recovered purely from the `isa`
+// branch/jump decoding — the static view of the program the fold-legality
+// verifier reasons over.  Direct calls (`jal label`) edge into the callee;
+// returns (`jr ra`) are resolved context-insensitively to the return points
+// of every call site of the enclosing function, so the graph is a standard
+// interprocedural supergraph.  Indirect jumps the builder cannot resolve
+// (`jalr`, `jr` through a non-ra register, `jr ra` in unreachable code) are
+// over-approximated with edges to every known function entry and return
+// point and flagged, keeping downstream min-analyses sound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hpp"
+
+namespace asbr::analysis {
+
+/// Instruction-word index into Program::code.
+using InstrIndex = std::uint32_t;
+
+/// Sentinel block id ("no such block").
+inline constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+/// A maximal straight-line run of instructions [first, last] (inclusive).
+struct BasicBlock {
+    InstrIndex first = 0;
+    InstrIndex last = 0;
+    std::vector<std::size_t> succs;  ///< successor block ids
+    std::vector<std::size_t> preds;  ///< predecessor block ids
+    /// Block ends in an indirect jump whose targets could not be resolved
+    /// from the call structure; its successor set is the conservative
+    /// all-entries/all-return-points over-approximation.
+    bool endsInUnresolvedIndirect = false;
+};
+
+/// A direct call: the `jal` instruction and the callee entry it names.
+struct CallSite {
+    InstrIndex pc = 0;      ///< index of the jal instruction
+    InstrIndex callee = 0;  ///< index of the callee's first instruction
+};
+
+struct Cfg {
+    const Program* program = nullptr;
+    std::vector<BasicBlock> blocks;
+    std::vector<std::size_t> blockOf;  ///< instruction index -> block id
+    std::size_t entryBlock = kNoBlock;
+    /// Function entries: the program entry plus every `jal` target.
+    std::vector<InstrIndex> functionEntries;
+    std::vector<CallSite> callSites;
+    bool hasUnresolvedIndirect = false;
+
+    [[nodiscard]] std::size_t numInstructions() const {
+        return program->code.size();
+    }
+    [[nodiscard]] std::uint32_t pcOf(InstrIndex i) const {
+        return program->textBase + i * kInstrBytes;
+    }
+    [[nodiscard]] InstrIndex indexOf(std::uint32_t pc) const {
+        ASBR_ENSURE(program->inText(pc), "Cfg::indexOf: pc outside text");
+        return (pc - program->textBase) / kInstrBytes;
+    }
+    [[nodiscard]] std::size_t blockAt(std::uint32_t pc) const {
+        return blockOf[indexOf(pc)];
+    }
+};
+
+/// Build the interprocedural CFG for a linked program.
+[[nodiscard]] Cfg buildCfg(const Program& program);
+
+}  // namespace asbr::analysis

@@ -1,0 +1,83 @@
+#include "analysis/reaching.hpp"
+
+#include <deque>
+
+namespace asbr::analysis {
+
+void applyTransfer(const Instruction& ins, RegDistances& d) {
+    for (Dist& x : d)
+        if (x < kFarAway) ++x;
+    const auto w = destReg(ins);
+    if (w && *w != reg::zero) d[*w] = 1;
+}
+
+namespace {
+
+/// out = transfer of the whole block applied to its entry state.
+RegDistances blockOut(const Cfg& cfg, std::size_t block, RegDistances d) {
+    const BasicBlock& b = cfg.blocks[block];
+    for (InstrIndex i = b.first; i <= b.last; ++i)
+        applyTransfer(cfg.program->code[i], d);
+    return d;
+}
+
+/// Elementwise minimum; returns true when `into` changed.
+bool meetInto(RegDistances& into, const RegDistances& from) {
+    bool changed = false;
+    for (int r = 0; r < kNumRegs; ++r)
+        if (from[static_cast<std::size_t>(r)] <
+            into[static_cast<std::size_t>(r)]) {
+            into[static_cast<std::size_t>(r)] =
+                from[static_cast<std::size_t>(r)];
+            changed = true;
+        }
+    return changed;
+}
+
+}  // namespace
+
+ReachingProducers computeReachingProducers(const Cfg& cfg) {
+    ReachingProducers rp;
+    RegDistances top;
+    top.fill(kFarAway);
+    rp.blockIn.assign(cfg.blocks.size(), top);
+    rp.blockReachable.assign(cfg.blocks.size(), 0);
+    if (cfg.entryBlock == kNoBlock) return rp;
+
+    // Machine reset: every register was last written "infinitely long ago",
+    // so the entry state is all-kFarAway (== top, already set).
+    rp.blockReachable[cfg.entryBlock] = 1;
+
+    std::deque<std::size_t> worklist{cfg.entryBlock};
+    std::vector<char> queued(cfg.blocks.size(), 0);
+    queued[cfg.entryBlock] = 1;
+    while (!worklist.empty()) {
+        const std::size_t b = worklist.front();
+        worklist.pop_front();
+        queued[b] = 0;
+        const RegDistances out = blockOut(cfg, b, rp.blockIn[b]);
+        for (const std::size_t s : cfg.blocks[b].succs) {
+            const bool first = rp.blockReachable[s] == 0;
+            rp.blockReachable[s] = 1;
+            if ((meetInto(rp.blockIn[s], out) || first) && !queued[s]) {
+                queued[s] = 1;
+                worklist.push_back(s);
+            }
+        }
+    }
+    return rp;
+}
+
+Dist distanceAt(const Cfg& cfg, const ReachingProducers& rp, InstrIndex idx,
+                std::uint8_t reg) {
+    ASBR_ENSURE(idx < cfg.numInstructions(), "distanceAt: index outside text");
+    ASBR_ENSURE(reg < kNumRegs, "distanceAt: bad register");
+    const std::size_t block = cfg.blockOf[idx];
+    if (!rp.reachable(block)) return kFarAway;
+    RegDistances d = rp.blockIn[block];
+    for (InstrIndex i = cfg.blocks[block].first; i < idx; ++i)
+        applyTransfer(cfg.program->code[i], d);
+    return d[reg];
+}
+
+}  // namespace asbr::analysis

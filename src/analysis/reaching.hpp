@@ -1,0 +1,65 @@
+// Reaching-producer dataflow analysis — the static analogue of the BDT
+// validity counter.
+//
+// For every program point and architectural register the analysis computes
+// the *minimum over all CFG paths from the program entry* of the distance,
+// in executed instructions, between the last writer of the register and the
+// point — exactly the quantity the profiler measures dynamically
+// (`profile/profiler.cpp`: branch index minus last-def index).  A branch is
+// statically fold-legal at threshold T when the distance of its condition
+// register at the branch is >= T on every path: the producer has then
+// always cleared the BDT update stage by the time the branch fetches, so
+// the validity counter is provably zero.
+//
+// Lattice: per register a saturating distance in [1, kFarAway], meet = min,
+// kFarAway doubling as "no producer on any path" (machine-reset registers
+// and r0, which swallows writes).  The transfer of one instruction
+// increments every distance (saturating) and resets its destination
+// register to 1, mirroring the dynamic index arithmetic.  Distances only
+// decrease across meets and are bounded below, so the fixpoint terminates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace asbr::analysis {
+
+/// Saturating def-to-use distance in instructions.
+using Dist = std::uint8_t;
+
+/// Saturation value: "at least this far" / "no producer on any path".
+inline constexpr Dist kFarAway = 255;
+
+/// Per-register distances at one program point.
+using RegDistances = std::array<Dist, kNumRegs>;
+
+/// Transfer of one instruction: age every register, then reset the
+/// destination (writes to r0 are architecturally discarded and do not
+/// count as production — see exec.cpp).
+void applyTransfer(const Instruction& ins, RegDistances& d);
+
+struct ReachingProducers {
+    /// Distances at the entry of each block (meet over predecessor exits).
+    std::vector<RegDistances> blockIn;
+    /// Blocks reachable from the program entry; unreachable blocks keep the
+    /// all-kFarAway state (they never execute, so any fold is trivially
+    /// legal there).
+    std::vector<char> blockReachable;
+
+    [[nodiscard]] bool reachable(std::size_t block) const {
+        return blockReachable[block] != 0;
+    }
+};
+
+/// Run the min-distance fixpoint over the CFG.
+[[nodiscard]] ReachingProducers computeReachingProducers(const Cfg& cfg);
+
+/// Distance seen by the instruction at index `idx` reading `reg`: the
+/// block-entry state advanced over the block prefix.
+[[nodiscard]] Dist distanceAt(const Cfg& cfg, const ReachingProducers& rp,
+                              InstrIndex idx, std::uint8_t reg);
+
+}  // namespace asbr::analysis

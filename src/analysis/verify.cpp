@@ -1,0 +1,178 @@
+#include "analysis/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "asbr/extract.hpp"
+#include "isa/disasm.hpp"
+
+namespace asbr::analysis {
+
+const char* foldLegalityName(FoldLegality v) {
+    switch (v) {
+        case FoldLegality::kProvablySafe: return "ProvablySafe";
+        case FoldLegality::kSafeOnProfiledPaths: return "SafeOnProfiledPaths";
+        case FoldLegality::kIllegal: return "Illegal";
+    }
+    return "?";
+}
+
+std::size_t VerifyReport::count(FoldLegality v) const {
+    return static_cast<std::size_t>(
+        std::count_if(branches.begin(), branches.end(),
+                      [v](const BranchVerdict& b) { return b.verdict == v; }));
+}
+
+bool VerifyReport::ok() const {
+    return conflicts.empty() && inconsistencies.empty() &&
+           count(FoldLegality::kIllegal) == 0;
+}
+
+FoldLegalityVerifier::FoldLegalityVerifier(const Program& program)
+    : program_(program), cfg_(buildCfg(program)),
+      rp_(computeReachingProducers(cfg_)) {}
+
+BranchVerdict FoldLegalityVerifier::verdictFor(
+    std::uint32_t pc, const VerifyConfig& config,
+    const ObservedMinDistances* observed) const {
+    ASBR_ENSURE(config.threshold >= 2 && config.threshold <= 4,
+                "threshold must be 2, 3 or 4");
+    ASBR_ENSURE(program_.inText(pc), "verdictFor: pc outside text");
+    const Instruction& ins = program_.at(pc);
+    ASBR_ENSURE(isCondBranch(ins.op), "verdictFor: not a conditional branch");
+
+    BranchVerdict v;
+    v.pc = pc;
+    v.sourceLine = program_.sourceLine(pc);
+    v.extractable = isExtractableBranch(program_, pc);
+
+    const InstrIndex idx = cfg_.indexOf(pc);
+    v.reachable = rp_.reachable(cfg_.blockOf[idx]);
+    v.staticMinDistance = distanceAt(cfg_, rp_, idx, ins.rs);
+
+    if (!v.extractable) {
+        v.verdict = FoldLegality::kIllegal;
+        v.reason = "branch target or fall-through leaves the text segment";
+        return v;
+    }
+    if (v.staticMinDistance >= config.threshold) {
+        v.verdict = FoldLegality::kProvablySafe;
+        return v;
+    }
+
+    std::ostringstream why;
+    why << "shortest static def-to-branch path for "
+        << regName(ins.rs) << " is " << int{v.staticMinDistance}
+        << " < threshold " << config.threshold;
+    if (observed) {
+        const auto it = observed->find(pc);
+        if (it != observed->end() && it->second >= config.threshold) {
+            v.verdict = FoldLegality::kSafeOnProfiledPaths;
+            why << "; every profiled execution observed >= " << it->second;
+            v.reason = why.str();
+            return v;
+        }
+        if (it != observed->end())
+            why << "; the profile observed " << it->second << " too";
+        else
+            why << "; the branch never executed under the profile";
+    } else {
+        why << "; no dynamic evidence supplied";
+    }
+    v.verdict = FoldLegality::kIllegal;
+    v.reason = why.str();
+    return v;
+}
+
+namespace {
+
+void checkGeometry(std::span<const std::uint32_t> pcs,
+                   const VerifyConfig& config, VerifyReport& report) {
+    ASBR_ENSURE(config.geometry.sets >= 1 && config.geometry.ways >= 1,
+                "BIT geometry needs at least one set and one way");
+    if (pcs.size() > config.geometry.capacity()) {
+        std::ostringstream os;
+        os << pcs.size() << " entries exceed the BIT capacity of "
+           << config.geometry.capacity();
+        report.conflicts.push_back(os.str());
+    }
+    // Duplicate PCs would silently shadow each other in the associative
+    // lookup; index-set overflow cannot be loaded at all.
+    std::map<std::uint32_t, std::size_t> seen;
+    std::map<std::size_t, std::vector<std::uint32_t>> bySet;
+    for (const std::uint32_t pc : pcs) {
+        if (++seen[pc] == 2) {
+            std::ostringstream os;
+            os << "duplicate BIT entry for branch pc 0x" << std::hex << pc;
+            report.conflicts.push_back(os.str());
+        }
+        bySet[config.geometry.indexOf(pc)].push_back(pc);
+    }
+    for (const auto& [set, members] : bySet) {
+        if (members.size() <= config.geometry.ways) continue;
+        std::ostringstream os;
+        os << members.size() << " branches collide in BIT set " << set
+           << " (" << config.geometry.ways << " ways):" << std::hex;
+        for (const std::uint32_t pc : members) os << " 0x" << pc;
+        report.conflicts.push_back(os.str());
+    }
+}
+
+}  // namespace
+
+VerifyReport FoldLegalityVerifier::verify(
+    std::span<const std::uint32_t> pcs, const VerifyConfig& config,
+    const ObservedMinDistances* observed) const {
+    VerifyReport report;
+    report.branches.reserve(pcs.size());
+    for (const std::uint32_t pc : pcs)
+        report.branches.push_back(verdictFor(pc, config, observed));
+    checkGeometry(pcs, config, report);
+    return report;
+}
+
+VerifyReport FoldLegalityVerifier::verifyBank(
+    std::span<const BranchInfo> entries, const VerifyConfig& config,
+    const ObservedMinDistances* observed) const {
+    std::vector<std::uint32_t> pcs;
+    pcs.reserve(entries.size());
+    for (const BranchInfo& e : entries) pcs.push_back(e.pc);
+    VerifyReport report = verify(pcs, config, observed);
+
+    // BTA/BTI/BFI consistency: every supplied entry must match what
+    // extractBranchInfo derives from the program image — a mismatch means
+    // the fold would inject the wrong instruction or redirect to the wrong
+    // address.
+    for (const BranchInfo& e : entries) {
+        std::ostringstream os;
+        os << "BIT entry 0x" << std::hex << e.pc << std::dec << ": ";
+        if (!isExtractableBranch(program_, e.pc)) {
+            os << "not an extractable conditional branch";
+            report.inconsistencies.push_back(os.str());
+            continue;
+        }
+        const BranchInfo want = extractBranchInfo(program_, e.pc);
+        if (e.conditionReg != want.conditionReg || e.cond != want.cond) {
+            os << "direction index mismatch (have " << regName(e.conditionReg)
+               << "/" << condName(e.cond) << ", program says "
+               << regName(want.conditionReg) << "/" << condName(want.cond)
+               << ")";
+            report.inconsistencies.push_back(os.str());
+        } else if (e.bta != want.bta) {
+            os << "BTA mismatch (have 0x" << std::hex << e.bta
+               << ", program says 0x" << want.bta << ")";
+            report.inconsistencies.push_back(os.str());
+        } else if (!(e.bti == want.bti)) {
+            os << "BTI mismatch (have '" << disassemble(e.bti)
+               << "', program says '" << disassemble(want.bti) << "')";
+            report.inconsistencies.push_back(os.str());
+        } else if (!(e.bfi == want.bfi)) {
+            os << "BFI mismatch (have '" << disassemble(e.bfi)
+               << "', program says '" << disassemble(want.bfi) << "')";
+            report.inconsistencies.push_back(os.str());
+        }
+    }
+    return report;
+}
+
+}  // namespace asbr::analysis

@@ -1,0 +1,125 @@
+// Static fold-legality verification (compile-time side of ASBR).
+//
+// The ASBR methodology is only sound when a folded branch's
+// predicate-defining instruction runs at least `threshold` instructions
+// ahead of the branch; the repo historically established this dynamically
+// (profiler foldable fractions), which says nothing about unprofiled paths.
+// The verifier decides it statically from the CFG + reaching-producer
+// analysis and issues one of three verdicts per branch:
+//
+//   kProvablySafe        — every static path gives distance >= threshold:
+//                          the fold is legal on all inputs.
+//   kSafeOnProfiledPaths — some static path is shorter than the threshold,
+//                          but the supplied profile never observed a
+//                          distance below it: the fold was legal on every
+//                          profiled execution, yet an unprofiled path could
+//                          still reach the branch with the producer in
+//                          flight (validity counter nonzero).
+//   kIllegal             — a short path exists and the profile either also
+//                          observed one or was not supplied; folding relies
+//                          entirely on the runtime validity counter.
+//
+// The report additionally covers BIT-geometry conflicts (duplicate PCs and
+// index-set collisions for a set-associative geometry) and BTA/BTI/BFI
+// consistency of externally supplied BranchInfo entries against
+// re-extraction from the program image.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/reaching.hpp"
+#include "asbr/bit.hpp"
+
+namespace asbr::analysis {
+
+enum class FoldLegality : std::uint8_t {
+    kProvablySafe,
+    kSafeOnProfiledPaths,
+    kIllegal,
+};
+
+[[nodiscard]] const char* foldLegalityName(FoldLegality v);
+
+/// BIT geometry for conflict detection.  The shipped hardware model is
+/// fully associative (sets == 1); a set-associative variant indexes with
+/// the branch's word address modulo the set count.
+struct BitGeometry {
+    std::size_t sets = 1;
+    std::size_t ways = 16;
+
+    [[nodiscard]] std::size_t indexOf(std::uint32_t pc) const {
+        return (pc / kInstrBytes) % sets;
+    }
+    [[nodiscard]] std::size_t capacity() const { return sets * ways; }
+};
+
+struct VerifyConfig {
+    std::uint32_t threshold = 3;  ///< 2 / 3 / 4, per the BDT update stage
+    BitGeometry geometry{};
+};
+
+/// Per-execution-site evidence from a dynamic profile: the smallest
+/// observed def-to-branch distance, keyed by branch PC.  Sites that never
+/// executed must be absent (absence means "no dynamic evidence").
+using ObservedMinDistances = std::map<std::uint32_t, std::uint64_t>;
+
+struct BranchVerdict {
+    std::uint32_t pc = 0;
+    FoldLegality verdict = FoldLegality::kIllegal;
+    /// Minimum static path distance (kFarAway = no producer on any path).
+    Dist staticMinDistance = 0;
+    bool extractable = true;  ///< target and fall-through inside text
+    bool reachable = true;    ///< reachable from the program entry
+    int sourceLine = -1;      ///< Program::sourceLine diagnostics
+    std::string reason;       ///< human-readable cause for non-safe verdicts
+};
+
+struct VerifyReport {
+    std::vector<BranchVerdict> branches;
+    std::vector<std::string> conflicts;        ///< BIT geometry violations
+    std::vector<std::string> inconsistencies;  ///< BranchInfo mismatches
+
+    [[nodiscard]] std::size_t count(FoldLegality v) const;
+    /// No illegal folds, no conflicts, no inconsistencies.
+    [[nodiscard]] bool ok() const;
+};
+
+/// The verifier: builds the CFG and the reaching-producer fixpoint once,
+/// then answers per-branch and per-bank queries against them.
+class FoldLegalityVerifier {
+public:
+    explicit FoldLegalityVerifier(const Program& program);
+
+    /// Verdict for the conditional branch at `pc`.  `observed` supplies
+    /// dynamic evidence for the SafeOnProfiledPaths verdict; pass nullptr
+    /// for a purely static run.
+    [[nodiscard]] BranchVerdict verdictFor(
+        std::uint32_t pc, const VerifyConfig& config,
+        const ObservedMinDistances* observed = nullptr) const;
+
+    /// Verify a candidate PC set plus its BIT geometry.
+    [[nodiscard]] VerifyReport verify(
+        std::span<const std::uint32_t> pcs, const VerifyConfig& config,
+        const ObservedMinDistances* observed = nullptr) const;
+
+    /// Verify an assembled BIT bank: per-branch verdicts, geometry
+    /// conflicts, and BTA/BTI/BFI consistency against re-extraction.
+    [[nodiscard]] VerifyReport verifyBank(
+        std::span<const BranchInfo> entries, const VerifyConfig& config,
+        const ObservedMinDistances* observed = nullptr) const;
+
+    [[nodiscard]] const Cfg& cfg() const { return cfg_; }
+    [[nodiscard]] const ReachingProducers& dataflow() const { return rp_; }
+
+private:
+    const Program& program_;
+    Cfg cfg_;
+    ReachingProducers rp_;
+};
+
+}  // namespace asbr::analysis

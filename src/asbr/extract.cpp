@@ -1,5 +1,7 @@
 #include "asbr/extract.hpp"
 
+#include <unordered_set>
+
 namespace asbr {
 
 bool isExtractableBranch(const Program& program, std::uint32_t pc) {
@@ -29,7 +31,15 @@ std::vector<BranchInfo> extractBranchInfos(const Program& program,
                                            std::span<const std::uint32_t> pcs) {
     std::vector<BranchInfo> out;
     out.reserve(pcs.size());
-    for (std::uint32_t pc : pcs) out.push_back(extractBranchInfo(program, pc));
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(pcs.size());
+    for (std::uint32_t pc : pcs) {
+        // A repeated PC would load duplicate BIT entries that silently
+        // shadow each other in the associative lookup.
+        ASBR_ENSURE(seen.insert(pc).second,
+                    "extractBranchInfos: duplicate branch pc in span");
+        out.push_back(extractBranchInfo(program, pc));
+    }
     return out;
 }
 

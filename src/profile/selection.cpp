@@ -16,6 +16,16 @@ std::vector<Candidate> selectFoldableBranches(
     const auto minExecs = static_cast<std::uint64_t>(
         config.minExecFraction * static_cast<double>(profile.instructions));
 
+    std::optional<analysis::FoldLegalityVerifier> verifier;
+    analysis::VerifyConfig verifyConfig;
+    analysis::ObservedMinDistances observed;
+    if (config.requireStaticallySafe) {
+        verifier.emplace(program);
+        verifyConfig.threshold = config.threshold;
+        for (const auto& [pc, bp] : profile.branches)
+            if (bp.execs > 0) observed.emplace(pc, bp.minDistance);
+    }
+
     for (const auto& [pc, bp] : profile.branches) {
         if (bp.execs < std::max<std::uint64_t>(minExecs, 1)) continue;
         if (!isExtractableBranch(program, pc)) continue;
@@ -35,12 +45,18 @@ std::vector<Candidate> selectFoldableBranches(
         // predictability (the folded branch never issues).
         c.score = static_cast<double>(c.execs) * foldable *
                   ((1.0 - c.accuracy) + 0.05);
+        if (verifier) {
+            const auto v = verifier->verdictFor(pc, verifyConfig, &observed);
+            if (v.verdict == analysis::FoldLegality::kIllegal) continue;
+            c.verdict = v.verdict;
+        }
         candidates.push_back(c);
     }
 
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
                   if (a.score != b.score) return a.score > b.score;
+                  if (a.verdict != b.verdict) return a.verdict < b.verdict;
                   return a.pc < b.pc;
               });
     if (candidates.size() > config.bitCapacity)

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "asm/program.hpp"
 #include "profile/profiler.hpp"
 
@@ -22,6 +24,12 @@ struct SelectionConfig {
     std::uint32_t threshold = 3;    ///< 2 / 3 / 4, per the BDT update stage
     double minExecFraction = 1e-4;  ///< ignore branches rarer than this
     double minFoldableFraction = 0.5;  ///< require mostly-foldable branches
+    /// Run the static fold-legality verifier over the candidates: branches
+    /// with an Illegal verdict are dropped (they can never enter the BIT),
+    /// and ProvablySafe branches win score ties over SafeOnProfiledPaths
+    /// ones.  The profile supplies the dynamic evidence, so profiled-clean
+    /// branches survive even when an unprofiled short path exists.
+    bool requireStaticallySafe = false;
 };
 
 /// A scored candidate branch.
@@ -32,6 +40,8 @@ struct Candidate {
     double accuracy = 1.0;          ///< reference predictor accuracy (1 = easy)
     double foldableFraction = 0.0;  ///< at the configured threshold
     double score = 0.0;             ///< expected mispredictions removed
+    /// Static verdict; populated when requireStaticallySafe is set.
+    std::optional<analysis::FoldLegality> verdict;
 };
 
 /// Score and rank foldable branches.  `accuracyByPc` supplies the reference

@@ -135,6 +135,20 @@ TEST(ExtractTest, NonBranchAndOutOfTextRejected) {
     EXPECT_THROW((void)extractBranchInfo(p, kTextBase), EnsureError);
 }
 
+TEST(ExtractTest, DuplicatePcInSpanRejected) {
+    const Program p = assemble(R"(
+main:   addiu s0, s0, -1
+        bnez  s0, main
+        nop
+    )");
+    const std::uint32_t branchPc = kTextBase + 4;
+    const std::vector<std::uint32_t> dup{branchPc, branchPc};
+    EXPECT_THROW((void)extractBranchInfos(p, dup), EnsureError);
+    // A duplicate-free span still extracts.
+    const std::vector<std::uint32_t> ok{branchPc};
+    EXPECT_EQ(extractBranchInfos(p, ok).size(), 1u);
+}
+
 TEST(ExtractTest, AllConditionalBranchesEnumerates) {
     const Program p = assemble(R"(
 main:   beqz t0, l

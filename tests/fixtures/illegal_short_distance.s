@@ -1,0 +1,11 @@
+# Deliberately-illegal fold fixture: the predicate-defining addiu sits
+# immediately before the branch on every path and every execution, so the
+# distance is 1 < threshold — asbr-verify must flag the branch Illegal and
+# exit nonzero.
+        .text
+main:   li   t0, 3
+loop:   addiu t0, t0, -1
+        bgtz t0, loop
+        li   v0, 1
+        li   a0, 0
+        sys

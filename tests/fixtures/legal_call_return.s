@@ -1,0 +1,17 @@
+# Fold-legal fixture with calls: the branch condition is produced in the
+# callee well before the return, so the interprocedural path (producer ->
+# epilogue -> jr -> return point -> branch) stays >= threshold and the
+# verifier must prove it safe without dynamic evidence.
+        .text
+main:   li   s0, 6
+loop:   jal  step
+        nop
+        bgtz v0, loop
+        li   v0, 1
+        li   a0, 0
+        sys
+step:   addiu s0, s0, -1
+        move v0, s0
+        nop
+        nop
+        jr   ra

@@ -1,0 +1,14 @@
+# Fold-legal fixture: every conditional branch's producer is at least
+# threshold (3) instructions ahead on every static path, so asbr-verify
+# must report ProvablySafe across the board and exit 0.
+        .text
+main:   li   t0, 10
+        li   t1, 0
+loop:   addiu t1, t1, 1
+        subu  t2, t1, t0
+        nop
+        nop
+        bltz t2, loop
+        li   v0, 1
+        li   a0, 0
+        sys

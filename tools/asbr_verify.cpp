@@ -1,0 +1,205 @@
+// asbr-verify — static fold-legality linter for assembled/compiled programs.
+//
+// Builds the CFG + reaching-producer dataflow over the linked program,
+// verifies the fold legality of either the profiler-driven selection
+// (default) or every conditional branch (--all), checks the BIT geometry
+// for conflicts and the extracted bank for BTA/BTI/BFI consistency, and
+// exits nonzero when any verified branch is Illegal (or any conflict /
+// inconsistency is found) — suitable as a CI gate.
+//
+//   asbr-verify prog.c                      # verify the default selection
+//   asbr-verify prog.s --all                # lint every conditional branch
+//   asbr-verify prog.c --threshold=2 --require-safe
+//   asbr-verify prog.s --all --no-profile   # purely static verdicts
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/verify.hpp"
+#include "asbr/extract.hpp"
+#include "asm/assembler.hpp"
+#include "cc/compile.hpp"
+#include "cc/schedule.hpp"
+#include "mem/memory.hpp"
+#include "profile/profiler.hpp"
+#include "profile/selection.hpp"
+
+namespace {
+
+using namespace asbr;
+
+[[noreturn]] void usage() {
+    std::puts(
+        "usage: asbr-verify <file.c|file.s> [options]\n"
+        "  --threshold=2|3|4   fold-distance threshold (default 3)\n"
+        "  --bit=N             BIT ways per set (default 16)\n"
+        "  --sets=N            BIT sets (default 1 = fully associative)\n"
+        "  --all               verify every conditional branch, not just the\n"
+        "                      profiler-driven selection\n"
+        "  --no-profile        skip the dynamic profile (purely static run;\n"
+        "                      implies --all)\n"
+        "  --require-safe      selection drops Illegal candidates\n"
+        "  --no-schedule       disable the condition-scheduling pass\n"
+        "  --quiet             summary only, no per-branch table");
+    std::exit(2);
+}
+
+std::size_t parseCount(const std::string& arg, const std::string& value) {
+    try {
+        std::size_t end = 0;
+        const unsigned long n = std::stoul(value, &end);
+        if (end == value.size() && !value.empty()) return n;
+    } catch (const std::exception&) {
+    }
+    std::fprintf(stderr, "asbr-verify: '%s' needs a numeric value\n",
+                 arg.c_str());
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string path = argv[1];
+
+    std::uint32_t threshold = 3;
+    std::size_t ways = 16;
+    std::size_t sets = 1;
+    bool all = false;
+    bool useProfile = true;
+    bool requireSafe = false;
+    bool schedule = true;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--threshold=", 0) == 0)
+            threshold =
+                static_cast<std::uint32_t>(parseCount(arg, arg.substr(12)));
+        else if (arg.rfind("--bit=", 0) == 0)
+            ways = parseCount(arg, arg.substr(6));
+        else if (arg.rfind("--sets=", 0) == 0)
+            sets = parseCount(arg, arg.substr(7));
+        else if (arg == "--all") all = true;
+        else if (arg == "--no-profile") { useProfile = false; all = true; }
+        else if (arg == "--require-safe") requireSafe = true;
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--quiet") quiet = true;
+        else {
+            std::fprintf(stderr, "asbr-verify: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Program program;
+    try {
+        const bool isAsm = path.ends_with(".s") || path.ends_with(".asm");
+        if (isAsm) {
+            program = assemble(buffer.str());
+            if (schedule) cc::scheduleConditionChains(program);
+        } else {
+            cc::CompileOptions options;
+            options.scheduleConditions = schedule;
+            program = cc::compile(buffer.str(), options).program;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    analysis::VerifyConfig config;
+    config.threshold = threshold;
+    config.geometry = {sets, ways};
+
+    try {
+        const analysis::FoldLegalityVerifier verifier(program);
+
+        ProgramProfile profile;
+        analysis::ObservedMinDistances observed;
+        if (useProfile) {
+            Memory memory;
+            memory.loadProgram(program);
+            profile = profileProgram(program, memory);
+            for (const auto& [pc, bp] : profile.branches)
+                if (bp.execs > 0) observed.emplace(pc, bp.minDistance);
+        }
+
+        analysis::VerifyReport report;
+        if (all) {
+            const auto pcs = allConditionalBranches(program);
+            // Non-extractable branches never make it into allConditional-
+            // Branches; fold them back in so --all lints those too.
+            std::vector<std::uint32_t> lintSet = pcs;
+            for (std::size_t i = 0; i < program.code.size(); ++i) {
+                const std::uint32_t pc =
+                    program.textBase +
+                    static_cast<std::uint32_t>(i) * kInstrBytes;
+                if (isCondBranch(program.code[i].op) &&
+                    !isExtractableBranch(program, pc))
+                    lintSet.push_back(pc);
+            }
+            // --all lints the whole program, not one BIT bank: disable the
+            // capacity/conflict geometry checks unless explicitly set.
+            analysis::VerifyConfig allConfig = config;
+            if (sets == 1) allConfig.geometry.ways = lintSet.size() + 1;
+            report = verifier.verify(lintSet, allConfig,
+                                     useProfile ? &observed : nullptr);
+        } else {
+            SelectionConfig selCfg;
+            selCfg.bitCapacity = sets * ways;
+            selCfg.threshold = threshold;
+            selCfg.minExecFraction = 0.0;
+            selCfg.requireStaticallySafe = requireSafe;
+            const auto candidates =
+                selectFoldableBranches(program, profile, {}, selCfg);
+            const auto bank =
+                extractBranchInfos(program, candidatePcs(candidates));
+            report = verifier.verifyBank(bank, config,
+                                         useProfile ? &observed : nullptr);
+        }
+
+        if (!quiet) {
+            std::printf("%-10s %-6s %-8s %-21s %s\n", "pc", "line", "static",
+                        "verdict", "why");
+            for (const auto& b : report.branches) {
+                char dist[16];
+                if (b.staticMinDistance >= analysis::kFarAway)
+                    std::snprintf(dist, sizeof dist, "far");
+                else
+                    std::snprintf(dist, sizeof dist, "%u",
+                                  unsigned{b.staticMinDistance});
+                std::printf("0x%08x %-6d %-8s %-21s %s\n", b.pc, b.sourceLine,
+                            dist, analysis::foldLegalityName(b.verdict),
+                            b.reason.c_str());
+            }
+            for (const auto& c : report.conflicts)
+                std::printf("conflict: %s\n", c.c_str());
+            for (const auto& m : report.inconsistencies)
+                std::printf("inconsistent: %s\n", m.c_str());
+        }
+
+        std::printf(
+            "asbr-verify: %zu branches, %zu provably safe, %zu safe on "
+            "profiled paths, %zu illegal, %zu conflicts, %zu inconsistencies "
+            "(threshold %u)\n",
+            report.branches.size(),
+            report.count(analysis::FoldLegality::kProvablySafe),
+            report.count(analysis::FoldLegality::kSafeOnProfiledPaths),
+            report.count(analysis::FoldLegality::kIllegal),
+            report.conflicts.size(), report.inconsistencies.size(), threshold);
+        return report.ok() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-verify: %s\n", e.what());
+        return 1;
+    }
+}
