@@ -14,6 +14,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("ablation_bit_size", options);
 
     const Prepared prepared = prepare(BenchId::kG721Encode, options);
     auto baseline = makeBimodal2048();
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
             prepareAsbr(prepared, entries, ValueStage::kMemEnd, accuracy);
         auto aux = makeAux512();
         const PipelineResult r = runPipeline(prepared, *aux, setup.unit.get());
+        sink.add("ablation_bit_size", prepared, r, *aux, &setup);
         table.addRow({std::to_string(entries),
                       std::to_string(setup.candidates.size()),
                       formatWithCommas(setup.unit->stats().folds),
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
                       formatWithCommas(setup.unit->storageBits())});
     }
     printTable(options, table);
+    sink.write();
     std::puts("Expected shape: improvement grows with capacity and saturates —");
     std::puts("a 16-entry BIT captures nearly all of the benefit (the paper's size).");
     return 0;

@@ -15,6 +15,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("ablation_scheduling", options);
 
     TextTable table(
         "Ablation: condition-scheduling pass vs foldability and ASBR cycles");
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
             auto aux = makeAux512();
             const PipelineResult r =
                 runPipeline(prepared, *aux, setup.unit.get());
+            sink.add("ablation_scheduling", prepared, r, *aux, &setup);
             table.addRow(
                 {benchName(id), schedule ? "on" : "off",
                  formatWithCommas(foldable),
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
         }
     }
     printTable(options, table);
+    sink.write();
     std::puts("Expected shape: scheduling on => more foldable executions, more");
     std::puts("folds, fewer cycles (the compiler support of paper Section 5.1).");
     return 0;

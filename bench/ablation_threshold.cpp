@@ -17,6 +17,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("ablation_threshold", options);
 
     TextTable table(
         "Ablation: BDT update stage (threshold) vs foldability and cycles");
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
             auto aux = makeAux512();
             const PipelineResult r =
                 runPipeline(prepared, *aux, setup.unit.get());
+            sink.add("ablation_threshold", prepared, r, *aux, &setup);
             table.addRow(
                 {benchName(id), stage.name,
                  std::to_string(thresholdFor(stage.stage)),
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
         }
     }
     printTable(options, table);
+    sink.write();
     std::puts("Expected shape: folds(commit) <= folds(post-EX) <= folds(EX-end)");
     std::puts("and cycles shrinking accordingly (the paper's threshold 4 -> 3 -> 2).");
     return 0;

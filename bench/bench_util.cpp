@@ -32,9 +32,12 @@ Options parseOptions(int argc, char** argv) {
             options.g721Samples = *v;
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            options.jsonPath = arg.substr(7);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "options: --quick --seed=N --adpcm=N --g721=N --csv\n");
+                "options: --quick --seed=N --adpcm=N --g721=N --csv "
+                "--json=FILE\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s' (try --help)\n",
@@ -55,6 +58,7 @@ std::size_t samplesFor(const Options& options, BenchId id) {
 Prepared prepare(BenchId id, const Options& options, bool scheduleConditions) {
     Prepared prepared;
     prepared.id = id;
+    prepared.scheduled = scheduleConditions;
     prepared.program = buildBench(id, scheduleConditions);
     prepared.pcm = generateSpeech(samplesFor(options, id), options.seed);
     if (!benchIsEncoder(id)) {
@@ -158,6 +162,96 @@ void printTable(const Options& options, const TextTable& table) {
     std::fputs(table.render().c_str(), stdout);
     if (options.csv) std::fputs(table.toCsv().c_str(), stdout);
     std::fputs("\n", stdout);
+}
+
+ReportSink::ReportSink(std::string generator, const Options& options)
+    : generator_(std::move(generator)), options_(options) {}
+
+void ReportSink::add(const std::string& figure, const Prepared& prepared,
+                     const PipelineResult& result,
+                     const BranchPredictor& predictor, const AsbrSetup* setup) {
+    if (options_.jsonPath.empty()) return;  // nothing will consume the report
+    RunMeta meta;
+    meta.benchmark = benchName(prepared.id);
+    meta.predictor = predictor.name();
+    meta.figure = figure;
+    meta.seed = options_.seed;
+    meta.samples = samplesFor(options_, prepared.id);
+    meta.scheduled = prepared.scheduled;
+    const AsbrUnit* unit = setup != nullptr ? setup->unit.get() : nullptr;
+    if (unit != nullptr) {
+        meta.asbr = true;
+        meta.bitEntries = unit->config().bitCapacity;
+        meta.updateStage = valueStageName(unit->config().updateStage);
+    }
+    runs_.push_back(
+        makeSimReport(std::move(meta), result.stats, &predictor, unit));
+}
+
+std::string ReportSink::write() const {
+    if (options_.jsonPath.empty()) return {};
+    JsonObject optionsJson;
+    optionsJson.emplace_back(
+        "adpcm_samples", static_cast<std::uint64_t>(options_.adpcmSamples));
+    optionsJson.emplace_back("g721_samples",
+                             static_cast<std::uint64_t>(options_.g721Samples));
+    optionsJson.emplace_back("seed", options_.seed);
+    const JsonValue doc =
+        benchReportJson(generator_, JsonValue(std::move(optionsJson)), runs_);
+    std::string text = doc.dump(2);
+    text += '\n';
+    if (options_.jsonPath == "-") {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::FILE* f = std::fopen(options_.jsonPath.c_str(), "w");
+        ASBR_ENSURE(f != nullptr, "cannot open --json output file");
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %zu run report(s) to %s\n", runs_.size(),
+                     options_.jsonPath.c_str());
+    }
+    return text;
+}
+
+void reportSelectedBranches(const Options& options, BenchId id,
+                            const std::string& figureLabel, ReportSink* sink) {
+    const Prepared prepared = prepare(id, options);
+
+    // Per-site accuracies under each reference predictor.
+    std::unique_ptr<BranchPredictor> predictors[] = {
+        makeNotTaken(), makeBimodal2048(), makeGshare2048()};
+    std::map<std::uint32_t, BranchSiteStats> sites[3];
+    for (int p = 0; p < 3; ++p) {
+        const PipelineResult r = runPipeline(prepared, *predictors[p]);
+        sites[p] = r.stats.branchSites;
+        if (sink != nullptr)
+            sink->add(figureLabel, prepared, r, *predictors[p]);
+    }
+
+    // Selection uses the bimodal-2048 accuracies as the hardness reference.
+    const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
+                                        ValueStage::kMemEnd,
+                                        accuracyMap({.branchSites = sites[1]}));
+
+    TextTable table("Figure " + figureLabel + ": branches selected for " +
+                    std::string(benchName(id)));
+    table.setHeader({"branch", "pc", "exec #", "taken", "acc not-taken",
+                     "acc bimodal", "acc gshare", "foldable@3"});
+    int index = 0;
+    for (const Candidate& c : setup.candidates) {
+        char pcText[16];
+        std::snprintf(pcText, sizeof pcText, "0x%05x", c.pc);
+        auto accOf = [&](int p) {
+            const auto it = sites[p].find(c.pc);
+            return it == sites[p].end() ? 0.0 : it->second.accuracy();
+        };
+        table.addRow({"br" + std::to_string(index++), pcText,
+                      formatWithCommas(c.execs), formatFixed(c.takenRate, 2),
+                      formatFixed(accOf(0), 2), formatFixed(accOf(1), 2),
+                      formatFixed(accOf(2), 2),
+                      formatFixed(c.foldableFraction, 2)});
+    }
+    printTable(options, table);
 }
 
 }  // namespace asbr::bench

@@ -17,6 +17,7 @@
 #include "bp/predictor.hpp"
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
+#include "report/report.hpp"
 #include "sim/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/workloads.hpp"
@@ -29,11 +30,13 @@ namespace asbr::bench {
 ///   --adpcm=N      ADPCM sample count
 ///   --g721=N       G.721 sample count
 ///   --csv          additionally print tables as CSV
+///   --json=FILE    write every run as an asbr.bench_report document
 struct Options {
     std::size_t adpcmSamples = 100'000;
     std::size_t g721Samples = 20'000;
     std::uint64_t seed = 2001;
     bool csv = false;
+    std::string jsonPath;  ///< empty = no JSON export; "-" = stdout
 };
 
 [[nodiscard]] Options parseOptions(int argc, char** argv);
@@ -45,6 +48,7 @@ struct Options {
 /// the native encoder, mirroring how MediaBench chains encode -> decode).
 struct Prepared {
     BenchId id;
+    bool scheduled = true;  ///< condition-scheduling pass was enabled
     Program program;
     std::vector<std::int16_t> pcm;
     std::vector<std::uint8_t> codes;
@@ -96,5 +100,38 @@ struct AsbrSetup {
 
 /// Print a rendered table (and CSV when requested).
 void printTable(const Options& options, const TextTable& table);
+
+/// Collects one SimReport per pipeline run and writes them as a single
+/// `asbr.bench_report` JSON document when the user passed --json=FILE.
+/// This is the ONLY path through which bench binaries emit machine-readable
+/// results (ci/bench-report.sh and EXPERIMENTS.md build on it).
+class ReportSink {
+public:
+    ReportSink(std::string generator, const Options& options);
+
+    /// Record one finished run.  `figure` tags the paper context ("fig6",
+    /// "fig11", ...); `setup` (optional) contributes the ASBR meta/metrics.
+    void add(const std::string& figure, const Prepared& prepared,
+             const PipelineResult& result, const BranchPredictor& predictor,
+             const AsbrSetup* setup = nullptr);
+
+    /// Write the document (no-op without --json).  Returns the serialized
+    /// text so callers/tests can reuse it.
+    std::string write() const;
+
+    [[nodiscard]] std::size_t runCount() const { return runs_.size(); }
+
+private:
+    std::string generator_;
+    Options options_;
+    std::vector<SimReport> runs_;
+};
+
+/// Shared implementation of Figures 7/9/10: run the three reference
+/// predictors, select the paper's branch count, and print the per-site
+/// exec/taken/accuracy table for the selected branches.  Runs are also
+/// recorded into `sink` when non-null.
+void reportSelectedBranches(const Options& options, BenchId id,
+                            const std::string& figureLabel, ReportSink* sink);
 
 }  // namespace asbr::bench

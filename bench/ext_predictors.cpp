@@ -14,6 +14,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("ext_predictors", options);
 
     TextTable table("Extension: predictor shoot-out (cycles; lower is better)");
     table.setHeader({"benchmark", "not taken", "always taken", "bimodal-2048",
@@ -22,9 +23,12 @@ int main(int argc, char** argv) {
 
     for (const BenchId id : kAllBenchesExtended) {
         const Prepared prepared = prepare(id, options);
-        auto run = [&prepared](BranchPredictor& p,
-                               FetchCustomizer* unit = nullptr) {
-            return runPipeline(prepared, p, unit).stats.cycles;
+        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id));
+        auto run = [&](BranchPredictor& p, const AsbrSetup* asbr = nullptr) {
+            const PipelineResult r = runPipeline(
+                prepared, p, asbr != nullptr ? asbr->unit.get() : nullptr);
+            sink.add("ext_predictors", prepared, r, p, asbr);
+            return r.stats.cycles;
         };
         auto notTaken = makeNotTaken();
         AlwaysTakenPredictor alwaysTaken(2048);
@@ -32,10 +36,8 @@ int main(int argc, char** argv) {
         auto gshare = makeGshare2048();
         auto tournament = makeTournament2048();
 
-        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id));
         auto aux = makeAux512();
-        const std::uint64_t asbrCycles =
-            run(*aux, setup.unit.get());
+        const std::uint64_t asbrCycles = run(*aux, &setup);
 
         table.addRow({benchName(id), formatWithCommas(run(*notTaken)),
                       formatWithCommas(run(alwaysTaken)),
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
                       formatWithCommas(setup.unit->stats().folds)});
     }
     printTable(options, table);
+    sink.write();
 
     std::printf("storage bits: bimodal-2048 %llu | gshare-2048 %llu | "
                 "tournament %llu | ASBR+bi-512 %llu\n",

@@ -23,6 +23,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("fig11_asbr", options);
 
     TextTable table("Figure 11: ASBR cycles and improvement per auxiliary predictor");
     table.setHeader({"benchmark", "aux predictor", "cycles", "improvement",
@@ -56,11 +57,8 @@ int main(int argc, char** argv) {
         for (AuxRow& row : rows) {
             const PipelineResult r =
                 runPipeline(prepared, *row.predictor, setup.unit.get());
-            const double foldRate =
-                r.stats.condBranches == 0
-                    ? 0.0
-                    : static_cast<double>(r.stats.foldedBranches) /
-                          static_cast<double>(r.stats.condBranches);
+            sink.add("fig11", prepared, r, *row.predictor, &setup);
+            const double foldRate = r.stats.foldRate();
             // Power proxy (paper Section 1): instructions entering the
             // pipeline, including wrong-path fetches, relative to baseline.
             const double activity =
@@ -83,6 +81,7 @@ int main(int argc, char** argv) {
         }
     }
     printTable(options, table);
+    sink.write();
 
     std::puts("Paper reference (Figure 11):");
     std::puts("  ADPCM Enc: not-taken 10.3M (+16%) | bi-512 7.28M (+22%) | bi-256 7.28M (+22%)");

@@ -18,6 +18,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    ReportSink sink("fig6_baseline", options);
 
     TextTable table("Figure 6: baseline cycles / CPI / accuracy per predictor");
     table.setHeader({"benchmark", "predictor", "cycles", "CPI", "acc",
@@ -29,16 +30,17 @@ int main(int argc, char** argv) {
             makeNotTaken(), makeBimodal2048(), makeGshare2048()};
         for (auto& predictor : predictors) {
             const PipelineResult r = runPipeline(prepared, *predictor);
+            sink.add("fig6", prepared, r, *predictor);
             table.addRow({benchName(id), predictor->name(),
                           formatWithCommas(r.stats.cycles),
                           formatFixed(r.stats.cpi(), 2),
                           formatPercent(r.stats.predictorAccuracy()),
                           formatWithCommas(r.stats.mispredicts),
-                          formatPercent(static_cast<double>(r.stats.condBranches) /
-                                        static_cast<double>(r.stats.committed))});
+                          formatPercent(r.stats.branchFraction())});
         }
     }
     printTable(options, table);
+    sink.write();
 
     std::puts("Paper reference (Figure 6, authors' inputs/testbed):");
     std::puts("  ADPCM Enc : not-taken 12.2M cyc CPI 1.85 32% | bimodal 9.4M 1.41 69% | gshare 8.5M 1.28 82%");

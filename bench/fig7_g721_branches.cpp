@@ -4,6 +4,7 @@
 // decoder), print the dynamic execution count and the per-site accuracy of
 // each general-purpose predictor — the paper's evidence that the selected
 // branches are frequent and that several of them defeat every predictor.
+// The table logic is shared with Figures 9/10 (bench_util.cpp).
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -11,51 +12,12 @@
 using namespace asbr;
 using namespace asbr::bench;
 
-namespace {
-
-void reportBench(const Options& options, BenchId id) {
-    const Prepared prepared = prepare(id, options);
-
-    // Per-site accuracies under each predictor.
-    std::unique_ptr<BranchPredictor> predictors[] = {
-        makeNotTaken(), makeBimodal2048(), makeGshare2048()};
-    std::map<std::uint32_t, BranchSiteStats> sites[3];
-    for (int p = 0; p < 3; ++p)
-        sites[p] = runPipeline(prepared, *predictors[p]).stats.branchSites;
-
-    // Selection uses the bimodal-2048 accuracies as the hardness reference.
-    const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
-                                        ValueStage::kMemEnd,
-                                        accuracyMap({.branchSites = sites[1]}));
-
-    TextTable table(std::string("Figure ") +
-                    (id == BenchId::kG721Encode ? "7 (encode)" : "7 (decode)") +
-                    ": branches selected for " + benchName(id));
-    table.setHeader({"branch", "pc", "exec #", "taken", "acc not-taken",
-                     "acc bimodal", "acc gshare", "foldable@3"});
-    int index = 0;
-    for (const Candidate& c : setup.candidates) {
-        char pcText[16];
-        std::snprintf(pcText, sizeof pcText, "0x%05x", c.pc);
-        auto accOf = [&](int p) {
-            const auto it = sites[p].find(c.pc);
-            return it == sites[p].end() ? 0.0 : it->second.accuracy();
-        };
-        table.addRow({"br" + std::to_string(index++), pcText,
-                      formatWithCommas(c.execs), formatFixed(c.takenRate, 2),
-                      formatFixed(accOf(0), 2), formatFixed(accOf(1), 2),
-                      formatFixed(accOf(2), 2),
-                      formatFixed(c.foldableFraction, 2)});
-    }
-    printTable(options, table);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
-    reportBench(options, BenchId::kG721Encode);
-    reportBench(options, BenchId::kG721Decode);
+    ReportSink sink("fig7_g721_branches", options);
+    reportSelectedBranches(options, BenchId::kG721Encode, "7 (encode)", &sink);
+    reportSelectedBranches(options, BenchId::kG721Decode, "7 (decode)", &sink);
+    sink.write();
     std::puts("Paper reference (Figure 7): 16 branches for the encoder (15 for the");
     std::puts("decoder), exec counts 23k..1.76M, several sites where even gshare is");
     std::puts("stuck near 0.5-0.6 while others are >0.95.");

@@ -1,7 +1,7 @@
 // Figures 9 and 10 — Execution statistics for the branches selected for the
 // ADPCM encode (Figure 9, 4 branches) and decode (Figure 10, 3 branches)
 // benchmarks: execution counts and per-predictor accuracy for each selected
-// site.
+// site.  The table logic is shared with Figure 7 (bench_util.cpp).
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -9,48 +9,12 @@
 using namespace asbr;
 using namespace asbr::bench;
 
-namespace {
-
-void reportBench(const Options& options, BenchId id, const char* figure) {
-    const Prepared prepared = prepare(id, options);
-
-    std::unique_ptr<BranchPredictor> predictors[] = {
-        makeNotTaken(), makeBimodal2048(), makeGshare2048()};
-    std::map<std::uint32_t, BranchSiteStats> sites[3];
-    for (int p = 0; p < 3; ++p)
-        sites[p] = runPipeline(prepared, *predictors[p]).stats.branchSites;
-
-    const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
-                                        ValueStage::kMemEnd,
-                                        accuracyMap({.branchSites = sites[1]}));
-
-    TextTable table(std::string("Figure ") + figure + ": branches selected for " +
-                    benchName(id));
-    table.setHeader({"branch", "pc", "exec #", "taken", "acc not-taken",
-                     "acc bimodal", "acc gshare", "foldable@3"});
-    int index = 0;
-    for (const Candidate& c : setup.candidates) {
-        char pcText[16];
-        std::snprintf(pcText, sizeof pcText, "0x%05x", c.pc);
-        auto accOf = [&](int p) {
-            const auto it = sites[p].find(c.pc);
-            return it == sites[p].end() ? 0.0 : it->second.accuracy();
-        };
-        table.addRow({"br" + std::to_string(index++), pcText,
-                      formatWithCommas(c.execs), formatFixed(c.takenRate, 2),
-                      formatFixed(accOf(0), 2), formatFixed(accOf(1), 2),
-                      formatFixed(accOf(2), 2),
-                      formatFixed(c.foldableFraction, 2)});
-    }
-    printTable(options, table);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
-    reportBench(options, BenchId::kAdpcmEncode, "9");
-    reportBench(options, BenchId::kAdpcmDecode, "10");
+    ReportSink sink("fig9_10_adpcm_branches", options);
+    reportSelectedBranches(options, BenchId::kAdpcmEncode, "9", &sink);
+    reportSelectedBranches(options, BenchId::kAdpcmDecode, "10", &sink);
+    sink.write();
     std::puts("Paper reference: 4 encoder branches / 3 decoder branches, each");
     std::puts("executed once per sample (147,520 in the paper), with predictor");
     std::puts("accuracies in the 0.3-0.9 band — hard-to-predict data-dependent");

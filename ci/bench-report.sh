@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: regenerate the machine-readable benchmark report and verify it
+# against the asbr.bench_report schema.
+#
+# Produces BENCH_asbr.json (override with $OUT) covering the Figure 6
+# baseline sweep and the Figure 11 ASBR sweep — the two result sets every
+# EXPERIMENTS.md table derives from.  `asbr-stats report` already
+# self-validates before writing; the explicit `validate` step re-checks the
+# bytes that actually landed on disk.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_asbr.json}
+STATS="$BUILD_DIR/tools/asbr-stats"
+
+if [[ ! -x "$STATS" ]]; then
+    echo "ci/bench-report.sh: $STATS not built; run cmake --build first" >&2
+    exit 1
+fi
+
+# --quick keeps this CI-speed; pass BENCH_ARGS="" for full paper-size inputs.
+"$STATS" report --out="$OUT" ${BENCH_ARGS---quick}
+"$STATS" validate "$OUT"
+echo "ci/bench-report.sh: $OUT is schema-valid"

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CI gate: keep the documentation honest.
+#
+# 1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
+#    ROADMAP.md and docs/*.md must point at a file that exists.
+# 2. docs/metrics.md must stay in sync with the metric registry: every name
+#    `asbr-stats counters` prints must appear (backticked) in the doc, and
+#    every backticked dotted metric name in the doc must exist in the
+#    registry.  Skips gracefully when asbr-stats has not been built (the
+#    lint runner may not have a build tree).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+STATS="$BUILD_DIR/tools/asbr-stats"
+status=0
+
+# ------------------------------------------------------------ link check ----
+docs=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+for doc in "${docs[@]}"; do
+    [[ -f "$doc" ]] || continue
+    dir=$(dirname "$doc")
+    # Extract markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}               # drop fragment
+        [[ -n "$path" ]] || continue
+        if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+            echo "FAIL: $doc links to missing file '$target'" >&2
+            status=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+    echo "ok: links in $doc"
+done
+
+# -------------------------------------------------------- metrics <-> doc ----
+if [[ ! -x "$STATS" ]]; then
+    echo "ci/docs-check.sh: $STATS not built; skipping metric-name check" >&2
+    exit $status
+fi
+if [[ ! -f docs/metrics.md ]]; then
+    echo "FAIL: docs/metrics.md is missing" >&2
+    exit 1
+fi
+
+registry=$("$STATS" counters | awk '{print $1}' | sort)
+
+# Registry -> doc: every registered metric must be documented.
+while IFS= read -r name; do
+    if ! grep -q "\`$name\`" docs/metrics.md; then
+        echo "FAIL: metric '$name' is registered but not documented in docs/metrics.md" >&2
+        status=1
+    fi
+done <<< "$registry"
+
+# Doc -> registry: every backticked dotted metric name must exist (schema
+# identifiers asbr.sim_report / asbr.bench_report are names of documents,
+# not metrics).
+documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\)\.[a-z0-9_.]*`' docs/*.md \
+    | sed 's/.*`\(.*\)`/\1/' \
+    | grep -v -e '^asbr\.sim_report$' -e '^asbr\.bench_report$' \
+    | sort -u)
+while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    if ! grep -qx "$name" <<< "$registry"; then
+        echo "FAIL: docs mention metric '$name' which is not in the registry" >&2
+        status=1
+    fi
+done <<< "$documented"
+
+if [[ $status -eq 0 ]]; then
+    echo "ok: docs/metrics.md matches the metric registry ($(wc -l <<< "$registry") names)"
+fi
+exit $status

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI lint: clang-tidy over src/ using the checks in .clang-tidy.
-# Skips gracefully (exit 0) when clang-tidy is not installed, so the gate
-# only bites on runners that ship the tool.
+# CI lint: documentation consistency + clang-tidy over src/ using the checks
+# in .clang-tidy.  The clang-tidy half skips gracefully (exit 0) when the
+# tool is not installed, so that gate only bites on runners that ship it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-lint}
+
+# Docs are checked first — the checker needs no compiler.
+ci/docs-check.sh
 
 if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "ci/lint.sh: clang-tidy not found; skipping lint" >&2

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace asbr {
+
+void AsbrStats::publish(MetricRegistry& registry) const {
+    registry
+        .counter("asbr.bit_lookups", "fetches that hit a BIT-resident branch")
+        .add(lookups);
+    registry.counter("asbr.folds", "branches folded out of the fetch stream")
+        .add(folds);
+    registry.counter("asbr.folds_taken", "folds resolved in the taken direction")
+        .add(foldsTaken);
+    registry
+        .counter("asbr.blocked_invalid",
+                 "BIT hits blocked by a nonzero validity counter (producer "
+                 "in flight); fell back to the predictor")
+        .add(blockedInvalid);
+    registry
+        .counter("asbr.bank_switches",
+                 "BIT bank switches via the memory-mapped control register")
+        .add(bankSwitches);
+}
+
+void AsbrUnit::publishMetrics(MetricRegistry& registry) const {
+    stats_.publish(registry);
+    registry
+        .counter("asbr.storage_bits", "ASBR hardware cost proxy (BIT + BDT)")
+        .add(storageBits());
+    registry.counter("asbr.bit_capacity", "configured BIT entries per bank")
+        .add(config_.bitCapacity);
+}
 
 AsbrUnit::AsbrUnit(const AsbrConfig& config)
     : config_(config), bit_(config.bitCapacity, config.bitBanks) {}

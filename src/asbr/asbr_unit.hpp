@@ -23,6 +23,8 @@
 
 namespace asbr {
 
+class MetricRegistry;
+
 /// Memory-mapped control register: a store to this address selects the
 /// active BIT bank (paper Section 7, "writing a special value to a control
 /// register just before entering the loop").
@@ -46,6 +48,9 @@ struct AsbrStats {
     std::uint64_t foldsTaken = 0;
     std::uint64_t blockedInvalid = 0; ///< producer in flight — fell back to predictor
     std::uint64_t bankSwitches = 0;
+
+    /// Register these totals under `asbr.*` in the metric registry.
+    void publish(MetricRegistry& registry) const;
 };
 
 class AsbrUnit final : public FetchCustomizer {
@@ -74,6 +79,9 @@ public:
     [[nodiscard]] std::uint64_t storageBits() const {
         return bit_.storageBits() + BranchDirectionTable::storageBits();
     }
+
+    /// Register fold statistics plus hardware-cost metrics (`asbr.*`).
+    void publishMetrics(MetricRegistry& registry) const;
 
 private:
     AsbrConfig config_;

@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace asbr {
+
+void BranchPredictor::publishMetrics(MetricRegistry& registry) const {
+    registry
+        .counter("bp.storage_bits",
+                 "auxiliary/general-purpose predictor storage cost in bits")
+        .add(storageBits());
+}
 
 namespace {
 

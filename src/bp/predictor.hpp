@@ -17,6 +17,8 @@
 
 namespace asbr {
 
+class MetricRegistry;
+
 /// Fetch-stage prediction for a conditional branch.
 struct Prediction {
     bool taken = false;
@@ -68,6 +70,11 @@ public:
 
     /// Storage cost in bits — the paper's area-proxy for predictor cost.
     [[nodiscard]] virtual std::uint64_t storageBits() const = 0;
+
+    /// Register the predictor's cost metrics (`bp.storage_bits`) into the
+    /// registry.  Dynamic outcome counters live in PipelineStats — the
+    /// pipeline owns resolve-time truth, the predictor only its geometry.
+    void publishMetrics(MetricRegistry& registry) const;
 };
 
 /// Always predicts not-taken ("the default in many embedded processors that

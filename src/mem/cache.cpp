@@ -1,6 +1,19 @@
 #include "mem/cache.hpp"
 
+#include <string>
+
+#include "util/metrics.hpp"
+
 namespace asbr {
+
+void CacheStats::publish(MetricRegistry& registry,
+                         std::string_view prefix) const {
+    const std::string base(prefix);
+    registry.counter(base + ".accesses", "cache accesses (timing probes)")
+        .add(accesses);
+    registry.counter(base + ".misses", "cache misses (each costs missPenalty)")
+        .add(misses);
+}
 
 namespace {
 bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }

@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "util/ensure.hpp"
 
 namespace asbr {
+
+class MetricRegistry;
 
 /// Geometry and timing of one cache.
 struct CacheConfig {
@@ -33,6 +36,10 @@ struct CacheStats {
         return accesses == 0 ? 0.0
                              : static_cast<double>(misses) / static_cast<double>(accesses);
     }
+
+    /// Register these totals under `<prefix>.accesses` / `<prefix>.misses`
+    /// (e.g. "mem.icache") in the metric registry.
+    void publish(MetricRegistry& registry, std::string_view prefix) const;
 };
 
 class Cache {

@@ -1,0 +1,306 @@
+#include "report/report.hpp"
+
+#include <cstdio>
+
+#include "asbr/asbr_unit.hpp"
+#include "bp/predictor.hpp"
+
+namespace asbr {
+
+const char* valueStageName(ValueStage stage) {
+    switch (stage) {
+        case ValueStage::kExEnd: return "ex_end";
+        case ValueStage::kMemEnd: return "mem_end";
+        case ValueStage::kCommit: return "commit";
+    }
+    return "?";
+}
+
+SimReport makeSimReport(RunMeta meta, const PipelineStats& stats,
+                        const BranchPredictor* predictor,
+                        const AsbrUnit* unit) {
+    SimReport report;
+    report.meta = std::move(meta);
+    stats.publish(report.registry);
+    if (predictor != nullptr) predictor->publishMetrics(report.registry);
+    if (unit != nullptr) unit->publishMetrics(report.registry);
+    report.cpi = stats.cpi();
+    report.predictorAccuracy = stats.predictorAccuracy();
+    report.resolutionAccuracy = stats.resolutionAccuracy();
+    report.foldRate = stats.foldRate();
+    report.branchFraction = stats.branchFraction();
+    report.icacheMissRate = stats.icache.missRate();
+    report.dcacheMissRate = stats.dcache.missRate();
+    return report;
+}
+
+namespace {
+
+std::string pcKey(std::uint32_t pc) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08x", pc);
+    return buf;
+}
+
+JsonValue metaJson(const RunMeta& meta) {
+    JsonObject out;
+    out.emplace_back("benchmark", meta.benchmark);
+    out.emplace_back("predictor", meta.predictor);
+    if (!meta.figure.empty()) out.emplace_back("figure", meta.figure);
+    out.emplace_back("seed", meta.seed);
+    out.emplace_back("samples", meta.samples);
+    out.emplace_back("scheduled", meta.scheduled);
+    out.emplace_back("asbr", meta.asbr);
+    if (meta.asbr) {
+        out.emplace_back("bit_entries", meta.bitEntries);
+        out.emplace_back("update_stage", meta.updateStage);
+    }
+    return JsonValue(std::move(out));
+}
+
+}  // namespace
+
+JsonValue simReportJson(const SimReport& report) {
+    JsonObject doc;
+    doc.emplace_back("schema", kSimReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+    doc.emplace_back("meta", metaJson(report.meta));
+
+    JsonObject counters;
+    for (const auto& [name, counter] : report.registry.counters())
+        counters.emplace_back(name, counter.value());
+    doc.emplace_back("counters", JsonValue(std::move(counters)));
+
+    JsonObject derived;
+    derived.emplace_back("cpi", report.cpi);
+    derived.emplace_back("predictor_accuracy", report.predictorAccuracy);
+    derived.emplace_back("resolution_accuracy", report.resolutionAccuracy);
+    derived.emplace_back("fold_rate", report.foldRate);
+    derived.emplace_back("branch_fraction", report.branchFraction);
+    derived.emplace_back("icache_miss_rate", report.icacheMissRate);
+    derived.emplace_back("dcache_miss_rate", report.dcacheMissRate);
+    doc.emplace_back("derived", JsonValue(std::move(derived)));
+
+    JsonObject histograms;
+    for (const auto& [name, histogram] : report.registry.histograms()) {
+        JsonObject h;
+        JsonArray bounds;
+        for (const double b : histogram.bounds()) bounds.emplace_back(b);
+        JsonArray counts;
+        for (const std::uint64_t c : histogram.counts()) counts.emplace_back(c);
+        h.emplace_back("bounds", JsonValue(std::move(bounds)));
+        h.emplace_back("counts", JsonValue(std::move(counts)));
+        h.emplace_back("total", histogram.total());
+        h.emplace_back("sum", histogram.sum());
+        h.emplace_back("min", histogram.min());
+        h.emplace_back("max", histogram.max());
+        histograms.emplace_back(name, JsonValue(std::move(h)));
+    }
+    doc.emplace_back("histograms", JsonValue(std::move(histograms)));
+
+    JsonObject sites;
+    for (const auto& [name, table] : report.registry.siteTables()) {
+        JsonObject perPc;
+        for (const auto& [pc, value] : table.values())
+            perPc.emplace_back(pcKey(pc), value);
+        sites.emplace_back(name, JsonValue(std::move(perPc)));
+    }
+    doc.emplace_back("sites", JsonValue(std::move(sites)));
+
+    return JsonValue(std::move(doc));
+}
+
+JsonValue benchReportJson(const std::string& generator, JsonValue options,
+                          const std::vector<SimReport>& runs) {
+    JsonObject doc;
+    doc.emplace_back("schema", kBenchReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+    doc.emplace_back("generator", generator);
+    doc.emplace_back("options", std::move(options));
+    JsonArray runArray;
+    runArray.reserve(runs.size());
+    for (const SimReport& run : runs) runArray.push_back(simReportJson(run));
+    doc.emplace_back("runs", JsonValue(std::move(runArray)));
+    return JsonValue(std::move(doc));
+}
+
+// ------------------------------------------------------------ validation ----
+
+namespace {
+
+/// Counters every conforming sim_report must carry — the fields the Fig. 6
+/// (cycles/CPI/accuracy/mispredicts) and Fig. 11 (cycles/folds/activity/
+/// storage) tables are generated from.
+constexpr const char* kRequiredCounters[] = {
+    "pipeline.cycles",
+    "pipeline.committed",
+    "pipeline.fetched",
+    "pipeline.cond_branches",
+    "pipeline.folded_branches",
+    "pipeline.predicted_branches",
+    "pipeline.predicted_correct",
+    "pipeline.mispredicts",
+    "mem.icache.accesses",
+    "mem.icache.misses",
+    "mem.dcache.accesses",
+    "mem.dcache.misses",
+};
+
+constexpr const char* kRequiredDerived[] = {
+    "cpi",
+    "predictor_accuracy",
+    "resolution_accuracy",
+    "fold_rate",
+    "branch_fraction",
+};
+
+class Checker {
+public:
+    explicit Checker(ReportValidation& out) : out_(out) {}
+
+    void fail(std::string message) { out_.errors.push_back(std::move(message)); }
+
+    const JsonValue* member(const JsonValue& doc, const std::string& key,
+                            const char* context) {
+        const JsonValue* v = doc.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    }
+
+private:
+    ReportValidation& out_;
+};
+
+void validateSimReportInto(const JsonValue& doc, ReportValidation& out,
+                           const std::string& context) {
+    Checker check(out);
+    if (!doc.isObject()) {
+        check.fail(context + ": not a JSON object");
+        return;
+    }
+    if (const JsonValue* schema = check.member(doc, "schema", context.c_str()))
+        if (!schema->isString() || schema->asString() != kSimReportSchema)
+            check.fail(context + ": schema is not '" +
+                       std::string(kSimReportSchema) + "'");
+    if (const JsonValue* version = check.member(doc, "version", context.c_str()))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            check.fail(context + ": unsupported schema version");
+    if (const JsonValue* meta = check.member(doc, "meta", context.c_str())) {
+        if (!meta->isObject()) {
+            check.fail(context + ": meta is not an object");
+        } else {
+            for (const char* key : {"benchmark", "predictor"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isString())
+                    check.fail(context + ": meta." + key +
+                               " missing or not a string");
+            }
+        }
+    }
+    const JsonValue* counters = check.member(doc, "counters", context.c_str());
+    if (counters != nullptr) {
+        if (!counters->isObject()) {
+            check.fail(context + ": counters is not an object");
+        } else {
+            for (const auto& [name, value] : counters->asObject())
+                if (!value.isNumber())
+                    check.fail(context + ": counter '" + name +
+                               "' is not a number");
+            for (const char* name : kRequiredCounters)
+                if (counters->find(name) == nullptr)
+                    check.fail(context + ": missing required counter '" +
+                               std::string(name) + "'");
+        }
+    }
+    if (const JsonValue* derived = check.member(doc, "derived", context.c_str())) {
+        if (!derived->isObject()) {
+            check.fail(context + ": derived is not an object");
+        } else {
+            for (const char* name : kRequiredDerived) {
+                const JsonValue* v = derived->find(name);
+                if (v == nullptr || !v->isNumber())
+                    check.fail(context + ": derived." + name +
+                               " missing or not a number");
+            }
+        }
+    }
+    if (const JsonValue* histograms =
+            check.member(doc, "histograms", context.c_str())) {
+        if (!histograms->isObject()) {
+            check.fail(context + ": histograms is not an object");
+        } else {
+            for (const auto& [name, h] : histograms->asObject()) {
+                const JsonValue* bounds = h.find("bounds");
+                const JsonValue* counts = h.find("counts");
+                if (bounds == nullptr || counts == nullptr ||
+                    !bounds->isArray() || !counts->isArray() ||
+                    counts->asArray().size() != bounds->asArray().size() + 1)
+                    check.fail(context + ": histogram '" + name +
+                               "' needs counts.size == bounds.size + 1");
+            }
+        }
+    }
+    if (const JsonValue* sites = check.member(doc, "sites", context.c_str()))
+        if (!sites->isObject())
+            check.fail(context + ": sites is not an object");
+
+    // Cross-field consistency: every executed conditional branch is either
+    // folded or handed to the predictor, never both.
+    if (counters != nullptr && counters->isObject()) {
+        const JsonValue* cond = counters->find("pipeline.cond_branches");
+        const JsonValue* folded = counters->find("pipeline.folded_branches");
+        const JsonValue* predicted =
+            counters->find("pipeline.predicted_branches");
+        if (cond != nullptr && folded != nullptr && predicted != nullptr &&
+            cond->isNumber() && folded->isNumber() && predicted->isNumber() &&
+            folded->asUint() + predicted->asUint() != cond->asUint())
+            check.fail(context +
+                       ": folded_branches + predicted_branches != "
+                       "cond_branches");
+    }
+}
+
+}  // namespace
+
+ReportValidation validateSimReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    validateSimReportInto(doc, out, "sim_report");
+    return out;
+}
+
+ReportValidation validateBenchReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    Checker check(out);
+    if (!doc.isObject()) {
+        check.fail("bench_report: not a JSON object");
+        return out;
+    }
+    if (const JsonValue* schema = check.member(doc, "schema", "bench_report"))
+        if (!schema->isString() || schema->asString() != kBenchReportSchema)
+            check.fail(std::string("bench_report: schema is not '") +
+                       kBenchReportSchema + "'");
+    if (const JsonValue* version = check.member(doc, "version", "bench_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            check.fail("bench_report: unsupported schema version");
+    if (const JsonValue* generator =
+            check.member(doc, "generator", "bench_report"))
+        if (!generator->isString())
+            check.fail("bench_report: generator is not a string");
+    if (const JsonValue* runs = check.member(doc, "runs", "bench_report")) {
+        if (!runs->isArray() || runs->asArray().empty()) {
+            check.fail("bench_report: runs missing, not an array, or empty");
+        } else {
+            std::size_t index = 0;
+            for (const JsonValue& run : runs->asArray()) {
+                validateSimReportInto(run, out,
+                                      "runs[" + std::to_string(index) + "]");
+                ++index;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

@@ -1,8 +1,97 @@
 #include "sim/pipeline.hpp"
 
 #include "util/ensure.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace asbr {
+
+void PipelineStats::publish(MetricRegistry& registry) const {
+    const auto c = [&registry](const char* name, const char* help,
+                               std::uint64_t value) {
+        registry.counter(name, help).add(value);
+    };
+    c("pipeline.cycles", "total simulated cycles", cycles);
+    c("pipeline.committed", "architecturally completed instructions",
+      committed);
+    c("pipeline.fetched",
+      "instructions entering the pipeline (incl. wrong-path, excl. folded-out "
+      "branches) — the paper's pipeline-activity power proxy",
+      fetched);
+    c("pipeline.cond_branches",
+      "executed conditional branches (incl. folded)", condBranches);
+    c("pipeline.folded_branches",
+      "branches resolved by the fetch customizer (ASBR folds reaching EX)",
+      foldedBranches);
+    c("pipeline.predicted_branches",
+      "branches handled by the direction predictor", predictedBranches);
+    c("pipeline.predicted_correct",
+      "predictor-handled branches with a correct fetch redirect",
+      predictedCorrect);
+    c("pipeline.mispredicts", "control flushes (branches + jr/jalr)",
+      mispredicts);
+    c("pipeline.load_use_stalls", "cycles lost to the load-use interlock",
+      loadUseStalls);
+    c("pipeline.redirect_stall_cycles",
+      "fetch bubbles after control-flow redirects", redirectStallCycles);
+    c("pipeline.icache_stall_cycles", "fetch cycles stalled on I-cache misses",
+      icacheStallCycles);
+    c("pipeline.dcache_stall_cycles", "MEM cycles stalled on D-cache misses",
+      dcacheStallCycles);
+    c("pipeline.muldiv_stall_cycles",
+      "extra EX occupancy cycles of multi-cycle mul/div", mulDivStallCycles);
+    icache.publish(registry, "mem.icache");
+    dcache.publish(registry, "mem.dcache");
+
+    SiteTable& execs = registry.sites("pipeline.site.execs",
+                                      "per-branch-site dynamic executions");
+    SiteTable& taken =
+        registry.sites("pipeline.site.taken", "per-branch-site taken count");
+    SiteTable& predicted = registry.sites(
+        "pipeline.site.predicted",
+        "per-branch-site correct fetch redirects (excl. folded)");
+    SiteTable& folded = registry.sites(
+        "pipeline.site.folded", "per-branch-site customizer-resolved count");
+    Histogram& takenRate = registry.histogram(
+        "pipeline.site.taken_rate_dist",
+        "distribution of per-site taken rates across branch sites",
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+    Histogram& execDist = registry.histogram(
+        "pipeline.site.exec_dist",
+        "distribution of per-site dynamic execution counts",
+        {1e2, 1e3, 1e4, 1e5, 1e6, 1e7});
+    for (const auto& [pc, site] : branchSites) {
+        execs.add(pc, site.execs);
+        taken.add(pc, site.taken);
+        predicted.add(pc, site.predicted);
+        folded.add(pc, site.folded);
+        takenRate.record(site.takenRate());
+        execDist.record(static_cast<double>(site.execs));
+    }
+}
+
+namespace {
+/// Tracer lane indices (Tracer's default lane names match this order).
+constexpr std::uint8_t kLaneIfId = 0;
+constexpr std::uint8_t kLaneIdEx = 1;
+constexpr std::uint8_t kLaneExMem = 2;
+constexpr std::uint8_t kLaneMemWb = 3;
+constexpr std::uint8_t kLaneResolve = 4;
+}  // namespace
+
+// Tracing hooks compile to nothing when the build disables ASBR_TRACING, so
+// the simulator hot path carries no tracer reads at all.
+#ifdef ASBR_TRACING
+#define ASBR_TRACE(...)                                                 \
+    do {                                                                \
+        if (config_.tracer != nullptr)                                  \
+            config_.tracer->record(TraceEvent{__VA_ARGS__});            \
+    } while (false)
+#else
+#define ASBR_TRACE(...) \
+    do {                \
+    } while (false)
+#endif
 
 PipelineSim::PipelineSim(const Program& program, Memory& memory,
                          BranchPredictor& predictor, const PipelineConfig& config,
@@ -95,6 +184,10 @@ void PipelineSim::stageExecute() {
         ++site.execs;
         ++site.folded;
         if (idEx_.foldTaken) ++site.taken;
+        ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kFold,
+                   .lane = kLaneResolve, .flag = idEx_.foldTaken,
+                   .pc = idEx_.foldOrigin, .arg = idEx_.pc,
+                   .name = opName(idEx_.ins.op));
     }
     if (e.isBranch) {
         ++stats_.condBranches;
@@ -104,16 +197,26 @@ void PipelineSim::stageExecute() {
         if (e.branchTaken) ++site.taken;
         predictor_.update(idEx_.pc, e.branchTaken, e.branchTarget);
         const bool correct = idEx_.predictedNext == e.nextPc;
+        ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kBranch,
+                   .lane = kLaneResolve, .flag = e.branchTaken, .pc = idEx_.pc,
+                   .arg = e.nextPc, .name = opName(idEx_.ins.op));
         if (correct) {
             ++stats_.predictedCorrect;
             ++site.predicted;
         } else {
             ++stats_.mispredicts;
+            ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kMispredict,
+                       .lane = kLaneResolve, .flag = e.branchTaken,
+                       .pc = idEx_.pc, .arg = e.nextPc,
+                       .name = opName(idEx_.ins.op));
             redirect(e.nextPc);
         }
     } else if (e.nextPc != idEx_.predictedNext) {
         // Indirect jump (jr/jalr) resolving in EX.
         ++stats_.mispredicts;
+        ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kMispredict,
+                   .lane = kLaneResolve, .flag = true, .pc = idEx_.pc,
+                   .arg = e.nextPc, .name = opName(idEx_.ins.op));
         redirect(e.nextPc);
     }
 
@@ -230,6 +333,24 @@ void PipelineSim::stageFetch() {
     ++stats_.fetched;
 }
 
+void PipelineSim::traceLatches() {
+    const auto occupied = [this](const Slot& slot, std::uint8_t lane) {
+        if (!slot.valid) return;
+        config_.tracer->record(TraceEvent{.cycle = stats_.cycles,
+                                          .kind = TraceKind::kStage,
+                                          .lane = lane,
+                                          .flag = slot.wasFolded,
+                                          .pc = slot.pc,
+                                          .arg = 0,
+                                          .name = opName(slot.ins.op)});
+    };
+    // End-of-cycle snapshot of the four inter-stage latches.
+    occupied(ifId_, kLaneIfId);
+    occupied(idEx_, kLaneIdEx);
+    occupied(exMem_, kLaneExMem);
+    occupied(memWb_, kLaneMemWb);
+}
+
 PipelineResult PipelineSim::run() {
     if (customizer_) customizer_->reset();
     while (true) {
@@ -247,6 +368,11 @@ PipelineResult PipelineSim::run() {
         stageExecute();
         stageDecode();
         stageFetch();
+
+#ifdef ASBR_TRACING
+        if (config_.tracer != nullptr && config_.tracer->wants(stats_.cycles))
+            traceLatches();
+#endif
 
         if (io_.exited && !idEx_.valid && !exMem_.valid && !memWb_.valid) break;
     }

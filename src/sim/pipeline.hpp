@@ -28,6 +28,9 @@
 
 namespace asbr {
 
+class MetricRegistry;
+class Tracer;
+
 /// Pipeline configuration.
 struct PipelineConfig {
     CacheConfig icache{8 * 1024, 32, 2, 8};
@@ -40,6 +43,10 @@ struct PipelineConfig {
     /// matches the 3-cycle penalty of the paper's SimpleScalar fetch path.
     std::uint32_t redirectBubbles = 1;
     std::uint64_t maxCycles = 4'000'000'000ULL;
+    /// Optional structured event tracer (docs/tracing.md).  Non-owning; only
+    /// consulted when the build compiles the hooks in (ASBR_TRACING).
+    /// Tracing never changes simulated timing — only host-side cost.
+    Tracer* tracer = nullptr;
 };
 
 /// Per-branch-site dynamic statistics.
@@ -96,6 +103,24 @@ struct PipelineStats {
                    : static_cast<double>(predictedCorrect + foldedBranches) /
                          static_cast<double>(condBranches);
     }
+    /// Fraction of executed conditional branches resolved by folding.
+    [[nodiscard]] double foldRate() const {
+        return condBranches == 0
+                   ? 0.0
+                   : static_cast<double>(foldedBranches) /
+                         static_cast<double>(condBranches);
+    }
+    /// Conditional branches as a fraction of committed instructions.
+    [[nodiscard]] double branchFraction() const {
+        return committed == 0 ? 0.0
+                              : static_cast<double>(condBranches) /
+                                    static_cast<double>(committed);
+    }
+
+    /// Register every counter, per-site table and distribution under
+    /// `pipeline.*` / `mem.*` in the metric registry (docs/metrics.md is the
+    /// reference; CI checks it against these names).
+    void publish(MetricRegistry& registry) const;
 };
 
 /// Result of a pipeline run.
@@ -141,6 +166,7 @@ private:
 
     void emitValue(const Slot& slot, ValueStage stage);
     [[nodiscard]] std::uint32_t exOccupancy(Op op) const;
+    void traceLatches();  ///< record end-of-cycle stage occupancy (tracing)
 
     const Program& program_;
     Memory& memory_;

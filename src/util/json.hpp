@@ -1,0 +1,103 @@
+// Minimal JSON value tree, serializer and parser.
+//
+// Exists so the observability layer (SimReport export, trace files,
+// docs/CI validators) has one dependency-free JSON code path.  Scope is
+// deliberately small: UTF-8 pass-through strings, uint64/int64/double
+// numbers, no comments, no trailing commas.  Objects preserve insertion
+// order, which keeps exported reports diffable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asbr {
+
+class JsonValue;
+
+/// Ordered key/value object representation.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+public:
+    enum class Kind { kNull, kBool, kUint, kInt, kDouble, kString, kArray,
+                      kObject };
+
+    JsonValue() : kind_(Kind::kNull) {}
+    JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+    JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}       // NOLINT
+    JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+    JsonValue(int v) : kind_(Kind::kInt), int_(v) {}                   // NOLINT
+    JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}          // NOLINT
+    JsonValue(std::string s)                                           // NOLINT
+        : kind_(Kind::kString), string_(std::move(s)) {}
+    JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}     // NOLINT
+    JsonValue(JsonArray a)                                             // NOLINT
+        : kind_(Kind::kArray), array_(std::move(a)) {}
+    JsonValue(JsonObject o)                                            // NOLINT
+        : kind_(Kind::kObject), object_(std::move(o)) {}
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
+    [[nodiscard]] bool isBool() const { return kind_ == Kind::kBool; }
+    [[nodiscard]] bool isNumber() const {
+        return kind_ == Kind::kUint || kind_ == Kind::kInt ||
+               kind_ == Kind::kDouble;
+    }
+    [[nodiscard]] bool isString() const { return kind_ == Kind::kString; }
+    [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
+    [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+
+    [[nodiscard]] bool asBool() const { return bool_; }
+    /// Numeric value as double regardless of stored width.
+    [[nodiscard]] double asDouble() const;
+    /// Numeric value as uint64 (asserts non-negative integral kinds).
+    [[nodiscard]] std::uint64_t asUint() const;
+    [[nodiscard]] const std::string& asString() const { return string_; }
+    [[nodiscard]] const JsonArray& asArray() const { return array_; }
+    [[nodiscard]] const JsonObject& asObject() const { return object_; }
+    [[nodiscard]] JsonArray& asArray() { return array_; }
+    [[nodiscard]] JsonObject& asObject() { return object_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+    /// Append/overwrite an object member (object kinds only).
+    void set(std::string key, JsonValue value);
+
+    /// Serialize.  `indent` > 0 pretty-prints with that many spaces.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    JsonArray array_;
+    JsonObject object_;
+};
+
+/// Append `s` to `out` with JSON string escaping (no surrounding quotes).
+void jsonEscape(std::string& out, std::string_view s);
+
+/// Parse result: a value or a position-annotated error message.
+struct JsonParseResult {
+    std::optional<JsonValue> value;
+    std::string error;  ///< empty on success
+
+    [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+/// Parse a complete JSON document (trailing garbage is an error).
+[[nodiscard]] JsonParseResult parseJson(std::string_view text);
+
+}  // namespace asbr

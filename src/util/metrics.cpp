@@ -1,0 +1,101 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+void Counter::set(std::uint64_t v) {
+    ASBR_ENSURE(v >= value_, "Counter::set would decrease a monotonic counter");
+    value_ = v;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    ASBR_ENSURE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be ascending");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    if (total_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++total_;
+    sum_ += x;
+}
+
+std::uint64_t SiteTable::at(std::uint32_t site) const {
+    const auto it = values_.find(site);
+    return it == values_.end() ? 0 : it->second;
+}
+
+void MetricRegistry::claimName(std::string_view name, Entry::Kind kind,
+                               std::string_view help) {
+    const auto it = meta_.find(name);
+    if (it == meta_.end()) {
+        meta_.emplace(std::string(name),
+                      std::make_pair(kind, std::string(help)));
+        return;
+    }
+    ASBR_ENSURE(it->second.first == kind,
+                "metric re-registered with a different kind");
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view help) {
+    claimName(name, Entry::Kind::kCounter, help);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view help,
+                                     std::vector<double> bounds) {
+    claimName(name, Entry::Kind::kHistogram, help);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+        .first->second;
+}
+
+SiteTable& MetricRegistry::sites(std::string_view name, std::string_view help) {
+    claimName(name, Entry::Kind::kSites, help);
+    const auto it = siteTables_.find(name);
+    if (it != siteTables_.end()) return it->second;
+    return siteTables_.emplace(std::string(name), SiteTable{}).first->second;
+}
+
+bool MetricRegistry::contains(std::string_view name) const {
+    return meta_.find(name) != meta_.end();
+}
+
+const Counter* MetricRegistry::findCounter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricRegistry::findHistogram(std::string_view name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const SiteTable* MetricRegistry::findSites(std::string_view name) const {
+    const auto it = siteTables_.find(name);
+    return it == siteTables_.end() ? nullptr : &it->second;
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::catalogue() const {
+    std::vector<Entry> out;
+    out.reserve(meta_.size());
+    for (const auto& [name, kindHelp] : meta_)
+        out.push_back({name, kindHelp.second, kindHelp.first});
+    return out;  // meta_ is name-sorted already
+}
+
+}  // namespace asbr

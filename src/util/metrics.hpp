@@ -1,0 +1,131 @@
+// Named-metric registry: the single namespace every simulator component
+// publishes its counters into.
+//
+// Three metric kinds cover everything the paper's evaluation reports:
+//  - Counter:   a named monotonic uint64 (cycles, folds, mispredicts, ...)
+//  - Histogram: fixed-bucket distribution of doubles (per-site taken rates,
+//               per-site execution counts, ...)
+//  - SiteTable: a per-branch-site breakdown keyed by PC (the paper's
+//               Figures 7/9/10 are site tables)
+//
+// Components keep their own cheap plain-struct statistics on the hot path
+// (PipelineStats, AsbrStats, CacheStats) and publish them into a registry
+// after a run; the registry is therefore the canonical catalogue of metric
+// *names* — docs/metrics.md is checked against it in CI — and the input to
+// the SimReport JSON export.  Registration is idempotent: looking up an
+// existing name returns the existing metric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asbr {
+
+/// Monotonic named counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    /// Raise to `v`; asserts monotonicity (the registry never goes backwards).
+    void set(std::uint64_t v);
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram.  `bounds` are inclusive upper bucket edges in
+/// ascending order; one implicit overflow bucket catches everything above
+/// the last edge, so counts().size() == bounds().size() + 1.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void record(double x);
+
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+        return counts_;
+    }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return total_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return total_ == 0 ? 0.0 : max_; }
+    [[nodiscard]] double mean() const {
+        return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Per-site (PC-keyed) counter breakdown.
+class SiteTable {
+public:
+    void add(std::uint32_t site, std::uint64_t n = 1) { values_[site] += n; }
+    [[nodiscard]] std::uint64_t at(std::uint32_t site) const;
+    [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& values() const {
+        return values_;
+    }
+
+private:
+    std::map<std::uint32_t, std::uint64_t> values_;
+};
+
+/// The registry.  Names are dotted lowercase paths ("pipeline.cycles",
+/// "asbr.folds"); the first registration of a name fixes its kind and help
+/// text, later registrations return the same metric (kind mismatches throw).
+class MetricRegistry {
+public:
+    Counter& counter(std::string_view name, std::string_view help);
+    Histogram& histogram(std::string_view name, std::string_view help,
+                         std::vector<double> bounds);
+    SiteTable& sites(std::string_view name, std::string_view help);
+
+    [[nodiscard]] bool contains(std::string_view name) const;
+    [[nodiscard]] const Counter* findCounter(std::string_view name) const;
+    [[nodiscard]] const Histogram* findHistogram(std::string_view name) const;
+    [[nodiscard]] const SiteTable* findSites(std::string_view name) const;
+
+    /// All registered names with help text, sorted by name (the docs-check
+    /// contract and the JSON export order).
+    struct Entry {
+        std::string name;
+        std::string help;
+        enum class Kind { kCounter, kHistogram, kSites } kind;
+    };
+    [[nodiscard]] std::vector<Entry> catalogue() const;
+
+    [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+        const {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+    histograms() const {
+        return histograms_;
+    }
+    [[nodiscard]] const std::map<std::string, SiteTable, std::less<>>&
+    siteTables() const {
+        return siteTables_;
+    }
+
+private:
+    void claimName(std::string_view name, Entry::Kind kind,
+                   std::string_view help);
+
+    // node-based maps: references handed out stay valid across registration.
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
+    std::map<std::string, SiteTable, std::less<>> siteTables_;
+    std::map<std::string, std::pair<Entry::Kind, std::string>, std::less<>>
+        meta_;
+};
+
+}  // namespace asbr

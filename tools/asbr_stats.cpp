@@ -1,0 +1,397 @@
+// asbr-stats — the observability CLI.
+//
+// One binary that exercises the whole reporting layer end to end:
+//   counters   print the canonical metric catalogue (docs/metrics.md is
+//              checked against this list by ci/docs-check.sh)
+//   run        simulate one benchmark under a chosen predictor (optionally
+//              with ASBR folding and/or a pipeline trace) and export a
+//              schema-versioned asbr.sim_report
+//   report     regenerate the Figure 6 + Figure 11 sweeps as one
+//              asbr.bench_report document (what ci/bench-report.sh runs)
+//   validate   schema-check any report document produced above
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "util/trace.hpp"
+
+using namespace asbr;
+using namespace asbr::bench;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+    std::fputs(
+        "usage: asbr-stats <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  counters              list every metric name the simulator registers\n"
+        "  run --bench=B [...]   simulate one benchmark; export report / trace\n"
+        "  report [--out=FILE]   Figure 6 + 11 sweep as one asbr.bench_report\n"
+        "                        (default out: BENCH_asbr.json)\n"
+        "  validate FILE         schema-check a report document\n"
+        "\n"
+        "run options:\n"
+        "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
+        "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
+        "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit]\n"
+        "  --json=FILE           write an asbr.sim_report (\"-\" = stdout)\n"
+        "  --trace=FILE          record a pipeline trace to FILE\n"
+        "  --trace-format=chrome|jsonl   (default chrome)\n"
+        "  --trace-start=N --trace-end=N --trace-max=N   trace window / cap\n"
+        "\n"
+        "shared options: --quick --seed=N --adpcm=N --g721=N\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+std::optional<std::uint64_t> numArg(const std::string& arg, const char* prefix) {
+    const std::size_t len = std::strlen(prefix);
+    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+    return std::strtoull(arg.c_str() + len, nullptr, 10);
+}
+
+std::optional<BenchId> benchFromName(const std::string& s) {
+    if (s == "adpcm-enc") return BenchId::kAdpcmEncode;
+    if (s == "adpcm-dec") return BenchId::kAdpcmDecode;
+    if (s == "g721-enc") return BenchId::kG721Encode;
+    if (s == "g721-dec") return BenchId::kG721Decode;
+    if (s == "g711-enc") return BenchId::kG711Encode;
+    if (s == "g711-dec") return BenchId::kG711Decode;
+    return std::nullopt;
+}
+
+std::unique_ptr<BranchPredictor> predictorFromName(const std::string& s) {
+    if (s == "not-taken") return makeNotTaken();
+    if (s == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
+    if (s == "bimodal") return makeBimodal2048();
+    if (s == "gshare") return makeGshare2048();
+    if (s == "tournament") return makeTournament2048();
+    if (s == "bi512") return makeAux512();
+    if (s == "bi256") return makeAux256();
+    return nullptr;
+}
+
+std::optional<ValueStage> stageFromName(const std::string& s) {
+    if (s == "ex_end") return ValueStage::kExEnd;
+    if (s == "mem_end") return ValueStage::kMemEnd;
+    if (s == "commit") return ValueStage::kCommit;
+    return std::nullopt;
+}
+
+void writeTextTo(const std::string& path, const std::string& text,
+                 const char* what) {
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        std::exit(1);
+    }
+    out << text;
+    std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+}
+
+int cmdCounters() {
+    // Zero-valued publishes from every metric-owning component enumerate the
+    // complete namespace without running a simulation.
+    MetricRegistry registry;
+    PipelineStats{}.publish(registry);
+    makeBimodal2048()->publishMetrics(registry);
+    AsbrUnit().publishMetrics(registry);
+    for (const auto& entry : registry.catalogue()) {
+        const char* kind = "counter";
+        if (entry.kind == MetricRegistry::Entry::Kind::kHistogram)
+            kind = "histogram";
+        else if (entry.kind == MetricRegistry::Entry::Kind::kSites)
+            kind = "sites";
+        std::printf("%-34s %-9s %s\n", entry.name.c_str(), kind,
+                    entry.help.c_str());
+    }
+    return 0;
+}
+
+int cmdRun(int argc, char** argv) {
+    Options options;
+    std::string bench;
+    std::string predictorName = "bimodal";
+    bool asbr = false;
+    std::size_t bitEntries = 0;  // 0 = the paper's count for the benchmark
+    ValueStage stage = ValueStage::kMemEnd;
+    std::string jsonPath;
+    std::string tracePath;
+    std::string traceFormat = "chrome";
+    TracerConfig traceConfig;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.adpcmSamples = 8'000;
+            options.g721Samples = 2'000;
+        } else if (const auto v = numArg(arg, "--seed=")) {
+            options.seed = *v;
+        } else if (const auto v = numArg(arg, "--adpcm=")) {
+            options.adpcmSamples = *v;
+        } else if (const auto v = numArg(arg, "--g721=")) {
+            options.g721Samples = *v;
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            bench = arg.substr(8);
+        } else if (arg.rfind("--predictor=", 0) == 0) {
+            predictorName = arg.substr(12);
+        } else if (arg == "--asbr") {
+            asbr = true;
+        } else if (const auto v = numArg(arg, "--bit=")) {
+            bitEntries = *v;
+            asbr = true;
+        } else if (arg.rfind("--stage=", 0) == 0) {
+            const auto s = stageFromName(arg.substr(8));
+            if (!s) {
+                std::fprintf(stderr, "run: unknown --stage '%s'\n",
+                             arg.substr(8).c_str());
+                return 2;
+            }
+            stage = *s;
+            asbr = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            tracePath = arg.substr(8);
+        } else if (arg.rfind("--trace-format=", 0) == 0) {
+            traceFormat = arg.substr(15);
+            if (traceFormat != "chrome" && traceFormat != "jsonl") {
+                std::fprintf(stderr, "run: unknown --trace-format '%s'\n",
+                             traceFormat.c_str());
+                return 2;
+            }
+        } else if (const auto v = numArg(arg, "--trace-start=")) {
+            traceConfig.startCycle = *v;
+        } else if (const auto v = numArg(arg, "--trace-end=")) {
+            traceConfig.endCycle = *v;
+        } else if (const auto v = numArg(arg, "--trace-max=")) {
+            traceConfig.maxEvents = *v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "run: unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    const auto id = benchFromName(bench);
+    if (!id) {
+        std::fprintf(stderr,
+                     "run: --bench is required (adpcm-enc|adpcm-dec|g721-enc|"
+                     "g721-dec|g711-enc|g711-dec)\n");
+        return 2;
+    }
+    auto predictor = predictorFromName(predictorName);
+    if (predictor == nullptr) {
+        std::fprintf(stderr, "run: unknown --predictor '%s'\n",
+                     predictorName.c_str());
+        return 2;
+    }
+
+    const Prepared prepared = prepare(*id, options);
+
+    AsbrSetup setup;
+    FetchCustomizer* customizer = nullptr;
+    if (asbr) {
+        // Selection uses a bimodal-2048 profiling run as the accuracy
+        // reference, exactly as the figure regenerators do.
+        auto baseline = makeBimodal2048();
+        const PipelineResult base = runPipeline(prepared, *baseline);
+        setup = prepareAsbr(prepared,
+                            bitEntries != 0 ? bitEntries : paperBitEntries(*id),
+                            stage, accuracyMap(base.stats));
+        customizer = setup.unit.get();
+    }
+
+    Tracer tracer(traceConfig);
+    PipelineConfig config;
+    if (!tracePath.empty()) {
+#ifndef ASBR_TRACING
+        std::fprintf(stderr,
+                     "warning: built without ASBR_TRACING; the trace file "
+                     "will contain no events\n");
+#endif
+        config.tracer = &tracer;
+    }
+
+    const PipelineResult r = runPipeline(prepared, *predictor, customizer,
+                                         config);
+
+    TextTable table(std::string("asbr-stats run: ") + benchName(*id) + " / " +
+                    predictor->name() + (asbr ? " + ASBR" : ""));
+    table.setHeader({"cycles", "CPI", "resolution acc", "folds", "fold rate"});
+    table.addRow({formatWithCommas(r.stats.cycles),
+                  formatFixed(r.stats.cpi(), 3),
+                  formatPercent(r.stats.resolutionAccuracy()),
+                  formatWithCommas(r.stats.foldedBranches),
+                  formatPercent(r.stats.foldRate())});
+    printTable(options, table);
+
+    if (!jsonPath.empty()) {
+        RunMeta meta;
+        meta.benchmark = benchName(*id);
+        meta.predictor = predictor->name();
+        meta.figure = "run";
+        meta.seed = options.seed;
+        meta.samples = samplesFor(options, *id);
+        meta.scheduled = prepared.scheduled;
+        if (setup.unit != nullptr) {
+            meta.asbr = true;
+            meta.bitEntries = setup.unit->config().bitCapacity;
+            meta.updateStage = valueStageName(setup.unit->config().updateStage);
+        }
+        const JsonValue doc = simReportJson(makeSimReport(
+            std::move(meta), r.stats, predictor.get(), setup.unit.get()));
+        writeTextTo(jsonPath, doc.dump(2) + "\n", "sim report");
+    }
+
+    if (!tracePath.empty()) {
+        std::ostringstream out;
+        if (traceFormat == "jsonl")
+            tracer.writeJsonl(out);
+        else
+            tracer.writeChrome(out);
+        writeTextTo(tracePath, out.str(), "pipeline trace");
+        if (tracer.truncated())
+            std::fprintf(stderr,
+                         "note: trace truncated at %zu events "
+                         "(raise --trace-max or narrow the window)\n",
+                         tracer.events().size());
+    }
+    return 0;
+}
+
+int cmdReport(int argc, char** argv) {
+    Options options;
+    options.jsonPath = "BENCH_asbr.json";
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.adpcmSamples = 8'000;
+            options.g721Samples = 2'000;
+        } else if (const auto v = numArg(arg, "--seed=")) {
+            options.seed = *v;
+        } else if (const auto v = numArg(arg, "--adpcm=")) {
+            options.adpcmSamples = *v;
+        } else if (const auto v = numArg(arg, "--g721=")) {
+            options.g721Samples = *v;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            options.jsonPath = arg.substr(6);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "report: unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    ReportSink sink("asbr-stats report", options);
+    for (const BenchId id : kAllBenches) {
+        const Prepared prepared = prepare(id, options);
+
+        // Figure 6: the three baseline predictors.
+        std::unique_ptr<BranchPredictor> refs[] = {
+            makeNotTaken(), makeBimodal2048(), makeGshare2048()};
+        std::map<std::uint32_t, double> accuracy;
+        for (std::size_t p = 0; p < 3; ++p) {
+            const PipelineResult r = runPipeline(prepared, *refs[p]);
+            sink.add("fig6", prepared, r, *refs[p]);
+            if (p == 1) accuracy = accuracyMap(r.stats);
+        }
+
+        // Figure 11: ASBR with the paper's BIT size + auxiliary predictors.
+        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
+                                            ValueStage::kMemEnd, accuracy);
+        std::unique_ptr<BranchPredictor> auxes[] = {
+            makeNotTaken(), makeAux512(), makeAux256()};
+        for (auto& aux : auxes) {
+            const PipelineResult r =
+                runPipeline(prepared, *aux, setup.unit.get());
+            sink.add("fig11", prepared, r, *aux, &setup);
+        }
+    }
+
+    const std::string text = sink.write();
+
+    // Self-check: the document we just wrote must pass its own validator.
+    const JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "internal error: emitted invalid JSON: %s\n",
+                     parsed.error.c_str());
+        return 1;
+    }
+    const ReportValidation validation = validateBenchReportJson(*parsed.value);
+    for (const std::string& error : validation.errors)
+        std::fprintf(stderr, "schema error: %s\n", error.c_str());
+    if (!validation.ok()) return 1;
+    std::fprintf(stderr, "report validates against %s v%llu (%zu runs)\n",
+                 kBenchReportSchema,
+                 static_cast<unsigned long long>(kReportSchemaVersion),
+                 sink.runCount());
+    return 0;
+}
+
+int cmdValidate(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const JsonParseResult parsed = parseJson(buffer.str());
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: JSON parse error: %s\n", path,
+                     parsed.error.c_str());
+        return 1;
+    }
+    const JsonValue* schema = parsed.value->find("schema");
+    if (schema == nullptr || !schema->isString()) {
+        std::fprintf(stderr, "%s: missing string member 'schema'\n", path);
+        return 1;
+    }
+    ReportValidation validation;
+    if (schema->asString() == kSimReportSchema) {
+        validation = validateSimReportJson(*parsed.value);
+    } else if (schema->asString() == kBenchReportSchema) {
+        validation = validateBenchReportJson(*parsed.value);
+    } else {
+        std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
+                     schema->asString().c_str());
+        return 1;
+    }
+    for (const std::string& error : validation.errors)
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    if (!validation.ok()) return 1;
+    std::printf("%s: valid %s v%llu document\n", path,
+                schema->asString().c_str(),
+                static_cast<unsigned long long>(kReportSchemaVersion));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage(2);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") usage(0);
+    if (command == "counters") return cmdCounters();
+    if (command == "run") return cmdRun(argc - 2, argv + 2);
+    if (command == "report") return cmdReport(argc - 2, argv + 2);
+    if (command == "validate") {
+        if (argc != 3) usage(2);
+        return cmdValidate(argv[2]);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    usage(2);
+}
