@@ -137,7 +137,8 @@ std::uint32_t thresholdFor(ValueStage stage) {
 
 AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
                       ValueStage updateStage,
-                      const std::map<std::uint32_t, double>& accuracyByPc) {
+                      const std::map<std::uint32_t, double>& accuracyByPc,
+                      bool parityProtected) {
     const ProgramProfile profile = profileOf(prepared);
     SelectionConfig config;
     config.bitCapacity = bitEntries;
@@ -148,6 +149,7 @@ AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
     AsbrConfig unitConfig;
     unitConfig.updateStage = updateStage;
     unitConfig.bitCapacity = std::max<std::size_t>(bitEntries, 1);
+    unitConfig.parityProtected = parityProtected;
     setup.unit = std::make_unique<AsbrUnit>(unitConfig);
     setup.unit->loadBank(
         0, extractBranchInfos(prepared.program, candidatePcs(setup.candidates)));

@@ -88,7 +88,8 @@ struct AsbrSetup {
 [[nodiscard]] AsbrSetup prepareAsbr(
     const Prepared& prepared, std::size_t bitEntries,
     ValueStage updateStage = ValueStage::kMemEnd,
-    const std::map<std::uint32_t, double>& accuracyByPc = {});
+    const std::map<std::uint32_t, double>& accuracyByPc = {},
+    bool parityProtected = false);
 
 /// Threshold (2/3/4) implied by a BDT update stage.
 [[nodiscard]] std::uint32_t thresholdFor(ValueStage stage);

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# CI gate: pinned-seed fault-injection campaigns must reproduce their
+# committed golden reports bit-for-bit (docs/fault-injection.md).
+#
+# Three campaigns run on small inputs (~5s total):
+#   adpcm-enc unprotected  — must demonstrate at least one SDC
+#   adpcm-enc protected    — must have zero SDCs/aborts/hangs and at least
+#                            one detected+recovered outcome, at the same
+#                            clean cycle count as the unprotected run
+#                            (zero faults => zero protection overhead)
+#   g721-enc  unprotected  — exercises the abort and hang classes
+#
+# Every report is re-validated against the asbr.fault_report schema and then
+# whole-file diffed against tests/golden/ — any drift in sampling, timing or
+# classification fails CI.  Regenerate goldens only for intentional changes:
+#   ci/faults.sh --regen
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+FAULTS="$BUILD_DIR/tools/asbr-faults"
+GOLDEN_DIR=tests/golden
+COMMON=(--adpcm=2000 --g721=800 --injections=48)
+
+if [[ ! -x "$FAULTS" ]]; then
+    echo "ci/faults.sh: $FAULTS not built; run cmake --build first" >&2
+    exit 1
+fi
+
+regen=0
+[[ "${1:-}" == "--regen" ]] && regen=1
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+status=0
+
+# outcome <report> <name> -> count
+outcome() {
+    grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$'
+}
+
+run_campaign() {
+    local golden=$1; shift
+    local out="$tmpdir/$(basename "$golden")"
+    "$FAULTS" campaign "$@" --json="$out" > "$tmpdir/log" 2>&1 || {
+        echo "FAIL: campaign $* crashed:" >&2
+        cat "$tmpdir/log" >&2
+        return 1
+    }
+    "$FAULTS" validate "$out" > /dev/null || {
+        echo "FAIL: $out does not validate against asbr.fault_report" >&2
+        return 1
+    }
+    if [[ $regen -eq 1 ]]; then
+        cp "$out" "$GOLDEN_DIR/$(basename "$golden")"
+        echo "regenerated $golden" >&2
+    elif ! diff -q "$GOLDEN_DIR/$(basename "$golden")" "$out" > /dev/null; then
+        echo "FAIL: $golden drifted from the pinned-seed campaign:" >&2
+        diff "$GOLDEN_DIR/$(basename "$golden")" "$out" | head -20 >&2
+        return 1
+    else
+        echo "ok: $golden reproduced bit-for-bit" >&2
+    fi
+    echo "$out"
+}
+
+adpcm=$(run_campaign fault_adpcm_enc.json \
+    --bench=adpcm-enc --fault-seed=7 "${COMMON[@]}" | tail -1) || status=1
+adpcm_prot=$(run_campaign fault_adpcm_enc_protected.json \
+    --bench=adpcm-enc --protected --fault-seed=7 "${COMMON[@]}" | tail -1) \
+    || status=1
+g721=$(run_campaign fault_g721_enc.json \
+    --bench=g721-enc --fault-seed=11 "${COMMON[@]}" | tail -1) || status=1
+
+[[ $status -ne 0 ]] && exit $status
+
+# ------------------------------------------- semantic assertions on top ----
+if [[ "$(outcome "$adpcm" sdc)" -lt 1 ]]; then
+    echo "FAIL: unprotected adpcm-enc campaign shows no SDC — the fault" \
+         "model lost its teeth" >&2
+    status=1
+fi
+for bad in sdc detected_aborted hang; do
+    if [[ "$(outcome "$adpcm_prot" $bad)" -ne 0 ]]; then
+        echo "FAIL: protected campaign still has $bad outcomes" >&2
+        status=1
+    fi
+done
+if [[ "$(outcome "$adpcm_prot" detected_recovered)" -lt 1 ]]; then
+    echo "FAIL: protected campaign never recovered — parity is not firing" >&2
+    status=1
+fi
+clean_unprot=$(outcome "$adpcm" clean_cycles)
+clean_prot=$(outcome "$adpcm_prot" clean_cycles)
+if [[ "$clean_unprot" != "$clean_prot" ]]; then
+    echo "FAIL: fault-free protected run costs cycles ($clean_prot vs" \
+         "$clean_unprot) — protection must be free until a fault hits" >&2
+    status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+    echo "ok: fault campaigns reproduce goldens; protection converts SDCs" \
+         "at zero fault-free overhead"
+fi
+exit $status

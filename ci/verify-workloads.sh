@@ -33,4 +33,9 @@ for fixture in tests/fixtures/*.s; do
         fi
     fi
 done
+
+# The fault-injection regression rides along with the workload gate: the
+# same build tree, the same committed goldens (see ci/faults.sh).
+ci/faults.sh || status=1
+
 exit $status

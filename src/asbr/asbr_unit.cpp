@@ -23,6 +23,17 @@ void AsbrStats::publish(MetricRegistry& registry) const {
         .counter("asbr.bank_switches",
                  "BIT bank switches via the memory-mapped control register")
         .add(bankSwitches);
+    registry
+        .counter("asbr.parity_recoveries",
+                 "parity mismatches detected on a BDT/BIT access; the entry "
+                 "was scrubbed out of service and the branch fell back to "
+                 "the general predictor")
+        .add(parityRecoveries);
+    registry
+        .counter("asbr.quarantined_blocks",
+                 "fold opportunities blocked because the condition register's "
+                 "BDT entry is quarantined after a parity recovery")
+        .add(quarantinedBlocks);
 }
 
 void AsbrUnit::publishMetrics(MetricRegistry& registry) const {
@@ -41,9 +52,37 @@ void AsbrUnit::loadBank(std::size_t bank, std::vector<BranchInfo> entries) {
     bit_.loadBank(bank, std::move(entries));
 }
 
+void AsbrUnit::chargeRecovery() {
+    ++stats_.parityRecoveries;
+    pendingRecoveryStall_ += config_.parityRecoveryPenalty;
+}
+
+bool AsbrUnit::bdtGate(std::uint8_t reg) {
+    if (!config_.parityProtected) return true;
+    if (bdt_.isQuarantined(reg)) return false;
+    if (!bdt_.parityOk(reg)) {
+        // Detected soft error: scrub the entry out of service for the rest
+        // of the run and pay the resynchronization penalty once.
+        bdt_.quarantine(reg);
+        chargeRecovery();
+        return false;
+    }
+    return true;
+}
+
 std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
     std::uint32_t pc, const Instruction& fetched) {
-    const BranchInfo* entry = bit_.lookup(pc);
+    const BranchInfo* entry = nullptr;
+    if (config_.parityProtected) {
+        bool recovered = false;
+        entry = bit_.lookupProtected(pc, recovered);
+        if (recovered) {
+            chargeRecovery();
+            return std::nullopt;  // entry scrubbed — predictor path
+        }
+    } else {
+        entry = bit_.lookup(pc);
+    }
     if (entry == nullptr) return std::nullopt;
     ++stats_.lookups;
     // The BIT identifies branches by PC before decode; entries are extracted
@@ -51,6 +90,10 @@ std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
     // customization data.
     ASBR_ENSURE(isCondBranch(fetched.op) && fetched.rs == entry->conditionReg,
                 "BIT entry does not match the fetched instruction");
+    if (!bdtGate(entry->conditionReg)) {
+        ++stats_.quarantinedBlocks;
+        return std::nullopt;  // BDT entry out of service — use predictor
+    }
     if (!bdt_.isValid(entry->conditionReg)) {
         ++stats_.blockedInvalid;
         return std::nullopt;  // predicate producer in flight — use predictor
@@ -65,6 +108,7 @@ std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
 }
 
 void AsbrUnit::onProducerDecoded(std::uint8_t reg) {
+    if (!bdtGate(reg)) return;
     bdt_.producerDecoded(reg);
 }
 
@@ -73,7 +117,9 @@ void AsbrUnit::onValueAvailable(std::uint8_t reg, std::int32_t value,
     // Values are captured at the configured stage, or at first availability
     // when that is later (loads cannot be captured before MEM).
     const ValueStage effective = std::max(config_.updateStage, firstStage);
-    if (stage == effective) bdt_.update(reg, value);
+    if (stage != effective) return;
+    if (!bdtGate(reg)) return;
+    bdt_.update(reg, value);
 }
 
 void AsbrUnit::onStore(std::uint32_t addr, std::int32_t value) {
@@ -82,10 +128,17 @@ void AsbrUnit::onStore(std::uint32_t addr, std::int32_t value) {
     bit_.selectBank(static_cast<std::size_t>(value));
 }
 
+std::uint32_t AsbrUnit::takeRecoveryStall() {
+    const std::uint32_t stall = pendingRecoveryStall_;
+    pendingRecoveryStall_ = 0;
+    return stall;
+}
+
 void AsbrUnit::reset() {
     bdt_.reset();
     stats_ = AsbrStats{};
     bit_.selectBank(0);
+    pendingRecoveryStall_ = 0;
 }
 
 }  // namespace asbr

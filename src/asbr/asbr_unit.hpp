@@ -39,6 +39,14 @@ struct AsbrConfig {
     ValueStage updateStage = ValueStage::kMemEnd;
     std::size_t bitCapacity = 16;
     std::size_t bitBanks = 1;
+    /// Opt-in soft-error protection (docs/fault-injection.md): per-entry
+    /// parity on the BDT and BIT is checked before every table read.  A
+    /// mismatch takes the entry out of service — the branch falls back to
+    /// the general predictor — and charges `parityRecoveryPenalty` fetch
+    /// bubbles for the scrub.  Off by default: the unprotected unit is
+    /// cycle-identical to the pre-parity hardware.
+    bool parityProtected = false;
+    std::uint32_t parityRecoveryPenalty = 2;
 };
 
 /// Fold statistics for cost/benefit reporting.
@@ -48,6 +56,8 @@ struct AsbrStats {
     std::uint64_t foldsTaken = 0;
     std::uint64_t blockedInvalid = 0; ///< producer in flight — fell back to predictor
     std::uint64_t bankSwitches = 0;
+    std::uint64_t parityRecoveries = 0;  ///< parity mismatches detected + scrubbed
+    std::uint64_t quarantinedBlocks = 0; ///< folds blocked by a quarantined BDT entry
 
     /// Register these totals under `asbr.*` in the metric registry.
     void publish(MetricRegistry& registry) const;
@@ -68,6 +78,7 @@ public:
     void onValueAvailable(std::uint8_t reg, std::int32_t value, ValueStage stage,
                           ValueStage firstStage) override;
     void onStore(std::uint32_t addr, std::int32_t value) override;
+    std::uint32_t takeRecoveryStall() override;
     void reset() override;
 
     [[nodiscard]] const AsbrStats& stats() const { return stats_; }
@@ -75,19 +86,36 @@ public:
     [[nodiscard]] const BranchIdentificationTable& bit() const { return bit_; }
     [[nodiscard]] const BranchDirectionTable& bdt() const { return bdt_; }
 
-    /// Hardware cost proxy in bits (BIT + BDT).
+    /// Fault-injection ports: mutable access to the tables so a campaign can
+    /// flip stored bits mid-run (src/fault).  Not used on the fetch path.
+    [[nodiscard]] BranchDirectionTable& bdtFaultPort() { return bdt_; }
+    [[nodiscard]] BranchIdentificationTable& bitFaultPort() { return bit_; }
+
+    /// Hardware cost proxy in bits (BIT + BDT; parity bits when protected).
     [[nodiscard]] std::uint64_t storageBits() const {
-        return bit_.storageBits() + BranchDirectionTable::storageBits();
+        std::uint64_t bits =
+            bit_.storageBits() + BranchDirectionTable::storageBits();
+        if (config_.parityProtected)
+            bits += bit_.parityStorageBits() +
+                    BranchDirectionTable::parityStorageBits();
+        return bits;
     }
 
     /// Register fold statistics plus hardware-cost metrics (`asbr.*`).
     void publishMetrics(MetricRegistry& registry) const;
 
 private:
+    /// Protected-mode gate in front of every BDT access: on a parity mismatch
+    /// the entry is quarantined, a recovery is counted and the scrub penalty
+    /// is queued.  Returns false when the entry must not be used this access.
+    [[nodiscard]] bool bdtGate(std::uint8_t reg);
+    void chargeRecovery();
+
     AsbrConfig config_;
     BranchIdentificationTable bit_;
     BranchDirectionTable bdt_;
     AsbrStats stats_;
+    std::uint32_t pendingRecoveryStall_ = 0;
 };
 
 }  // namespace asbr

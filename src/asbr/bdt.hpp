@@ -7,6 +7,15 @@
 // decremented when the value reaches the early-condition-evaluation logic.
 // A branch may only be folded when the counter of its condition register is
 // zero — otherwise the precomputed direction bits could be stale.
+//
+// Robustness (docs/fault-injection.md): every entry carries one even-parity
+// bit over its condition bits and validity counter, maintained by all
+// legitimate writes.  The fault-injection port (`flip*`) corrupts stored
+// state *without* fixing parity, exactly like a radiation-induced bit flip;
+// in the ASBR unit's protected mode a parity mismatch quarantines the entry,
+// which permanently (for the run) disables folding on that register — the
+// branch falls back to the general predictor path, preserving architectural
+// correctness at a graceful fold-coverage cost.
 #pragma once
 
 #include <array>
@@ -19,38 +28,56 @@ namespace asbr {
 
 class BranchDirectionTable {
 public:
+    /// The validity counter is 3 bits wide (paper area proxy; a 5-stage
+    /// in-order pipeline can keep at most a handful of producers in flight).
+    static constexpr std::uint8_t kMaxPending = 7;
+
     BranchDirectionTable() { reset(); }
 
     /// Early Condition Evaluation (paper Figure 3): recompute all condition
     /// bits for `r` from the freshly produced value and release one pending
-    /// producer.
+    /// producer.  Quarantined entries ignore updates (they are dead for the
+    /// rest of the run).
     void update(std::uint8_t r, std::int32_t value) {
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
         Entry& e = entries_[r];
+        if (e.quarantined) return;
         ASBR_ENSURE(e.pending > 0, "BDT: update without pending producer");
         --e.pending;
         for (int c = 0; c < kNumConds; ++c)
             e.bits[static_cast<std::size_t>(c)] =
                 evalCond(static_cast<Cond>(c), value);
+        e.parity = computeParity(e);
     }
 
     /// A producer of `r` completed decode; direction bits for `r` are stale
-    /// until the matching update() arrives.
+    /// until the matching update() arrives.  The 3-bit counter must never
+    /// saturate in a correctly tracking pipeline — overflow means the
+    /// producer/update bookkeeping desynchronized.
     void producerDecoded(std::uint8_t r) {
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
-        ++entries_[r].pending;
+        Entry& e = entries_[r];
+        if (e.quarantined) return;
+        ASBR_ENSURE(e.pending < kMaxPending,
+                    "BDT: validity counter saturated (producer tracking "
+                    "desynchronized)");
+        ++e.pending;
+        e.parity = computeParity(e);
     }
 
     /// True when no producer of `r` is in flight (folding is legal).
+    /// Quarantined entries are never valid.
     [[nodiscard]] bool isValid(std::uint8_t r) const {
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
-        return entries_[r].pending == 0;
+        return !entries_[r].quarantined && entries_[r].pending == 0;
     }
 
     /// Precomputed direction for condition `c` on register `r`.  Only
     /// meaningful when isValid(r).
     [[nodiscard]] bool direction(std::uint8_t r, Cond c) const {
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        ASBR_ENSURE(static_cast<int>(c) < kNumConds,
+                    "BDT: bad condition index");
         return entries_[r].bits[static_cast<std::size_t>(c)];
     }
 
@@ -59,28 +86,86 @@ public:
         return entries_[r].pending;
     }
 
+    /// Parity check of entry `r` — true when the stored parity bit matches
+    /// the entry contents (no detectable corruption).
+    [[nodiscard]] bool parityOk(std::uint8_t r) const {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        return entries_[r].parity == computeParity(entries_[r]);
+    }
+
+    /// Take entry `r` out of service for the rest of the run (protected-mode
+    /// recovery after a parity mismatch).  Folding on `r` is disabled and
+    /// producer tracking for it becomes a no-op.
+    void quarantine(std::uint8_t r) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        entries_[r].quarantined = true;
+    }
+
+    [[nodiscard]] bool isQuarantined(std::uint8_t r) const {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        return entries_[r].quarantined;
+    }
+
+    /// Fault-injection port: flip the stored direction bit for (`r`, `c`)
+    /// WITHOUT updating parity (models a transient single-bit upset).
+    void flipConditionBit(std::uint8_t r, Cond c) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        ASBR_ENSURE(static_cast<int>(c) < kNumConds,
+                    "BDT: bad condition index");
+        auto& bit = entries_[r].bits[static_cast<std::size_t>(c)];
+        bit = !bit;
+    }
+
+    /// Fault-injection port: flip bit `bit` (0..2) of the validity counter.
+    void flipPendingBit(std::uint8_t r, unsigned bit) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        ASBR_ENSURE(bit < 3, "BDT: counter is 3 bits wide");
+        entries_[r].pending ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+    /// Fault-injection port: flip the parity bit itself.
+    void flipParityBit(std::uint8_t r) {
+        ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
+        entries_[r].parity = !entries_[r].parity;
+    }
+
     /// All registers valid with value 0 (machine reset state).
     void reset() {
         for (Entry& e : entries_) {
             e.pending = 0;
+            e.quarantined = false;
             for (int c = 0; c < kNumConds; ++c)
                 e.bits[static_cast<std::size_t>(c)] =
                     evalCond(static_cast<Cond>(c), 0);
+            e.parity = computeParity(e);
         }
     }
 
-    /// Storage cost in bits: per register, one bit per condition plus a
-    /// small validity counter (paper area proxy; 3-bit counters suffice for
-    /// a 5-stage in-order pipeline).
+    /// Storage cost in bits: per register, one bit per condition plus the
+    /// 3-bit validity counter.
     [[nodiscard]] static std::uint64_t storageBits() {
         return static_cast<std::uint64_t>(kNumRegs) * (kNumConds + 3);
     }
 
+    /// Extra storage of the protected variant: one parity bit per register.
+    [[nodiscard]] static std::uint64_t parityStorageBits() { return kNumRegs; }
+
 private:
     struct Entry {
         std::array<bool, kNumConds> bits{};
-        std::uint32_t pending = 0;
+        std::uint8_t pending = 0;  ///< 3-bit validity counter
+        bool parity = false;       ///< even parity over bits + pending
+        bool quarantined = false;  ///< protected-mode: entry out of service
     };
+
+    [[nodiscard]] static bool computeParity(const Entry& e) {
+        bool p = false;
+        for (const bool b : e.bits) p ^= b;
+        for (unsigned bit = 0; bit < 3; ++bit)
+            p ^= ((e.pending >> bit) & 1u) != 0;
+        return p;
+    }
+
     std::array<Entry, kNumRegs> entries_;
 };
 

@@ -117,6 +117,19 @@ public:
     void reset() override;
     [[nodiscard]] std::uint64_t storageBits() const override;
 
+    /// Fault-injection ports (src/fault): counter-table geometry and a
+    /// single-bit flip of a 2-bit counter.  The predictor is inherently
+    /// self-correcting, so these faults are usually masked — they anchor the
+    /// "timing-only corruption" end of the outcome taxonomy.
+    [[nodiscard]] std::uint32_t counterCount() const {
+        return static_cast<std::uint32_t>(counters_.size());
+    }
+    void flipCounterBit(std::uint32_t index, unsigned bit) {
+        ASBR_ENSURE(index < counters_.size(), "bimodal: bad counter index");
+        ASBR_ENSURE(bit < 2, "bimodal: counters are 2 bits wide");
+        counters_[index] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
 private:
     [[nodiscard]] std::size_t index(std::uint32_t pc) const;
     std::vector<std::uint8_t> counters_;

@@ -1,0 +1,227 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace asbr {
+
+const char* faultUnitName(FaultUnit unit) {
+    switch (unit) {
+        case FaultUnit::kBdtCond: return "bdt_cond";
+        case FaultUnit::kBdtCounter: return "bdt_counter";
+        case FaultUnit::kBdtParity: return "bdt_parity";
+        case FaultUnit::kBit: return "bit";
+        case FaultUnit::kBpCounter: return "bp_counter";
+    }
+    ASBR_ENSURE(false, "fault: bad unit enum");
+    return "";
+}
+
+namespace {
+
+FaultUnit faultUnitFromName(const std::string& name) {
+    for (const FaultUnit u :
+         {FaultUnit::kBdtCond, FaultUnit::kBdtCounter, FaultUnit::kBdtParity,
+          FaultUnit::kBit, FaultUnit::kBpCounter})
+        if (name == faultUnitName(u)) return u;
+    ASBR_ENSURE(false, "fault: unknown unit name '" + name + "'");
+    return FaultUnit::kBdtCond;
+}
+
+const char* bitFieldName(BitField field) {
+    switch (field) {
+        case BitField::kPc: return "pc";
+        case BitField::kDi: return "di";
+        case BitField::kBta: return "bta";
+        case BitField::kBti: return "bti";
+        case BitField::kBfi: return "bfi";
+        case BitField::kParity: return "parity";
+    }
+    ASBR_ENSURE(false, "fault: bad BIT field enum");
+    return "";
+}
+
+BitField bitFieldFromName(const std::string& name) {
+    for (const BitField f : {BitField::kPc, BitField::kDi, BitField::kBta,
+                             BitField::kBti, BitField::kBfi, BitField::kParity})
+        if (name == bitFieldName(f)) return f;
+    ASBR_ENSURE(false, "fault: unknown BIT field name '" + name + "'");
+    return BitField::kPc;
+}
+
+std::uint32_t uintField(const JsonValue& obj, const char* key) {
+    const JsonValue* v = obj.find(key);
+    ASBR_ENSURE(v != nullptr && v->isNumber(),
+                std::string("fault site: missing numeric field '") + key + "'");
+    return static_cast<std::uint32_t>(v->asUint());
+}
+
+}  // namespace
+
+std::string describeSite(const FaultSite& site) {
+    std::string out = faultUnitName(site.unit);
+    switch (site.unit) {
+        case FaultUnit::kBdtCond:
+            out += " r" + std::to_string(site.reg) +
+                   " cond=" + std::to_string(site.cond);
+            break;
+        case FaultUnit::kBdtCounter:
+            out += " r" + std::to_string(site.reg) +
+                   " bit=" + std::to_string(site.bit);
+            break;
+        case FaultUnit::kBdtParity:
+            out += " r" + std::to_string(site.reg);
+            break;
+        case FaultUnit::kBit:
+            out += " bank=" + std::to_string(site.bank) +
+                   " entry=" + std::to_string(site.entry) + " field=" +
+                   bitFieldName(site.field) + " bit=" + std::to_string(site.bit);
+            break;
+        case FaultUnit::kBpCounter:
+            out += " index=" + std::to_string(site.index) +
+                   " bit=" + std::to_string(site.bit);
+            break;
+    }
+    return out;
+}
+
+JsonValue faultSiteJson(const FaultSite& site) {
+    JsonObject obj;
+    obj.emplace_back("unit", faultUnitName(site.unit));
+    obj.emplace_back("reg", static_cast<std::uint64_t>(site.reg));
+    obj.emplace_back("cond", static_cast<std::uint64_t>(site.cond));
+    obj.emplace_back("bank", static_cast<std::uint64_t>(site.bank));
+    obj.emplace_back("entry", static_cast<std::uint64_t>(site.entry));
+    obj.emplace_back("field", bitFieldName(site.field));
+    obj.emplace_back("index", static_cast<std::uint64_t>(site.index));
+    obj.emplace_back("bit", static_cast<std::uint64_t>(site.bit));
+    return JsonValue{std::move(obj)};
+}
+
+FaultSite faultSiteFromJson(const JsonValue& value) {
+    ASBR_ENSURE(value.isObject(), "fault site: not a JSON object");
+    const JsonValue* unit = value.find("unit");
+    ASBR_ENSURE(unit != nullptr && unit->isString(),
+                "fault site: missing string field 'unit'");
+    const JsonValue* field = value.find("field");
+    ASBR_ENSURE(field != nullptr && field->isString(),
+                "fault site: missing string field 'field'");
+    FaultSite site;
+    site.unit = faultUnitFromName(unit->asString());
+    site.reg = uintField(value, "reg");
+    site.cond = uintField(value, "cond");
+    site.bank = uintField(value, "bank");
+    site.entry = uintField(value, "entry");
+    site.field = bitFieldFromName(field->asString());
+    site.index = uintField(value, "index");
+    site.bit = uintField(value, "bit");
+    return site;
+}
+
+const char* faultOutcomeName(FaultOutcome outcome) {
+    switch (outcome) {
+        case FaultOutcome::kMasked: return "masked";
+        case FaultOutcome::kDetectedRecovered: return "detected_recovered";
+        case FaultOutcome::kDetectedAborted: return "detected_aborted";
+        case FaultOutcome::kSdc: return "sdc";
+        case FaultOutcome::kHang: return "hang";
+    }
+    ASBR_ENSURE(false, "fault: bad outcome enum");
+    return "";
+}
+
+void applySite(const FaultSite& site, AsbrUnit& unit,
+               BimodalPredictor* bimodal) {
+    switch (site.unit) {
+        case FaultUnit::kBdtCond:
+            unit.bdtFaultPort().flipConditionBit(
+                static_cast<std::uint8_t>(site.reg),
+                static_cast<Cond>(site.cond));
+            break;
+        case FaultUnit::kBdtCounter:
+            unit.bdtFaultPort().flipPendingBit(
+                static_cast<std::uint8_t>(site.reg), site.bit);
+            break;
+        case FaultUnit::kBdtParity:
+            unit.bdtFaultPort().flipParityBit(
+                static_cast<std::uint8_t>(site.reg));
+            break;
+        case FaultUnit::kBit:
+            unit.bitFaultPort().flipEntryBit(site.bank, site.entry, site.field,
+                                             site.bit);
+            break;
+        case FaultUnit::kBpCounter:
+            ASBR_ENSURE(bimodal != nullptr,
+                        "fault: bp_counter site needs a bimodal predictor");
+            bimodal->flipCounterBit(site.index, site.bit);
+            break;
+    }
+}
+
+std::vector<FaultSite> enumerateSites(const AsbrUnit& unit,
+                                      const BimodalPredictor* bimodal,
+                                      const SiteFilter& filter) {
+    std::vector<FaultSite> sites;
+    const BranchIdentificationTable& bit = unit.bit();
+    if (filter.bdt) {
+        // The BDT entries that matter are the condition registers bank 0
+        // references; flips elsewhere can never reach the fold logic.
+        std::vector<std::uint8_t> regs;
+        for (std::size_t i = 0; i < bit.entryCount(0); ++i)
+            regs.push_back(bit.entryInfo(0, i).conditionReg);
+        std::sort(regs.begin(), regs.end());
+        regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+        for (const std::uint8_t r : regs) {
+            for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(kNumConds);
+                 ++c) {
+                FaultSite s;
+                s.unit = FaultUnit::kBdtCond;
+                s.reg = r;
+                s.cond = c;
+                sites.push_back(s);
+            }
+            for (std::uint32_t b = 0; b < 3; ++b) {
+                FaultSite s;
+                s.unit = FaultUnit::kBdtCounter;
+                s.reg = r;
+                s.bit = b;
+                sites.push_back(s);
+            }
+            FaultSite p;
+            p.unit = FaultUnit::kBdtParity;
+            p.reg = r;
+            sites.push_back(p);
+        }
+    }
+    if (filter.bit) {
+        for (std::size_t e = 0; e < bit.entryCount(0); ++e) {
+            for (const BitField f :
+                 {BitField::kPc, BitField::kDi, BitField::kBta, BitField::kBti,
+                  BitField::kBfi, BitField::kParity}) {
+                for (std::uint32_t b = 0; b < bitFieldWidth(f); ++b) {
+                    FaultSite s;
+                    s.unit = FaultUnit::kBit;
+                    s.bank = 0;
+                    s.entry = static_cast<std::uint32_t>(e);
+                    s.field = f;
+                    s.bit = b;
+                    sites.push_back(s);
+                }
+            }
+        }
+    }
+    if (filter.bp && bimodal != nullptr) {
+        for (std::uint32_t i = 0; i < bimodal->counterCount(); ++i)
+            for (std::uint32_t b = 0; b < 2; ++b) {
+                FaultSite s;
+                s.unit = FaultUnit::kBpCounter;
+                s.index = i;
+                s.bit = b;
+                sites.push_back(s);
+            }
+    }
+    return sites;
+}
+
+}  // namespace asbr

@@ -1,0 +1,198 @@
+#include "report/fault_report.hpp"
+
+namespace asbr {
+
+JsonValue faultReportJson(const FaultReportMeta& meta,
+                          const CampaignConfig& config,
+                          const CampaignResult& result) {
+    JsonObject doc;
+    doc.emplace_back("schema", kFaultReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+
+    JsonObject m;
+    m.emplace_back("benchmark", meta.benchmark);
+    m.emplace_back("predictor", meta.predictor);
+    m.emplace_back("seed", meta.seed);
+    m.emplace_back("samples", meta.samples);
+    m.emplace_back("protected", meta.protectedMode);
+    m.emplace_back("bit_entries", meta.bitEntries);
+    m.emplace_back("update_stage", meta.updateStage);
+    doc.emplace_back("meta", JsonValue(std::move(m)));
+
+    JsonObject campaign;
+    campaign.emplace_back("fault_seed", config.seed);
+    campaign.emplace_back("injections", config.injections);
+    campaign.emplace_back("max_cycle_factor", config.maxCycleFactor);
+    JsonObject targets;
+    targets.emplace_back("bdt", config.faultBdt);
+    targets.emplace_back("bit", config.faultBit);
+    targets.emplace_back("bp", config.faultBp);
+    campaign.emplace_back("targets", JsonValue(std::move(targets)));
+    campaign.emplace_back("clean_cycles", result.context.cleanCycles);
+    doc.emplace_back("campaign", JsonValue(std::move(campaign)));
+
+    JsonObject outcomes;
+    for (std::size_t o = 0; o < kNumFaultOutcomes; ++o)
+        outcomes.emplace_back(faultOutcomeName(static_cast<FaultOutcome>(o)),
+                              result.outcomes[o]);
+    doc.emplace_back("outcomes", JsonValue(std::move(outcomes)));
+
+    JsonArray injections;
+    injections.reserve(result.records.size());
+    for (const InjectionRecord& record : result.records) {
+        JsonObject r;
+        r.emplace_back("site", faultSiteJson(record.injection.site));
+        r.emplace_back("cycle", record.injection.cycle);
+        r.emplace_back("outcome", faultOutcomeName(record.outcome));
+        r.emplace_back("cycles", record.cycles);
+        r.emplace_back("recoveries", record.recoveries);
+        if (!record.detail.empty()) r.emplace_back("detail", record.detail);
+        injections.push_back(JsonValue(std::move(r)));
+    }
+    doc.emplace_back("injections", JsonValue(std::move(injections)));
+
+    return JsonValue(std::move(doc));
+}
+
+namespace {
+
+bool knownOutcomeName(const std::string& name) {
+    for (std::size_t o = 0; o < kNumFaultOutcomes; ++o)
+        if (name == faultOutcomeName(static_cast<FaultOutcome>(o))) return true;
+    return false;
+}
+
+}  // namespace
+
+ReportValidation validateFaultReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("fault_report: not a JSON object");
+        return out;
+    }
+    const auto member = [&](const JsonValue& obj, const char* key,
+                            const char* context) -> const JsonValue* {
+        const JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    };
+
+    if (const JsonValue* schema = member(doc, "schema", "fault_report"))
+        if (!schema->isString() || schema->asString() != kFaultReportSchema)
+            fail(std::string("fault_report: schema is not '") +
+                 kFaultReportSchema + "'");
+    if (const JsonValue* version = member(doc, "version", "fault_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            fail("fault_report: unsupported schema version");
+
+    if (const JsonValue* meta = member(doc, "meta", "fault_report")) {
+        if (!meta->isObject()) {
+            fail("fault_report: meta is not an object");
+        } else {
+            for (const char* key : {"benchmark", "predictor", "update_stage"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isString())
+                    fail(std::string("fault_report: meta.") + key +
+                         " missing or not a string");
+            }
+            for (const char* key : {"seed", "samples", "bit_entries"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("fault_report: meta.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* prot = meta->find("protected");
+            if (prot == nullptr || !prot->isBool())
+                fail("fault_report: meta.protected missing or not a bool");
+        }
+    }
+
+    if (const JsonValue* campaign = member(doc, "campaign", "fault_report")) {
+        if (!campaign->isObject()) {
+            fail("fault_report: campaign is not an object");
+        } else {
+            for (const char* key :
+                 {"fault_seed", "injections", "max_cycle_factor",
+                  "clean_cycles"}) {
+                const JsonValue* v = campaign->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("fault_report: campaign.") + key +
+                         " missing or not a number");
+            }
+            if (const JsonValue* targets =
+                    member(*campaign, "targets", "fault_report: campaign"))
+                if (!targets->isObject())
+                    fail("fault_report: campaign.targets is not an object");
+        }
+    }
+
+    std::uint64_t outcomeSum = 0;
+    bool outcomesOk = false;
+    if (const JsonValue* outcomes = member(doc, "outcomes", "fault_report")) {
+        if (!outcomes->isObject()) {
+            fail("fault_report: outcomes is not an object");
+        } else {
+            outcomesOk = true;
+            for (std::size_t o = 0; o < kNumFaultOutcomes; ++o) {
+                const char* name = faultOutcomeName(static_cast<FaultOutcome>(o));
+                const JsonValue* v = outcomes->find(name);
+                if (v == nullptr || !v->isNumber()) {
+                    fail(std::string("fault_report: outcomes.") + name +
+                         " missing or not a number");
+                    outcomesOk = false;
+                } else {
+                    outcomeSum += v->asUint();
+                }
+            }
+        }
+    }
+
+    if (const JsonValue* injections = member(doc, "injections", "fault_report")) {
+        if (!injections->isArray()) {
+            fail("fault_report: injections is not an array");
+        } else {
+            std::size_t index = 0;
+            for (const JsonValue& record : injections->asArray()) {
+                const std::string context =
+                    "fault_report: injections[" + std::to_string(index) + "]";
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    ++index;
+                    continue;
+                }
+                if (const JsonValue* site = record.find("site")) {
+                    try {
+                        (void)faultSiteFromJson(*site);
+                    } catch (const EnsureError& e) {
+                        fail(context + ".site: " + e.what());
+                    }
+                } else {
+                    fail(context + ": missing required member 'site'");
+                }
+                for (const char* key : {"cycle", "cycles", "recoveries"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* outcome = record.find("outcome");
+                if (outcome == nullptr || !outcome->isString() ||
+                    !knownOutcomeName(outcome->asString()))
+                    fail(context + ".outcome missing or not a known label");
+                ++index;
+            }
+            // Cross-field consistency: the histogram must account for every
+            // injected run, no more, no less.
+            if (outcomesOk && outcomeSum != injections->asArray().size())
+                fail("fault_report: outcome counts do not sum to the number "
+                     "of injections");
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

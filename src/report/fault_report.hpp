@@ -1,0 +1,43 @@
+// asbr.fault_report — the schema-versioned, machine-readable result of one
+// fault-injection campaign (docs/fault-injection.md).
+//
+// Like asbr.sim_report, the document is produced through exactly one code
+// path (here) and validated by an executable schema checker that CI runs on
+// every artifact.  Every value is an integer, string or bool — no floating
+// point — so a pinned-seed campaign serializes bit-identically across runs
+// and ci/faults.sh can diff whole files against committed goldens.
+#pragma once
+
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "report/report.hpp"
+#include "util/json.hpp"
+
+namespace asbr {
+
+inline constexpr const char* kFaultReportSchema = "asbr.fault_report";
+
+/// Identity of the campaign's workload/hardware configuration.  The string
+/// fields use the asbr-faults CLI tokens (e.g. benchmark "adpcm-enc",
+/// predictor "bimodal") so `asbr-faults replay` can rebuild the exact run
+/// from the report alone.
+struct FaultReportMeta {
+    std::string benchmark;
+    std::string predictor;
+    std::uint64_t seed = 0;     ///< input-generator seed
+    std::uint64_t samples = 0;  ///< input sample count
+    bool protectedMode = false; ///< AsbrConfig::parityProtected
+    std::uint64_t bitEntries = 0;
+    std::string updateStage;    ///< valueStageName(...)
+};
+
+/// Serialize a finished campaign (schema `asbr.fault_report`, version 1).
+[[nodiscard]] JsonValue faultReportJson(const FaultReportMeta& meta,
+                                        const CampaignConfig& config,
+                                        const CampaignResult& result);
+
+/// Schema validation; shares ReportValidation with the other report kinds.
+[[nodiscard]] ReportValidation validateFaultReportJson(const JsonValue& doc);
+
+}  // namespace asbr

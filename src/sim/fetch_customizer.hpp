@@ -58,6 +58,13 @@ public:
         (void)value;
     }
 
+    /// Fetch bubbles the customizer wants inserted after the current fetch —
+    /// the resynchronization cost of an internal recovery (e.g. an ASBR
+    /// parity-scrub after a detected soft error).  Called once per consulted
+    /// fetch; the return value is consumed (the customizer must clear its
+    /// pending debt).  Default: no stall.
+    virtual std::uint32_t takeRecoveryStall() { return 0; }
+
     virtual void reset() = 0;
 };
 

@@ -20,8 +20,10 @@ FunctionalResult FunctionalSim::run(std::uint64_t maxInstructions) {
     FunctionalResult result;
     IoContext io;
     while (!io.exited) {
-        ASBR_ENSURE(result.instructions < maxInstructions,
-                    "functional run exceeded instruction limit");
+        if (result.instructions >= maxInstructions)
+            throw SimTimeoutError(
+                "functional watchdog: run exceeded the instruction limit of " +
+                std::to_string(maxInstructions));
         const Instruction& ins = program_.at(state_.pc);
         const StepResult sr = step(state_, memory_, ins, io);
         ++result.instructions;

@@ -34,6 +34,9 @@ void PipelineStats::publish(MetricRegistry& registry) const {
       loadUseStalls);
     c("pipeline.redirect_stall_cycles",
       "fetch bubbles after control-flow redirects", redirectStallCycles);
+    c("pipeline.parity_stall_cycles",
+      "fetch bubbles spent resynchronizing after ASBR parity recoveries",
+      parityStallCycles);
     c("pipeline.icache_stall_cycles", "fetch cycles stalled on I-cache misses",
       icacheStallCycles);
     c("pipeline.dcache_stall_cycles", "MEM cycles stalled on D-cache misses",
@@ -269,6 +272,11 @@ void PipelineSim::stageFetch() {
         ++stats_.redirectStallCycles;
         return;
     }
+    if (parityStall_ > 0) {
+        --parityStall_;
+        ++stats_.parityStallCycles;
+        return;
+    }
     if (!program_.inText(fetchPc_)) {
         // Speculative fetch past the text segment (prefetch beyond an exit
         // syscall or down a wrong path).  Deliver an inert bubble; it is an
@@ -313,6 +321,9 @@ void PipelineSim::stageFetch() {
             pc = fold->replacementPc;
             ins = fold->replacement;
         }
+        // A parity recovery inside the customizer costs resync bubbles on
+        // the fetches that follow (the fetched instruction itself proceeds).
+        parityStall_ += customizer_->takeRecoveryStall();
     }
 
     slot.valid = true;
@@ -355,8 +366,13 @@ PipelineResult PipelineSim::run() {
     if (customizer_) customizer_->reset();
     while (true) {
         ++stats_.cycles;
-        ASBR_ENSURE(stats_.cycles <= config_.maxCycles,
-                    "pipeline run exceeded cycle limit");
+        if (stats_.cycles > config_.maxCycles)
+            throw SimTimeoutError(
+                "pipeline watchdog: run exceeded the configured cycle bound "
+                "of " +
+                std::to_string(config_.maxCycles) + " cycles");
+        if (config_.cycleHook != nullptr)
+            config_.cycleHook->onCycle(stats_.cycles);
         flushedThisCycle_ = false;
         // Snapshot for the load-use interlock: the instruction occupying EX
         // at the start of the cycle.

@@ -31,6 +31,16 @@ namespace asbr {
 class MetricRegistry;
 class Tracer;
 
+/// Per-cycle observer consulted at the top of every simulated cycle, before
+/// any stage runs.  Fault-injection campaigns use it to arm single-bit flips
+/// at exact cycles; it may mutate microarchitectural state but must not touch
+/// the pipeline's own latches.  Never affects timing by itself.
+class CycleHook {
+public:
+    virtual ~CycleHook() = default;
+    virtual void onCycle(std::uint64_t cycle) = 0;
+};
+
 /// Pipeline configuration.
 struct PipelineConfig {
     CacheConfig icache{8 * 1024, 32, 2, 8};
@@ -42,7 +52,13 @@ struct PipelineConfig {
     /// penalty = 2 (flushed stages) + redirectBubbles; the default of 1
     /// matches the 3-cycle penalty of the paper's SimpleScalar fetch path.
     std::uint32_t redirectBubbles = 1;
+    /// Watchdog: run() throws SimTimeoutError once this many cycles pass
+    /// without the program exiting.  The default is generous (a runaway
+    /// program, not a long one); fault campaigns tighten it to a small
+    /// multiple of the fault-free cycle count to classify hangs quickly.
     std::uint64_t maxCycles = 4'000'000'000ULL;
+    /// Optional per-cycle observer (fault injection).  Non-owning.
+    CycleHook* cycleHook = nullptr;
     /// Optional structured event tracer (docs/tracing.md).  Non-owning; only
     /// consulted when the build compiles the hooks in (ASBR_TRACING).
     /// Tracing never changes simulated timing — only host-side cost.
@@ -78,6 +94,7 @@ struct PipelineStats {
     std::uint64_t mispredicts = 0;        ///< control flushes (branches + jr/jalr)
     std::uint64_t loadUseStalls = 0;
     std::uint64_t redirectStallCycles = 0;
+    std::uint64_t parityStallCycles = 0;  ///< resync bubbles after parity recoveries
     std::uint64_t icacheStallCycles = 0;
     std::uint64_t dcacheStallCycles = 0;
     std::uint64_t mulDivStallCycles = 0;
@@ -186,6 +203,7 @@ private:
     std::uint32_t exBusy_ = 0;   ///< remaining extra EX cycles (mul/div)
     std::uint32_t memBusy_ = 0;  ///< remaining D-cache miss stall cycles
     std::uint32_t redirectStall_ = 0;  ///< remaining post-redirect bubbles
+    std::uint32_t parityStall_ = 0;    ///< remaining parity-recovery bubbles
     bool exStarted_ = false;     ///< idEx_ already executed architecturally
     bool memStarted_ = false;    ///< exMem_ already probed the D-cache
     bool flushedThisCycle_ = false;

@@ -17,6 +17,15 @@ public:
     explicit EnsureError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown when a simulation exceeds its cycle/instruction watchdog bound.
+/// Part of the EnsureError family so existing catch sites keep working, but
+/// distinguishable: fault campaigns classify it as a hang, not a failure of
+/// the simulator itself.
+class SimTimeoutError : public EnsureError {
+public:
+    explicit SimTimeoutError(const std::string& what) : EnsureError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void ensureFail(const char* expr, const char* file, int line,
                                     const std::string& msg) {

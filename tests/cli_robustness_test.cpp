@@ -1,0 +1,161 @@
+// CLI robustness (docs/fault-injection.md, "Robustness"): every asbr-* tool
+// must turn bad input — unknown flags, missing files, malformed JSON,
+// wrong-schema documents — into a one-line structured error and a non-zero
+// exit code.  No tool may die from an uncaught exception or a signal.
+//
+// The tests shell out to the real binaries (ASBR_TOOLS_DIR is injected by
+// CMake as the tool build directory) and inspect exit status + combined
+// stdout/stderr.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+    int exitCode = -1;
+    bool exitedNormally = false;  ///< false = killed by a signal (crash)
+    std::string output;           ///< combined stdout + stderr
+};
+
+RunResult runTool(const std::string& tool, const std::string& args) {
+    const std::string cmd =
+        std::string(ASBR_TOOLS_DIR) + "/" + tool + " " + args + " 2>&1";
+    std::FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    RunResult result;
+    if (pipe == nullptr) return result;
+    char buffer[4096];
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+        result.output += buffer;
+    const int status = pclose(pipe);
+    result.exitedNormally = WIFEXITED(status);
+    result.exitCode = result.exitedNormally ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+/// The shared contract for every rejection: normal exit, non-zero code,
+/// a diagnostic on exactly one line, and no uncaught-exception traces.
+void expectCleanRejection(const RunResult& r, const std::string& what) {
+    EXPECT_TRUE(r.exitedNormally) << what << " died from a signal:\n"
+                                  << r.output;
+    EXPECT_NE(r.exitCode, 0) << what << " accepted bad input:\n" << r.output;
+    EXPECT_FALSE(r.output.empty()) << what << " rejected silently";
+    EXPECT_EQ(r.output.npos, r.output.find("terminate called")) << r.output;
+    EXPECT_EQ(r.output.npos, r.output.find("Segmentation")) << r.output;
+}
+
+std::string writeTemp(const std::string& name, const std::string& content) {
+    const std::string path =
+        testing::TempDir() + "asbr_cli_robustness_" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+class CliRobustnessTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(CliRobustnessTest, UnknownFlagIsRejected) {
+    const RunResult r = runTool(GetParam(), "--definitely-not-a-flag");
+    expectCleanRejection(r, GetParam());
+}
+
+TEST_P(CliRobustnessTest, HelpSucceeds) {
+    const RunResult r = runTool(GetParam(), "--help");
+    EXPECT_TRUE(r.exitedNormally);
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("usage"), r.output.npos) << r.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tools, CliRobustnessTest,
+                         testing::Values("asbr-stats", "asbr-verify",
+                                         "asbr-faults"));
+
+TEST(CliRobustness, StatsUnknownCommand) {
+    expectCleanRejection(runTool("asbr-stats", "frobnicate"), "asbr-stats");
+}
+
+TEST(CliRobustness, StatsValidateMissingFile) {
+    expectCleanRejection(
+        runTool("asbr-stats", "validate /nonexistent/report.json"),
+        "asbr-stats validate");
+}
+
+TEST(CliRobustness, StatsValidateMalformedJson) {
+    const std::string path = writeTemp("bad.json", "{ this is : not json");
+    expectCleanRejection(runTool("asbr-stats", "validate " + path),
+                         "asbr-stats validate");
+}
+
+TEST(CliRobustness, StatsValidateWrongSchema) {
+    const std::string path = writeTemp(
+        "schema.json", R"({"schema":"asbr.made_up_schema","version":1})");
+    expectCleanRejection(runTool("asbr-stats", "validate " + path),
+                         "asbr-stats validate");
+}
+
+TEST(CliRobustness, StatsRunUnknownBench) {
+    expectCleanRejection(
+        runTool("asbr-stats", "run --bench=quake3 --predictor=bimodal"),
+        "asbr-stats run");
+}
+
+TEST(CliRobustness, StatsRunUnknownPredictor) {
+    expectCleanRejection(
+        runTool("asbr-stats", "run --bench=adpcm-enc --predictor=oracle2"),
+        "asbr-stats run");
+}
+
+TEST(CliRobustness, VerifyMissingFile) {
+    expectCleanRejection(runTool("asbr-verify", "/nonexistent/prog.s"),
+                         "asbr-verify");
+}
+
+TEST(CliRobustness, VerifyNoArguments) {
+    expectCleanRejection(runTool("asbr-verify", ""), "asbr-verify");
+}
+
+TEST(CliRobustness, FaultsUnknownCommand) {
+    expectCleanRejection(runTool("asbr-faults", "inject-everything"),
+                         "asbr-faults");
+}
+
+TEST(CliRobustness, FaultsCampaignUnknownBench) {
+    expectCleanRejection(
+        runTool("asbr-faults", "campaign --bench=doom --injections=1"),
+        "asbr-faults campaign");
+}
+
+TEST(CliRobustness, FaultsReplayMissingFile) {
+    expectCleanRejection(runTool("asbr-faults", "replay /nonexistent/fr.json"),
+                         "asbr-faults replay");
+}
+
+TEST(CliRobustness, FaultsReplayMalformedJson) {
+    const std::string path = writeTemp("fr_bad.json", "[1, 2, oops");
+    expectCleanRejection(runTool("asbr-faults", "replay " + path),
+                         "asbr-faults replay");
+}
+
+TEST(CliRobustness, FaultsValidateTruncatedReport) {
+    // Structurally valid JSON that fails schema validation.
+    const std::string path = writeTemp(
+        "fr_trunc.json",
+        R"({"schema":"asbr.fault_report","version":1,"meta":{}})");
+    expectCleanRejection(runTool("asbr-faults", "validate " + path),
+                         "asbr-faults validate");
+}
+
+TEST(CliRobustness, FaultsReplayIndexOutOfRange) {
+    const std::string path = writeTemp("fr_empty.json", "{}");
+    expectCleanRejection(runTool("asbr-faults", "replay " + path +
+                                                    " --index=999999"),
+                         "asbr-faults replay");
+}
+
+}  // namespace

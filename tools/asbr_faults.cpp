@@ -1,0 +1,409 @@
+// asbr-faults — deterministic fault-injection campaigns against the ASBR
+// hardware state (docs/fault-injection.md).
+//
+//   campaign   sweep seeded single-bit flips over BDT/BIT/predictor state on
+//              one benchmark, classify every run against the golden model and
+//              print/export the outcome histogram (asbr.fault_report)
+//   replay     re-run one recorded injection from a fault report and check
+//              that it reproduces the recorded outcome
+//   validate   schema-check an asbr.fault_report document
+//
+// Everything is seeded and integer-valued: the same command line produces a
+// byte-identical report, which ci/faults.sh diffs against committed goldens.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "fault/campaign.hpp"
+#include "report/fault_report.hpp"
+
+using namespace asbr;
+using namespace asbr::bench;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+    std::fputs(
+        "usage: asbr-faults <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  campaign [options]      run a seeded injection campaign\n"
+        "  replay FILE --index=K   re-run injection K of a fault report\n"
+        "  validate FILE           schema-check a fault report\n"
+        "\n"
+        "campaign options:\n"
+        "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
+        "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
+        "  --protected             enable BDT/BIT parity protection\n"
+        "  --injections=N          injected runs (default 48)\n"
+        "  --fault-seed=N          site/cycle sampling seed (default 1)\n"
+        "  --stage=ex_end|mem_end|commit   BDT update stage (default mem_end)\n"
+        "  --no-bdt --no-bit --no-bp       exclude a fault class\n"
+        "  --json=FILE             write the asbr.fault_report (\"-\" = stdout)\n"
+        "\n"
+        "shared options: --quick --seed=N --adpcm=N --g721=N\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+std::optional<std::uint64_t> numArg(const std::string& arg, const char* prefix) {
+    const std::size_t len = std::strlen(prefix);
+    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+    return std::strtoull(arg.c_str() + len, nullptr, 10);
+}
+
+std::optional<BenchId> benchFromName(const std::string& s) {
+    if (s == "adpcm-enc") return BenchId::kAdpcmEncode;
+    if (s == "adpcm-dec") return BenchId::kAdpcmDecode;
+    if (s == "g721-enc") return BenchId::kG721Encode;
+    if (s == "g721-dec") return BenchId::kG721Decode;
+    if (s == "g711-enc") return BenchId::kG711Encode;
+    if (s == "g711-dec") return BenchId::kG711Decode;
+    return std::nullopt;
+}
+
+std::unique_ptr<BranchPredictor> predictorFromName(const std::string& s) {
+    if (s == "not-taken") return makeNotTaken();
+    if (s == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
+    if (s == "bimodal") return makeBimodal2048();
+    if (s == "gshare") return makeGshare2048();
+    if (s == "tournament") return makeTournament2048();
+    if (s == "bi512") return makeAux512();
+    if (s == "bi256") return makeAux256();
+    return nullptr;
+}
+
+std::optional<ValueStage> stageFromName(const std::string& s) {
+    if (s == "ex_end") return ValueStage::kExEnd;
+    if (s == "mem_end") return ValueStage::kMemEnd;
+    if (s == "commit") return ValueStage::kCommit;
+    return std::nullopt;
+}
+
+/// Everything needed to rebuild identical FaultRuns; owns the program the
+/// runs point at, so it must outlive the campaign.
+struct Workload {
+    Prepared prepared;
+    std::vector<BranchInfo> infos;  ///< selected + extracted BIT entries
+    std::string predictorName;
+    AsbrConfig unitConfig;
+    FaultReportMeta meta;
+};
+
+/// Prepare the workload once: build + profile + select (all deterministic),
+/// so per-injection runs only re-instantiate the cheap hardware state.
+std::shared_ptr<Workload> makeWorkload(BenchId id, const Options& options,
+                                       const std::string& predictorName,
+                                       bool protectedMode, ValueStage stage) {
+    auto w = std::make_shared<Workload>();
+    w->prepared = prepare(id, options);
+    auto baseline = makeBimodal2048();
+    const PipelineResult base = runPipeline(w->prepared, *baseline);
+    const AsbrSetup setup =
+        prepareAsbr(w->prepared, paperBitEntries(id), stage,
+                    accuracyMap(base.stats), protectedMode);
+    const std::size_t entries = setup.unit->bit().entryCount(0);
+    w->infos.reserve(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+        w->infos.push_back(setup.unit->bit().entryInfo(0, i));
+    w->predictorName = predictorName;
+    w->unitConfig = setup.unit->config();
+    w->meta.benchmark = [&] {
+        for (const char* name :
+             {"adpcm-enc", "adpcm-dec", "g721-enc", "g721-dec", "g711-enc",
+              "g711-dec"})
+            if (benchFromName(name) == id) return std::string(name);
+        return std::string("?");
+    }();
+    w->meta.predictor = predictorName;
+    w->meta.seed = options.seed;
+    w->meta.samples = samplesFor(options, id);
+    w->meta.protectedMode = protectedMode;
+    w->meta.bitEntries = w->unitConfig.bitCapacity;
+    w->meta.updateStage = valueStageName(stage);
+    return w;
+}
+
+FaultRunFactory makeFactory(std::shared_ptr<Workload> w) {
+    return [w]() {
+        FaultRun run;
+        run.program = &w->prepared.program;
+        run.memory = makeMemory(w->prepared);
+        auto predictor = predictorFromName(w->predictorName);
+        ASBR_ENSURE(predictor != nullptr, "unknown predictor name");
+        run.bimodalTarget = dynamic_cast<BimodalPredictor*>(predictor.get());
+        run.predictor = std::move(predictor);
+        run.unit = std::make_unique<AsbrUnit>(w->unitConfig);
+        run.unit->loadBank(0, w->infos);
+        return run;
+    };
+}
+
+void printOutcomes(const CampaignResult& result) {
+    std::printf("outcomes:");
+    for (std::size_t o = 0; o < kNumFaultOutcomes; ++o)
+        std::printf(" %s=%llu", faultOutcomeName(static_cast<FaultOutcome>(o)),
+                    static_cast<unsigned long long>(result.outcomes[o]));
+    std::printf("\n");
+}
+
+int cmdCampaign(int argc, char** argv) {
+    Options options;
+    std::string bench;
+    std::string predictorName = "bimodal";
+    bool protectedMode = false;
+    ValueStage stage = ValueStage::kMemEnd;
+    CampaignConfig campaign;
+    campaign.injections = 48;
+    std::string jsonPath;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            options.adpcmSamples = 8'000;
+            options.g721Samples = 2'000;
+        } else if (const auto v = numArg(arg, "--seed=")) {
+            options.seed = *v;
+        } else if (const auto v = numArg(arg, "--adpcm=")) {
+            options.adpcmSamples = *v;
+        } else if (const auto v = numArg(arg, "--g721=")) {
+            options.g721Samples = *v;
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            bench = arg.substr(8);
+        } else if (arg.rfind("--predictor=", 0) == 0) {
+            predictorName = arg.substr(12);
+        } else if (arg == "--protected") {
+            protectedMode = true;
+        } else if (const auto v = numArg(arg, "--injections=")) {
+            campaign.injections = *v;
+        } else if (const auto v = numArg(arg, "--fault-seed=")) {
+            campaign.seed = *v;
+        } else if (arg.rfind("--stage=", 0) == 0) {
+            const auto s = stageFromName(arg.substr(8));
+            if (!s) {
+                std::fprintf(stderr, "campaign: unknown --stage '%s'\n",
+                             arg.substr(8).c_str());
+                return 2;
+            }
+            stage = *s;
+        } else if (arg == "--no-bdt") {
+            campaign.faultBdt = false;
+        } else if (arg == "--no-bit") {
+            campaign.faultBit = false;
+        } else if (arg == "--no-bp") {
+            campaign.faultBp = false;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            jsonPath = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "campaign: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const auto id = benchFromName(bench);
+    if (!id) {
+        std::fprintf(stderr,
+                     "campaign: --bench is required (adpcm-enc|adpcm-dec|"
+                     "g721-enc|g721-dec|g711-enc|g711-dec)\n");
+        return 2;
+    }
+    if (predictorFromName(predictorName) == nullptr) {
+        std::fprintf(stderr, "campaign: unknown --predictor '%s'\n",
+                     predictorName.c_str());
+        return 2;
+    }
+
+    const auto workload =
+        makeWorkload(*id, options, predictorName, protectedMode, stage);
+    const CampaignResult result =
+        runCampaign(makeFactory(workload), campaign);
+
+    std::printf("campaign: %s / %s%s, %llu injections, fault seed %llu\n",
+                workload->meta.benchmark.c_str(), predictorName.c_str(),
+                protectedMode ? " [protected]" : "",
+                static_cast<unsigned long long>(campaign.injections),
+                static_cast<unsigned long long>(campaign.seed));
+    std::printf("clean cycles: %llu\n",
+                static_cast<unsigned long long>(result.context.cleanCycles));
+    printOutcomes(result);
+
+    if (!jsonPath.empty()) {
+        const JsonValue doc =
+            faultReportJson(workload->meta, campaign, result);
+        const std::string text = doc.dump(2) + "\n";
+        if (jsonPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             jsonPath.c_str());
+                return 1;
+            }
+            out << text;
+            std::fprintf(stderr, "wrote fault report to %s\n",
+                         jsonPath.c_str());
+        }
+    }
+    return 0;
+}
+
+/// Load + parse + schema-check a fault report file.  Returns nullopt (after
+/// printing a one-line diagnosis) on any failure.
+std::optional<JsonValue> loadFaultReport(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const JsonParseResult parsed = parseJson(buffer.str());
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: JSON parse error: %s\n", path,
+                     parsed.error.c_str());
+        return std::nullopt;
+    }
+    return *parsed.value;
+}
+
+int cmdReplay(int argc, char** argv) {
+    const char* path = nullptr;
+    std::uint64_t index = 0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (const auto v = numArg(arg, "--index=")) {
+            index = *v;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "replay: unknown option '%s'\n", arg.c_str());
+            return 2;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "replay: unexpected argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr, "replay: a fault report FILE is required\n");
+        return 2;
+    }
+
+    const auto doc = loadFaultReport(path);
+    if (!doc) return 1;
+    const ReportValidation validation = validateFaultReportJson(*doc);
+    if (!validation.ok()) {
+        std::fprintf(stderr, "%s: not a valid fault report (%s)\n", path,
+                     validation.errors.front().c_str());
+        return 1;
+    }
+
+    const JsonValue& meta = *doc->find("meta");
+    const JsonValue& campaignJson = *doc->find("campaign");
+    const JsonArray& injections = doc->find("injections")->asArray();
+    if (index >= injections.size()) {
+        std::fprintf(stderr, "%s: --index=%llu out of range (%zu injections)\n",
+                     path, static_cast<unsigned long long>(index),
+                     injections.size());
+        return 2;
+    }
+
+    const auto id = benchFromName(meta.find("benchmark")->asString());
+    if (!id) {
+        std::fprintf(stderr, "%s: meta.benchmark is not a known workload\n",
+                     path);
+        return 1;
+    }
+    const auto stage = stageFromName(meta.find("update_stage")->asString());
+    if (!stage) {
+        std::fprintf(stderr, "%s: meta.update_stage is not a known stage\n",
+                     path);
+        return 1;
+    }
+    const std::string predictorName = meta.find("predictor")->asString();
+    if (predictorFromName(predictorName) == nullptr) {
+        std::fprintf(stderr, "%s: meta.predictor is not a known predictor\n",
+                     path);
+        return 1;
+    }
+
+    Options options;
+    options.seed = meta.find("seed")->asUint();
+    const std::uint64_t samples = meta.find("samples")->asUint();
+    options.adpcmSamples = samples;
+    options.g721Samples = samples;
+
+    const JsonValue& record = injections[index];
+    Injection injection;
+    injection.site = faultSiteFromJson(*record.find("site"));
+    injection.cycle = record.find("cycle")->asUint();
+    const std::string expected = record.find("outcome")->asString();
+
+    const auto workload = makeWorkload(
+        *id, options, predictorName, meta.find("protected")->asBool(), *stage);
+    const FaultRunFactory factory = makeFactory(workload);
+    const CampaignContext context = computeContext(factory);
+    const InjectionRecord replayed =
+        runInjection(factory, injection, context,
+                     campaignJson.find("max_cycle_factor")->asUint());
+
+    const char* got = faultOutcomeName(replayed.outcome);
+    std::printf("replay #%llu: %s @ cycle %llu -> %s (recorded %s)%s%s\n",
+                static_cast<unsigned long long>(index),
+                describeSite(injection.site).c_str(),
+                static_cast<unsigned long long>(injection.cycle), got,
+                expected.c_str(),
+                replayed.detail.empty() ? "" : " — ",
+                replayed.detail.c_str());
+    if (expected != got) {
+        std::fprintf(stderr, "replay: outcome mismatch (report not "
+                             "reproducible)\n");
+        return 1;
+    }
+    return 0;
+}
+
+int cmdValidate(const char* path) {
+    const auto doc = loadFaultReport(path);
+    if (!doc) return 1;
+    const ReportValidation validation = validateFaultReportJson(*doc);
+    for (const std::string& error : validation.errors)
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    if (!validation.ok()) return 1;
+    std::printf("%s: valid %s v%llu document\n", path, kFaultReportSchema,
+                static_cast<unsigned long long>(kReportSchemaVersion));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc < 2) usage(2);
+        const std::string command = argv[1];
+        if (command == "--help" || command == "-h" || command == "help")
+            usage(0);
+        if (command == "campaign") return cmdCampaign(argc - 2, argv + 2);
+        if (command == "replay") return cmdReplay(argc - 2, argv + 2);
+        if (command == "validate") {
+            if (argc != 3) usage(2);
+            return cmdValidate(argv[2]);
+        }
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        usage(2);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-faults: error: %s\n", e.what());
+        return 1;
+    }
+}

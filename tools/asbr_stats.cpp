@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "report/fault_report.hpp"
 #include "util/trace.hpp"
 
 using namespace asbr;
@@ -39,7 +40,7 @@ namespace {
         "run options:\n"
         "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
         "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
-        "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit]\n"
+        "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit] [--protected]\n"
         "  --json=FILE           write an asbr.sim_report (\"-\" = stdout)\n"
         "  --trace=FILE          record a pipeline trace to FILE\n"
         "  --trace-format=chrome|jsonl   (default chrome)\n"
@@ -123,6 +124,7 @@ int cmdRun(int argc, char** argv) {
     std::string bench;
     std::string predictorName = "bimodal";
     bool asbr = false;
+    bool protectedMode = false;
     std::size_t bitEntries = 0;  // 0 = the paper's count for the benchmark
     ValueStage stage = ValueStage::kMemEnd;
     std::string jsonPath;
@@ -146,6 +148,9 @@ int cmdRun(int argc, char** argv) {
         } else if (arg.rfind("--predictor=", 0) == 0) {
             predictorName = arg.substr(12);
         } else if (arg == "--asbr") {
+            asbr = true;
+        } else if (arg == "--protected") {
+            protectedMode = true;
             asbr = true;
         } else if (const auto v = numArg(arg, "--bit=")) {
             bitEntries = *v;
@@ -209,7 +214,7 @@ int cmdRun(int argc, char** argv) {
         const PipelineResult base = runPipeline(prepared, *baseline);
         setup = prepareAsbr(prepared,
                             bitEntries != 0 ? bitEntries : paperBitEntries(*id),
-                            stage, accuracyMap(base.stats));
+                            stage, accuracyMap(base.stats), protectedMode);
         customizer = setup.unit.get();
     }
 
@@ -365,6 +370,8 @@ int cmdValidate(const char* path) {
         validation = validateSimReportJson(*parsed.value);
     } else if (schema->asString() == kBenchReportSchema) {
         validation = validateBenchReportJson(*parsed.value);
+    } else if (schema->asString() == kFaultReportSchema) {
+        validation = validateFaultReportJson(*parsed.value);
     } else {
         std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
                      schema->asString().c_str());
@@ -382,16 +389,22 @@ int cmdValidate(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) usage(2);
-    const std::string command = argv[1];
-    if (command == "--help" || command == "-h" || command == "help") usage(0);
-    if (command == "counters") return cmdCounters();
-    if (command == "run") return cmdRun(argc - 2, argv + 2);
-    if (command == "report") return cmdReport(argc - 2, argv + 2);
-    if (command == "validate") {
-        if (argc != 3) usage(2);
-        return cmdValidate(argv[2]);
+    try {
+        if (argc < 2) usage(2);
+        const std::string command = argv[1];
+        if (command == "--help" || command == "-h" || command == "help")
+            usage(0);
+        if (command == "counters") return cmdCounters();
+        if (command == "run") return cmdRun(argc - 2, argv + 2);
+        if (command == "report") return cmdReport(argc - 2, argv + 2);
+        if (command == "validate") {
+            if (argc != 3) usage(2);
+            return cmdValidate(argv[2]);
+        }
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        usage(2);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-stats: error: %s\n", e.what());
+        return 1;
     }
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    usage(2);
 }

@@ -29,7 +29,7 @@ namespace {
 
 using namespace asbr;
 
-[[noreturn]] void usage() {
+[[noreturn]] void usage(int code) {
     std::puts(
         "usage: asbr-verify <file.c|file.s> [options]\n"
         "  --threshold=2|3|4   fold-distance threshold (default 3)\n"
@@ -42,7 +42,7 @@ using namespace asbr;
         "  --require-safe      selection drops Illegal candidates\n"
         "  --no-schedule       disable the condition-scheduling pass\n"
         "  --quiet             summary only, no per-branch table");
-    std::exit(2);
+    std::exit(code);
 }
 
 std::size_t parseCount(const std::string& arg, const std::string& value) {
@@ -60,7 +60,10 @@ std::size_t parseCount(const std::string& arg, const std::string& value) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) usage();
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h")
+            usage(0);
+    if (argc < 2) usage(2);
     const std::string path = argv[1];
 
     std::uint32_t threshold = 3;
@@ -89,7 +92,7 @@ int main(int argc, char** argv) {
         else {
             std::fprintf(stderr, "asbr-verify: unknown option '%s'\n",
                          arg.c_str());
-            usage();
+            usage(2);
         }
     }
 
