@@ -138,14 +138,22 @@ std::uint32_t thresholdFor(ValueStage stage) {
 AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
                       ValueStage updateStage,
                       const std::map<std::uint32_t, double>& accuracyByPc,
-                      bool parityProtected) {
+                      bool parityProtected, bool staticFolds) {
     const ProgramProfile profile = profileOf(prepared);
     SelectionConfig config;
     config.bitCapacity = bitEntries;
     config.threshold = thresholdFor(updateStage);
     AsbrSetup setup;
-    setup.candidates =
-        selectFoldableBranches(prepared.program, profile, accuracyByPc, config);
+    if (staticFolds) {
+        FoldSelection selection = selectWithStaticVerdicts(
+            prepared.program, profile, accuracyByPc, config);
+        setup.candidates = std::move(selection.dynamic);
+        setup.staticCandidates = std::move(selection.statics);
+        setup.bitSlotsReclaimed = selection.bitSlotsReclaimed;
+    } else {
+        setup.candidates = selectFoldableBranches(prepared.program, profile,
+                                                  accuracyByPc, config);
+    }
     AsbrConfig unitConfig;
     unitConfig.updateStage = updateStage;
     unitConfig.bitCapacity = std::max<std::size_t>(bitEntries, 1);
@@ -153,6 +161,14 @@ AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
     setup.unit = std::make_unique<AsbrUnit>(unitConfig);
     setup.unit->loadBank(
         0, extractBranchInfos(prepared.program, candidatePcs(setup.candidates)));
+    if (!setup.staticCandidates.empty()) {
+        std::vector<StaticFoldEntry> entries;
+        entries.reserve(setup.staticCandidates.size());
+        for (const StaticFoldCandidate& s : setup.staticCandidates)
+            entries.push_back(extractStaticFold(prepared.program, s.pc, s.taken));
+        setup.unit->loadStaticFolds(std::move(entries),
+                                    setup.bitSlotsReclaimed);
+    }
     return setup;
 }
 

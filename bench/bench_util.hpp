@@ -82,14 +82,22 @@ struct Prepared {
 /// candidates.
 struct AsbrSetup {
     std::vector<Candidate> candidates;
+    /// Statically-decided branches loaded into the unit's static fold table
+    /// (empty unless prepareAsbr ran with staticFolds = true).
+    std::vector<StaticFoldCandidate> staticCandidates;
+    std::uint64_t bitSlotsReclaimed = 0;
     std::unique_ptr<AsbrUnit> unit;
 };
 
+/// `staticFolds` opts into the two-class selection (selectWithStaticVerdicts):
+/// statically-decided branches fold from the static table, freeing their BIT
+/// slots.  Default off — the classic dynamic-only customization, which keeps
+/// existing goldens (fault campaigns, bench reports) byte-identical.
 [[nodiscard]] AsbrSetup prepareAsbr(
     const Prepared& prepared, std::size_t bitEntries,
     ValueStage updateStage = ValueStage::kMemEnd,
     const std::map<std::uint32_t, double>& accuracyByPc = {},
-    bool parityProtected = false);
+    bool parityProtected = false, bool staticFolds = false);
 
 /// Threshold (2/3/4) implied by a BDT update stage.
 [[nodiscard]] std::uint32_t thresholdFor(ValueStage stage);

@@ -61,7 +61,7 @@ done <<< "$registry"
 documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\)\.[a-z0-9_.]*`' docs/*.md \
     | sed 's/.*`\(.*\)`/\1/' \
     | grep -v -e '^asbr\.sim_report$' -e '^asbr\.bench_report$' \
-              -e '^asbr\.fault_report$' \
+              -e '^asbr\.fault_report$' -e '^asbr\.analysis_report$' \
     | sort -u)
 while IFS= read -r name; do
     [[ -n "$name" ]] || continue

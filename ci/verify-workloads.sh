@@ -34,6 +34,30 @@ for fixture in tests/fixtures/*.s; do
     fi
 done
 
+# ----------------------------------------------------- analysis goldens ----
+# The static-analysis reports for the two paper encoders are pure functions
+# of the program text, so the committed goldens must reproduce byte for
+# byte.  Regenerate intentionally with:
+#   build/tools/asbr-verify analyze --bench=B --out=tests/golden/analysis_B.json
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for bench in adpcm-enc g721-enc; do
+    golden="tests/golden/analysis_${bench//-/_}.json"
+    out="$tmpdir/$(basename "$golden")"
+    if ! "$VERIFY" analyze --bench="$bench" --out="$out" --quiet \
+            > "$tmpdir/log" 2>&1; then
+        echo "FAIL: asbr-verify analyze --bench=$bench failed:" >&2
+        cat "$tmpdir/log" >&2
+        status=1
+    elif ! diff -q "$golden" "$out" > /dev/null; then
+        echo "FAIL: $golden drifted from the static analysis:" >&2
+        diff "$golden" "$out" | head -20 >&2
+        status=1
+    else
+        echo "ok: $golden reproduced bit-for-bit"
+    fi
+done
+
 # The fault-injection regression rides along with the workload gate: the
 # same build tree, the same committed goldens (see ci/faults.sh).
 ci/faults.sh || status=1

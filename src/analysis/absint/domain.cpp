@@ -1,0 +1,453 @@
+#include "analysis/absint/domain.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace asbr::analysis {
+
+namespace {
+
+constexpr std::int64_t kI32Min = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kI32Max = std::numeric_limits<std::int32_t>::max();
+
+unsigned signsOfRange(std::int64_t lo, std::int64_t hi) {
+    unsigned s = 0;
+    if (lo < 0) s |= kSignNeg;
+    if (lo <= 0 && hi >= 0) s |= kSignZero;
+    if (hi > 0) s |= kSignPos;
+    return s;
+}
+
+/// Mutual reduction of the two components; canonicalizes bottom.
+AbsValue normalize(std::int64_t lo, std::int64_t hi, unsigned signs) {
+    lo = std::max(lo, kI32Min);
+    hi = std::min(hi, kI32Max);
+    signs &= signsOfRange(lo, hi);
+    if ((signs & kSignNeg) == 0) lo = std::max<std::int64_t>(lo, 0);
+    if ((signs & kSignPos) == 0) hi = std::min<std::int64_t>(hi, 0);
+    if ((signs & kSignZero) == 0) {
+        if (lo == 0) lo = 1;
+        if (hi == 0) hi = -1;
+    }
+    if (lo > hi || signs == 0) return AbsValue::bottom();
+    return AbsValue{lo, hi, signs};
+}
+
+/// Smallest value of the form 2^k - 1 that is >= x (x must be >= 0).
+std::int64_t maskAbove(std::int64_t x) {
+    std::int64_t m = 0;
+    while (m < x) m = m * 2 + 1;
+    return std::min(m, kI32Max);
+}
+
+/// Threshold ladder for widening: sign boundaries plus the bit-width
+/// magnitudes the codec workloads index and mask with.
+constexpr std::int64_t kThresholds[] = {
+    kI32Min, -65536, -256, -1, 0, 1, 16, 256, 4096, 65536, kI32Max,
+};
+
+std::int64_t widenLowTo(std::int64_t v) {
+    std::int64_t best = kI32Min;
+    for (const std::int64_t t : kThresholds)
+        if (t <= v) best = std::max(best, t);
+    return best;
+}
+
+std::int64_t widenHighTo(std::int64_t v) {
+    std::int64_t best = kI32Max;
+    for (const std::int64_t t : kThresholds)
+        if (t >= v) best = std::min(best, t);
+    return best;
+}
+
+/// Exact reimplementation of exec.cpp's aluOp for the constant x constant
+/// fast path (exec.cpp keeps its version file-local).
+std::int32_t concreteAlu(Op op, std::int32_t a, std::int32_t b) {
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    switch (op) {
+        case Op::kAddu: return static_cast<std::int32_t>(ua + ub);
+        case Op::kSubu: return static_cast<std::int32_t>(ua - ub);
+        case Op::kAnd: return a & b;
+        case Op::kOr: return a | b;
+        case Op::kXor: return a ^ b;
+        case Op::kNor: return ~(a | b);
+        case Op::kSlt: return a < b ? 1 : 0;
+        case Op::kSltu: return ua < ub ? 1 : 0;
+        case Op::kSllv: return static_cast<std::int32_t>(ua << (ub & 31u));
+        case Op::kSrlv: return static_cast<std::int32_t>(ua >> (ub & 31u));
+        case Op::kSrav: return a >> (ub & 31u);
+        case Op::kMul:
+            return static_cast<std::int32_t>(static_cast<std::int64_t>(a) *
+                                             static_cast<std::int64_t>(b));
+        case Op::kMulh:
+            return static_cast<std::int32_t>(
+                (static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b)) >>
+                32);
+        case Op::kDiv:
+            if (b == 0) return 0;
+            if (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+                return a;
+            return a / b;
+        case Op::kDivu: return ub == 0 ? 0 : static_cast<std::int32_t>(ua / ub);
+        case Op::kRem:
+            if (b == 0) return a;
+            if (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+                return 0;
+            return a % b;
+        case Op::kRemu: return ub == 0 ? a : static_cast<std::int32_t>(ua % ub);
+        default: return 0;
+    }
+}
+
+std::int32_t concreteAluImm(Op op, std::int32_t a, std::int32_t imm) {
+    switch (op) {
+        case Op::kAddiu:
+            return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                             static_cast<std::uint32_t>(imm));
+        case Op::kAndi: return a & imm;
+        case Op::kOri: return a | imm;
+        case Op::kXori: return a ^ imm;
+        case Op::kSlti: return a < imm ? 1 : 0;
+        case Op::kSltiu:
+            return static_cast<std::uint32_t>(a) <
+                           static_cast<std::uint32_t>(imm)
+                       ? 1
+                       : 0;
+        case Op::kLui:
+            return static_cast<std::int32_t>(static_cast<std::uint32_t>(imm)
+                                             << 16);
+        case Op::kSll:
+            return static_cast<std::int32_t>(static_cast<std::uint32_t>(a)
+                                             << (imm & 31));
+        case Op::kSrl:
+            return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >>
+                                             (imm & 31));
+        case Op::kSra: return a >> (imm & 31);
+        default: return 0;
+    }
+}
+
+/// Abstract 0/1 comparison result from possibility flags.
+AbsValue boolResult(bool canFalse, bool canTrue) {
+    if (canTrue && !canFalse) return AbsValue::constant(1);
+    if (canFalse && !canTrue) return AbsValue::constant(0);
+    return AbsValue::range(0, 1);
+}
+
+AbsValue absAdd(const AbsValue& a, const AbsValue& b) {
+    const std::int64_t lo = a.lo + b.lo;
+    const std::int64_t hi = a.hi + b.hi;
+    if (lo < kI32Min || hi > kI32Max) return AbsValue::top();  // may wrap
+    return AbsValue::range(lo, hi);
+}
+
+AbsValue absSub(const AbsValue& a, const AbsValue& b) {
+    const std::int64_t lo = a.lo - b.hi;
+    const std::int64_t hi = a.hi - b.lo;
+    if (lo < kI32Min || hi > kI32Max) return AbsValue::top();
+    return AbsValue::range(lo, hi);
+}
+
+AbsValue absSlt(const AbsValue& a, const AbsValue& b) {
+    return boolResult(/*canFalse=*/a.hi >= b.lo, /*canTrue=*/a.lo < b.hi);
+}
+
+/// Signed division by a non-zero constant (trunc division is monotone).
+AbsValue absDivByConst(const AbsValue& a, std::int32_t c) {
+    if (c == 0) return AbsValue::constant(0);
+    if (c == -1) {
+        if (a.containsValue(std::numeric_limits<std::int32_t>::min()))
+            return AbsValue::top();  // INT_MIN / -1 wraps
+        return AbsValue::range(-a.hi, -a.lo);
+    }
+    const auto lo32 = static_cast<std::int32_t>(a.lo);
+    const auto hi32 = static_cast<std::int32_t>(a.hi);
+    if (c > 0) return AbsValue::range(lo32 / c, hi32 / c);
+    return AbsValue::range(hi32 / c, lo32 / c);
+}
+
+/// Signed remainder with divisor magnitudes in [mlo, mhi], mlo >= 1.
+/// The result keeps the dividend's sign and |rem| <= min(|a|, mhi - 1).
+AbsValue absRemByMagnitude(const AbsValue& a, std::int64_t mhi) {
+    const std::int64_t bound = mhi - 1;
+    std::int64_t lo = a.lo >= 0 ? 0 : std::max(a.lo, -bound);
+    std::int64_t hi = a.hi <= 0 ? 0 : std::min(a.hi, bound);
+    return AbsValue::range(lo, hi);
+}
+
+}  // namespace
+
+AbsValue AbsValue::top() { return AbsValue{kI32Min, kI32Max, kSignAll}; }
+
+AbsValue AbsValue::constant(std::int32_t v) {
+    const unsigned s = v < 0 ? kSignNeg : (v == 0 ? kSignZero : kSignPos);
+    return AbsValue{v, v, s};
+}
+
+AbsValue AbsValue::range(std::int64_t lo, std::int64_t hi) {
+    return normalize(lo, hi, kSignAll);
+}
+
+bool AbsValue::isTop() const {
+    return lo == kI32Min && hi == kI32Max && signs == kSignAll;
+}
+
+bool AbsValue::contains(const AbsValue& other) const {
+    if (other.isBottom()) return true;
+    if (isBottom()) return false;
+    return lo <= other.lo && hi >= other.hi && (other.signs & ~signs) == 0;
+}
+
+bool AbsValue::containsValue(std::int32_t v) const {
+    if (isBottom() || v < lo || v > hi) return false;
+    const unsigned s = v < 0 ? kSignNeg : (v == 0 ? kSignZero : kSignPos);
+    return (signs & s) != 0;
+}
+
+bool AbsValue::operator==(const AbsValue& other) const {
+    if (isBottom() && other.isBottom()) return true;
+    return lo == other.lo && hi == other.hi && signs == other.signs;
+}
+
+AbsValue AbsValue::join(const AbsValue& other) const {
+    if (isBottom()) return other;
+    if (other.isBottom()) return *this;
+    return normalize(std::min(lo, other.lo), std::max(hi, other.hi),
+                     signs | other.signs);
+}
+
+AbsValue AbsValue::meet(const AbsValue& other) const {
+    if (isBottom() || other.isBottom()) return bottom();
+    return normalize(std::max(lo, other.lo), std::min(hi, other.hi),
+                     signs & other.signs);
+}
+
+AbsValue AbsValue::widen(const AbsValue& next) const {
+    if (isBottom()) return next;
+    if (next.isBottom()) return *this;
+    const std::int64_t wlo = next.lo >= lo ? lo : widenLowTo(next.lo);
+    const std::int64_t whi = next.hi <= hi ? hi : widenHighTo(next.hi);
+    return normalize(wlo, whi, signs | next.signs);
+}
+
+std::string AbsValue::str() const {
+    if (isBottom()) return "_|_";
+    if (isConstant()) return std::to_string(lo);
+    std::string s = "[";
+    s += std::to_string(lo);
+    s += ",";
+    s += std::to_string(hi);
+    s += "]{";
+    if (signs & kSignNeg) s += '-';
+    if (signs & kSignZero) s += '0';
+    if (signs & kSignPos) s += '+';
+    return s + "}";
+}
+
+TriBool evalCondAbs(Cond c, const AbsValue& v) {
+    if (v.isBottom()) return TriBool::kUnknown;
+    const bool mayNeg = (v.signs & kSignNeg) != 0;
+    const bool mayZero = (v.signs & kSignZero) != 0;
+    const bool mayPos = (v.signs & kSignPos) != 0;
+    bool canTrue = false;
+    bool canFalse = false;
+    switch (c) {
+        case Cond::kEqz: canTrue = mayZero; canFalse = mayNeg || mayPos; break;
+        case Cond::kNez: canTrue = mayNeg || mayPos; canFalse = mayZero; break;
+        case Cond::kLez: canTrue = mayNeg || mayZero; canFalse = mayPos; break;
+        case Cond::kGtz: canTrue = mayPos; canFalse = mayNeg || mayZero; break;
+        case Cond::kLtz: canTrue = mayNeg; canFalse = mayZero || mayPos; break;
+        case Cond::kGez: canTrue = mayZero || mayPos; canFalse = mayNeg; break;
+    }
+    if (canTrue && !canFalse) return TriBool::kTrue;
+    if (canFalse && !canTrue) return TriBool::kFalse;
+    return TriBool::kUnknown;
+}
+
+AbsValue refineByCond(Cond c, const AbsValue& v) {
+    switch (c) {
+        case Cond::kEqz: return v.meet(AbsValue::constant(0));
+        case Cond::kNez:
+            return v.meet(AbsValue{kI32Min, kI32Max, kSignNeg | kSignPos});
+        case Cond::kLez: return v.meet(AbsValue::range(kI32Min, 0));
+        case Cond::kGtz: return v.meet(AbsValue::range(1, kI32Max));
+        case Cond::kLtz: return v.meet(AbsValue::range(kI32Min, -1));
+        case Cond::kGez: return v.meet(AbsValue::range(0, kI32Max));
+    }
+    return v;
+}
+
+AbsValue absAluOp(Op op, const AbsValue& a, const AbsValue& b) {
+    if (a.isBottom() || b.isBottom()) return AbsValue::bottom();
+    if (a.isConstant() && b.isConstant())
+        return AbsValue::constant(concreteAlu(op,
+                                              static_cast<std::int32_t>(a.lo),
+                                              static_cast<std::int32_t>(b.lo)));
+    switch (op) {
+        case Op::kAddu: return absAdd(a, b);
+        case Op::kSubu: return absSub(a, b);
+        case Op::kAnd:
+            if (a.lo >= 0 && b.lo >= 0)
+                return AbsValue::range(0, std::min(a.hi, b.hi));
+            if (a.lo >= 0) return AbsValue::range(0, a.hi);
+            if (b.lo >= 0) return AbsValue::range(0, b.hi);
+            return AbsValue::top();
+        case Op::kOr:
+            if (a.lo >= 0 && b.lo >= 0)
+                return AbsValue::range(std::max(a.lo, b.lo),
+                                       maskAbove(std::max(a.hi, b.hi)));
+            return AbsValue::top();
+        case Op::kXor:
+            if (a.lo >= 0 && b.lo >= 0)
+                return AbsValue::range(0, maskAbove(std::max(a.hi, b.hi)));
+            return AbsValue::top();
+        case Op::kNor:
+            // ~(a|b) of non-negative operands is strictly negative.
+            if (a.lo >= 0 && b.lo >= 0) return AbsValue::range(kI32Min, -1);
+            return AbsValue::top();
+        case Op::kSlt: return absSlt(a, b);
+        case Op::kSltu:
+            // Unsigned order coincides with signed order on non-negatives.
+            if (a.lo >= 0 && b.lo >= 0) return absSlt(a, b);
+            return AbsValue::range(0, 1);
+        case Op::kSllv:
+            if (b.isConstant())
+                return absAluImmOp(Op::kSll, a,
+                                   static_cast<std::int32_t>(b.lo));
+            return AbsValue::top();
+        case Op::kSrlv:
+            if (b.isConstant())
+                return absAluImmOp(Op::kSrl, a,
+                                   static_cast<std::int32_t>(b.lo));
+            return AbsValue::top();
+        case Op::kSrav: {
+            if (b.isConstant())
+                return absAluImmOp(Op::kSra, a,
+                                   static_cast<std::int32_t>(b.lo));
+            // Arithmetic shifts move values toward 0/-1 but never across zero.
+            const std::int64_t lo = a.lo < 0 ? a.lo : 0;
+            const std::int64_t hi = a.hi >= 0 ? a.hi : -1;
+            return AbsValue::range(lo, hi);
+        }
+        case Op::kMul: {
+            const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                                       a.hi * b.hi};
+            const auto [mn, mx] = std::minmax_element(std::begin(p),
+                                                      std::end(p));
+            if (*mn < kI32Min || *mx > kI32Max) return AbsValue::top();
+            return AbsValue::range(*mn, *mx);
+        }
+        case Op::kMulh: {
+            // (a*b) >> 32 over int64 products is exact and monotone in a*b.
+            const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                                       a.hi * b.hi};
+            const auto [mn, mx] = std::minmax_element(std::begin(p),
+                                                      std::end(p));
+            return AbsValue::range(*mn >> 32, *mx >> 32);
+        }
+        case Op::kDiv:
+            if (b.isConstant())
+                return absDivByConst(a, static_cast<std::int32_t>(b.lo));
+            if (b.lo > 0)
+                return absDivByConst(a, static_cast<std::int32_t>(b.lo))
+                    .join(absDivByConst(a, static_cast<std::int32_t>(b.hi)));
+            return AbsValue::top();
+        case Op::kDivu:
+            if (a.lo >= 0 && b.isConstant() && b.lo >= 0)
+                return absDivByConst(a, static_cast<std::int32_t>(b.lo));
+            if (a.lo >= 0) return AbsValue::range(0, a.hi);  // b=0 gives 0
+            return AbsValue::top();
+        case Op::kRem:
+            if (b.isConstant()) {
+                const auto c = static_cast<std::int32_t>(b.lo);
+                if (c == 0) return a;  // rem-by-zero is the identity
+                const std::int64_t mag =
+                    c == std::numeric_limits<std::int32_t>::min()
+                        ? -static_cast<std::int64_t>(c)
+                        : std::abs(static_cast<std::int64_t>(c));
+                if (mag == 1) return AbsValue::constant(0);
+                return absRemByMagnitude(a, mag);
+            }
+            if (b.lo > 0) return absRemByMagnitude(a, b.hi);
+            return AbsValue::top();
+        case Op::kRemu:
+            if (b.isConstant() && b.lo == 0) return a;
+            if (a.lo >= 0 && b.lo > 0)
+                return absRemByMagnitude(a, b.hi);
+            if (a.lo >= 0) return AbsValue::range(0, a.hi);  // b=0 gives a
+            return AbsValue::top();
+        default: return AbsValue::top();
+    }
+}
+
+AbsValue absAluImmOp(Op op, const AbsValue& a, std::int32_t imm) {
+    if (a.isBottom()) return AbsValue::bottom();
+    if (a.isConstant())
+        return AbsValue::constant(
+            concreteAluImm(op, static_cast<std::int32_t>(a.lo), imm));
+    switch (op) {
+        case Op::kAddiu: return absAdd(a, AbsValue::constant(imm));
+        case Op::kAndi:
+            if (imm >= 0)
+                return a.lo >= 0
+                           ? AbsValue::range(0, std::min<std::int64_t>(a.hi,
+                                                                       imm))
+                           : AbsValue::range(0, imm);
+            if (a.lo >= 0) return AbsValue::range(0, a.hi);
+            return AbsValue::top();
+        case Op::kOri:
+            if (imm >= 0 && a.lo >= 0)
+                return AbsValue::range(std::max<std::int64_t>(a.lo, imm),
+                                       maskAbove(std::max<std::int64_t>(a.hi,
+                                                                        imm)));
+            // OR with a negative mask sets the sign bit and only sets bits,
+            // so (unsigned-monotone on negatives) the result is in [imm, -1].
+            if (imm < 0) return AbsValue::range(imm, -1);
+            return AbsValue::top();
+        case Op::kXori:
+            if (imm >= 0 && a.lo >= 0)
+                return AbsValue::range(0, maskAbove(std::max<std::int64_t>(
+                                              a.hi, imm)));
+            return AbsValue::top();
+        case Op::kSlti: return absSlt(a, AbsValue::constant(imm));
+        case Op::kSltiu:
+            if (a.lo >= 0 && imm >= 0) return absSlt(a, AbsValue::constant(imm));
+            return AbsValue::range(0, 1);
+        case Op::kLui:
+            return AbsValue::constant(static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(imm) << 16));
+        case Op::kSll: {
+            const int s = imm & 31;
+            const std::int64_t lo = a.lo << s;
+            const std::int64_t hi = a.hi << s;
+            if (lo < kI32Min || hi > kI32Max) return AbsValue::top();
+            return AbsValue::range(lo, hi);
+        }
+        case Op::kSrl: {
+            const int s = imm & 31;
+            if (s == 0) return a;
+            if (a.lo >= 0) return AbsValue::range(a.lo >> s, a.hi >> s);
+            if (a.hi < 0)  // all negative: unsigned-monotone
+                return AbsValue::range(
+                    static_cast<std::uint32_t>(a.lo) >> s,
+                    static_cast<std::uint32_t>(a.hi) >> s);
+            return AbsValue::range(0, 0xFFFF'FFFFu >> s);
+        }
+        case Op::kSra: return AbsValue::range(a.lo >> (imm & 31),
+                                              a.hi >> (imm & 31));
+        default: return AbsValue::top();
+    }
+}
+
+AbsValue absLoadResult(Op op) {
+    switch (op) {
+        case Op::kLb: return AbsValue::range(-128, 127);
+        case Op::kLbu: return AbsValue::range(0, 255);
+        case Op::kLh: return AbsValue::range(-32768, 32767);
+        case Op::kLhu: return AbsValue::range(0, 65535);
+        default: return AbsValue::top();  // kLw
+    }
+}
+
+}  // namespace asbr::analysis

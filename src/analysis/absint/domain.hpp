@@ -1,0 +1,91 @@
+// Interval x sign abstract domain over 32-bit register values.
+//
+// Each abstract value is the reduced product of
+//   - an integer interval [lo, hi] with int64 bounds (so +-2^31 arithmetic
+//     never overflows the representation), and
+//   - a sign set (subset of {negative, zero, positive}).
+// The two components refine each other on every construction (`normalize`):
+// a sign set without `negative` lifts lo to 0, an interval entirely above
+// zero drops `negative` and `zero`, and so on.  Bottom (no concrete value)
+// is canonically represented by an empty interval AND an empty sign set.
+//
+// Transfer functions mirror `sim/exec.cpp` exactly — same wrapping addu,
+// same trap-free div/rem definitions, same shift masking — because every
+// verdict derived from this domain is checked against the functional ISS.
+// Anything not modeled precisely falls back to a sound over-approximation
+// (at worst top = any int32).
+//
+// Widening (for loop heads) jumps unstable bounds to the next threshold in
+// a small sign-preserving ladder (-1/0/1 and the power-of-two-ish magnitudes
+// common in the codecs) before giving up to the int32 extremes, so loop
+// fixpoints terminate quickly without destroying the sign information the
+// branch verdicts need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace asbr::analysis {
+
+/// Sign-set bits.
+enum : unsigned {
+    kSignNeg = 1u,   ///< some value < 0
+    kSignZero = 2u,  ///< value 0
+    kSignPos = 4u,   ///< some value > 0
+    kSignAll = kSignNeg | kSignZero | kSignPos,
+};
+
+struct AbsValue {
+    std::int64_t lo = 0;
+    std::int64_t hi = -1;     ///< lo > hi: empty interval (bottom)
+    unsigned signs = 0;       ///< subset of kSignAll; 0: bottom
+
+    [[nodiscard]] static AbsValue bottom() { return {}; }
+    [[nodiscard]] static AbsValue top();
+    [[nodiscard]] static AbsValue constant(std::int32_t v);
+    [[nodiscard]] static AbsValue range(std::int64_t lo, std::int64_t hi);
+
+    [[nodiscard]] bool isBottom() const { return lo > hi || signs == 0; }
+    [[nodiscard]] bool isTop() const;
+    [[nodiscard]] bool isConstant() const { return !isBottom() && lo == hi; }
+    /// True when every concrete value of `other` is also described by *this.
+    [[nodiscard]] bool contains(const AbsValue& other) const;
+    [[nodiscard]] bool containsValue(std::int32_t v) const;
+    [[nodiscard]] bool operator==(const AbsValue& other) const;
+
+    /// Least upper bound (set union, over-approximated).
+    [[nodiscard]] AbsValue join(const AbsValue& other) const;
+    /// Greatest lower bound (set intersection, exact for this domain).
+    [[nodiscard]] AbsValue meet(const AbsValue& other) const;
+    /// Classic threshold widening: *this is the old state, `next` the new.
+    [[nodiscard]] AbsValue widen(const AbsValue& next) const;
+
+    /// "x.lo"/"[-3, 7]{-0+}" rendering for diagnostics and the DOT dump.
+    [[nodiscard]] std::string str() const;
+};
+
+/// Three-valued truth of a zero-comparison over an abstract value.
+enum class TriBool : std::uint8_t { kFalse, kTrue, kUnknown };
+
+/// Evaluate `cond` over all concrete values of `v`: kTrue when the
+/// condition holds for every value, kFalse when for none, else kUnknown.
+/// Bottom values return kUnknown (the caller filters unreachable states).
+[[nodiscard]] TriBool evalCondAbs(Cond c, const AbsValue& v);
+
+/// The subset of `v` satisfying `cond` (used to refine branch successors);
+/// bottom when no value satisfies it.
+[[nodiscard]] AbsValue refineByCond(Cond c, const AbsValue& v);
+
+/// Transfer of an R-type ALU op (exec.cpp `aluOp` semantics).
+[[nodiscard]] AbsValue absAluOp(Op op, const AbsValue& a, const AbsValue& b);
+
+/// Transfer of an I-type ALU op (exec.cpp `aluImmOp` semantics).
+[[nodiscard]] AbsValue absAluImmOp(Op op, const AbsValue& a, std::int32_t imm);
+
+/// Abstract result of a load opcode: the full range of the loaded width
+/// (memory contents are not modeled).
+[[nodiscard]] AbsValue absLoadResult(Op op);
+
+}  // namespace asbr::analysis

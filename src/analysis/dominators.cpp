@@ -1,0 +1,89 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+namespace asbr::analysis {
+
+bool DominatorTree::dominates(std::size_t a, std::size_t b) const {
+    if (!reachable(a) || !reachable(b)) return false;
+    // Walk b's dominator chain toward the entry; idom positions strictly
+    // decrease in RPO, so the walk terminates at the entry (its own idom).
+    while (true) {
+        if (a == b) return true;
+        const std::size_t up = idom[b];
+        if (up == b) return false;  // reached the entry without meeting a
+        b = up;
+    }
+}
+
+namespace {
+
+/// Nearest common ancestor of two finished nodes in the (partial) tree,
+/// walking by RPO index as in Cooper/Harvey/Kennedy Figure 3.
+std::size_t intersect(const std::vector<std::size_t>& idom,
+                      const std::vector<std::size_t>& rpoIndex, std::size_t a,
+                      std::size_t b) {
+    while (a != b) {
+        while (rpoIndex[a] > rpoIndex[b]) a = idom[a];
+        while (rpoIndex[b] > rpoIndex[a]) b = idom[b];
+    }
+    return a;
+}
+
+}  // namespace
+
+DominatorTree computeDominators(const Cfg& cfg) {
+    DominatorTree tree;
+    const std::size_t n = cfg.blocks.size();
+    tree.idom.assign(n, kNoBlock);
+    tree.rpoIndex.assign(n, kNoBlock);
+    if (n == 0 || cfg.entryBlock == kNoBlock) return tree;
+
+    // Iterative post-order DFS from the entry, then reverse.
+    std::vector<char> seen(n, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (block, next succ)
+    stack.emplace_back(cfg.entryBlock, 0);
+    seen[cfg.entryBlock] = 1;
+    std::vector<std::size_t> postorder;
+    postorder.reserve(n);
+    while (!stack.empty()) {
+        auto& [block, next] = stack.back();
+        const auto& succs = cfg.blocks[block].succs;
+        if (next < succs.size()) {
+            const std::size_t s = succs[next++];
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            postorder.push_back(block);
+            stack.pop_back();
+        }
+    }
+    tree.rpo.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < tree.rpo.size(); ++i)
+        tree.rpoIndex[tree.rpo[i]] = i;
+
+    tree.idom[cfg.entryBlock] = cfg.entryBlock;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const std::size_t b : tree.rpo) {
+            if (b == cfg.entryBlock) continue;
+            std::size_t newIdom = kNoBlock;
+            for (const std::size_t p : cfg.blocks[b].preds) {
+                if (tree.idom[p] == kNoBlock) continue;  // not yet processed
+                newIdom = newIdom == kNoBlock
+                              ? p
+                              : intersect(tree.idom, tree.rpoIndex, newIdom, p);
+            }
+            if (newIdom != kNoBlock && tree.idom[b] != newIdom) {
+                tree.idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return tree;
+}
+
+}  // namespace asbr::analysis

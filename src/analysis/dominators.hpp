@@ -1,0 +1,43 @@
+// Dominator tree over the interprocedural CFG.
+//
+// Classic iterative algorithm (Cooper/Harvey/Kennedy, "A Simple, Fast
+// Dominance Algorithm"): immediate dominators are computed over the reverse
+// post-order of the blocks reachable from the entry, intersecting
+// predecessor dominators until the assignment stabilizes.  Blocks the entry
+// cannot reach keep kNoBlock as their idom and are excluded from every
+// dominance query (nothing dominates code that cannot run).
+//
+// The tree is the structural backbone of the loop detector
+// (analysis/loops.*): an edge b -> h is a natural-loop back edge exactly
+// when h dominates b.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace asbr::analysis {
+
+struct DominatorTree {
+    /// Immediate dominator per block; entry's idom is itself, unreachable
+    /// blocks hold kNoBlock.
+    std::vector<std::size_t> idom;
+    /// Reverse post-order of the reachable blocks (entry first).
+    std::vector<std::size_t> rpo;
+    /// Position of each block in `rpo`; kNoBlock when unreachable.
+    std::vector<std::size_t> rpoIndex;
+
+    [[nodiscard]] bool reachable(std::size_t block) const {
+        return idom[block] != kNoBlock;
+    }
+
+    /// True when `a` dominates `b` (reflexive).  Unreachable operands never
+    /// dominate and are never dominated.
+    [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+};
+
+/// Build the dominator tree for `cfg` (empty CFGs yield empty vectors).
+[[nodiscard]] DominatorTree computeDominators(const Cfg& cfg);
+
+}  // namespace asbr::analysis

@@ -1,0 +1,115 @@
+#include "analysis/dot.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "isa/disasm.hpp"
+
+namespace asbr::analysis {
+
+namespace {
+
+/// Fill shade by loop depth: white outside loops, darkening per level.
+const char* depthFill(std::size_t depth) {
+    static const char* const kShades[] = {"white", "#e8f0fe", "#c6dafc",
+                                          "#a8c7fa", "#8ab4f8"};
+    return kShades[std::min<std::size_t>(depth, 4)];
+}
+
+const char* verdictColor(FoldLegality v) {
+    switch (v) {
+        case FoldLegality::kProvablySafe: return "forestgreen";
+        case FoldLegality::kSafeOnProfiledPaths: return "darkorange";
+        case FoldLegality::kIllegal: return "red3";
+    }
+    return "black";
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+void dumpCfgDot(std::ostream& os, const FoldLegalityVerifier& verifier,
+                const VerifyConfig& config) {
+    const Cfg& cfg = verifier.cfg();
+    const LoopForest& loops = verifier.loops();
+    const ValueAnalysis& va = verifier.values();
+    const Program& program = *cfg.program;
+
+    os << "digraph cfg {\n"
+       << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n"
+       << "  edge [fontname=\"monospace\", fontsize=9];\n";
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock& block = cfg.blocks[b];
+        const Instruction& last = program.code[block.last];
+        std::string label = "B";
+        label += std::to_string(b);
+        label += "\\n0x";
+        {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%x", cfg.pcOf(block.first));
+            label += buf;
+            std::snprintf(buf, sizeof buf, "%x", cfg.pcOf(block.last));
+            label += "..0x";
+            label += buf;
+        }
+        if (loops.depthOf[b] > 0)
+            label += "\\nloop depth " + std::to_string(loops.depthOf[b]);
+
+        std::string color = "black";
+        std::string style = "filled";
+        int peripheries = 1;
+        if (!va.reachable(b)) {
+            color = "gray50";
+            style = "filled,dashed";
+        } else if (isCondBranch(last.op)) {
+            const BranchVerdict bv =
+                verifier.verdictFor(cfg.pcOf(block.last), config);
+            label += "\\n" + escape(disassemble(last)) + "\\n" +
+                     branchDirectionName(bv.direction) + " / " +
+                     foldLegalityName(bv.verdict);
+            color = verdictColor(bv.verdict);
+            if (bv.staticallyDecided()) peripheries = 2;
+        }
+        os << "  b" << b << " [label=\"" << label << "\", color=" << color
+           << ", fillcolor=\"" << depthFill(loops.depthOf[b]) << "\", style=\""
+           << style << "\", peripheries=" << peripheries << "];\n";
+    }
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock& block = cfg.blocks[b];
+        const Instruction& last = program.code[block.last];
+        const bool branches = isCondBranch(last.op);
+        const InstrIndex target =
+            branches ? static_cast<InstrIndex>(
+                           static_cast<std::int64_t>(block.last) + 1 + last.imm)
+                     : 0;
+        for (std::size_t i = 0; i < block.succs.size(); ++i) {
+            const std::size_t s = block.succs[i];
+            os << "  b" << b << " -> b" << s;
+            std::string attrs;
+            if (branches) {
+                const InstrIndex succFirst = cfg.blocks[s].first;
+                if (succFirst == target && succFirst != block.last + 1)
+                    attrs = "label=\"T\"";
+                else if (succFirst == block.last + 1 && succFirst != target)
+                    attrs = "label=\"F\"";
+            }
+            if (va.reachable(b) && va.feasibleEdge[b][i] == 0) {
+                if (!attrs.empty()) attrs += ", ";
+                attrs += "style=dashed, color=red3";
+            }
+            if (!attrs.empty()) os << " [" << attrs << "]";
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+}  // namespace asbr::analysis

@@ -1,0 +1,22 @@
+// Graphviz rendering of the analyzed CFG.
+//
+// One node per basic block, clustered visually by color: the fill encodes
+// loop-nesting depth (darker = deeper) and the border encodes the fold
+// verdict of the block's terminating conditional branch — green for
+// provably safe folds, orange for profile-only safety, red for illegal,
+// with double borders on statically-decided (always/never-taken) branches.
+// Unreachable blocks are dashed gray; infeasible edges are dashed red, and
+// conditional-branch edges carry T/F labels.
+#pragma once
+
+#include <ostream>
+
+#include "analysis/verify.hpp"
+
+namespace asbr::analysis {
+
+/// Write the whole supergraph of `verifier` as a DOT digraph.
+void dumpCfgDot(std::ostream& os, const FoldLegalityVerifier& verifier,
+                const VerifyConfig& config);
+
+}  // namespace asbr::analysis

@@ -37,6 +37,11 @@ bool meetInto(RegDistances& into, const RegDistances& from) {
 }  // namespace
 
 ReachingProducers computeReachingProducers(const Cfg& cfg) {
+    return computeReachingProducers(cfg, {});
+}
+
+ReachingProducers computeReachingProducers(const Cfg& cfg,
+                                           const EdgeMask& feasibleEdge) {
     ReachingProducers rp;
     RegDistances top;
     top.fill(kFarAway);
@@ -56,7 +61,13 @@ ReachingProducers computeReachingProducers(const Cfg& cfg) {
         worklist.pop_front();
         queued[b] = 0;
         const RegDistances out = blockOut(cfg, b, rp.blockIn[b]);
-        for (const std::size_t s : cfg.blocks[b].succs) {
+        const auto& succs = cfg.blocks[b].succs;
+        for (std::size_t i = 0; i < succs.size(); ++i) {
+            // Edges the value analysis proved infeasible carry no state; the
+            // min-distance meet only sharpens (distances can rise back
+            // toward kFarAway when a short-producer path was infeasible).
+            if (!feasibleEdge.empty() && feasibleEdge[b][i] == 0) continue;
+            const std::size_t s = succs[i];
             const bool first = rp.blockReachable[s] == 0;
             rp.blockReachable[s] = 1;
             if ((meetInto(rp.blockIn[s], out) || first) && !queued[s]) {

@@ -57,6 +57,19 @@ struct ReachingProducers {
 /// Run the min-distance fixpoint over the CFG.
 [[nodiscard]] ReachingProducers computeReachingProducers(const Cfg& cfg);
 
+/// feasibleEdge[b][i] gates cfg.blocks[b].succs[i]; an empty mask means
+/// "all edges feasible" (identical to the overload above).
+using EdgeMask = std::vector<std::vector<char>>;
+
+/// Same fixpoint, but edges proven infeasible by the value analysis
+/// (analysis/absint) are pruned.  Pruning can only *raise* minimum
+/// distances, so every verdict derived from the result stays a sound
+/// under-approximation of the dynamic distance — it simply stops charging
+/// branches for producers that sit on paths that can never execute (the
+/// loop-carried back-edge case PR 1 had to reject conservatively).
+[[nodiscard]] ReachingProducers computeReachingProducers(
+    const Cfg& cfg, const EdgeMask& feasibleEdge);
+
 /// Distance seen by the instruction at index `idx` reading `reg`: the
 /// block-entry state advanced over the block prefix.
 [[nodiscard]] Dist distanceAt(const Cfg& cfg, const ReachingProducers& rp,

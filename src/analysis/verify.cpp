@@ -28,9 +28,27 @@ bool VerifyReport::ok() const {
            count(FoldLegality::kIllegal) == 0;
 }
 
+const char* staticLintKindName(StaticLint::Kind k) {
+    switch (k) {
+        case StaticLint::Kind::kUnreachableBlock: return "unreachable-block";
+        case StaticLint::Kind::kDeadBranchArm: return "dead-branch-arm";
+        case StaticLint::Kind::kRefinementWin: return "refinement-win";
+    }
+    return "?";
+}
+
+std::string formatLint(const StaticLint& lint) {
+    std::ostringstream os;
+    os << staticLintKindName(lint.kind) << " pc=0x" << std::hex << lint.pc
+       << std::dec << " line=" << lint.sourceLine << ": " << lint.message;
+    return os.str();
+}
+
 FoldLegalityVerifier::FoldLegalityVerifier(const Program& program)
-    : program_(program), cfg_(buildCfg(program)),
-      rp_(computeReachingProducers(cfg_)) {}
+    : program_(program), cfg_(buildCfg(program)), doms_(computeDominators(cfg_)),
+      loops_(computeLoops(cfg_, doms_)), va_(analyzeValues(cfg_, loops_)),
+      rpUnrefined_(computeReachingProducers(cfg_)),
+      rp_(computeReachingProducers(cfg_, va_.feasibleEdge)) {}
 
 BranchVerdict FoldLegalityVerifier::verdictFor(
     std::uint32_t pc, const VerifyConfig& config,
@@ -49,6 +67,8 @@ BranchVerdict FoldLegalityVerifier::verdictFor(
     const InstrIndex idx = cfg_.indexOf(pc);
     v.reachable = rp_.reachable(cfg_.blockOf[idx]);
     v.staticMinDistance = distanceAt(cfg_, rp_, idx, ins.rs);
+    v.unrefinedMinDistance = distanceAt(cfg_, rpUnrefined_, idx, ins.rs);
+    v.direction = va_.directionAt(idx);
 
     if (!v.extractable) {
         v.verdict = FoldLegality::kIllegal;
@@ -173,6 +193,66 @@ VerifyReport FoldLegalityVerifier::verifyBank(
         }
     }
     return report;
+}
+
+std::vector<StaticLint> FoldLegalityVerifier::lints(
+    const VerifyConfig& config) const {
+    std::vector<StaticLint> out;
+    for (const std::size_t b : va_.unreachableBlocks) {
+        StaticLint lint;
+        lint.kind = StaticLint::Kind::kUnreachableBlock;
+        lint.pc = cfg_.pcOf(cfg_.blocks[b].first);
+        lint.sourceLine = program_.sourceLine(lint.pc);
+        std::ostringstream os;
+        os << "block B" << b << " (0x" << std::hex
+           << cfg_.pcOf(cfg_.blocks[b].first) << "..0x"
+           << cfg_.pcOf(cfg_.blocks[b].last) << std::dec
+           << ") can never execute";
+        lint.message = os.str();
+        out.push_back(std::move(lint));
+    }
+    for (const DeadArmLint& arm : va_.deadArms) {
+        StaticLint lint;
+        lint.kind = StaticLint::Kind::kDeadBranchArm;
+        lint.pc = cfg_.pcOf(arm.branch);
+        lint.sourceLine = program_.sourceLine(lint.pc);
+        const Instruction& ins = program_.code[arm.branch];
+        std::ostringstream os;
+        os << opName(ins.op) << " " << regName(ins.rs) << " is "
+           << branchDirectionName(va_.directionAt(arm.branch)) << " ("
+           << regName(ins.rs) << " in "
+           << va_.condAtBranch[arm.branch].str() << "); its "
+           << (arm.takenArm ? "taken" : "fall-through")
+           << " arm can never execute";
+        lint.message = os.str();
+        out.push_back(std::move(lint));
+    }
+    // Refinement wins: PR 1 rejected the fold, the pruned dataflow proves it
+    // safe — the loop-carried-producer false positives this PR removes.
+    for (InstrIndex i = 0; i < cfg_.numInstructions(); ++i) {
+        const Instruction& ins = program_.code[i];
+        if (!isCondBranch(ins.op)) continue;
+        const Dist refined = distanceAt(cfg_, rp_, i, ins.rs);
+        const Dist unrefined = distanceAt(cfg_, rpUnrefined_, i, ins.rs);
+        if (unrefined >= config.threshold || refined < config.threshold)
+            continue;
+        StaticLint lint;
+        lint.kind = StaticLint::Kind::kRefinementWin;
+        lint.pc = cfg_.pcOf(i);
+        lint.sourceLine = program_.sourceLine(lint.pc);
+        std::ostringstream os;
+        os << "feasible-path pruning lifted " << regName(ins.rs)
+           << " distance " << int{unrefined} << " -> " << int{refined}
+           << " across threshold " << config.threshold;
+        lint.message = os.str();
+        out.push_back(std::move(lint));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StaticLint& a, const StaticLint& b) {
+                  if (a.pc != b.pc) return a.pc < b.pc;
+                  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              });
+    return out;
 }
 
 }  // namespace asbr::analysis

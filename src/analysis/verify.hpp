@@ -31,7 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/absint.hpp"
 #include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
 #include "analysis/reaching.hpp"
 #include "asbr/bit.hpp"
 
@@ -71,13 +74,47 @@ using ObservedMinDistances = std::map<std::uint32_t, std::uint64_t>;
 struct BranchVerdict {
     std::uint32_t pc = 0;
     FoldLegality verdict = FoldLegality::kIllegal;
-    /// Minimum static path distance (kFarAway = no producer on any path).
+    /// Minimum static path distance (kFarAway = no producer on any path),
+    /// measured over the *feasible* paths only — the abstract interpreter's
+    /// edge pruning applied to the reaching-producer fixpoint.
     Dist staticMinDistance = 0;
+    /// The PR 1 distance over all graph paths, feasible or not.  Whenever
+    /// it is smaller than staticMinDistance, value analysis sharpened the
+    /// verdict (typically a loop-carried producer on an infeasible arm).
+    Dist unrefinedMinDistance = 0;
+    /// Static direction verdict from the abstract interpreter.  Always- and
+    /// never-taken branches can fold with no BDT dependence at all.
+    BranchDirection direction = BranchDirection::kDynamic;
     bool extractable = true;  ///< target and fall-through inside text
     bool reachable = true;    ///< reachable from the program entry
     int sourceLine = -1;      ///< Program::sourceLine diagnostics
     std::string reason;       ///< human-readable cause for non-safe verdicts
+
+    /// The branch's outcome is a compile-time constant (and it can execute).
+    [[nodiscard]] bool staticallyDecided() const {
+        return direction == BranchDirection::kAlwaysTaken ||
+               direction == BranchDirection::kNeverTaken;
+    }
 };
+
+/// One structured finding from the value analysis, printable as a single
+/// `kind pc=0x... line=N: message` line (the asbr-verify lint surface).
+struct StaticLint {
+    enum class Kind : std::uint8_t {
+        kUnreachableBlock,  ///< block can never execute
+        kDeadBranchArm,     ///< branch executes but one arm never does
+        kRefinementWin,     ///< informational: pruning raised the distance
+    };
+    Kind kind = Kind::kUnreachableBlock;
+    std::uint32_t pc = 0;  ///< block-start or branch pc
+    int sourceLine = -1;
+    std::string message;
+};
+
+[[nodiscard]] const char* staticLintKindName(StaticLint::Kind k);
+
+/// Render in the one-line structured form consumed by CI greps.
+[[nodiscard]] std::string formatLint(const StaticLint& lint);
 
 struct VerifyReport {
     std::vector<BranchVerdict> branches;
@@ -113,12 +150,30 @@ public:
         std::span<const BranchInfo> entries, const VerifyConfig& config,
         const ObservedMinDistances* observed = nullptr) const;
 
+    /// Value-analysis lints: unreachable blocks, provably-dead branch arms,
+    /// and branches whose distance the edge pruning lifted across the
+    /// threshold (the PR 1 false rejections), sorted by pc.
+    [[nodiscard]] std::vector<StaticLint> lints(
+        const VerifyConfig& config) const;
+
     [[nodiscard]] const Cfg& cfg() const { return cfg_; }
+    /// Refined reaching-producer fixpoint (infeasible edges pruned).
     [[nodiscard]] const ReachingProducers& dataflow() const { return rp_; }
+    /// The PR 1 fixpoint over every graph edge, for comparison.
+    [[nodiscard]] const ReachingProducers& unrefinedDataflow() const {
+        return rpUnrefined_;
+    }
+    [[nodiscard]] const DominatorTree& dominators() const { return doms_; }
+    [[nodiscard]] const LoopForest& loops() const { return loops_; }
+    [[nodiscard]] const ValueAnalysis& values() const { return va_; }
 
 private:
     const Program& program_;
     Cfg cfg_;
+    DominatorTree doms_;
+    LoopForest loops_;
+    ValueAnalysis va_;
+    ReachingProducers rpUnrefined_;
     ReachingProducers rp_;
 };
 

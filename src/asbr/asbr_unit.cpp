@@ -34,6 +34,11 @@ void AsbrStats::publish(MetricRegistry& registry) const {
                  "fold opportunities blocked because the condition register's "
                  "BDT entry is quarantined after a parity recovery")
         .add(quarantinedBlocks);
+    registry
+        .counter("asbr.static_folds",
+                 "branches folded by the static table (statically-decided "
+                 "direction; no BDT dependence, never blocked)")
+        .add(staticFolds);
 }
 
 void AsbrUnit::publishMetrics(MetricRegistry& registry) const {
@@ -43,6 +48,11 @@ void AsbrUnit::publishMetrics(MetricRegistry& registry) const {
         .add(storageBits());
     registry.counter("asbr.bit_capacity", "configured BIT entries per bank")
         .add(config_.bitCapacity);
+    registry
+        .counter("asbr.bit_slots_reclaimed",
+                 "BIT slots freed because the branch is handled by the "
+                 "static fold table instead of a BIT entry")
+        .add(bitSlotsReclaimed_);
 }
 
 AsbrUnit::AsbrUnit(const AsbrConfig& config)
@@ -50,6 +60,12 @@ AsbrUnit::AsbrUnit(const AsbrConfig& config)
 
 void AsbrUnit::loadBank(std::size_t bank, std::vector<BranchInfo> entries) {
     bit_.loadBank(bank, std::move(entries));
+}
+
+void AsbrUnit::loadStaticFolds(std::vector<StaticFoldEntry> entries,
+                               std::uint64_t bitSlotsReclaimed) {
+    staticFolds_.load(std::move(entries));
+    bitSlotsReclaimed_ = bitSlotsReclaimed;
 }
 
 void AsbrUnit::chargeRecovery() {
@@ -72,6 +88,17 @@ bool AsbrUnit::bdtGate(std::uint8_t reg) {
 
 std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
     std::uint32_t pc, const Instruction& fetched) {
+    // Statically-decided branches resolve before the BIT is even consulted:
+    // the direction is a customization-time constant, so no BDT read, no
+    // validity check, and no way to be blocked.
+    if (const StaticFoldEntry* sf = staticFolds_.lookup(pc)) {
+        ASBR_ENSURE(isCondBranch(fetched.op),
+                    "static fold entry does not match the fetched instruction");
+        ++stats_.staticFolds;
+        ++stats_.folds;
+        if (sf->taken) ++stats_.foldsTaken;
+        return FoldOutcome{sf->replacement, sf->replacementPc, sf->taken};
+    }
     const BranchInfo* entry = nullptr;
     if (config_.parityProtected) {
         bool recovered = false;

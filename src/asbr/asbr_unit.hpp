@@ -19,6 +19,7 @@
 
 #include "asbr/bdt.hpp"
 #include "asbr/bit.hpp"
+#include "asbr/static_fold.hpp"
 #include "sim/fetch_customizer.hpp"
 
 namespace asbr {
@@ -58,6 +59,7 @@ struct AsbrStats {
     std::uint64_t bankSwitches = 0;
     std::uint64_t parityRecoveries = 0;  ///< parity mismatches detected + scrubbed
     std::uint64_t quarantinedBlocks = 0; ///< folds blocked by a quarantined BDT entry
+    std::uint64_t staticFolds = 0;       ///< folds resolved by the static table
 
     /// Register these totals under `asbr.*` in the metric registry.
     void publish(MetricRegistry& registry) const;
@@ -70,6 +72,15 @@ public:
     /// Customization: load branch information into a BIT bank (normally bank
     /// 0; additional banks cover further loops).
     void loadBank(std::size_t bank, std::vector<BranchInfo> entries);
+
+    /// Customization: load statically-decided branches (src/analysis/absint
+    /// verdicts).  These fold on every fetch with no BDT dependence and no
+    /// BIT occupancy.  `bitSlotsReclaimed` records how many BIT slots the
+    /// old dynamic-only policy would have spent on these branches — freed
+    /// for the next-hottest dynamic candidates; it is a customization fact,
+    /// so reset() leaves it (and the table) in place, like loadBank data.
+    void loadStaticFolds(std::vector<StaticFoldEntry> entries,
+                         std::uint64_t bitSlotsReclaimed = 0);
 
     /// FetchCustomizer interface --------------------------------------------
     std::optional<FoldOutcome> onFetch(std::uint32_t pc,
@@ -85,16 +96,24 @@ public:
     [[nodiscard]] const AsbrConfig& config() const { return config_; }
     [[nodiscard]] const BranchIdentificationTable& bit() const { return bit_; }
     [[nodiscard]] const BranchDirectionTable& bdt() const { return bdt_; }
+    [[nodiscard]] const StaticFoldTable& staticFolds() const {
+        return staticFolds_;
+    }
+    [[nodiscard]] std::uint64_t bitSlotsReclaimed() const {
+        return bitSlotsReclaimed_;
+    }
 
     /// Fault-injection ports: mutable access to the tables so a campaign can
     /// flip stored bits mid-run (src/fault).  Not used on the fetch path.
     [[nodiscard]] BranchDirectionTable& bdtFaultPort() { return bdt_; }
     [[nodiscard]] BranchIdentificationTable& bitFaultPort() { return bit_; }
 
-    /// Hardware cost proxy in bits (BIT + BDT; parity bits when protected).
+    /// Hardware cost proxy in bits (BIT + BDT + static fold table; parity
+    /// bits when protected).
     [[nodiscard]] std::uint64_t storageBits() const {
-        std::uint64_t bits =
-            bit_.storageBits() + BranchDirectionTable::storageBits();
+        std::uint64_t bits = bit_.storageBits() +
+                             BranchDirectionTable::storageBits() +
+                             staticFolds_.storageBits();
         if (config_.parityProtected)
             bits += bit_.parityStorageBits() +
                     BranchDirectionTable::parityStorageBits();
@@ -114,7 +133,9 @@ private:
     AsbrConfig config_;
     BranchIdentificationTable bit_;
     BranchDirectionTable bdt_;
+    StaticFoldTable staticFolds_;
     AsbrStats stats_;
+    std::uint64_t bitSlotsReclaimed_ = 0;
     std::uint32_t pendingRecoveryStall_ = 0;
 };
 

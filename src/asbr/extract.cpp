@@ -43,6 +43,17 @@ std::vector<BranchInfo> extractBranchInfos(const Program& program,
     return out;
 }
 
+StaticFoldEntry extractStaticFold(const Program& program, std::uint32_t pc,
+                                  bool taken) {
+    const BranchInfo info = extractBranchInfo(program, pc);
+    StaticFoldEntry e;
+    e.pc = pc;
+    e.taken = taken;
+    e.replacement = taken ? info.bti : info.bfi;
+    e.replacementPc = taken ? info.bta : pc + kInstrBytes;
+    return e;
+}
+
 std::vector<std::uint32_t> allConditionalBranches(const Program& program) {
     std::vector<std::uint32_t> out;
     for (std::size_t i = 0; i < program.code.size(); ++i) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "asbr/bit.hpp"
+#include "asbr/static_fold.hpp"
 #include "asm/program.hpp"
 
 namespace asbr {
@@ -29,5 +30,13 @@ namespace asbr {
 /// Enumerate the PCs of every extractable conditional branch in the program.
 [[nodiscard]] std::vector<std::uint32_t> allConditionalBranches(
     const Program& program);
+
+/// Build the static-fold entry for the branch at `pc`, given the direction
+/// the value analysis proved constant.  The direction itself is decided by
+/// the analysis layer (which links against this one, not vice versa); this
+/// helper only snapshots the replacement the direction selects.  Throws
+/// EnsureError when !isExtractableBranch(program, pc).
+[[nodiscard]] StaticFoldEntry extractStaticFold(const Program& program,
+                                                std::uint32_t pc, bool taken);
 
 }  // namespace asbr

@@ -1,15 +1,21 @@
 #include "profile/selection.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "asbr/extract.hpp"
 
 namespace asbr {
 
-std::vector<Candidate> selectFoldableBranches(
+namespace {
+
+/// The scoring loop shared by both selection entry points.  `exclude`
+/// removes PCs already served by the static fold table (nullptr: none).
+std::vector<Candidate> selectImpl(
     const Program& program, const ProgramProfile& profile,
     const std::map<std::uint32_t, double>& accuracyByPc,
-    const SelectionConfig& config) {
+    const SelectionConfig& config,
+    const std::unordered_set<std::uint32_t>* exclude) {
     ASBR_ENSURE(config.threshold >= 2 && config.threshold <= 4,
                 "threshold must be 2, 3 or 4");
     std::vector<Candidate> candidates;
@@ -27,6 +33,7 @@ std::vector<Candidate> selectFoldableBranches(
     }
 
     for (const auto& [pc, bp] : profile.branches) {
+        if (exclude != nullptr && exclude->count(pc) != 0) continue;
         if (bp.execs < std::max<std::uint64_t>(minExecs, 1)) continue;
         if (!isExtractableBranch(program, pc)) continue;
         const double foldable = bp.foldableFraction(config.threshold);
@@ -64,11 +71,63 @@ std::vector<Candidate> selectFoldableBranches(
     return candidates;
 }
 
+}  // namespace
+
+std::vector<Candidate> selectFoldableBranches(
+    const Program& program, const ProgramProfile& profile,
+    const std::map<std::uint32_t, double>& accuracyByPc,
+    const SelectionConfig& config) {
+    return selectImpl(program, profile, accuracyByPc, config, nullptr);
+}
+
 std::vector<std::uint32_t> candidatePcs(const std::vector<Candidate>& candidates) {
     std::vector<std::uint32_t> pcs;
     pcs.reserve(candidates.size());
     for (const Candidate& c : candidates) pcs.push_back(c.pc);
     return pcs;
+}
+
+FoldSelection selectWithStaticVerdicts(
+    const Program& program, const ProgramProfile& profile,
+    const std::map<std::uint32_t, double>& accuracyByPc,
+    const SelectionConfig& config) {
+    FoldSelection selection;
+
+    // Statically-decided branches need no score: with zero BDT dependence
+    // the fold succeeds on every execution, so any executed branch is pure
+    // win.  Rank by heat to make the staticCapacity cut deterministic.
+    const analysis::FoldLegalityVerifier verifier(program);
+    const analysis::ValueAnalysis& va = verifier.values();
+    for (const auto& [pc, bp] : profile.branches) {
+        if (bp.execs == 0) continue;
+        if (!isExtractableBranch(program, pc)) continue;
+        const auto dir = va.directionAt(verifier.cfg().indexOf(pc));
+        if (dir != analysis::BranchDirection::kAlwaysTaken &&
+            dir != analysis::BranchDirection::kNeverTaken)
+            continue;
+        selection.statics.push_back(
+            {pc, dir == analysis::BranchDirection::kAlwaysTaken, bp.execs});
+    }
+    std::sort(selection.statics.begin(), selection.statics.end(),
+              [](const StaticFoldCandidate& a, const StaticFoldCandidate& b) {
+                  if (a.execs != b.execs) return a.execs > b.execs;
+                  return a.pc < b.pc;
+              });
+    if (selection.statics.size() > config.staticCapacity)
+        selection.statics.resize(config.staticCapacity);
+
+    std::unordered_set<std::uint32_t> staticPcs;
+    for (const StaticFoldCandidate& s : selection.statics)
+        staticPcs.insert(s.pc);
+
+    // BIT occupancy the old policy would have spent on now-static branches.
+    for (const Candidate& c :
+         selectImpl(program, profile, accuracyByPc, config, nullptr))
+        if (staticPcs.count(c.pc) != 0) ++selection.bitSlotsReclaimed;
+
+    selection.dynamic =
+        selectImpl(program, profile, accuracyByPc, config, &staticPcs);
+    return selection;
 }
 
 }  // namespace asbr

@@ -30,6 +30,8 @@ struct SelectionConfig {
     /// ones.  The profile supplies the dynamic evidence, so profiled-clean
     /// branches survive even when an unprofiled short path exists.
     bool requireStaticallySafe = false;
+    /// Static fold table entries available (selectWithStaticVerdicts).
+    std::size_t staticCapacity = 16;
 };
 
 /// A scored candidate branch.
@@ -56,5 +58,34 @@ struct Candidate {
 /// The PCs of the selected candidates, ready for extractBranchInfos().
 [[nodiscard]] std::vector<std::uint32_t> candidatePcs(
     const std::vector<Candidate>& candidates);
+
+/// A branch the abstract interpreter proved single-direction: it folds from
+/// the static table instead of occupying a BIT slot.
+struct StaticFoldCandidate {
+    std::uint32_t pc = 0;
+    bool taken = false;       ///< the constant direction
+    std::uint64_t execs = 0;  ///< profiled executions (static-table ranking)
+};
+
+/// The two fold classes of the full selection policy.
+struct FoldSelection {
+    /// BIT-resident candidates, scored exactly as selectFoldableBranches —
+    /// but with statically-decided branches excluded, so the slots they
+    /// would have used go to the next-hottest dynamic branches.
+    std::vector<Candidate> dynamic;
+    /// Statically-decided branches, hottest-first, capped at staticCapacity.
+    std::vector<StaticFoldCandidate> statics;
+    /// How many BIT slots the dynamic-only policy would have spent on
+    /// branches now served statically (the occupancy the analysis freed).
+    std::uint64_t bitSlotsReclaimed = 0;
+};
+
+/// Two-class selection: statically-decided branches (always/never-taken
+/// verdicts from src/analysis/absint) go to the static fold table; the BIT
+/// is then filled as before from the remaining candidates.
+[[nodiscard]] FoldSelection selectWithStaticVerdicts(
+    const Program& program, const ProgramProfile& profile,
+    const std::map<std::uint32_t, double>& accuracyByPc,
+    const SelectionConfig& config = {});
 
 }  // namespace asbr

@@ -1,0 +1,363 @@
+#include "report/analysis_report.hpp"
+
+#include "isa/disasm.hpp"
+
+namespace asbr {
+
+namespace {
+
+using analysis::BranchDirection;
+using analysis::FoldLegality;
+using analysis::StaticLint;
+
+bool knownDirectionName(const std::string& name) {
+    for (const BranchDirection d :
+         {BranchDirection::kAlwaysTaken, BranchDirection::kNeverTaken,
+          BranchDirection::kDynamic, BranchDirection::kUnreachable})
+        if (name == analysis::branchDirectionName(d)) return true;
+    return false;
+}
+
+bool knownLegalityName(const std::string& name) {
+    for (const FoldLegality v :
+         {FoldLegality::kProvablySafe, FoldLegality::kSafeOnProfiledPaths,
+          FoldLegality::kIllegal})
+        if (name == analysis::foldLegalityName(v)) return true;
+    return false;
+}
+
+bool knownLintKindName(const std::string& name) {
+    for (const StaticLint::Kind k :
+         {StaticLint::Kind::kUnreachableBlock, StaticLint::Kind::kDeadBranchArm,
+          StaticLint::Kind::kRefinementWin})
+        if (name == analysis::staticLintKindName(k)) return true;
+    return false;
+}
+
+}  // namespace
+
+JsonValue analysisReportJson(const AnalysisReportMeta& meta,
+                             const analysis::FoldLegalityVerifier& verifier,
+                             const analysis::VerifyConfig& config) {
+    const analysis::Cfg& cfg = verifier.cfg();
+    const analysis::LoopForest& loops = verifier.loops();
+    const analysis::ValueAnalysis& va = verifier.values();
+    const Program& program = *cfg.program;
+
+    JsonObject doc;
+    doc.emplace_back("schema", kAnalysisReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+
+    JsonObject m;
+    m.emplace_back("benchmark", meta.benchmark);
+    m.emplace_back("threshold", static_cast<std::uint64_t>(meta.threshold));
+    m.emplace_back("scheduled", meta.scheduled);
+    doc.emplace_back("meta", JsonValue(std::move(m)));
+
+    std::uint64_t edges = 0;
+    for (const analysis::BasicBlock& b : cfg.blocks) edges += b.succs.size();
+    JsonObject shape;
+    shape.emplace_back("instructions",
+                       static_cast<std::uint64_t>(cfg.numInstructions()));
+    shape.emplace_back("blocks", static_cast<std::uint64_t>(cfg.blocks.size()));
+    shape.emplace_back("edges", edges);
+    shape.emplace_back("call_sites",
+                       static_cast<std::uint64_t>(cfg.callSites.size()));
+    shape.emplace_back("function_entries",
+                       static_cast<std::uint64_t>(cfg.functionEntries.size()));
+    shape.emplace_back("unresolved_indirect", cfg.hasUnresolvedIndirect);
+    doc.emplace_back("cfg", JsonValue(std::move(shape)));
+
+    std::uint64_t maxDepth = 0;
+    for (const analysis::Loop& loop : loops.loops)
+        maxDepth = std::max<std::uint64_t>(maxDepth, loop.depth);
+    std::uint64_t wideningPoints = 0;
+    for (const char w : loops.wideningPoint) wideningPoints += w != 0 ? 1 : 0;
+    JsonObject loopsJson;
+    loopsJson.emplace_back("count",
+                           static_cast<std::uint64_t>(loops.loops.size()));
+    loopsJson.emplace_back("max_depth", maxDepth);
+    loopsJson.emplace_back("widening_points", wideningPoints);
+    doc.emplace_back("loops", JsonValue(std::move(loopsJson)));
+
+    JsonObject fixpoint;
+    fixpoint.emplace_back("converged", va.converged);
+    fixpoint.emplace_back("iterations",
+                          static_cast<std::uint64_t>(va.iterations));
+    doc.emplace_back("fixpoint", JsonValue(std::move(fixpoint)));
+
+    // One record per conditional branch, in text order.  Purely static:
+    // verdictFor runs without dynamic evidence, so legality here is
+    // ProvablySafe or Illegal (SafeOnProfiledPaths needs a profile).
+    std::uint64_t always = 0, never = 0, dynamic = 0, unreachable = 0;
+    std::uint64_t safe = 0, illegal = 0, refinementWins = 0;
+    JsonArray branches;
+    for (analysis::InstrIndex i = 0; i < cfg.numInstructions(); ++i) {
+        if (!isCondBranch(program.code[i].op)) continue;
+        const analysis::BranchVerdict v =
+            verifier.verdictFor(cfg.pcOf(i), config, nullptr);
+        switch (v.direction) {
+            case BranchDirection::kAlwaysTaken: ++always; break;
+            case BranchDirection::kNeverTaken: ++never; break;
+            case BranchDirection::kDynamic: ++dynamic; break;
+            case BranchDirection::kUnreachable: ++unreachable; break;
+        }
+        if (v.verdict == FoldLegality::kIllegal) ++illegal; else ++safe;
+        if (v.unrefinedMinDistance < config.threshold &&
+            v.staticMinDistance >= config.threshold)
+            ++refinementWins;
+        JsonObject b;
+        b.emplace_back("pc", static_cast<std::uint64_t>(v.pc));
+        b.emplace_back("line", v.sourceLine);
+        b.emplace_back("instr", disassemble(program.code[i]));
+        b.emplace_back("direction", analysis::branchDirectionName(v.direction));
+        b.emplace_back("legality", analysis::foldLegalityName(v.verdict));
+        b.emplace_back("static_min_distance",
+                       static_cast<std::uint64_t>(v.staticMinDistance));
+        b.emplace_back("unrefined_min_distance",
+                       static_cast<std::uint64_t>(v.unrefinedMinDistance));
+        b.emplace_back("cond_value", va.condAtBranch[i].str());
+        b.emplace_back("reachable", v.reachable);
+        b.emplace_back("extractable", v.extractable);
+        branches.push_back(JsonValue(std::move(b)));
+    }
+
+    JsonArray lints;
+    for (const StaticLint& lint : verifier.lints(config)) {
+        JsonObject l;
+        l.emplace_back("kind", analysis::staticLintKindName(lint.kind));
+        l.emplace_back("pc", static_cast<std::uint64_t>(lint.pc));
+        l.emplace_back("line", lint.sourceLine);
+        l.emplace_back("message", lint.message);
+        lints.push_back(JsonValue(std::move(l)));
+    }
+
+    JsonObject summary;
+    summary.emplace_back("branches",
+                         static_cast<std::uint64_t>(branches.size()));
+    summary.emplace_back("always_taken", always);
+    summary.emplace_back("never_taken", never);
+    summary.emplace_back("dynamic", dynamic);
+    summary.emplace_back("unreachable", unreachable);
+    summary.emplace_back("statically_decided", always + never);
+    summary.emplace_back("provably_safe", safe);
+    summary.emplace_back("illegal", illegal);
+    summary.emplace_back("refinement_wins", refinementWins);
+    summary.emplace_back("lints", static_cast<std::uint64_t>(lints.size()));
+    doc.emplace_back("summary", JsonValue(std::move(summary)));
+
+    doc.emplace_back("branches", JsonValue(std::move(branches)));
+    doc.emplace_back("lints", JsonValue(std::move(lints)));
+    return JsonValue(std::move(doc));
+}
+
+ReportValidation validateAnalysisReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("analysis_report: not a JSON object");
+        return out;
+    }
+    const auto member = [&](const JsonValue& obj, const char* key,
+                            const char* context) -> const JsonValue* {
+        const JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    };
+
+    if (const JsonValue* schema = member(doc, "schema", "analysis_report"))
+        if (!schema->isString() || schema->asString() != kAnalysisReportSchema)
+            fail(std::string("analysis_report: schema is not '") +
+                 kAnalysisReportSchema + "'");
+    if (const JsonValue* version = member(doc, "version", "analysis_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            fail("analysis_report: unsupported schema version");
+
+    if (const JsonValue* meta = member(doc, "meta", "analysis_report")) {
+        if (!meta->isObject()) {
+            fail("analysis_report: meta is not an object");
+        } else {
+            const JsonValue* bench = meta->find("benchmark");
+            if (bench == nullptr || !bench->isString())
+                fail("analysis_report: meta.benchmark missing or not a string");
+            const JsonValue* threshold = meta->find("threshold");
+            if (threshold == nullptr || !threshold->isNumber() ||
+                threshold->asUint() < 2 || threshold->asUint() > 4)
+                fail("analysis_report: meta.threshold missing or not 2..4");
+            const JsonValue* scheduled = meta->find("scheduled");
+            if (scheduled == nullptr || !scheduled->isBool())
+                fail("analysis_report: meta.scheduled missing or not a bool");
+        }
+    }
+
+    if (const JsonValue* shape = member(doc, "cfg", "analysis_report")) {
+        if (!shape->isObject()) {
+            fail("analysis_report: cfg is not an object");
+        } else {
+            for (const char* key : {"instructions", "blocks", "edges",
+                                    "call_sites", "function_entries"}) {
+                const JsonValue* v = shape->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("analysis_report: cfg.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* ind = shape->find("unresolved_indirect");
+            if (ind == nullptr || !ind->isBool())
+                fail("analysis_report: cfg.unresolved_indirect missing or not "
+                     "a bool");
+        }
+    }
+
+    if (const JsonValue* loops = member(doc, "loops", "analysis_report")) {
+        if (!loops->isObject()) {
+            fail("analysis_report: loops is not an object");
+        } else {
+            for (const char* key : {"count", "max_depth", "widening_points"}) {
+                const JsonValue* v = loops->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("analysis_report: loops.") + key +
+                         " missing or not a number");
+            }
+        }
+    }
+
+    if (const JsonValue* fixpoint = member(doc, "fixpoint", "analysis_report")) {
+        if (!fixpoint->isObject()) {
+            fail("analysis_report: fixpoint is not an object");
+        } else {
+            const JsonValue* converged = fixpoint->find("converged");
+            if (converged == nullptr || !converged->isBool())
+                fail("analysis_report: fixpoint.converged missing or not a "
+                     "bool");
+            const JsonValue* iterations = fixpoint->find("iterations");
+            if (iterations == nullptr || !iterations->isNumber())
+                fail("analysis_report: fixpoint.iterations missing or not a "
+                     "number");
+        }
+    }
+
+    // Direction histogram recomputed from the branch records, then checked
+    // against the summary block (cross-field consistency).
+    std::uint64_t always = 0, never = 0;
+    std::size_t branchCount = 0;
+    if (const JsonValue* branches = member(doc, "branches", "analysis_report")) {
+        if (!branches->isArray()) {
+            fail("analysis_report: branches is not an array");
+        } else {
+            branchCount = branches->asArray().size();
+            std::size_t index = 0;
+            for (const JsonValue& record : branches->asArray()) {
+                const std::string context =
+                    "analysis_report: branches[" + std::to_string(index) + "]";
+                ++index;
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    continue;
+                }
+                for (const char* key :
+                     {"pc", "line", "static_min_distance",
+                      "unrefined_min_distance"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                for (const char* key : {"instr", "cond_value"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isString())
+                        fail(context + "." + key + " missing or not a string");
+                }
+                for (const char* key : {"reachable", "extractable"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isBool())
+                        fail(context + "." + key + " missing or not a bool");
+                }
+                const JsonValue* direction = record.find("direction");
+                if (direction == nullptr || !direction->isString() ||
+                    !knownDirectionName(direction->asString())) {
+                    fail(context + ".direction missing or not a known label");
+                } else if (direction->asString() ==
+                           analysis::branchDirectionName(
+                               BranchDirection::kAlwaysTaken)) {
+                    ++always;
+                } else if (direction->asString() ==
+                           analysis::branchDirectionName(
+                               BranchDirection::kNeverTaken)) {
+                    ++never;
+                }
+                const JsonValue* legality = record.find("legality");
+                if (legality == nullptr || !legality->isString() ||
+                    !knownLegalityName(legality->asString()))
+                    fail(context + ".legality missing or not a known label");
+            }
+        }
+    }
+
+    std::size_t lintCount = 0;
+    if (const JsonValue* lints = member(doc, "lints", "analysis_report")) {
+        if (!lints->isArray()) {
+            fail("analysis_report: lints is not an array");
+        } else {
+            lintCount = lints->asArray().size();
+            std::size_t index = 0;
+            for (const JsonValue& record : lints->asArray()) {
+                const std::string context =
+                    "analysis_report: lints[" + std::to_string(index) + "]";
+                ++index;
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    continue;
+                }
+                const JsonValue* kind = record.find("kind");
+                if (kind == nullptr || !kind->isString() ||
+                    !knownLintKindName(kind->asString()))
+                    fail(context + ".kind missing or not a known label");
+                for (const char* key : {"pc", "line"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* message = record.find("message");
+                if (message == nullptr || !message->isString())
+                    fail(context + ".message missing or not a string");
+            }
+        }
+    }
+
+    if (const JsonValue* summary = member(doc, "summary", "analysis_report")) {
+        if (!summary->isObject()) {
+            fail("analysis_report: summary is not an object");
+        } else {
+            for (const char* key :
+                 {"branches", "always_taken", "never_taken", "dynamic",
+                  "unreachable", "statically_decided", "provably_safe",
+                  "illegal", "refinement_wins", "lints"}) {
+                const JsonValue* v = summary->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("analysis_report: summary.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* branches = summary->find("branches");
+            if (branches != nullptr && branches->isNumber() &&
+                branches->asUint() != branchCount)
+                fail("analysis_report: summary.branches does not match the "
+                     "branches array");
+            const JsonValue* lints = summary->find("lints");
+            if (lints != nullptr && lints->isNumber() &&
+                lints->asUint() != lintCount)
+                fail("analysis_report: summary.lints does not match the lints "
+                     "array");
+            const JsonValue* decided = summary->find("statically_decided");
+            if (decided != nullptr && decided->isNumber() &&
+                decided->asUint() != always + never)
+                fail("analysis_report: summary.statically_decided does not "
+                     "match the direction histogram");
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

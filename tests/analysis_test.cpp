@@ -132,6 +132,53 @@ TEST(ReachingTest, TransferAgesAndResets) {
     EXPECT_EQ(d[reg::zero], kFarAway);
 }
 
+TEST(ReachingTest, DistanceSaturatesAtFarAway) {
+    analysis::RegDistances d;
+    d.fill(1);
+    d[reg::t0] = kFarAway - 1;  // 254: one step below saturation
+    const Instruction nop{Op::kNop, 0, 0, 0, 0};
+    analysis::applyTransfer(nop, d);
+    EXPECT_EQ(d[reg::t0], kFarAway);  // 254 -> 255 by ordinary aging
+    analysis::applyTransfer(nop, d);
+    EXPECT_EQ(d[reg::t0], kFarAway);  // 255 stays 255: saturated, no wrap
+    // 300 further transfers must never wrap any register back to small.
+    for (int i = 0; i < 300; ++i) analysis::applyTransfer(nop, d);
+    for (std::size_t r = 0; r < kNumRegs; ++r) EXPECT_EQ(d[r], kFarAway);
+}
+
+TEST(ReachingTest, SaturatedDistanceStillComparesAgainstThresholds) {
+    // A producer exactly kFarAway-1 instructions before the branch is
+    // indistinguishable from kFarAway after one more step — both must pass
+    // every realistic threshold (2..4), i.e. saturation only ever errs
+    // toward "far", which is the safe direction for fold legality.
+    std::string src = "main:   li   t0, 1\n";
+    for (int i = 0; i < 260; ++i) src += "        nop\n";
+    src += "        bgtz t0, main\n";
+    const Program p = assemble(src + kExit);
+    const analysis::FoldLegalityVerifier verifier(p);
+    for (std::uint32_t threshold : {2u, 3u, 4u}) {
+        analysis::VerifyConfig config;
+        config.threshold = threshold;
+        const auto v = verifier.verdictFor(nthBranchPc(p, 0), config);
+        EXPECT_EQ(v.staticMinDistance, kFarAway);
+        EXPECT_EQ(v.verdict, FoldLegality::kProvablySafe);
+    }
+}
+
+TEST(ReachingTest, WriteToR0IsDiscardedNotProduced) {
+    // `addiu zero, ...` must not count as a producer: the branch on zero
+    // still sees the machine-reset distance, exactly like the hardware BDT
+    // (r0 writes are architecturally discarded, see exec.cpp).
+    const Program p = assemble(std::string(R"(
+main:   addiu zero, t0, 5
+        beqz zero, main
+)") + kExit);
+    const analysis::FoldLegalityVerifier verifier(p);
+    const auto v = verifier.verdictFor(nthBranchPc(p, 0), {});
+    EXPECT_EQ(v.staticMinDistance, kFarAway);
+    EXPECT_EQ(v.verdict, FoldLegality::kProvablySafe);
+}
+
 TEST(ReachingTest, EntryStateIsMachineReset) {
     const Program p = assemble(std::string(R"(
 main:   bnez s5, main

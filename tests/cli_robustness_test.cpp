@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -118,6 +119,65 @@ TEST(CliRobustness, VerifyMissingFile) {
 
 TEST(CliRobustness, VerifyNoArguments) {
     expectCleanRejection(runTool("asbr-verify", ""), "asbr-verify");
+}
+
+TEST(CliRobustness, VerifyAnalyzeMissingFile) {
+    expectCleanRejection(runTool("asbr-verify", "analyze /nonexistent/prog.s"),
+                         "asbr-verify analyze");
+}
+
+TEST(CliRobustness, VerifyAnalyzeUnknownBench) {
+    expectCleanRejection(runTool("asbr-verify", "analyze --bench=mpeg9"),
+                         "asbr-verify analyze");
+}
+
+TEST(CliRobustness, VerifyAnalyzeFileAndBenchConflict) {
+    expectCleanRejection(
+        runTool("asbr-verify", "analyze prog.s --bench=adpcm-enc"),
+        "asbr-verify analyze");
+}
+
+TEST(CliRobustness, VerifyAnalyzeUnwritableOutput) {
+    expectCleanRejection(
+        runTool("asbr-verify",
+                "analyze --bench=adpcm-enc --out=/nonexistent/dir/r.json"),
+        "asbr-verify analyze");
+}
+
+TEST(CliRobustness, VerifyDumpCfgUnwritablePath) {
+    const std::string src = writeTemp("dump_cfg.s",
+                                      "main:   li v0, 1\n"
+                                      "        li a0, 0\n"
+                                      "        sys\n");
+    expectCleanRejection(
+        runTool("asbr-verify",
+                src + " --no-profile --quiet --dump-cfg=/nonexistent/dir/g.dot"),
+        "asbr-verify --dump-cfg");
+}
+
+TEST(CliRobustness, VerifyDumpCfgWritesAValidDigraph) {
+    // The nops keep the branch's producer distance at the fold threshold,
+    // so the verify pass itself exits 0 and only the dump is under test.
+    const std::string src = writeTemp("dump_cfg_ok.s",
+                                      "main:   li s0, 3\n"
+                                      "loop:   addiu s0, s0, -1\n"
+                                      "        nop\n"
+                                      "        nop\n"
+                                      "        nop\n"
+                                      "        bgtz s0, loop\n"
+                                      "        li v0, 1\n"
+                                      "        li a0, 0\n"
+                                      "        sys\n");
+    const std::string dot = testing::TempDir() + "asbr_cli_robustness_cfg.dot";
+    const RunResult r = runTool(
+        "asbr-verify", src + " --no-profile --quiet --dump-cfg=" + dot);
+    EXPECT_TRUE(r.exitedNormally);
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    std::ifstream in(dot);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("digraph"), text.npos);
+    EXPECT_NE(text.find("->"), text.npos);
 }
 
 TEST(CliRobustness, FaultsUnknownCommand) {

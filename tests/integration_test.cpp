@@ -13,6 +13,8 @@
 #include "profile/selection.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
+#include "workloads/input_gen.hpp"
+#include "workloads/workloads.hpp"
 
 namespace asbr {
 namespace {
@@ -284,6 +286,60 @@ int main() {
     EXPECT_EQ(r.output, nt.output);
     // Profile-directed static prediction beats always-not-taken here.
     EXPECT_LT(r.stats.cycles, nt.stats.cycles);
+}
+
+// The static fold class end to end on a real workload: G.721 encode carries
+// branches the abstract interpreter proves never-taken.  Folding them from
+// the static table must (a) actually fire, (b) change nothing
+// architecturally, and (c) cost no cycles versus the dynamic-only policy —
+// the statically folded branches free BIT slots and never block.
+TEST(IntegrationTest, StaticFoldsFireOnG721AtNoCycleCost) {
+    const Program p = buildBench(BenchId::kG721Encode);
+    const auto pcm = generateSpeech(1500, 11);
+
+    Memory profMem;
+    profMem.loadProgram(p);
+    loadPcmInput(profMem, p, pcm);
+    const ProgramProfile profile = profileProgram(p, profMem);
+
+    SelectionConfig config;
+    config.bitCapacity = 16;
+    const FoldSelection selection =
+        selectWithStaticVerdicts(p, profile, {}, config);
+    ASSERT_FALSE(selection.statics.empty())
+        << "g721-enc lost its statically-decided branches";
+
+    auto run = [&](bool useStatics) {
+        Memory mem;
+        mem.loadProgram(p);
+        loadPcmInput(mem, p, pcm);
+        auto predictor = makeBimodal2048();
+        AsbrUnit unit;
+        if (useStatics) {
+            unit.loadBank(0,
+                          extractBranchInfos(p, candidatePcs(selection.dynamic)));
+            std::vector<StaticFoldEntry> entries;
+            for (const StaticFoldCandidate& s : selection.statics)
+                entries.push_back(extractStaticFold(p, s.pc, s.taken));
+            unit.loadStaticFolds(std::move(entries),
+                                 selection.bitSlotsReclaimed);
+        } else {
+            const auto dynOnly = selectFoldableBranches(p, profile, {}, config);
+            unit.loadBank(0, extractBranchInfos(p, candidatePcs(dynOnly)));
+        }
+        PipelineSim sim(p, mem, *predictor, {}, &unit);
+        const PipelineResult r = sim.run();
+        EXPECT_TRUE(r.exited && r.exitCode == 0);
+        return std::tuple<std::string, std::uint64_t, std::uint64_t>(
+            r.output, r.stats.cycles, unit.stats().staticFolds);
+    };
+
+    const auto [baseOut, baseCycles, baseStatics] = run(false);
+    const auto [out, cycles, statics] = run(true);
+    EXPECT_EQ(baseStatics, 0u);
+    EXPECT_GT(statics, 0u);
+    EXPECT_EQ(out, baseOut);
+    EXPECT_LE(cycles, baseCycles);
 }
 
 }  // namespace

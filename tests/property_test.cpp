@@ -7,6 +7,9 @@
 // drops by exactly the number of committed folds.
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "analysis/verify.hpp"
 #include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
@@ -15,6 +18,8 @@
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
 #include "util/rng.hpp"
+#include "workloads/input_gen.hpp"
+#include "workloads/workloads.hpp"
 
 namespace asbr {
 namespace {
@@ -175,6 +180,81 @@ TEST(AsbrProperty, RandomProgramsFoldWithoutSemanticChange) {
         FunctionalSim iss(p, mem);
         const FunctionalResult fr = iss.run(50'000'000);
         EXPECT_EQ(fr.output, base.output) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static branch-direction verdicts vs the functional ISS: a branch the
+// abstract interpreter (src/analysis/absint) calls AlwaysTaken must never be
+// observed not-taken, NeverTaken never taken, and kUnreachable never
+// executed at all.  This is the soundness contract the static fold class
+// rests on — a violated verdict would inject the wrong instruction stream.
+// ---------------------------------------------------------------------------
+
+/// Observed directions per branch pc: bit 0 = seen not-taken, bit 1 = taken.
+std::map<std::uint32_t, unsigned> observeDirections(const Program& p,
+                                                    Memory& mem) {
+    std::map<std::uint32_t, unsigned> seen;
+    FunctionalSim sim(p, mem);
+    sim.setTraceHook([&seen](const Instruction&, const StepResult& step) {
+        if (step.isBranch) seen[step.pc] |= step.branchTaken ? 2u : 1u;
+    });
+    const FunctionalResult r = sim.run(200'000'000);
+    EXPECT_TRUE(r.exited);
+    return seen;
+}
+
+void expectVerdictsConsistent(const Program& p,
+                              const std::map<std::uint32_t, unsigned>& seen,
+                              const std::string& label) {
+    const analysis::FoldLegalityVerifier verifier(p);
+    const analysis::ValueAnalysis& va = verifier.values();
+    EXPECT_TRUE(va.converged) << label;
+    for (const auto& [pc, dirs] : seen) {
+        const auto d = va.directionAt(verifier.cfg().indexOf(pc));
+        EXPECT_NE(d, analysis::BranchDirection::kUnreachable)
+            << label << ": branch 0x" << std::hex << pc
+            << " executed but was called unreachable";
+        if (d == analysis::BranchDirection::kAlwaysTaken)
+            EXPECT_EQ(dirs & 1u, 0u)
+                << label << ": AlwaysTaken branch 0x" << std::hex << pc
+                << " observed not-taken";
+        if (d == analysis::BranchDirection::kNeverTaken)
+            EXPECT_EQ(dirs & 2u, 0u)
+                << label << ": NeverTaken branch 0x" << std::hex << pc
+                << " observed taken";
+    }
+}
+
+TEST(AbsintProperty, WorkloadDirectionsNeverContradictStaticVerdicts) {
+    const auto pcm = generateSpeech(1200, 17);
+    for (const BenchId id : kAllBenchesExtended) {
+        const Program p = buildBench(id);
+        Memory mem;
+        mem.loadProgram(p);
+        if (benchIsEncoder(id)) {
+            loadPcmInput(mem, p, pcm);
+        } else {
+            const BenchId enc =
+                id == BenchId::kAdpcmDecode  ? BenchId::kAdpcmEncode
+                : id == BenchId::kG721Decode ? BenchId::kG721Encode
+                                             : BenchId::kG711Encode;
+            loadCodeInput(mem, p, runEncoderRef(enc, pcm));
+        }
+        const auto seen = observeDirections(p, mem);
+        EXPECT_FALSE(seen.empty());
+        expectVerdictsConsistent(p, seen, benchName(id));
+    }
+}
+
+TEST(AbsintProperty, RandomProgramDirectionsNeverContradictStaticVerdicts) {
+    for (std::uint64_t seed = 500; seed < 520; ++seed) {
+        ProgramGen gen(seed);
+        const Program p = assemble(gen.generate());
+        Memory mem;
+        mem.loadProgram(p);
+        const auto seen = observeDirections(p, mem);
+        expectVerdictsConsistent(p, seen, "seed " + std::to_string(seed));
     }
 }
 

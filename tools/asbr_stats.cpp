@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "report/analysis_report.hpp"
 #include "report/fault_report.hpp"
 #include "util/trace.hpp"
 
@@ -41,6 +42,8 @@ namespace {
         "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
         "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
         "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit] [--protected]\n"
+        "  --static-folds        fold statically-decided branches from the\n"
+        "                        static table (implies --asbr)\n"
         "  --json=FILE           write an asbr.sim_report (\"-\" = stdout)\n"
         "  --trace=FILE          record a pipeline trace to FILE\n"
         "  --trace-format=chrome|jsonl   (default chrome)\n"
@@ -124,6 +127,7 @@ int cmdRun(int argc, char** argv) {
     std::string bench;
     std::string predictorName = "bimodal";
     bool asbr = false;
+    bool staticFolds = false;
     bool protectedMode = false;
     std::size_t bitEntries = 0;  // 0 = the paper's count for the benchmark
     ValueStage stage = ValueStage::kMemEnd;
@@ -148,6 +152,9 @@ int cmdRun(int argc, char** argv) {
         } else if (arg.rfind("--predictor=", 0) == 0) {
             predictorName = arg.substr(12);
         } else if (arg == "--asbr") {
+            asbr = true;
+        } else if (arg == "--static-folds") {
+            staticFolds = true;
             asbr = true;
         } else if (arg == "--protected") {
             protectedMode = true;
@@ -214,8 +221,16 @@ int cmdRun(int argc, char** argv) {
         const PipelineResult base = runPipeline(prepared, *baseline);
         setup = prepareAsbr(prepared,
                             bitEntries != 0 ? bitEntries : paperBitEntries(*id),
-                            stage, accuracyMap(base.stats), protectedMode);
+                            stage, accuracyMap(base.stats), protectedMode,
+                            staticFolds);
         customizer = setup.unit.get();
+        if (staticFolds)
+            std::fprintf(stderr,
+                         "static folds: %zu branch(es) in the static table, "
+                         "%llu BIT slot(s) reclaimed\n",
+                         setup.staticCandidates.size(),
+                         static_cast<unsigned long long>(
+                             setup.bitSlotsReclaimed));
     }
 
     Tracer tracer(traceConfig);
@@ -372,6 +387,8 @@ int cmdValidate(const char* path) {
         validation = validateBenchReportJson(*parsed.value);
     } else if (schema->asString() == kFaultReportSchema) {
         validation = validateFaultReportJson(*parsed.value);
+    } else if (schema->asString() == kAnalysisReportSchema) {
+        validation = validateAnalysisReportJson(*parsed.value);
     } else {
         std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
                      schema->asString().c_str());

@@ -1,21 +1,26 @@
 // asbr-verify — static fold-legality linter for assembled/compiled programs.
 //
-// Builds the CFG + reaching-producer dataflow over the linked program,
-// verifies the fold legality of either the profiler-driven selection
-// (default) or every conditional branch (--all), checks the BIT geometry
-// for conflicts and the extracted bank for BTA/BTI/BFI consistency, and
-// exits nonzero when any verified branch is Illegal (or any conflict /
-// inconsistency is found) — suitable as a CI gate.
+// Builds the CFG, the abstract-interpretation value analysis and the
+// reaching-producer dataflow over the linked program, verifies the fold
+// legality of either the profiler-driven selection (default) or every
+// conditional branch (--all), checks the BIT geometry for conflicts and the
+// extracted bank for BTA/BTI/BFI consistency, and exits nonzero when any
+// verified branch is Illegal (or any conflict / inconsistency is found) —
+// suitable as a CI gate.
 //
 //   asbr-verify prog.c                      # verify the default selection
 //   asbr-verify prog.s --all                # lint every conditional branch
 //   asbr-verify prog.c --threshold=2 --require-safe
 //   asbr-verify prog.s --all --no-profile   # purely static verdicts
+//   asbr-verify prog.s --strict             # value-analysis lints are fatal
+//   asbr-verify prog.s --dump-cfg=cfg.dot   # Graphviz render of the analysis
+//   asbr-verify analyze --bench=adpcm-enc --out=report.json
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "analysis/dot.hpp"
 #include "analysis/verify.hpp"
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
@@ -24,14 +29,17 @@
 #include "mem/memory.hpp"
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
+#include "report/analysis_report.hpp"
+#include "workloads/workloads.hpp"
 
 namespace {
 
 using namespace asbr;
 
 [[noreturn]] void usage(int code) {
-    std::puts(
+    std::fputs(
         "usage: asbr-verify <file.c|file.s> [options]\n"
+        "       asbr-verify analyze <file.c|file.s> | --bench=B [options]\n"
         "  --threshold=2|3|4   fold-distance threshold (default 3)\n"
         "  --bit=N             BIT ways per set (default 16)\n"
         "  --sets=N            BIT sets (default 1 = fully associative)\n"
@@ -41,7 +49,14 @@ using namespace asbr;
         "                      implies --all)\n"
         "  --require-safe      selection drops Illegal candidates\n"
         "  --no-schedule       disable the condition-scheduling pass\n"
-        "  --quiet             summary only, no per-branch table");
+        "  --dump-cfg=FILE     write the analyzed CFG as a Graphviz digraph\n"
+        "  --strict            unreachable-block / dead-branch-arm lints are\n"
+        "                      errors (nonzero exit)\n"
+        "  --quiet             summary only, no per-branch table\n"
+        "analyze options:\n"
+        "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
+        "  --out=FILE          asbr.analysis_report destination (default -)\n",
+        code == 0 ? stdout : stderr);
     std::exit(code);
 }
 
@@ -57,6 +72,190 @@ std::size_t parseCount(const std::string& arg, const std::string& value) {
     std::exit(2);
 }
 
+std::optional<BenchId> benchFromName(const std::string& s) {
+    if (s == "adpcm-enc") return BenchId::kAdpcmEncode;
+    if (s == "adpcm-dec") return BenchId::kAdpcmDecode;
+    if (s == "g721-enc") return BenchId::kG721Encode;
+    if (s == "g721-dec") return BenchId::kG721Decode;
+    if (s == "g711-enc") return BenchId::kG711Encode;
+    if (s == "g711-dec") return BenchId::kG711Decode;
+    return std::nullopt;
+}
+
+/// Compile/assemble `path` (.s/.asm = assembly, anything else = mcc C).
+/// Exits with a diagnostic on unreadable files or front-end errors.
+Program loadProgram(const std::string& path, bool schedule) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        const bool isAsm = path.ends_with(".s") || path.ends_with(".asm");
+        if (isAsm) {
+            Program program = assemble(buffer.str());
+            if (schedule) cc::scheduleConditionChains(program);
+            return program;
+        }
+        cc::CompileOptions options;
+        options.scheduleConditions = schedule;
+        return cc::compile(buffer.str(), options).program;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+    }
+}
+
+/// --dump-cfg=FILE: Graphviz render of the analyzed supergraph.  A bad path
+/// is a hard error — CI must not silently lose the artifact.
+void dumpCfgTo(const std::string& path,
+               const analysis::FoldLegalityVerifier& verifier,
+               const analysis::VerifyConfig& config) {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "asbr-verify: cannot open '%s' for writing the CFG dump\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    analysis::dumpCfgDot(out, verifier, config);
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "asbr-verify: write to '%s' failed\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(stderr, "wrote CFG dump to %s\n", path.c_str());
+}
+
+/// Print the value-analysis lints; returns the number of *error* lints
+/// (unreachable blocks and dead arms — refinement wins are informational).
+/// Lints are diagnostics, so they go to stderr — `analyze --out=-` owns
+/// stdout for the JSON document.
+std::size_t printLints(const analysis::FoldLegalityVerifier& verifier,
+                       const analysis::VerifyConfig& config, bool quiet) {
+    std::size_t errors = 0;
+    for (const analysis::StaticLint& lint : verifier.lints(config)) {
+        if (lint.kind != analysis::StaticLint::Kind::kRefinementWin) ++errors;
+        if (!quiet)
+            std::fprintf(stderr, "lint: %s\n",
+                         analysis::formatLint(lint).c_str());
+    }
+    return errors;
+}
+
+int cmdAnalyze(int argc, char** argv) {
+    std::string path;
+    std::string benchToken;
+    std::string outPath = "-";
+    std::string dumpCfgPath;
+    std::uint32_t threshold = 3;
+    bool schedule = true;
+    bool strict = false;
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--bench=", 0) == 0)
+            benchToken = arg.substr(8);
+        else if (arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+        else if (arg.rfind("--threshold=", 0) == 0)
+            threshold =
+                static_cast<std::uint32_t>(parseCount(arg, arg.substr(12)));
+        else if (arg.rfind("--dump-cfg=", 0) == 0)
+            dumpCfgPath = arg.substr(11);
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--strict") strict = true;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") usage(0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asbr-verify analyze: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "asbr-verify analyze: extra argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (path.empty() == benchToken.empty()) {
+        std::fprintf(stderr,
+                     "asbr-verify analyze: need exactly one of <file> or "
+                     "--bench=B\n");
+        return 2;
+    }
+
+    Program program;
+    AnalysisReportMeta meta;
+    meta.threshold = threshold;
+    meta.scheduled = schedule;
+    if (!benchToken.empty()) {
+        const auto id = benchFromName(benchToken);
+        if (!id) {
+            std::fprintf(stderr, "asbr-verify analyze: unknown bench '%s'\n",
+                         benchToken.c_str());
+            return 2;
+        }
+        program = buildBench(*id, schedule);
+        meta.benchmark = benchToken;
+    } else {
+        program = loadProgram(path, schedule);
+        const std::size_t slash = path.find_last_of('/');
+        meta.benchmark = slash == std::string::npos ? path
+                                                    : path.substr(slash + 1);
+    }
+
+    try {
+        analysis::VerifyConfig config;
+        config.threshold = threshold;
+        const analysis::FoldLegalityVerifier verifier(program);
+
+        const JsonValue doc = analysisReportJson(meta, verifier, config);
+        const std::string text = doc.dump(2) + "\n";
+
+        // Self-check before anything touches disk: the document must pass
+        // its own schema validator.
+        const ReportValidation validation = validateAnalysisReportJson(doc);
+        for (const std::string& error : validation.errors)
+            std::fprintf(stderr, "schema error: %s\n", error.c_str());
+        if (!validation.ok()) return 1;
+
+        if (outPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(outPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "asbr-verify analyze: cannot open '%s' for "
+                             "writing\n",
+                             outPath.c_str());
+                return 1;
+            }
+            out << text;
+            std::fprintf(stderr, "wrote analysis report to %s\n",
+                         outPath.c_str());
+        }
+
+        if (!dumpCfgPath.empty()) dumpCfgTo(dumpCfgPath, verifier, config);
+        const std::size_t errorLints = printLints(verifier, config, quiet);
+        if (!verifier.values().converged) {
+            std::fprintf(stderr,
+                         "asbr-verify analyze: fixpoint iteration budget "
+                         "exhausted (verdicts degraded to Dynamic)\n");
+            return 1;
+        }
+        return strict && errorLints != 0 ? 1 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-verify: %s\n", e.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +263,8 @@ int main(int argc, char** argv) {
         if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h")
             usage(0);
     if (argc < 2) usage(2);
+    if (std::string(argv[1]) == "analyze")
+        return cmdAnalyze(argc - 2, argv + 2);
     const std::string path = argv[1];
 
     std::uint32_t threshold = 3;
@@ -73,7 +274,9 @@ int main(int argc, char** argv) {
     bool useProfile = true;
     bool requireSafe = false;
     bool schedule = true;
+    bool strict = false;
     bool quiet = false;
+    std::string dumpCfgPath;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,10 +287,13 @@ int main(int argc, char** argv) {
             ways = parseCount(arg, arg.substr(6));
         else if (arg.rfind("--sets=", 0) == 0)
             sets = parseCount(arg, arg.substr(7));
+        else if (arg.rfind("--dump-cfg=", 0) == 0)
+            dumpCfgPath = arg.substr(11);
         else if (arg == "--all") all = true;
         else if (arg == "--no-profile") { useProfile = false; all = true; }
         else if (arg == "--require-safe") requireSafe = true;
         else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--strict") strict = true;
         else if (arg == "--quiet") quiet = true;
         else {
             std::fprintf(stderr, "asbr-verify: unknown option '%s'\n",
@@ -96,29 +302,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
-        return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-
-    Program program;
-    try {
-        const bool isAsm = path.ends_with(".s") || path.ends_with(".asm");
-        if (isAsm) {
-            program = assemble(buffer.str());
-            if (schedule) cc::scheduleConditionChains(program);
-        } else {
-            cc::CompileOptions options;
-            options.scheduleConditions = schedule;
-            program = cc::compile(buffer.str(), options).program;
-        }
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
+    const Program program = loadProgram(path, schedule);
 
     analysis::VerifyConfig config;
     config.threshold = threshold;
@@ -172,8 +356,8 @@ int main(int argc, char** argv) {
         }
 
         if (!quiet) {
-            std::printf("%-10s %-6s %-8s %-21s %s\n", "pc", "line", "static",
-                        "verdict", "why");
+            std::printf("%-10s %-6s %-8s %-12s %-21s %s\n", "pc", "line",
+                        "static", "direction", "verdict", "why");
             for (const auto& b : report.branches) {
                 char dist[16];
                 if (b.staticMinDistance >= analysis::kFarAway)
@@ -181,8 +365,10 @@ int main(int argc, char** argv) {
                 else
                     std::snprintf(dist, sizeof dist, "%u",
                                   unsigned{b.staticMinDistance});
-                std::printf("0x%08x %-6d %-8s %-21s %s\n", b.pc, b.sourceLine,
-                            dist, analysis::foldLegalityName(b.verdict),
+                std::printf("0x%08x %-6d %-8s %-12s %-21s %s\n", b.pc,
+                            b.sourceLine, dist,
+                            analysis::branchDirectionName(b.direction),
+                            analysis::foldLegalityName(b.verdict),
                             b.reason.c_str());
             }
             for (const auto& c : report.conflicts)
@@ -190,6 +376,9 @@ int main(int argc, char** argv) {
             for (const auto& m : report.inconsistencies)
                 std::printf("inconsistent: %s\n", m.c_str());
         }
+        const std::size_t errorLints = printLints(verifier, config, quiet);
+
+        if (!dumpCfgPath.empty()) dumpCfgTo(dumpCfgPath, verifier, config);
 
         std::printf(
             "asbr-verify: %zu branches, %zu provably safe, %zu safe on "
@@ -200,6 +389,11 @@ int main(int argc, char** argv) {
             report.count(analysis::FoldLegality::kSafeOnProfiledPaths),
             report.count(analysis::FoldLegality::kIllegal),
             report.conflicts.size(), report.inconsistencies.size(), threshold);
+        if (strict && errorLints != 0) {
+            std::printf("asbr-verify: %zu lint error(s) under --strict\n",
+                        errorLints);
+            return 1;
+        }
         return report.ok() ? 0 : 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "asbr-verify: %s\n", e.what());
