@@ -14,29 +14,38 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("ablation_bit_size", options);
 
-    const Prepared prepared = prepare(BenchId::kG721Encode, options);
-    auto baseline = makeBimodal2048();
-    const PipelineResult base = runPipeline(prepared, *baseline);
-    const auto accuracy = accuracyMap(base.stats);
+    // One baseline plus one ASBR job per capacity — the engine resolves the
+    // shared workload/profile once and reuses it across every selection.
+    const std::size_t sizes[] = {1, 2, 4, 8, 16, 32};
+    std::vector<SimJob> jobs;
+    jobs.push_back(
+        baseJob(options, BenchId::kG721Encode, "bimodal", "ablation_bit_size"));
+    for (const std::size_t entries : sizes) {
+        SimJob job = baseJob(options, BenchId::kG721Encode, "bi512",
+                             "ablation_bit_size");
+        job.asbr = true;
+        job.bitEntries = entries;
+        jobs.push_back(job);
+    }
+    const std::vector<JobResult> results = engine.run(jobs);
+    const JobResult& base = results[0];
 
     TextTable table("Ablation: BIT entries vs cycles (G.721 Encode, bi-512 aux)");
     table.setHeader({"BIT entries", "selected", "folds", "cycles",
                      "improvement vs bimodal", "ASBR storage bits"});
 
-    for (const std::size_t entries : {1, 2, 4, 8, 16, 32}) {
-        const AsbrSetup setup =
-            prepareAsbr(prepared, entries, ValueStage::kMemEnd, accuracy);
-        auto aux = makeAux512();
-        const PipelineResult r = runPipeline(prepared, *aux, setup.unit.get());
-        sink.add("ablation_bit_size", prepared, r, *aux, &setup);
-        table.addRow({std::to_string(entries),
-                      std::to_string(setup.candidates.size()),
-                      formatWithCommas(setup.unit->stats().folds),
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const JobResult& r = results[1 + i];
+        sink.add(r);
+        table.addRow({std::to_string(sizes[i]),
+                      std::to_string(r.candidates.size()),
+                      formatWithCommas(r.unitStats.folds),
                       formatWithCommas(r.stats.cycles),
                       formatPercent(improvement(base.stats.cycles, r.stats.cycles)),
-                      formatWithCommas(setup.unit->storageBits())});
+                      formatWithCommas(r.unitStorageBits)});
     }
     printTable(options, table);
     sink.write();

@@ -15,6 +15,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("ablation_scheduling", options);
 
     TextTable table(
@@ -22,30 +23,41 @@ int main(int argc, char** argv) {
     table.setHeader({"benchmark", "scheduling", "foldable execs@3", "folds",
                      "cycles (ASBR, bi-512)", "improvement vs bimodal"});
 
-    for (const BenchId id : kAllBenches) {
+    // Per benchmark x scheduling flag: a bimodal baseline and the ASBR run.
+    // The two scheduling variants are distinct workload keys, so the engine
+    // loads and profiles each variant exactly once.
+    const std::vector<BenchId> benches = benchList(options, kAllBenches);
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benches) {
         for (const bool schedule : {false, true}) {
-            const Prepared prepared = prepare(id, options, schedule);
-            auto baseline = makeBimodal2048();
-            const PipelineResult base = runPipeline(prepared, *baseline);
-
-            const ProgramProfile profile = profileOf(prepared);
-            std::uint64_t foldable = 0;
-            for (const auto& [pc, bp] : profile.branches) foldable += bp.distGe3;
-
-            const AsbrSetup setup =
-                prepareAsbr(prepared, paperBitEntries(id), ValueStage::kMemEnd,
-                            accuracyMap(base.stats));
-            auto aux = makeAux512();
-            const PipelineResult r =
-                runPipeline(prepared, *aux, setup.unit.get());
-            sink.add("ablation_scheduling", prepared, r, *aux, &setup);
-            table.addRow(
-                {benchName(id), schedule ? "on" : "off",
-                 formatWithCommas(foldable),
-                 formatWithCommas(setup.unit->stats().folds),
-                 formatWithCommas(r.stats.cycles),
-                 formatPercent(improvement(base.stats.cycles, r.stats.cycles))});
+            SimJob base = baseJob(options, id, "bimodal", "ablation_scheduling");
+            base.scheduled = schedule;
+            jobs.push_back(base);
+            SimJob asbrJob =
+                baseJob(options, id, "bi512", "ablation_scheduling");
+            asbrJob.scheduled = schedule;
+            asbrJob.asbr = true;
+            jobs.push_back(asbrJob);
         }
+    }
+    const std::vector<JobResult> results = engine.run(jobs);
+
+    for (std::size_t i = 0; i < jobs.size(); i += 2) {
+        const JobResult& base = results[i];
+        const JobResult& r = results[i + 1];
+        sink.add(r);
+
+        // Dynamic branch executions whose def-to-branch distance qualifies at
+        // threshold 3, from the cached functional profile.
+        const ProgramProfile& profile = engine.workloadFor(jobs[i])->profile();
+        std::uint64_t foldable = 0;
+        for (const auto& [pc, bp] : profile.branches) foldable += bp.distGe3;
+
+        table.addRow(
+            {r.report.meta.benchmark, jobs[i].scheduled ? "on" : "off",
+             formatWithCommas(foldable), formatWithCommas(r.unitStats.folds),
+             formatWithCommas(r.stats.cycles),
+             formatPercent(improvement(base.stats.cycles, r.stats.cycles))});
     }
     printTable(options, table);
     sink.write();

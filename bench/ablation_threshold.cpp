@@ -17,6 +17,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("ablation_threshold", options);
 
     TextTable table(
@@ -34,25 +35,34 @@ int main(int argc, char** argv) {
         {ValueStage::kExEnd, "EX-end"},
     };
 
-    for (const BenchId id : kAllBenches) {
-        const Prepared prepared = prepare(id, options);
-        auto baseline = makeBimodal2048();
-        const PipelineResult base = runPipeline(prepared, *baseline);
-        const auto accuracy = accuracyMap(base.stats);
-
+    // Per benchmark: one bimodal baseline, then one ASBR job per update
+    // stage.  All three selections share the cached workload + profile +
+    // baseline-accuracy artifacts.
+    const std::vector<BenchId> benches = benchList(options, kAllBenches);
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benches) {
+        jobs.push_back(baseJob(options, id, "bimodal", "ablation_threshold"));
         for (const StageRow& stage : stages) {
-            const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
-                                                stage.stage, accuracy);
-            auto aux = makeAux512();
-            const PipelineResult r =
-                runPipeline(prepared, *aux, setup.unit.get());
-            sink.add("ablation_threshold", prepared, r, *aux, &setup);
+            SimJob job = baseJob(options, id, "bi512", "ablation_threshold");
+            job.asbr = true;
+            job.updateStage = stage.stage;
+            jobs.push_back(job);
+        }
+    }
+    const std::vector<JobResult> results = engine.run(jobs);
+
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const JobResult* group = &results[b * 4];
+        const JobResult& base = group[0];
+        for (std::size_t s = 0; s < 3; ++s) {
+            const JobResult& r = group[1 + s];
+            sink.add(r);
             table.addRow(
-                {benchName(id), stage.name,
-                 std::to_string(thresholdFor(stage.stage)),
-                 std::to_string(setup.candidates.size()),
-                 formatWithCommas(setup.unit->stats().folds),
-                 formatWithCommas(setup.unit->stats().blockedInvalid),
+                {benchName(benches[b]), stages[s].name,
+                 std::to_string(thresholdFor(stages[s].stage)),
+                 std::to_string(r.candidates.size()),
+                 formatWithCommas(r.unitStats.folds),
+                 formatWithCommas(r.unitStats.blockedInvalid),
                  formatWithCommas(r.stats.cycles),
                  formatPercent(improvement(base.stats.cycles, r.stats.cycles))});
         }

@@ -2,179 +2,45 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "asbr/extract.hpp"
-#include "sim/functional.hpp"
 #include "util/ensure.hpp"
-#include "workloads/input_gen.hpp"
 
 namespace asbr::bench {
 
 Options parseOptions(int argc, char** argv) {
     Options options;
+    std::string error;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto numArg = [&arg](const char* prefix) -> std::optional<std::uint64_t> {
-            const std::size_t len = std::strlen(prefix);
-            if (arg.rfind(prefix, 0) != 0) return std::nullopt;
-            return std::strtoull(arg.c_str() + len, nullptr, 10);
-        };
-        if (arg == "--quick") {
-            options.adpcmSamples = 8'000;
-            options.g721Samples = 2'000;
-        } else if (const auto v = numArg("--seed=")) {
-            options.seed = *v;
-        } else if (const auto v = numArg("--adpcm=")) {
-            options.adpcmSamples = *v;
-        } else if (const auto v = numArg("--g721=")) {
-            options.g721Samples = *v;
-        } else if (arg == "--csv") {
-            options.csv = true;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            options.jsonPath = arg.substr(7);
+        if (driver::consumeSharedOption(arg, options, error)) {
+            if (!error.empty()) driver::cliFail(argv[0], error);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "options: --quick --seed=N --adpcm=N --g721=N --csv "
-                "--json=FILE\n");
+            std::printf("options: %s --csv\n", driver::sharedOptionsHelp());
             std::exit(0);
         } else {
-            std::fprintf(stderr, "unknown option '%s' (try --help)\n",
-                         arg.c_str());
-            std::exit(2);
+            driver::cliFail(argv[0],
+                            "unknown option '" + arg + "' (try --help)");
         }
     }
     return options;
 }
 
-std::size_t samplesFor(const Options& options, BenchId id) {
-    const bool heavy =
-        id == BenchId::kG721Encode || id == BenchId::kG721Decode;
-    const std::size_t want = heavy ? options.g721Samples : options.adpcmSamples;
-    return std::min(want, benchMaxSamples(id));
+std::vector<BenchId> benchList(const Options& options,
+                               std::span<const BenchId> all) {
+    if (options.workload.has_value()) return {*options.workload};
+    return {all.begin(), all.end()};
 }
 
-Prepared prepare(BenchId id, const Options& options, bool scheduleConditions) {
-    Prepared prepared;
-    prepared.id = id;
-    prepared.scheduled = scheduleConditions;
-    prepared.program = buildBench(id, scheduleConditions);
-    prepared.pcm = generateSpeech(samplesFor(options, id), options.seed);
-    if (!benchIsEncoder(id)) {
-        // Decoders consume the matching encoder's output, as in MediaBench.
-        switch (id) {
-            case BenchId::kAdpcmDecode:
-                prepared.codes = adpcmEncodeRef(prepared.pcm);
-                break;
-            case BenchId::kG721Decode:
-                prepared.codes = g721EncodeRef(prepared.pcm);
-                break;
-            case BenchId::kG711Decode:
-                prepared.codes = g711EncodeRef(prepared.pcm);
-                break;
-            default:
-                ASBR_ENSURE(false, "prepare: unexpected decoder");
-        }
-    }
-    return prepared;
+SimJob baseJob(const Options& options, BenchId id, std::string predictor,
+               std::string figure) {
+    SimJob job;
+    job.workload = id;
+    job.seed = options.seed;
+    job.samples = samplesFor(options, id);
+    job.predictor = std::move(predictor);
+    job.figure = std::move(figure);
+    return job;
 }
-
-Memory makeMemory(const Prepared& prepared) {
-    Memory memory;
-    memory.loadProgram(prepared.program);
-    if (benchIsEncoder(prepared.id)) {
-        loadPcmInput(memory, prepared.program, prepared.pcm);
-    } else {
-        loadCodeInput(memory, prepared.program, prepared.codes);
-    }
-    return memory;
-}
-
-PipelineResult runPipeline(const Prepared& prepared, BranchPredictor& predictor,
-                           FetchCustomizer* customizer,
-                           const PipelineConfig& config) {
-    Memory memory = makeMemory(prepared);
-    predictor.reset();
-    PipelineSim sim(prepared.program, memory, predictor, config, customizer);
-    PipelineResult result = sim.run();
-    ASBR_ENSURE(result.exited && result.exitCode == 0,
-                "benchmark did not exit cleanly");
-    return result;
-}
-
-ProgramProfile profileOf(const Prepared& prepared) {
-    Memory memory = makeMemory(prepared);
-    return profileProgram(prepared.program, memory);
-}
-
-std::map<std::uint32_t, double> accuracyMap(const PipelineStats& stats) {
-    std::map<std::uint32_t, double> out;
-    for (const auto& [pc, site] : stats.branchSites) out[pc] = site.accuracy();
-    return out;
-}
-
-std::size_t paperBitEntries(BenchId id) {
-    switch (id) {
-        case BenchId::kAdpcmEncode: return 4;
-        case BenchId::kAdpcmDecode: return 3;
-        case BenchId::kG721Encode: return 16;
-        case BenchId::kG721Decode: return 15;
-        case BenchId::kG711Encode:
-        case BenchId::kG711Decode: return 8;  // extension: not in the paper
-    }
-    return 16;
-}
-
-std::uint32_t thresholdFor(ValueStage stage) {
-    switch (stage) {
-        case ValueStage::kExEnd: return 2;
-        case ValueStage::kMemEnd: return 3;
-        case ValueStage::kCommit: return 4;
-    }
-    return 3;
-}
-
-AsbrSetup prepareAsbr(const Prepared& prepared, std::size_t bitEntries,
-                      ValueStage updateStage,
-                      const std::map<std::uint32_t, double>& accuracyByPc,
-                      bool parityProtected, bool staticFolds) {
-    const ProgramProfile profile = profileOf(prepared);
-    SelectionConfig config;
-    config.bitCapacity = bitEntries;
-    config.threshold = thresholdFor(updateStage);
-    AsbrSetup setup;
-    if (staticFolds) {
-        FoldSelection selection = selectWithStaticVerdicts(
-            prepared.program, profile, accuracyByPc, config);
-        setup.candidates = std::move(selection.dynamic);
-        setup.staticCandidates = std::move(selection.statics);
-        setup.bitSlotsReclaimed = selection.bitSlotsReclaimed;
-    } else {
-        setup.candidates = selectFoldableBranches(prepared.program, profile,
-                                                  accuracyByPc, config);
-    }
-    AsbrConfig unitConfig;
-    unitConfig.updateStage = updateStage;
-    unitConfig.bitCapacity = std::max<std::size_t>(bitEntries, 1);
-    unitConfig.parityProtected = parityProtected;
-    setup.unit = std::make_unique<AsbrUnit>(unitConfig);
-    setup.unit->loadBank(
-        0, extractBranchInfos(prepared.program, candidatePcs(setup.candidates)));
-    if (!setup.staticCandidates.empty()) {
-        std::vector<StaticFoldEntry> entries;
-        entries.reserve(setup.staticCandidates.size());
-        for (const StaticFoldCandidate& s : setup.staticCandidates)
-            entries.push_back(extractStaticFold(prepared.program, s.pc, s.taken));
-        setup.unit->loadStaticFolds(std::move(entries),
-                                    setup.bitSlotsReclaimed);
-    }
-    return setup;
-}
-
-std::unique_ptr<BranchPredictor> makeAux512() { return makeBimodal(512, 512); }
-
-std::unique_ptr<BranchPredictor> makeAux256() { return makeBimodal(256, 512); }
 
 void printTable(const Options& options, const TextTable& table) {
     std::fputs(table.render().c_str(), stdout);
@@ -185,25 +51,9 @@ void printTable(const Options& options, const TextTable& table) {
 ReportSink::ReportSink(std::string generator, const Options& options)
     : generator_(std::move(generator)), options_(options) {}
 
-void ReportSink::add(const std::string& figure, const Prepared& prepared,
-                     const PipelineResult& result,
-                     const BranchPredictor& predictor, const AsbrSetup* setup) {
+void ReportSink::add(const JobResult& result) {
     if (options_.jsonPath.empty()) return;  // nothing will consume the report
-    RunMeta meta;
-    meta.benchmark = benchName(prepared.id);
-    meta.predictor = predictor.name();
-    meta.figure = figure;
-    meta.seed = options_.seed;
-    meta.samples = samplesFor(options_, prepared.id);
-    meta.scheduled = prepared.scheduled;
-    const AsbrUnit* unit = setup != nullptr ? setup->unit.get() : nullptr;
-    if (unit != nullptr) {
-        meta.asbr = true;
-        meta.bitEntries = unit->config().bitCapacity;
-        meta.updateStage = valueStageName(unit->config().updateStage);
-    }
-    runs_.push_back(
-        makeSimReport(std::move(meta), result.stats, &predictor, unit));
+    runs_.push_back(result.report);
 }
 
 std::string ReportSink::write() const {
@@ -231,37 +81,36 @@ std::string ReportSink::write() const {
     return text;
 }
 
-void reportSelectedBranches(const Options& options, BenchId id,
-                            const std::string& figureLabel, ReportSink* sink) {
-    const Prepared prepared = prepare(id, options);
-
+void reportSelectedBranches(SimEngine& engine, const Options& options,
+                            BenchId id, const std::string& figureLabel,
+                            ReportSink* sink) {
     // Per-site accuracies under each reference predictor.
-    std::unique_ptr<BranchPredictor> predictors[] = {
-        makeNotTaken(), makeBimodal2048(), makeGshare2048()};
-    std::map<std::uint32_t, BranchSiteStats> sites[3];
-    for (int p = 0; p < 3; ++p) {
-        const PipelineResult r = runPipeline(prepared, *predictors[p]);
-        sites[p] = r.stats.branchSites;
-        if (sink != nullptr)
-            sink->add(figureLabel, prepared, r, *predictors[p]);
-    }
+    const char* predictors[] = {"not-taken", "bimodal", "gshare"};
+    std::vector<SimJob> jobs;
+    for (const char* predictor : predictors)
+        jobs.push_back(baseJob(options, id, predictor, figureLabel));
+    const std::vector<JobResult> results = engine.run(jobs);
+    if (sink != nullptr)
+        for (const JobResult& result : results) sink->add(result);
 
-    // Selection uses the bimodal-2048 accuracies as the hardness reference.
-    const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
-                                        ValueStage::kMemEnd,
-                                        accuracyMap({.branchSites = sites[1]}));
+    // Selection uses the bimodal-2048 accuracies as the hardness reference —
+    // resolved through the artifact cache, no extra pipeline run needed.
+    SimJob selectionJob = baseJob(options, id, "bimodal", figureLabel);
+    selectionJob.asbr = true;
+    const auto selection = engine.selectionFor(selectionJob);
 
     TextTable table("Figure " + figureLabel + ": branches selected for " +
                     std::string(benchName(id)));
     table.setHeader({"branch", "pc", "exec #", "taken", "acc not-taken",
                      "acc bimodal", "acc gshare", "foldable@3"});
     int index = 0;
-    for (const Candidate& c : setup.candidates) {
+    for (const Candidate& c : selection->candidates()) {
         char pcText[16];
         std::snprintf(pcText, sizeof pcText, "0x%05x", c.pc);
-        auto accOf = [&](int p) {
-            const auto it = sites[p].find(c.pc);
-            return it == sites[p].end() ? 0.0 : it->second.accuracy();
+        auto accOf = [&](std::size_t p) {
+            const auto& sites = results[p].stats.branchSites;
+            const auto it = sites.find(c.pc);
+            return it == sites.end() ? 0.0 : it->second.accuracy();
         };
         table.addRow({"br" + std::to_string(index++), pcText,
                       formatWithCommas(c.execs), formatFixed(c.takenRate, 2),

@@ -2,115 +2,58 @@
 //
 // Every binary in bench/ reproduces one table or figure from the paper's
 // evaluation (Section 8) or an ablation of a design choice DESIGN.md calls
-// out.  This header provides workload preparation, pipeline invocation and
-// the ASBR profile->select->extract pipeline so each binary stays a short,
-// readable script.
+// out.  Since the driver layer landed, each binary is a thin job-spec
+// builder: it expands its figure into declarative driver::SimJobs, hands the
+// batch to one driver::SimEngine (which caches load/profile/select artifacts
+// and runs jobs on --threads workers), and renders tables from the results —
+// all of the orchestration that used to live here (workload preparation,
+// pipeline invocation, the profile->select->extract pipeline) now lives in
+// src/driver.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "asbr/asbr_unit.hpp"
-#include "bp/predictor.hpp"
-#include "profile/profiler.hpp"
-#include "profile/selection.hpp"
+#include "driver/cli.hpp"
+#include "driver/engine.hpp"
+#include "driver/job.hpp"
+#include "driver/names.hpp"
 #include "report/report.hpp"
-#include "sim/pipeline.hpp"
 #include "util/table.hpp"
 #include "workloads/workloads.hpp"
 
 namespace asbr::bench {
 
-/// Command-line options shared by all bench binaries.
-///   --quick        small inputs (CI-speed smoke run)
-///   --seed=N       input generator seed
-///   --adpcm=N      ADPCM sample count
-///   --g721=N       G.721 sample count
-///   --csv          additionally print tables as CSV
-///   --json=FILE    write every run as an asbr.bench_report document
-struct Options {
-    std::size_t adpcmSamples = 100'000;
-    std::size_t g721Samples = 20'000;
-    std::uint64_t seed = 2001;
-    bool csv = false;
-    std::string jsonPath;  ///< empty = no JSON export; "-" = stdout
-};
+using driver::JobResult;
+using driver::SimEngine;
+using driver::SimJob;
+using Options = driver::CliOptions;
 
+using driver::paperBitEntries;
+using driver::samplesFor;
+using driver::thresholdFor;
+
+/// Parse the shared driver options (--quick --seed=N --adpcm=N --g721=N
+/// --threads=N --workload=W --csv --json=FILE); unknown arguments are
+/// rejected with a one-line structured error and exit code 2.
 [[nodiscard]] Options parseOptions(int argc, char** argv);
 
-/// Samples to feed a given benchmark under these options.
-[[nodiscard]] std::size_t samplesFor(const Options& options, BenchId id);
+/// The workloads a figure loop covers: the --workload= filter when given,
+/// otherwise the full list passed in (kAllBenches / kAllBenchesExtended).
+[[nodiscard]] std::vector<BenchId> benchList(
+    const Options& options, std::span<const BenchId> all);
 
-/// A compiled benchmark plus its input data (decoders get codes produced by
-/// the native encoder, mirroring how MediaBench chains encode -> decode).
-struct Prepared {
-    BenchId id;
-    bool scheduled = true;  ///< condition-scheduling pass was enabled
-    Program program;
-    std::vector<std::int16_t> pcm;
-    std::vector<std::uint8_t> codes;
-};
-
-[[nodiscard]] Prepared prepare(BenchId id, const Options& options,
-                               bool scheduleConditions = true);
-
-/// Fresh memory image holding program + input.
-[[nodiscard]] Memory makeMemory(const Prepared& prepared);
-
-/// One cycle-accurate run.
-[[nodiscard]] PipelineResult runPipeline(const Prepared& prepared,
-                                         BranchPredictor& predictor,
-                                         FetchCustomizer* customizer = nullptr,
-                                         const PipelineConfig& config = {});
-
-/// Functional profile of the prepared benchmark.
-[[nodiscard]] ProgramProfile profileOf(const Prepared& prepared);
-
-/// Per-site accuracy map from a pipeline run (reference-predictor input to
-/// branch selection).
-[[nodiscard]] std::map<std::uint32_t, double> accuracyMap(
-    const PipelineStats& stats);
-
-/// Paper branch-selection counts: 16 for G.721 encode, 15 for decode, 4 for
-/// ADPCM encode, 3 for decode.
-[[nodiscard]] std::size_t paperBitEntries(BenchId id);
-
-/// Profile + select + extract, returning a ready ASBR unit and the chosen
-/// candidates.
-struct AsbrSetup {
-    std::vector<Candidate> candidates;
-    /// Statically-decided branches loaded into the unit's static fold table
-    /// (empty unless prepareAsbr ran with staticFolds = true).
-    std::vector<StaticFoldCandidate> staticCandidates;
-    std::uint64_t bitSlotsReclaimed = 0;
-    std::unique_ptr<AsbrUnit> unit;
-};
-
-/// `staticFolds` opts into the two-class selection (selectWithStaticVerdicts):
-/// statically-decided branches fold from the static table, freeing their BIT
-/// slots.  Default off — the classic dynamic-only customization, which keeps
-/// existing goldens (fault campaigns, bench reports) byte-identical.
-[[nodiscard]] AsbrSetup prepareAsbr(
-    const Prepared& prepared, std::size_t bitEntries,
-    ValueStage updateStage = ValueStage::kMemEnd,
-    const std::map<std::uint32_t, double>& accuracyByPc = {},
-    bool parityProtected = false, bool staticFolds = false);
-
-/// Threshold (2/3/4) implied by a BDT update stage.
-[[nodiscard]] std::uint32_t thresholdFor(ValueStage stage);
-
-/// Auxiliary predictors used in Figure 11: bi-512 / bi-256 with the BTB cut
-/// to a quarter of the baseline's 2048 entries.
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeAux512();
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeAux256();
+/// Baseline (non-ASBR) job spec for one workload under these options.
+/// Binaries flip the ASBR fields on copies to build their grids.
+[[nodiscard]] SimJob baseJob(const Options& options, BenchId id,
+                             std::string predictor, std::string figure);
 
 /// Print a rendered table (and CSV when requested).
 void printTable(const Options& options, const TextTable& table);
 
-/// Collects one SimReport per pipeline run and writes them as a single
+/// Collects one SimReport per recorded run and writes them as a single
 /// `asbr.bench_report` JSON document when the user passed --json=FILE.
 /// This is the ONLY path through which bench binaries emit machine-readable
 /// results (ci/bench-report.sh and EXPERIMENTS.md build on it).
@@ -118,11 +61,8 @@ class ReportSink {
 public:
     ReportSink(std::string generator, const Options& options);
 
-    /// Record one finished run.  `figure` tags the paper context ("fig6",
-    /// "fig11", ...); `setup` (optional) contributes the ASBR meta/metrics.
-    void add(const std::string& figure, const Prepared& prepared,
-             const PipelineResult& result, const BranchPredictor& predictor,
-             const AsbrSetup* setup = nullptr);
+    /// Record one finished run.
+    void add(const JobResult& result);
 
     /// Write the document (no-op without --json).  Returns the serialized
     /// text so callers/tests can reuse it.
@@ -137,10 +77,11 @@ private:
 };
 
 /// Shared implementation of Figures 7/9/10: run the three reference
-/// predictors, select the paper's branch count, and print the per-site
-/// exec/taken/accuracy table for the selected branches.  Runs are also
-/// recorded into `sink` when non-null.
-void reportSelectedBranches(const Options& options, BenchId id,
-                            const std::string& figureLabel, ReportSink* sink);
+/// predictors, resolve the paper's branch selection through the engine's
+/// artifact cache, and print the per-site exec/taken/accuracy table for the
+/// selected branches.  Runs are also recorded into `sink` when non-null.
+void reportSelectedBranches(SimEngine& engine, const Options& options,
+                            BenchId id, const std::string& figureLabel,
+                            ReportSink* sink);
 
 }  // namespace asbr::bench

@@ -14,6 +14,7 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("ext_predictors", options);
 
     TextTable table("Extension: predictor shoot-out (cycles; lower is better)");
@@ -21,31 +22,36 @@ int main(int argc, char** argv) {
                      "gshare-2048", "tournament", "ASBR + bi-512",
                      "ASBR folds"});
 
-    for (const BenchId id : kAllBenchesExtended) {
-        const Prepared prepared = prepare(id, options);
-        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id));
-        auto run = [&](BranchPredictor& p, const AsbrSetup* asbr = nullptr) {
-            const PipelineResult r = runPipeline(
-                prepared, p, asbr != nullptr ? asbr->unit.get() : nullptr);
-            sink.add("ext_predictors", prepared, r, p, asbr);
-            return r.stats.cycles;
-        };
-        auto notTaken = makeNotTaken();
-        AlwaysTakenPredictor alwaysTaken(2048);
-        auto bimodal = makeBimodal2048();
-        auto gshare = makeGshare2048();
-        auto tournament = makeTournament2048();
+    // Per benchmark: the ASBR run first (matching the historical report
+    // order), then the five reference predictors.  This selection is the one
+    // consumer that does NOT use a baseline accuracy reference — the
+    // selector falls back to pure profile-driven ranking.
+    const char* baselines[] = {"not-taken", "taken", "bimodal", "gshare",
+                               "tournament"};
+    const std::vector<BenchId> benches = benchList(options, kAllBenchesExtended);
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benches) {
+        SimJob asbrJob = baseJob(options, id, "bi512", "ext_predictors");
+        asbrJob.asbr = true;
+        asbrJob.accuracyRef = false;
+        jobs.push_back(asbrJob);
+        for (const char* predictor : baselines)
+            jobs.push_back(baseJob(options, id, predictor, "ext_predictors"));
+    }
+    const std::vector<JobResult> results = engine.run(jobs);
 
-        auto aux = makeAux512();
-        const std::uint64_t asbrCycles = run(*aux, &setup);
-
-        table.addRow({benchName(id), formatWithCommas(run(*notTaken)),
-                      formatWithCommas(run(alwaysTaken)),
-                      formatWithCommas(run(*bimodal)),
-                      formatWithCommas(run(*gshare)),
-                      formatWithCommas(run(*tournament)),
-                      formatWithCommas(asbrCycles),
-                      formatWithCommas(setup.unit->stats().folds)});
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const JobResult* group = &results[b * 6];
+        for (std::size_t j = 0; j < 6; ++j) sink.add(group[j]);
+        const JobResult& asbrRun = group[0];
+        table.addRow({benchName(benches[b]),
+                      formatWithCommas(group[1].stats.cycles),
+                      formatWithCommas(group[2].stats.cycles),
+                      formatWithCommas(group[3].stats.cycles),
+                      formatWithCommas(group[4].stats.cycles),
+                      formatWithCommas(group[5].stats.cycles),
+                      formatWithCommas(asbrRun.stats.cycles),
+                      formatWithCommas(asbrRun.unitStats.folds)});
     }
     printTable(options, table);
     sink.write();
@@ -55,7 +61,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(makeBimodal2048()->storageBits()),
                 static_cast<unsigned long long>(makeGshare2048()->storageBits()),
                 static_cast<unsigned long long>(makeTournament2048()->storageBits()),
-                static_cast<unsigned long long>(makeAux512()->storageBits() +
-                                                AsbrUnit().storageBits()));
+                static_cast<unsigned long long>(
+                    driver::makePredictorByToken("bi512")->storageBits() +
+                    AsbrUnit().storageBits()));
     return 0;
 }

@@ -23,61 +23,59 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("fig11_asbr", options);
+
+    // Per benchmark: the two Figure 6 baselines this figure compares
+    // against, then the three ASBR + auxiliary-predictor runs.
+    const char* auxes[] = {"not-taken", "bi512", "bi256"};
+    const std::vector<BenchId> benches = benchList(options, kAllBenches);
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benches) {
+        jobs.push_back(baseJob(options, id, "not-taken", "fig6"));
+        jobs.push_back(baseJob(options, id, "bimodal", "fig6"));
+        for (const char* aux : auxes) {
+            SimJob job = baseJob(options, id, aux, "fig11");
+            job.asbr = true;
+            jobs.push_back(job);
+        }
+    }
+    const std::vector<JobResult> results = engine.run(jobs);
 
     TextTable table("Figure 11: ASBR cycles and improvement per auxiliary predictor");
     table.setHeader({"benchmark", "aux predictor", "cycles", "improvement",
                      "folded", "fold rate", "pipeline activity",
                      "storage bits vs baseline"});
 
-    for (const BenchId id : kAllBenches) {
-        const Prepared prepared = prepare(id, options);
-
-        // Figure 6 baselines this figure compares against.
-        auto baseNotTaken = makeNotTaken();
-        auto baseBimodal = makeBimodal2048();
-        const PipelineResult notTakenBase = runPipeline(prepared, *baseNotTaken);
-        const PipelineResult bimodalBase = runPipeline(prepared, *baseBimodal);
-
-        // Select hard-to-predict foldable branches using the bimodal
-        // baseline's per-site accuracy, then fold them.
-        const AsbrSetup setup =
-            prepareAsbr(prepared, paperBitEntries(id), ValueStage::kMemEnd,
-                        accuracyMap(bimodalBase.stats));
-
-        struct AuxRow {
-            std::unique_ptr<BranchPredictor> predictor;
-            const PipelineResult* baseline;
-        };
-        AuxRow rows[] = {
-            {makeNotTaken(), &notTakenBase},
-            {makeAux512(), &bimodalBase},
-            {makeAux256(), &bimodalBase},
-        };
-        for (AuxRow& row : rows) {
-            const PipelineResult r =
-                runPipeline(prepared, *row.predictor, setup.unit.get());
-            sink.add("fig11", prepared, r, *row.predictor, &setup);
-            const double foldRate = r.stats.foldRate();
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const JobResult* group = &results[b * 5];
+        const JobResult& notTakenBase = group[0];
+        const JobResult& bimodalBase = group[1];
+        for (std::size_t a = 0; a < 3; ++a) {
+            const JobResult& r = group[2 + a];
+            sink.add(r);
+            // not-taken improves vs the not-taken baseline; the bi-* aux
+            // predictors vs the full bimodal-2048 baseline.
+            const JobResult& baseline = a == 0 ? notTakenBase : bimodalBase;
             // Power proxy (paper Section 1): instructions entering the
             // pipeline, including wrong-path fetches, relative to baseline.
-            const double activity =
-                static_cast<double>(r.stats.fetched) /
-                static_cast<double>(row.baseline->stats.fetched);
+            const double activity = static_cast<double>(r.stats.fetched) /
+                                    static_cast<double>(baseline.stats.fetched);
             const std::uint64_t storage =
-                row.predictor->storageBits() + setup.unit->storageBits();
+                r.predictorStorageBits + r.unitStorageBits;
             char storageText[64];
             std::snprintf(storageText, sizeof storageText, "%llu / %llu",
                           static_cast<unsigned long long>(storage),
                           static_cast<unsigned long long>(
-                              baseBimodal->storageBits()));
+                              bimodalBase.predictorStorageBits));
             table.addRow(
-                {benchName(id), row.predictor->name(),
+                {r.report.meta.benchmark, r.report.meta.predictor,
                  formatWithCommas(r.stats.cycles),
                  formatPercent(
-                     improvement(row.baseline->stats.cycles, r.stats.cycles)),
+                     improvement(baseline.stats.cycles, r.stats.cycles)),
                  formatWithCommas(r.stats.foldedBranches),
-                 formatPercent(foldRate), formatPercent(activity), storageText});
+                 formatPercent(r.stats.foldRate()), formatPercent(activity),
+                 storageText});
         }
     }
     printTable(options, table);

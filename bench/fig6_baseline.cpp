@@ -18,26 +18,28 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("fig6_baseline", options);
+
+    const std::vector<BenchId> benches = benchList(options, kAllBenches);
+    const char* predictors[] = {"not-taken", "bimodal", "gshare"};
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benches)
+        for (const char* predictor : predictors)
+            jobs.push_back(baseJob(options, id, predictor, "fig6"));
+    const std::vector<JobResult> results = engine.run(jobs);
 
     TextTable table("Figure 6: baseline cycles / CPI / accuracy per predictor");
     table.setHeader({"benchmark", "predictor", "cycles", "CPI", "acc",
                      "mispredicts", "branch fraction"});
-
-    for (const BenchId id : kAllBenches) {
-        const Prepared prepared = prepare(id, options);
-        std::unique_ptr<BranchPredictor> predictors[] = {
-            makeNotTaken(), makeBimodal2048(), makeGshare2048()};
-        for (auto& predictor : predictors) {
-            const PipelineResult r = runPipeline(prepared, *predictor);
-            sink.add("fig6", prepared, r, *predictor);
-            table.addRow({benchName(id), predictor->name(),
-                          formatWithCommas(r.stats.cycles),
-                          formatFixed(r.stats.cpi(), 2),
-                          formatPercent(r.stats.predictorAccuracy()),
-                          formatWithCommas(r.stats.mispredicts),
-                          formatPercent(r.stats.branchFraction())});
-        }
+    for (const JobResult& r : results) {
+        sink.add(r);
+        table.addRow({r.report.meta.benchmark, r.report.meta.predictor,
+                      formatWithCommas(r.stats.cycles),
+                      formatFixed(r.stats.cpi(), 2),
+                      formatPercent(r.stats.predictorAccuracy()),
+                      formatWithCommas(r.stats.mispredicts),
+                      formatPercent(r.stats.branchFraction())});
     }
     printTable(options, table);
     sink.write();

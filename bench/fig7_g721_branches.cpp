@@ -14,9 +14,12 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("fig7_g721_branches", options);
-    reportSelectedBranches(options, BenchId::kG721Encode, "7 (encode)", &sink);
-    reportSelectedBranches(options, BenchId::kG721Decode, "7 (decode)", &sink);
+    reportSelectedBranches(engine, options, BenchId::kG721Encode, "7 (encode)",
+                           &sink);
+    reportSelectedBranches(engine, options, BenchId::kG721Decode, "7 (decode)",
+                           &sink);
     sink.write();
     std::puts("Paper reference (Figure 7): 16 branches for the encoder (15 for the");
     std::puts("decoder), exec counts 23k..1.76M, several sites where even gshare is");

@@ -11,9 +11,10 @@ using namespace asbr::bench;
 
 int main(int argc, char** argv) {
     const Options options = parseOptions(argc, argv);
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("fig9_10_adpcm_branches", options);
-    reportSelectedBranches(options, BenchId::kAdpcmEncode, "9", &sink);
-    reportSelectedBranches(options, BenchId::kAdpcmDecode, "10", &sink);
+    reportSelectedBranches(engine, options, BenchId::kAdpcmEncode, "9", &sink);
+    reportSelectedBranches(engine, options, BenchId::kAdpcmDecode, "10", &sink);
     sink.write();
     std::puts("Paper reference: 4 encoder branches / 3 decoder branches, each");
     std::puts("executed once per sample (147,520 in the paper), with predictor");

@@ -7,19 +7,53 @@
 # EXPERIMENTS.md table derives from.  `asbr-stats report` already
 # self-validates before writing; the explicit `validate` step re-checks the
 # bytes that actually landed on disk.
+#
+# The report is generated twice — serial and engine-parallel (--threads=8,
+# override with $BENCH_THREADS) — and whole-file diffed: the parallel engine
+# must emit byte-identical results.  A small asbr-sweep grid gets the same
+# serial-vs-parallel treatment for the asbr.sweep_report path.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_asbr.json}
+THREADS=${BENCH_THREADS:-8}
 STATS="$BUILD_DIR/tools/asbr-stats"
+SWEEP="$BUILD_DIR/tools/asbr-sweep"
 
-if [[ ! -x "$STATS" ]]; then
-    echo "ci/bench-report.sh: $STATS not built; run cmake --build first" >&2
+if [[ ! -x "$STATS" || ! -x "$SWEEP" ]]; then
+    echo "ci/bench-report.sh: $STATS / $SWEEP not built; run cmake --build first" >&2
     exit 1
 fi
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
 # --quick keeps this CI-speed; pass BENCH_ARGS="" for full paper-size inputs.
-"$STATS" report --out="$OUT" ${BENCH_ARGS---quick}
+"$STATS" report --out="$tmpdir/serial.json" ${BENCH_ARGS---quick}
+"$STATS" report --out="$OUT" --threads="$THREADS" ${BENCH_ARGS---quick}
+if ! diff -q "$tmpdir/serial.json" "$OUT" > /dev/null; then
+    echo "FAIL: asbr-stats report diverges between --threads=1 and" \
+         "--threads=$THREADS:" >&2
+    diff "$tmpdir/serial.json" "$OUT" | head -20 >&2
+    exit 1
+fi
 "$STATS" validate "$OUT"
-echo "ci/bench-report.sh: $OUT is schema-valid"
+echo "ci/bench-report.sh: $OUT is schema-valid and thread-count-invariant"
+
+SWEEP_ARGS=(--quick --workloads=adpcm-enc,g721-enc --predictors=bi512
+            --bits=4,16 --baseline)
+"$SWEEP" "${SWEEP_ARGS[@]}" --json="$tmpdir/sweep_serial.json" > /dev/null
+"$SWEEP" "${SWEEP_ARGS[@]}" --threads="$THREADS" \
+    --json="$tmpdir/sweep_parallel.json" > /dev/null
+if ! diff -q "$tmpdir/sweep_serial.json" "$tmpdir/sweep_parallel.json" \
+        > /dev/null; then
+    echo "FAIL: asbr-sweep diverges between --threads=1 and" \
+         "--threads=$THREADS:" >&2
+    diff "$tmpdir/sweep_serial.json" "$tmpdir/sweep_parallel.json" \
+        | head -20 >&2
+    exit 1
+fi
+"$STATS" validate "$tmpdir/sweep_serial.json"
+echo "ci/bench-report.sh: asbr-sweep report is schema-valid and" \
+     "thread-count-invariant"

@@ -14,13 +14,19 @@
 # whole-file diffed against tests/golden/ — any drift in sampling, timing or
 # classification fails CI.  Regenerate goldens only for intentional changes:
 #   ci/faults.sh --regen
+#
+# Campaigns run engine-parallel (--threads=8, override with $FAULT_THREADS).
+# The committed goldens were produced serially: the engine samples
+# injections in serial RNG order and merges records by submission index, so
+# the parallel run must reproduce them bit-for-bit — the diff below is the
+# CI-level determinism proof.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 FAULTS="$BUILD_DIR/tools/asbr-faults"
 GOLDEN_DIR=tests/golden
-COMMON=(--adpcm=2000 --g721=800 --injections=48)
+COMMON=(--adpcm=2000 --g721=800 --injections=48 --threads="${FAULT_THREADS:-8}")
 
 if [[ ! -x "$FAULTS" ]]; then
     echo "ci/faults.sh: $FAULTS not built; run cmake --build first" >&2

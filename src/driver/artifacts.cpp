@@ -1,0 +1,187 @@
+#include "driver/artifacts.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "asbr/extract.hpp"
+#include "driver/names.hpp"
+#include "util/ensure.hpp"
+#include "workloads/input_gen.hpp"
+
+namespace asbr::driver {
+
+Prepared prepare(BenchId id, bool scheduled, std::uint64_t seed,
+                 std::size_t samples) {
+    Prepared prepared;
+    prepared.id = id;
+    prepared.scheduled = scheduled;
+    prepared.program = buildBench(id, scheduled);
+    prepared.pcm = generateSpeech(std::min(samples, benchMaxSamples(id)), seed);
+    if (!benchIsEncoder(id)) {
+        // Decoders consume the matching encoder's output, as in MediaBench.
+        switch (id) {
+            case BenchId::kAdpcmDecode:
+                prepared.codes = adpcmEncodeRef(prepared.pcm);
+                break;
+            case BenchId::kG721Decode:
+                prepared.codes = g721EncodeRef(prepared.pcm);
+                break;
+            case BenchId::kG711Decode:
+                prepared.codes = g711EncodeRef(prepared.pcm);
+                break;
+            default:
+                ASBR_ENSURE(false, "prepare: unexpected decoder");
+        }
+    }
+    return prepared;
+}
+
+Memory makeMemory(const Prepared& prepared) {
+    Memory memory;
+    memory.loadProgram(prepared.program);
+    if (benchIsEncoder(prepared.id)) {
+        loadPcmInput(memory, prepared.program, prepared.pcm);
+    } else {
+        loadCodeInput(memory, prepared.program, prepared.codes);
+    }
+    return memory;
+}
+
+PipelineResult runPipeline(const Prepared& prepared, BranchPredictor& predictor,
+                           FetchCustomizer* customizer,
+                           const PipelineConfig& config) {
+    Memory memory = makeMemory(prepared);
+    predictor.reset();
+    PipelineSim sim(prepared.program, memory, predictor, config, customizer);
+    PipelineResult result = sim.run();
+    ASBR_ENSURE(result.exited && result.exitCode == 0,
+                "benchmark did not exit cleanly");
+    return result;
+}
+
+std::map<std::uint32_t, double> accuracyMap(const PipelineStats& stats) {
+    std::map<std::uint32_t, double> out;
+    for (const auto& [pc, site] : stats.branchSites) out[pc] = site.accuracy();
+    return out;
+}
+
+WorkloadArtifacts::WorkloadArtifacts(const WorkloadKey& key)
+    : key_(key),
+      prepared_(prepare(key.workload, key.scheduled, key.seed, key.samples)) {}
+
+const ProgramProfile& WorkloadArtifacts::profile() const {
+    std::call_once(profileOnce_, [this] {
+        Memory memory = makeMemory(prepared_);
+        profile_ = profileProgram(prepared_.program, memory);
+    });
+    return *profile_;
+}
+
+const std::map<std::uint32_t, double>& WorkloadArtifacts::baselineAccuracy()
+    const {
+    std::call_once(accuracyOnce_, [this] {
+        auto baseline = makeBimodal2048();
+        const PipelineResult base = runPipeline(prepared_, *baseline);
+        accuracy_ = accuracyMap(base.stats);
+    });
+    return accuracy_;
+}
+
+SelectionArtifacts::SelectionArtifacts(
+    std::shared_ptr<const WorkloadArtifacts> workload, const SelectionKey& key)
+    : workload_(std::move(workload)), key_(key) {
+    ASBR_ENSURE(key_.bitEntries > 0, "selection: BIT capacity must be resolved");
+    const ProgramProfile& profile = workload_->profile();
+    const std::map<std::uint32_t, double> noAccuracy;
+    const std::map<std::uint32_t, double>& accuracy =
+        key_.useAccuracy ? workload_->baselineAccuracy() : noAccuracy;
+    SelectionConfig config;
+    config.bitCapacity = key_.bitEntries;
+    config.threshold = thresholdFor(key_.updateStage);
+    const Program& program = workload_->prepared().program;
+    if (key_.staticFolds) {
+        FoldSelection selection =
+            selectWithStaticVerdicts(program, profile, accuracy, config);
+        candidates_ = std::move(selection.dynamic);
+        staticCandidates_ = std::move(selection.statics);
+        bitSlotsReclaimed_ = selection.bitSlotsReclaimed;
+    } else {
+        candidates_ =
+            selectFoldableBranches(program, profile, accuracy, config);
+    }
+    infos_ = extractBranchInfos(program, candidatePcs(candidates_));
+    staticEntries_.reserve(staticCandidates_.size());
+    for (const StaticFoldCandidate& s : staticCandidates_)
+        staticEntries_.push_back(extractStaticFold(program, s.pc, s.taken));
+}
+
+std::unique_ptr<AsbrUnit> SelectionArtifacts::makeUnit(
+    bool parityProtected) const {
+    AsbrConfig config;
+    config.updateStage = key_.updateStage;
+    config.bitCapacity = key_.bitEntries;
+    config.parityProtected = parityProtected;
+    auto unit = std::make_unique<AsbrUnit>(config);
+    unit->loadBank(0, infos_);
+    if (!staticEntries_.empty())
+        unit->loadStaticFolds(staticEntries_, bitSlotsReclaimed_);
+    return unit;
+}
+
+template <typename Key, typename Value, typename Make>
+std::shared_ptr<const Value> ArtifactCache::getOrCompute(
+    std::map<Key, std::shared_future<std::shared_ptr<const Value>>>& slots,
+    const Key& key, std::atomic<std::uint64_t>& computes, Make make) {
+    std::promise<std::shared_ptr<const Value>> promise;
+    std::shared_future<std::shared_ptr<const Value>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots.find(key);
+        if (it == slots.end()) {
+            future = promise.get_future().share();
+            slots.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (owner) {
+        // Compute outside the lock: concurrent requests for *other* keys
+        // proceed; concurrent requests for *this* key block on the future.
+        try {
+            promise.set_value(make());
+            computes.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const WorkloadArtifacts> ArtifactCache::workload(
+    const WorkloadKey& key) {
+    return getOrCompute(workloads_, key, workloadComputes_, [&key] {
+        return std::make_shared<const WorkloadArtifacts>(key);
+    });
+}
+
+std::shared_ptr<const SelectionArtifacts> ArtifactCache::selection(
+    const SelectionKey& key) {
+    return getOrCompute(selections_, key, selectionComputes_, [this, &key] {
+        return std::make_shared<const SelectionArtifacts>(workload(key.workload),
+                                                          key);
+    });
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+    Stats stats;
+    stats.workloadComputes = workloadComputes_.load(std::memory_order_relaxed);
+    stats.selectionComputes =
+        selectionComputes_.load(std::memory_order_relaxed);
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+}  // namespace asbr::driver

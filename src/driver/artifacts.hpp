@@ -1,0 +1,199 @@
+// Shared, immutable simulation artifacts with once-per-key resolution.
+//
+// Loading a workload (assemble + schedule + generate input), profiling it
+// and selecting its ASBR branches are pure functions of a small key — yet
+// the pre-driver binaries recomputed them for every run, and a parallel
+// engine would recompute them on every worker.  This layer computes each
+// artifact exactly once per key and shares the result read-only:
+//
+//   WorkloadKey  -> WorkloadArtifacts   program + input (+ lazy profile and
+//                                       bimodal-2048 baseline accuracy)
+//   SelectionKey -> SelectionArtifacts  selected candidates + extracted
+//                                       BIT/static-fold entries
+//
+// Artifacts are immutable after construction; anything mutable a run needs
+// (Memory image, predictor, AsbrUnit) is built *fresh* from them per run, so
+// concurrent engine workers never share hot-path state.  ArtifactCache is
+// thread-safe: a key's first requester computes, concurrent requesters for
+// the same key block on a shared_future, and requesters of *different* keys
+// never serialize against the computation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "asbr/asbr_unit.hpp"
+#include "asbr/bit.hpp"
+#include "asbr/static_fold.hpp"
+#include "bp/predictor.hpp"
+#include "mem/memory.hpp"
+#include "profile/profiler.hpp"
+#include "profile/selection.hpp"
+#include "sim/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace asbr::driver {
+
+/// A compiled benchmark plus its input data (decoders get codes produced by
+/// the native encoder, mirroring how MediaBench chains encode -> decode).
+struct Prepared {
+    BenchId id;
+    bool scheduled = true;  ///< condition-scheduling pass was enabled
+    Program program;
+    std::vector<std::int16_t> pcm;
+    std::vector<std::uint8_t> codes;
+};
+
+[[nodiscard]] Prepared prepare(BenchId id, bool scheduled, std::uint64_t seed,
+                               std::size_t samples);
+
+/// Fresh memory image holding program + input.
+[[nodiscard]] Memory makeMemory(const Prepared& prepared);
+
+/// One cycle-accurate run against a fresh memory image.  Resets the
+/// predictor first and asserts a clean exit.
+[[nodiscard]] PipelineResult runPipeline(const Prepared& prepared,
+                                         BranchPredictor& predictor,
+                                         FetchCustomizer* customizer = nullptr,
+                                         const PipelineConfig& config = {});
+
+/// Per-site accuracy map from a pipeline run (reference-predictor input to
+/// branch selection).
+[[nodiscard]] std::map<std::uint32_t, double> accuracyMap(
+    const PipelineStats& stats);
+
+/// Everything that determines a workload's program + input, byte for byte.
+struct WorkloadKey {
+    BenchId workload = BenchId::kAdpcmEncode;
+    bool scheduled = true;
+    std::uint64_t seed = 2001;
+    std::size_t samples = 0;  ///< actual (capacity-capped) sample count
+
+    auto operator<=>(const WorkloadKey&) const = default;
+};
+
+/// Everything that determines an ASBR branch selection on a workload.
+struct SelectionKey {
+    WorkloadKey workload;
+    std::size_t bitEntries = 16;  ///< resolved BIT capacity (never 0)
+    ValueStage updateStage = ValueStage::kMemEnd;
+    /// Use the bimodal-2048 baseline run as the per-site accuracy reference
+    /// (every figure regenerator does; ext_predictors deliberately does not).
+    bool useAccuracy = true;
+    bool staticFolds = false;  ///< two-class selection + static fold table
+
+    auto operator<=>(const SelectionKey&) const = default;
+};
+
+/// Immutable loaded workload.  The profile and the bimodal-2048 baseline
+/// accuracy are computed lazily (non-ASBR jobs never pay for them) but still
+/// exactly once, under a once_flag, so concurrent callers are safe.
+class WorkloadArtifacts {
+public:
+    explicit WorkloadArtifacts(const WorkloadKey& key);
+
+    [[nodiscard]] const WorkloadKey& key() const { return key_; }
+    [[nodiscard]] const Prepared& prepared() const { return prepared_; }
+
+    /// Functional branch profile (lazy, computed once).
+    [[nodiscard]] const ProgramProfile& profile() const;
+
+    /// Per-site accuracy of a fresh bimodal-2048 baseline run (lazy, once) —
+    /// the hardness reference every selection uses.
+    [[nodiscard]] const std::map<std::uint32_t, double>& baselineAccuracy()
+        const;
+
+private:
+    WorkloadKey key_;
+    Prepared prepared_;
+    mutable std::once_flag profileOnce_;
+    mutable std::optional<ProgramProfile> profile_;
+    mutable std::once_flag accuracyOnce_;
+    mutable std::map<std::uint32_t, double> accuracy_;
+};
+
+/// Immutable branch selection: candidates plus the extracted table contents,
+/// ready to stamp out fresh AsbrUnits.  The stored BranchInfos are exactly
+/// what AsbrUnit::loadBank stores (the BIT keeps them unchanged), so units
+/// built here are bit-identical to the pre-driver profile->select->extract
+/// path.
+class SelectionArtifacts {
+public:
+    SelectionArtifacts(std::shared_ptr<const WorkloadArtifacts> workload,
+                       const SelectionKey& key);
+
+    [[nodiscard]] const SelectionKey& key() const { return key_; }
+    [[nodiscard]] const WorkloadArtifacts& workload() const {
+        return *workload_;
+    }
+    [[nodiscard]] const std::vector<Candidate>& candidates() const {
+        return candidates_;
+    }
+    [[nodiscard]] const std::vector<StaticFoldCandidate>& staticCandidates()
+        const {
+        return staticCandidates_;
+    }
+    [[nodiscard]] std::uint64_t bitSlotsReclaimed() const {
+        return bitSlotsReclaimed_;
+    }
+    [[nodiscard]] const std::vector<BranchInfo>& branchInfos() const {
+        return infos_;
+    }
+
+    /// Fresh ASBR unit with bank 0 (and the static fold table, when the
+    /// selection has one) loaded.  Safe to call concurrently.
+    [[nodiscard]] std::unique_ptr<AsbrUnit> makeUnit(
+        bool parityProtected) const;
+
+private:
+    std::shared_ptr<const WorkloadArtifacts> workload_;
+    SelectionKey key_;
+    std::vector<Candidate> candidates_;
+    std::vector<StaticFoldCandidate> staticCandidates_;
+    std::uint64_t bitSlotsReclaimed_ = 0;
+    std::vector<BranchInfo> infos_;
+    std::vector<StaticFoldEntry> staticEntries_;
+};
+
+/// Thread-safe once-per-key artifact store.
+class ArtifactCache {
+public:
+    [[nodiscard]] std::shared_ptr<const WorkloadArtifacts> workload(
+        const WorkloadKey& key);
+    [[nodiscard]] std::shared_ptr<const SelectionArtifacts> selection(
+        const SelectionKey& key);
+
+    struct Stats {
+        std::uint64_t workloadComputes = 0;
+        std::uint64_t selectionComputes = 0;
+        /// Requests served from an already-inserted entry.  Deterministic:
+        /// always requests - unique keys, however the races fall.
+        std::uint64_t hits = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+private:
+    template <typename Key, typename Value, typename Make>
+    std::shared_ptr<const Value> getOrCompute(
+        std::map<Key, std::shared_future<std::shared_ptr<const Value>>>& slots,
+        const Key& key, std::atomic<std::uint64_t>& computes, Make make);
+
+    mutable std::mutex mutex_;
+    std::map<WorkloadKey,
+             std::shared_future<std::shared_ptr<const WorkloadArtifacts>>>
+        workloads_;
+    std::map<SelectionKey,
+             std::shared_future<std::shared_ptr<const SelectionArtifacts>>>
+        selections_;
+    std::atomic<std::uint64_t> workloadComputes_{0};
+    std::atomic<std::uint64_t> selectionComputes_{0};
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace asbr::driver

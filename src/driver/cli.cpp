@@ -1,0 +1,82 @@
+#include "driver/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "driver/names.hpp"
+
+namespace asbr::driver {
+
+const char* sharedOptionsHelp() {
+    return "--quick --seed=N --adpcm=N --g721=N --threads=N --workload=W "
+           "--csv --json=FILE";
+}
+
+std::optional<std::uint64_t> numArg(const std::string& arg,
+                                    const char* prefix) {
+    const std::size_t len = std::strlen(prefix);
+    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+    return std::strtoull(arg.c_str() + len, nullptr, 10);
+}
+
+bool consumeSharedOption(const std::string& arg, CliOptions& out,
+                         std::string& error) {
+    error.clear();
+    if (arg == "--quick") {
+        out.adpcmSamples = 8'000;
+        out.g721Samples = 2'000;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--seed=")) {
+        out.seed = *v;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--adpcm=")) {
+        out.adpcmSamples = *v;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--g721=")) {
+        out.g721Samples = *v;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--threads=")) {
+        out.threads = *v;
+        return true;
+    }
+    if (arg.rfind("--workload=", 0) == 0) {
+        const std::string token = arg.substr(11);
+        const auto id = benchFromToken(token);
+        if (!id) {
+            error = "unknown workload '" + token + "' (" + benchTokenList() +
+                    ")";
+            return true;
+        }
+        out.workload = *id;
+        return true;
+    }
+    if (arg == "--csv") {
+        out.csv = true;
+        return true;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+        out.jsonPath = arg.substr(7);
+        return true;
+    }
+    return false;
+}
+
+void cliFail(const char* program, const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", program, message.c_str());
+    std::exit(2);
+}
+
+std::size_t samplesFor(const CliOptions& options, BenchId id) {
+    const bool heavy =
+        id == BenchId::kG721Encode || id == BenchId::kG721Decode;
+    const std::size_t want = heavy ? options.g721Samples : options.adpcmSamples;
+    return std::min(want, benchMaxSamples(id));
+}
+
+}  // namespace asbr::driver

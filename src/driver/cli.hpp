@@ -1,0 +1,63 @@
+// Shared command-line plumbing for every driver-backed binary.
+//
+// The bench/ table regenerators and the asbr-stats / asbr-faults /
+// asbr-sweep CLIs all accept the same set of shared options; previously each
+// binary re-implemented the parsing loop.  consumeSharedOption() handles one
+// argument; binaries keep their own loop for tool-specific flags and call
+// cliFail() for anything unrecognized, producing the one-line structured
+// error style the CLI-hardening tests enforce:
+//
+//   <program>: unknown option '--frob' (try --help)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workloads/workloads.hpp"
+
+namespace asbr::driver {
+
+/// Options every driver-backed binary understands:
+///   --quick        small inputs (CI-speed smoke run)
+///   --seed=N       input generator seed
+///   --adpcm=N      ADPCM sample count
+///   --g721=N       G.721 sample count
+///   --threads=N    engine worker count (0 = hardware concurrency)
+///   --workload=W   restrict to one workload (token, e.g. g721-enc)
+///   --csv          additionally print tables as CSV
+///   --json=FILE    write the machine-readable report ("-" = stdout)
+struct CliOptions {
+    std::size_t adpcmSamples = 100'000;
+    std::size_t g721Samples = 20'000;
+    std::uint64_t seed = 2001;
+    std::size_t threads = 1;
+    std::optional<BenchId> workload;  ///< --workload= filter; nullopt = all
+    bool csv = false;
+    std::string jsonPath;  ///< empty = no JSON export; "-" = stdout
+};
+
+/// Help-text fragment describing the shared options (one line, no newline).
+[[nodiscard]] const char* sharedOptionsHelp();
+
+/// Numeric "--prefix=N" argument; nullopt when `arg` does not start with
+/// `prefix`.
+[[nodiscard]] std::optional<std::uint64_t> numArg(const std::string& arg,
+                                                  const char* prefix);
+
+/// Try to consume `arg` as one of the shared options.  Returns true when the
+/// argument was recognized; a recognized-but-invalid value (e.g.
+/// --workload=quake3) also returns true and sets `error` to a one-line
+/// diagnostic the caller must report (via cliFail or its own prefix).
+[[nodiscard]] bool consumeSharedOption(const std::string& arg, CliOptions& out,
+                                       std::string& error);
+
+/// Print "<program>: <message>" to stderr and exit(2) — the uniform
+/// structured rejection for bad command lines.
+[[noreturn]] void cliFail(const char* program, const std::string& message);
+
+/// Samples to feed a given workload under these options (capped at the
+/// program's buffer capacity).
+[[nodiscard]] std::size_t samplesFor(const CliOptions& options, BenchId id);
+
+}  // namespace asbr::driver

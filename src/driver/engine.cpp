@@ -1,0 +1,194 @@
+#include "driver/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "driver/names.hpp"
+#include "driver/pool.hpp"
+#include "report/report.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr::driver {
+
+SimEngine::SimEngine(EngineConfig config) : config_(config) {}
+
+WorkloadKey SimEngine::workloadKeyFor(const SimJob& job) const {
+    WorkloadKey key;
+    key.workload = job.workload;
+    key.scheduled = job.scheduled;
+    key.seed = job.seed;
+    const std::size_t capacity = benchMaxSamples(job.workload);
+    key.samples =
+        job.samples == 0 ? capacity : std::min(job.samples, capacity);
+    return key;
+}
+
+SelectionKey SimEngine::selectionKeyFor(const SimJob& job) const {
+    SelectionKey key;
+    key.workload = workloadKeyFor(job);
+    key.bitEntries =
+        job.bitEntries != 0 ? job.bitEntries : paperBitEntries(job.workload);
+    key.updateStage = job.updateStage;
+    key.useAccuracy = job.accuracyRef;
+    key.staticFolds = job.staticFolds;
+    return key;
+}
+
+std::shared_ptr<const WorkloadArtifacts> SimEngine::workloadFor(
+    const SimJob& job) {
+    return cache_.workload(workloadKeyFor(job));
+}
+
+std::shared_ptr<const SelectionArtifacts> SimEngine::selectionFor(
+    const SimJob& job) {
+    return cache_.selection(selectionKeyFor(job));
+}
+
+JobResult SimEngine::execute(const SimJob& job) {
+    const WorkloadKey workloadKey = workloadKeyFor(job);
+    const auto workload = cache_.workload(workloadKey);
+    auto predictor = makePredictorByToken(job.predictor);
+    ASBR_ENSURE(predictor != nullptr,
+                "engine: unknown predictor token '" + job.predictor + "'");
+
+    std::shared_ptr<const SelectionArtifacts> selection;
+    std::unique_ptr<AsbrUnit> unit;
+    if (job.asbr) {
+        selection = cache_.selection(selectionKeyFor(job));
+        unit = selection->makeUnit(job.parityProtected);
+    }
+
+    JobResult out;
+    PipelineConfig pipelineConfig;
+    if (job.trace) {
+        out.tracer = std::make_shared<Tracer>(job.traceConfig);
+        pipelineConfig.tracer = out.tracer.get();
+    }
+
+    const PipelineResult result = runPipeline(workload->prepared(), *predictor,
+                                              unit.get(), pipelineConfig);
+    jobsRun_.fetch_add(1, std::memory_order_relaxed);
+    busyCycles_.fetch_add(result.stats.cycles, std::memory_order_relaxed);
+
+    RunMeta meta;
+    meta.benchmark = benchName(job.workload);
+    meta.predictor = predictor->name();
+    meta.figure = job.figure;
+    meta.seed = job.seed;
+    meta.samples = workloadKey.samples;
+    meta.scheduled = job.scheduled;
+    if (unit != nullptr) {
+        meta.asbr = true;
+        meta.bitEntries = unit->config().bitCapacity;
+        meta.updateStage = valueStageName(unit->config().updateStage);
+    }
+
+    out.stats = result.stats;
+    out.report =
+        makeSimReport(std::move(meta), result.stats, predictor.get(), unit.get());
+    if (unit != nullptr) {
+        out.asbr = true;
+        out.candidates = selection->candidates();
+        out.staticFoldCount = selection->staticCandidates().size();
+        out.bitSlotsReclaimed = selection->bitSlotsReclaimed();
+        out.unitStats = unit->stats();
+        out.unitStorageBits = unit->storageBits();
+    }
+    out.predictorStorageBits = predictor->storageBits();
+    return out;
+}
+
+JobResult SimEngine::runOne(const SimJob& job) { return execute(job); }
+
+std::vector<JobResult> SimEngine::run(const std::vector<SimJob>& jobs) {
+    std::vector<JobResult> results(jobs.size());
+    parallelFor(jobs.size(), config_.threads,
+                [&](std::size_t i) { results[i] = execute(jobs[i]); });
+    return results;
+}
+
+FaultRunFactory SimEngine::faultFactory(const SimJob& job) {
+    ASBR_ENSURE(job.asbr, "engine: fault campaigns require an ASBR job");
+    const auto workload = workloadFor(job);
+    const auto selection = selectionFor(job);
+    const std::string token = job.predictor;
+    const bool parityProtected = job.parityProtected;
+    return [workload, selection, token, parityProtected] {
+        FaultRun run;
+        run.program = &workload->prepared().program;
+        run.memory = makeMemory(workload->prepared());
+        auto predictor = makePredictorByToken(token);
+        ASBR_ENSURE(predictor != nullptr,
+                    "engine: unknown predictor token '" + token + "'");
+        run.bimodalTarget = dynamic_cast<BimodalPredictor*>(predictor.get());
+        run.predictor = std::move(predictor);
+        run.unit = selection->makeUnit(parityProtected);
+        return run;
+    };
+}
+
+CampaignResult SimEngine::runCampaign(const SimJob& job,
+                                      const CampaignConfig& campaign) {
+    const FaultRunFactory factory = faultFactory(job);
+    CampaignResult result;
+    result.context = computeContext(factory);
+
+    // Sample every injection up front in the serial campaign's RNG order,
+    // then execute in parallel: the records land in sampling order, so the
+    // merged result is bit-identical to the serial loop at any thread count.
+    const std::vector<Injection> injections =
+        sampleInjections(campaignSiteClasses(factory, campaign), campaign,
+                         result.context.cleanCycles);
+    result.records.resize(injections.size());
+    parallelFor(injections.size(), config_.threads, [&](std::size_t i) {
+        result.records[i] = runInjection(factory, injections[i], result.context,
+                                         campaign.maxCycleFactor);
+        jobsRun_.fetch_add(1, std::memory_order_relaxed);
+        busyCycles_.fetch_add(result.records[i].cycles,
+                              std::memory_order_relaxed);
+    });
+    for (const InjectionRecord& record : result.records)
+        ++result.outcomes[static_cast<std::size_t>(record.outcome)];
+    return result;
+}
+
+InjectionRecord SimEngine::replayInjection(const SimJob& job,
+                                           const Injection& injection,
+                                           std::uint64_t maxCycleFactor) {
+    const FaultRunFactory factory = faultFactory(job);
+    const CampaignContext context = computeContext(factory);
+    InjectionRecord record =
+        runInjection(factory, injection, context, maxCycleFactor);
+    jobsRun_.fetch_add(1, std::memory_order_relaxed);
+    busyCycles_.fetch_add(record.cycles, std::memory_order_relaxed);
+    return record;
+}
+
+EngineStats SimEngine::stats() const {
+    EngineStats stats;
+    stats.jobsRun = jobsRun_.load(std::memory_order_relaxed);
+    stats.cacheHits = cache_.stats().hits;
+    stats.workerBusyCycles = busyCycles_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void SimEngine::publishMetrics(MetricRegistry& registry) const {
+    const EngineStats s = stats();
+    registry
+        .counter("engine.jobs_run",
+                 "pipeline simulations the engine executed (batch jobs + "
+                 "fault injections)")
+        .set(s.jobsRun);
+    registry
+        .counter("engine.cache_hits",
+                 "artifact-cache requests served from an already-resolved "
+                 "key")
+        .set(s.cacheHits);
+    registry
+        .counter("engine.worker_busy_cycles",
+                 "simulated cycles executed by engine workers (not host "
+                 "time)")
+        .set(s.workerBusyCycles);
+}
+
+}  // namespace asbr::driver

@@ -1,0 +1,102 @@
+// SimEngine — the one execution path every simulation consumer drives.
+//
+// The engine resolves declarative SimJobs against a shared ArtifactCache
+// (load/profile/select once per key, simulate many times) and executes job
+// batches on a fixed-size worker pool.  Results land in pre-sized slots
+// keyed by submission index, so a batch's output is byte-identical whether
+// it ran on 1 thread or 8 — the property ci/bench-report.sh, ci/faults.sh
+// and the determinism tests pin down by diffing JSON across thread counts.
+//
+// Observability is injection-scoped: each job gets its own MetricRegistry
+// (inside its SimReport) and, when tracing, its own Tracer instance.  The
+// engine itself keeps three counters (engine.jobs_run, engine.cache_hits,
+// engine.worker_busy_cycles) that callers publish into a registry of their
+// choosing; all three are deterministic functions of the submitted work —
+// worker_busy_cycles counts *simulated* cycles, never host time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "driver/artifacts.hpp"
+#include "driver/job.hpp"
+#include "fault/campaign.hpp"
+#include "util/metrics.hpp"
+
+namespace asbr::driver {
+
+struct EngineConfig {
+    /// Worker threads for batch/campaign execution (0 = hardware
+    /// concurrency).  1 runs everything inline on the calling thread.
+    std::size_t threads = 1;
+};
+
+/// Deterministic engine counters (see publishMetrics).
+struct EngineStats {
+    std::uint64_t jobsRun = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t workerBusyCycles = 0;
+};
+
+class SimEngine {
+public:
+    explicit SimEngine(EngineConfig config = {});
+
+    [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+    /// Cache keys a job resolves to (exposed for tests and diagnostics).
+    [[nodiscard]] WorkloadKey workloadKeyFor(const SimJob& job) const;
+    [[nodiscard]] SelectionKey selectionKeyFor(const SimJob& job) const;
+
+    /// Resolve (and cache) a job's artifacts without simulating.
+    [[nodiscard]] std::shared_ptr<const WorkloadArtifacts> workloadFor(
+        const SimJob& job);
+    [[nodiscard]] std::shared_ptr<const SelectionArtifacts> selectionFor(
+        const SimJob& job);
+
+    /// Run one job on the calling thread.
+    [[nodiscard]] JobResult runOne(const SimJob& job);
+
+    /// Run a batch on the worker pool; results are in submission order.
+    /// The first job exception (e.g. an unknown predictor token) is rethrown
+    /// after the batch drains.
+    [[nodiscard]] std::vector<JobResult> run(const std::vector<SimJob>& jobs);
+
+    /// Build the FaultRunFactory for an ASBR job — every FaultRun it returns
+    /// is freshly constructed from cached immutable artifacts, so it is safe
+    /// to call from concurrent workers.
+    [[nodiscard]] FaultRunFactory faultFactory(const SimJob& job);
+
+    /// Full fault campaign: golden context, serial-order injection sampling,
+    /// parallel execution, submission-order merge.  Byte-identical to the
+    /// serial asbr::runCampaign for the same job and campaign config.
+    [[nodiscard]] CampaignResult runCampaign(const SimJob& job,
+                                             const CampaignConfig& campaign);
+
+    /// Re-run one recorded injection (asbr-faults replay).
+    [[nodiscard]] InjectionRecord replayInjection(const SimJob& job,
+                                                  const Injection& injection,
+                                                  std::uint64_t maxCycleFactor);
+
+    [[nodiscard]] EngineStats stats() const;
+    [[nodiscard]] ArtifactCache::Stats cacheStats() const {
+        return cache_.stats();
+    }
+
+    /// Publish engine.jobs_run / engine.cache_hits / engine.worker_busy_cycles
+    /// into `registry`.  A default-constructed engine publishes zeros — the
+    /// `asbr-stats counters` catalogue uses that to enumerate the names.
+    void publishMetrics(MetricRegistry& registry) const;
+
+private:
+    [[nodiscard]] JobResult execute(const SimJob& job);
+
+    EngineConfig config_;
+    ArtifactCache cache_;
+    std::atomic<std::uint64_t> jobsRun_{0};
+    std::atomic<std::uint64_t> busyCycles_{0};
+};
+
+}  // namespace asbr::driver

@@ -1,0 +1,74 @@
+#include "driver/names.hpp"
+
+namespace asbr::driver {
+
+std::optional<BenchId> benchFromToken(const std::string& token) {
+    if (token == "adpcm-enc") return BenchId::kAdpcmEncode;
+    if (token == "adpcm-dec") return BenchId::kAdpcmDecode;
+    if (token == "g721-enc") return BenchId::kG721Encode;
+    if (token == "g721-dec") return BenchId::kG721Decode;
+    if (token == "g711-enc") return BenchId::kG711Encode;
+    if (token == "g711-dec") return BenchId::kG711Decode;
+    return std::nullopt;
+}
+
+const char* benchToken(BenchId id) {
+    switch (id) {
+        case BenchId::kAdpcmEncode: return "adpcm-enc";
+        case BenchId::kAdpcmDecode: return "adpcm-dec";
+        case BenchId::kG721Encode: return "g721-enc";
+        case BenchId::kG721Decode: return "g721-dec";
+        case BenchId::kG711Encode: return "g711-enc";
+        case BenchId::kG711Decode: return "g711-dec";
+    }
+    return "?";
+}
+
+const char* benchTokenList() {
+    return "adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec";
+}
+
+std::unique_ptr<BranchPredictor> makePredictorByToken(const std::string& token) {
+    if (token == "not-taken") return makeNotTaken();
+    if (token == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
+    if (token == "bimodal") return makeBimodal2048();
+    if (token == "gshare") return makeGshare2048();
+    if (token == "tournament") return makeTournament2048();
+    if (token == "bi512") return makeBimodal(512, 512);
+    if (token == "bi256") return makeBimodal(256, 512);
+    return nullptr;
+}
+
+const char* predictorTokenList() {
+    return "not-taken|taken|bimodal|gshare|tournament|bi512|bi256";
+}
+
+std::optional<ValueStage> stageFromToken(const std::string& token) {
+    if (token == "ex_end") return ValueStage::kExEnd;
+    if (token == "mem_end") return ValueStage::kMemEnd;
+    if (token == "commit") return ValueStage::kCommit;
+    return std::nullopt;
+}
+
+std::size_t paperBitEntries(BenchId id) {
+    switch (id) {
+        case BenchId::kAdpcmEncode: return 4;
+        case BenchId::kAdpcmDecode: return 3;
+        case BenchId::kG721Encode: return 16;
+        case BenchId::kG721Decode: return 15;
+        case BenchId::kG711Encode:
+        case BenchId::kG711Decode: return 8;  // extension: not in the paper
+    }
+    return 16;
+}
+
+std::uint32_t thresholdFor(ValueStage stage) {
+    switch (stage) {
+        case ValueStage::kExEnd: return 2;
+        case ValueStage::kMemEnd: return 3;
+        case ValueStage::kCommit: return 4;
+    }
+    return 3;
+}
+
+}  // namespace asbr::driver

@@ -100,38 +100,52 @@ InjectionRecord runInjection(const FaultRunFactory& factory,
     return record;
 }
 
+std::vector<std::vector<FaultSite>> campaignSiteClasses(
+    const FaultRunFactory& factory, const CampaignConfig& config) {
+    std::vector<std::vector<FaultSite>> classes;
+    FaultRun probe = factory();
+    ASBR_ENSURE(probe.unit != nullptr, "campaign: factory returned no ASBR unit");
+    const auto classSites = [&](bool bdt, bool bit, bool bp) {
+        SiteFilter f;
+        f.bdt = bdt;
+        f.bit = bit;
+        f.bp = bp;
+        return enumerateSites(*probe.unit, probe.bimodalTarget, f);
+    };
+    if (config.faultBdt) classes.push_back(classSites(true, false, false));
+    if (config.faultBit) classes.push_back(classSites(false, true, false));
+    if (config.faultBp) classes.push_back(classSites(false, false, true));
+    std::erase_if(classes, [](const auto& c) { return c.empty(); });
+    ASBR_ENSURE(!classes.empty(), "campaign: no fault sites to sample");
+    return classes;
+}
+
+std::vector<Injection> sampleInjections(
+    const std::vector<std::vector<FaultSite>>& classes,
+    const CampaignConfig& config, std::uint64_t cleanCycles) {
+    Xorshift64 rng(config.seed);
+    std::vector<Injection> injections;
+    injections.reserve(config.injections);
+    for (std::uint64_t i = 0; i < config.injections; ++i) {
+        const auto& sites = classes[rng.below(classes.size())];
+        Injection injection;
+        injection.site = sites[rng.below(sites.size())];
+        injection.cycle = 1 + rng.below(cleanCycles);
+        injections.push_back(injection);
+    }
+    return injections;
+}
+
 CampaignResult runCampaign(const FaultRunFactory& factory,
                            const CampaignConfig& config) {
     CampaignResult result;
     result.context = computeContext(factory);
 
-    // Partition the site space by fault class so the class mix is controlled
-    // by configuration, not by each class's raw site count.
-    std::vector<std::vector<FaultSite>> classes;
-    {
-        FaultRun probe = factory();
-        ASBR_ENSURE(probe.unit != nullptr, "campaign: factory returned no ASBR unit");
-        const auto classSites = [&](bool bdt, bool bit, bool bp) {
-            SiteFilter f;
-            f.bdt = bdt;
-            f.bit = bit;
-            f.bp = bp;
-            return enumerateSites(*probe.unit, probe.bimodalTarget, f);
-        };
-        if (config.faultBdt) classes.push_back(classSites(true, false, false));
-        if (config.faultBit) classes.push_back(classSites(false, true, false));
-        if (config.faultBp) classes.push_back(classSites(false, false, true));
-        std::erase_if(classes, [](const auto& c) { return c.empty(); });
-        ASBR_ENSURE(!classes.empty(), "campaign: no fault sites to sample");
-    }
-
-    Xorshift64 rng(config.seed);
+    const std::vector<std::vector<FaultSite>> classes =
+        campaignSiteClasses(factory, config);
     result.records.reserve(config.injections);
-    for (std::uint64_t i = 0; i < config.injections; ++i) {
-        const auto& sites = classes[rng.below(classes.size())];
-        Injection injection;
-        injection.site = sites[rng.below(sites.size())];
-        injection.cycle = 1 + rng.below(result.context.cleanCycles);
+    for (const Injection& injection :
+         sampleInjections(classes, config, result.context.cleanCycles)) {
         InjectionRecord record =
             runInjection(factory, injection, result.context, config.maxCycleFactor);
         ++result.outcomes[static_cast<std::size_t>(record.outcome)];

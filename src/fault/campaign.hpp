@@ -101,6 +101,21 @@ struct CampaignResult {
 /// simulator itself is broken — no point injecting faults).
 [[nodiscard]] CampaignContext computeContext(const FaultRunFactory& factory);
 
+/// The fault-site space partitioned by enabled fault class (BDT, BIT, bp) —
+/// the class mix is controlled by configuration, not by each class's raw
+/// site count.  Empty classes are dropped; throws when nothing is left.
+[[nodiscard]] std::vector<std::vector<FaultSite>> campaignSiteClasses(
+    const FaultRunFactory& factory, const CampaignConfig& config);
+
+/// Draw the campaign's full injection list up front, in the exact order the
+/// serial campaign loop samples it (per injection: class, then site, then
+/// cycle from one Xorshift64 stream seeded with config.seed).  Splitting the
+/// sampling from the execution lets a parallel engine run the injections in
+/// any order while reproducing the serial campaign bit for bit.
+[[nodiscard]] std::vector<Injection> sampleInjections(
+    const std::vector<std::vector<FaultSite>>& classes,
+    const CampaignConfig& config, std::uint64_t cleanCycles);
+
 /// Execute one injected run and classify it (see FaultOutcome).
 [[nodiscard]] InjectionRecord runInjection(const FaultRunFactory& factory,
                                            const Injection& injection,

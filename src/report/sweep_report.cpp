@@ -1,0 +1,73 @@
+#include "report/sweep_report.hpp"
+
+namespace asbr {
+
+JsonValue sweepReportJson(const std::string& generator, JsonValue options,
+                          const SweepEngineStats& engine,
+                          const std::vector<SimReport>& runs) {
+    JsonObject doc;
+    doc.emplace_back("schema", kSweepReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+    doc.emplace_back("generator", generator);
+    doc.emplace_back("options", std::move(options));
+    JsonObject engineJson;
+    engineJson.emplace_back("jobs_run", engine.jobsRun);
+    engineJson.emplace_back("cache_hits", engine.cacheHits);
+    engineJson.emplace_back("worker_busy_cycles", engine.workerBusyCycles);
+    doc.emplace_back("engine", JsonValue(std::move(engineJson)));
+    JsonArray runArray;
+    runArray.reserve(runs.size());
+    for (const SimReport& run : runs) runArray.push_back(simReportJson(run));
+    doc.emplace_back("runs", JsonValue(std::move(runArray)));
+    return JsonValue(std::move(doc));
+}
+
+ReportValidation validateSweepReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("sweep_report: not a JSON object");
+        return out;
+    }
+    const JsonValue* schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != kSweepReportSchema)
+        fail(std::string("sweep_report: schema is not '") + kSweepReportSchema +
+             "'");
+    const JsonValue* version = doc.find("version");
+    if (version == nullptr || !version->isNumber() ||
+        version->asUint() != kReportSchemaVersion)
+        fail("sweep_report: unsupported schema version");
+    const JsonValue* generator = doc.find("generator");
+    if (generator == nullptr || !generator->isString())
+        fail("sweep_report: generator missing or not a string");
+    const JsonValue* engine = doc.find("engine");
+    if (engine == nullptr || !engine->isObject()) {
+        fail("sweep_report: engine missing or not an object");
+    } else {
+        for (const char* key :
+             {"jobs_run", "cache_hits", "worker_busy_cycles"}) {
+            const JsonValue* v = engine->find(key);
+            if (v == nullptr || !v->isNumber())
+                fail(std::string("sweep_report: engine.") + key +
+                     " missing or not a number");
+        }
+    }
+    const JsonValue* runs = doc.find("runs");
+    if (runs == nullptr || !runs->isArray() || runs->asArray().empty()) {
+        fail("sweep_report: runs missing, not an array, or empty");
+    } else {
+        std::size_t index = 0;
+        for (const JsonValue& run : runs->asArray()) {
+            const ReportValidation inner = validateSimReportJson(run);
+            for (const std::string& error : inner.errors)
+                fail("runs[" + std::to_string(index) + "] " + error);
+            ++index;
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,42 @@
+// asbr.sweep_report — the schema-versioned result of one asbr-sweep batch:
+// a parameter-grid cross-product of simulation runs executed by the driver
+// engine, plus the engine's own deterministic counters.
+//
+// Like the other report kinds, the document is produced through exactly one
+// code path and validated by an executable schema checker.  Nothing in the
+// document depends on thread count, scheduling or host time — the engine
+// counters are deterministic functions of the submitted work — so the same
+// sweep serializes byte-identically at --threads=1 and --threads=8 (the
+// determinism tests diff whole files to prove it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/report.hpp"
+#include "util/json.hpp"
+
+namespace asbr {
+
+inline constexpr const char* kSweepReportSchema = "asbr.sweep_report";
+
+/// Engine counters embedded in the document (mirrors driver::EngineStats;
+/// report stays independent of the driver layer, which links against it).
+struct SweepEngineStats {
+    std::uint64_t jobsRun = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t workerBusyCycles = 0;
+};
+
+/// Serialize a finished sweep (schema `asbr.sweep_report`, version 1).
+/// `generator` names the producing binary; `options` is free-form metadata
+/// (the CLI options of the producing run).
+[[nodiscard]] JsonValue sweepReportJson(const std::string& generator,
+                                        JsonValue options,
+                                        const SweepEngineStats& engine,
+                                        const std::vector<SimReport>& runs);
+
+/// Schema validation; shares ReportValidation with the other report kinds.
+[[nodiscard]] ReportValidation validateSweepReportJson(const JsonValue& doc);
+
+}  // namespace asbr

@@ -75,7 +75,7 @@ TEST_P(CliRobustnessTest, HelpSucceeds) {
 
 INSTANTIATE_TEST_SUITE_P(Tools, CliRobustnessTest,
                          testing::Values("asbr-stats", "asbr-verify",
-                                         "asbr-faults"));
+                                         "asbr-faults", "asbr-sweep"));
 
 TEST(CliRobustness, StatsUnknownCommand) {
     expectCleanRejection(runTool("asbr-stats", "frobnicate"), "asbr-stats");
@@ -209,6 +209,25 @@ TEST(CliRobustness, FaultsValidateTruncatedReport) {
         R"({"schema":"asbr.fault_report","version":1,"meta":{}})");
     expectCleanRejection(runTool("asbr-faults", "validate " + path),
                          "asbr-faults validate");
+}
+
+TEST(CliRobustness, SweepUnknownWorkloadToken) {
+    expectCleanRejection(runTool("asbr-sweep", "--workloads=adpcm-enc,doom"),
+                         "asbr-sweep");
+}
+
+TEST(CliRobustness, SweepUnknownPredictorToken) {
+    expectCleanRejection(runTool("asbr-sweep", "--predictors=oracle2"),
+                         "asbr-sweep");
+}
+
+TEST(CliRobustness, SweepUnknownStageToken) {
+    expectCleanRejection(runTool("asbr-sweep", "--stages=wb_end"),
+                         "asbr-sweep");
+}
+
+TEST(CliRobustness, SweepEmptyAxisIsRejected) {
+    expectCleanRejection(runTool("asbr-sweep", "--bits="), "asbr-sweep");
 }
 
 TEST(CliRobustness, FaultsReplayIndexOutOfRange) {

@@ -10,10 +10,11 @@
 //
 // Everything is seeded and integer-valued: the same command line produces a
 // byte-identical report, which ci/faults.sh diffs against committed goldens.
+// Campaigns run on the driver::SimEngine worker pool — injections are
+// sampled in serial RNG order and merged by index, so --threads=8 emits the
+// same bytes as --threads=1.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -46,102 +47,39 @@ namespace {
         "  --no-bdt --no-bit --no-bp       exclude a fault class\n"
         "  --json=FILE             write the asbr.fault_report (\"-\" = stdout)\n"
         "\n"
-        "shared options: --quick --seed=N --adpcm=N --g721=N\n",
+        "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
 
-std::optional<std::uint64_t> numArg(const std::string& arg, const char* prefix) {
-    const std::size_t len = std::strlen(prefix);
-    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
-    return std::strtoull(arg.c_str() + len, nullptr, 10);
+/// The ASBR job a campaign (or replay) simulates: the paper's BIT size for
+/// the benchmark, bimodal-2048 accuracy reference, chosen aux predictor.
+SimJob campaignJob(BenchId id, const Options& options,
+                   const std::string& predictor, bool protectedMode,
+                   ValueStage stage) {
+    SimJob job;
+    job.workload = id;
+    job.seed = options.seed;
+    job.samples = samplesFor(options, id);
+    job.predictor = predictor;
+    job.figure = "faults";
+    job.asbr = true;
+    job.updateStage = stage;
+    job.parityProtected = protectedMode;
+    return job;
 }
 
-std::optional<BenchId> benchFromName(const std::string& s) {
-    if (s == "adpcm-enc") return BenchId::kAdpcmEncode;
-    if (s == "adpcm-dec") return BenchId::kAdpcmDecode;
-    if (s == "g721-enc") return BenchId::kG721Encode;
-    if (s == "g721-dec") return BenchId::kG721Decode;
-    if (s == "g711-enc") return BenchId::kG711Encode;
-    if (s == "g711-dec") return BenchId::kG711Decode;
-    return std::nullopt;
-}
-
-std::unique_ptr<BranchPredictor> predictorFromName(const std::string& s) {
-    if (s == "not-taken") return makeNotTaken();
-    if (s == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
-    if (s == "bimodal") return makeBimodal2048();
-    if (s == "gshare") return makeGshare2048();
-    if (s == "tournament") return makeTournament2048();
-    if (s == "bi512") return makeAux512();
-    if (s == "bi256") return makeAux256();
-    return nullptr;
-}
-
-std::optional<ValueStage> stageFromName(const std::string& s) {
-    if (s == "ex_end") return ValueStage::kExEnd;
-    if (s == "mem_end") return ValueStage::kMemEnd;
-    if (s == "commit") return ValueStage::kCommit;
-    return std::nullopt;
-}
-
-/// Everything needed to rebuild identical FaultRuns; owns the program the
-/// runs point at, so it must outlive the campaign.
-struct Workload {
-    Prepared prepared;
-    std::vector<BranchInfo> infos;  ///< selected + extracted BIT entries
-    std::string predictorName;
-    AsbrConfig unitConfig;
+/// Report metadata in CLI tokens, so replay can rebuild the run.
+FaultReportMeta metaFor(const SimEngine& engine, const SimJob& job) {
     FaultReportMeta meta;
-};
-
-/// Prepare the workload once: build + profile + select (all deterministic),
-/// so per-injection runs only re-instantiate the cheap hardware state.
-std::shared_ptr<Workload> makeWorkload(BenchId id, const Options& options,
-                                       const std::string& predictorName,
-                                       bool protectedMode, ValueStage stage) {
-    auto w = std::make_shared<Workload>();
-    w->prepared = prepare(id, options);
-    auto baseline = makeBimodal2048();
-    const PipelineResult base = runPipeline(w->prepared, *baseline);
-    const AsbrSetup setup =
-        prepareAsbr(w->prepared, paperBitEntries(id), stage,
-                    accuracyMap(base.stats), protectedMode);
-    const std::size_t entries = setup.unit->bit().entryCount(0);
-    w->infos.reserve(entries);
-    for (std::size_t i = 0; i < entries; ++i)
-        w->infos.push_back(setup.unit->bit().entryInfo(0, i));
-    w->predictorName = predictorName;
-    w->unitConfig = setup.unit->config();
-    w->meta.benchmark = [&] {
-        for (const char* name :
-             {"adpcm-enc", "adpcm-dec", "g721-enc", "g721-dec", "g711-enc",
-              "g711-dec"})
-            if (benchFromName(name) == id) return std::string(name);
-        return std::string("?");
-    }();
-    w->meta.predictor = predictorName;
-    w->meta.seed = options.seed;
-    w->meta.samples = samplesFor(options, id);
-    w->meta.protectedMode = protectedMode;
-    w->meta.bitEntries = w->unitConfig.bitCapacity;
-    w->meta.updateStage = valueStageName(stage);
-    return w;
-}
-
-FaultRunFactory makeFactory(std::shared_ptr<Workload> w) {
-    return [w]() {
-        FaultRun run;
-        run.program = &w->prepared.program;
-        run.memory = makeMemory(w->prepared);
-        auto predictor = predictorFromName(w->predictorName);
-        ASBR_ENSURE(predictor != nullptr, "unknown predictor name");
-        run.bimodalTarget = dynamic_cast<BimodalPredictor*>(predictor.get());
-        run.predictor = std::move(predictor);
-        run.unit = std::make_unique<AsbrUnit>(w->unitConfig);
-        run.unit->loadBank(0, w->infos);
-        return run;
-    };
+    meta.benchmark = driver::benchToken(job.workload);
+    meta.predictor = job.predictor;
+    meta.seed = job.seed;
+    meta.samples = engine.workloadKeyFor(job).samples;
+    meta.protectedMode = job.parityProtected;
+    meta.bitEntries = engine.selectionKeyFor(job).bitEntries;
+    meta.updateStage = valueStageName(job.updateStage);
+    return meta;
 }
 
 void printOutcomes(const CampaignResult& result) {
@@ -160,31 +98,27 @@ int cmdCampaign(int argc, char** argv) {
     ValueStage stage = ValueStage::kMemEnd;
     CampaignConfig campaign;
     campaign.injections = 48;
-    std::string jsonPath;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--quick") {
-            options.adpcmSamples = 8'000;
-            options.g721Samples = 2'000;
-        } else if (const auto v = numArg(arg, "--seed=")) {
-            options.seed = *v;
-        } else if (const auto v = numArg(arg, "--adpcm=")) {
-            options.adpcmSamples = *v;
-        } else if (const auto v = numArg(arg, "--g721=")) {
-            options.g721Samples = *v;
+        std::string error;
+        if (driver::consumeSharedOption(arg, options, error)) {
+            if (!error.empty()) {
+                std::fprintf(stderr, "campaign: %s\n", error.c_str());
+                return 2;
+            }
         } else if (arg.rfind("--bench=", 0) == 0) {
             bench = arg.substr(8);
         } else if (arg.rfind("--predictor=", 0) == 0) {
             predictorName = arg.substr(12);
         } else if (arg == "--protected") {
             protectedMode = true;
-        } else if (const auto v = numArg(arg, "--injections=")) {
+        } else if (const auto v = driver::numArg(arg, "--injections=")) {
             campaign.injections = *v;
-        } else if (const auto v = numArg(arg, "--fault-seed=")) {
+        } else if (const auto v = driver::numArg(arg, "--fault-seed=")) {
             campaign.seed = *v;
         } else if (arg.rfind("--stage=", 0) == 0) {
-            const auto s = stageFromName(arg.substr(8));
+            const auto s = driver::stageFromToken(arg.substr(8));
             if (!s) {
                 std::fprintf(stderr, "campaign: unknown --stage '%s'\n",
                              arg.substr(8).c_str());
@@ -197,8 +131,6 @@ int cmdCampaign(int argc, char** argv) {
             campaign.faultBit = false;
         } else if (arg == "--no-bp") {
             campaign.faultBp = false;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            jsonPath = arg.substr(7);
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -208,26 +140,26 @@ int cmdCampaign(int argc, char** argv) {
         }
     }
 
-    const auto id = benchFromName(bench);
+    auto id = bench.empty() ? options.workload : driver::benchFromToken(bench);
     if (!id) {
-        std::fprintf(stderr,
-                     "campaign: --bench is required (adpcm-enc|adpcm-dec|"
-                     "g721-enc|g721-dec|g711-enc|g711-dec)\n");
+        std::fprintf(stderr, "campaign: --bench is required (%s)\n",
+                     driver::benchTokenList());
         return 2;
     }
-    if (predictorFromName(predictorName) == nullptr) {
+    if (driver::makePredictorByToken(predictorName) == nullptr) {
         std::fprintf(stderr, "campaign: unknown --predictor '%s'\n",
                      predictorName.c_str());
         return 2;
     }
 
-    const auto workload =
-        makeWorkload(*id, options, predictorName, protectedMode, stage);
-    const CampaignResult result =
-        runCampaign(makeFactory(workload), campaign);
+    SimEngine engine({.threads = options.threads});
+    const SimJob job =
+        campaignJob(*id, options, predictorName, protectedMode, stage);
+    const FaultReportMeta meta = metaFor(engine, job);
+    const CampaignResult result = engine.runCampaign(job, campaign);
 
     std::printf("campaign: %s / %s%s, %llu injections, fault seed %llu\n",
-                workload->meta.benchmark.c_str(), predictorName.c_str(),
+                meta.benchmark.c_str(), predictorName.c_str(),
                 protectedMode ? " [protected]" : "",
                 static_cast<unsigned long long>(campaign.injections),
                 static_cast<unsigned long long>(campaign.seed));
@@ -235,22 +167,21 @@ int cmdCampaign(int argc, char** argv) {
                 static_cast<unsigned long long>(result.context.cleanCycles));
     printOutcomes(result);
 
-    if (!jsonPath.empty()) {
-        const JsonValue doc =
-            faultReportJson(workload->meta, campaign, result);
+    if (!options.jsonPath.empty()) {
+        const JsonValue doc = faultReportJson(meta, campaign, result);
         const std::string text = doc.dump(2) + "\n";
-        if (jsonPath == "-") {
+        if (options.jsonPath == "-") {
             std::fputs(text.c_str(), stdout);
         } else {
-            std::ofstream out(jsonPath);
+            std::ofstream out(options.jsonPath);
             if (!out) {
                 std::fprintf(stderr, "cannot open %s for writing\n",
-                             jsonPath.c_str());
+                             options.jsonPath.c_str());
                 return 1;
             }
             out << text;
             std::fprintf(stderr, "wrote fault report to %s\n",
-                         jsonPath.c_str());
+                         options.jsonPath.c_str());
         }
     }
     return 0;
@@ -280,7 +211,7 @@ int cmdReplay(int argc, char** argv) {
     std::uint64_t index = 0;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (const auto v = numArg(arg, "--index=")) {
+        if (const auto v = driver::numArg(arg, "--index=")) {
             index = *v;
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
@@ -319,20 +250,21 @@ int cmdReplay(int argc, char** argv) {
         return 2;
     }
 
-    const auto id = benchFromName(meta.find("benchmark")->asString());
+    const auto id = driver::benchFromToken(meta.find("benchmark")->asString());
     if (!id) {
         std::fprintf(stderr, "%s: meta.benchmark is not a known workload\n",
                      path);
         return 1;
     }
-    const auto stage = stageFromName(meta.find("update_stage")->asString());
+    const auto stage =
+        driver::stageFromToken(meta.find("update_stage")->asString());
     if (!stage) {
         std::fprintf(stderr, "%s: meta.update_stage is not a known stage\n",
                      path);
         return 1;
     }
     const std::string predictorName = meta.find("predictor")->asString();
-    if (predictorFromName(predictorName) == nullptr) {
+    if (driver::makePredictorByToken(predictorName) == nullptr) {
         std::fprintf(stderr, "%s: meta.predictor is not a known predictor\n",
                      path);
         return 1;
@@ -350,13 +282,12 @@ int cmdReplay(int argc, char** argv) {
     injection.cycle = record.find("cycle")->asUint();
     const std::string expected = record.find("outcome")->asString();
 
-    const auto workload = makeWorkload(
-        *id, options, predictorName, meta.find("protected")->asBool(), *stage);
-    const FaultRunFactory factory = makeFactory(workload);
-    const CampaignContext context = computeContext(factory);
-    const InjectionRecord replayed =
-        runInjection(factory, injection, context,
-                     campaignJson.find("max_cycle_factor")->asUint());
+    SimEngine engine;
+    const SimJob job =
+        campaignJob(*id, options, predictorName,
+                    meta.find("protected")->asBool(), *stage);
+    const InjectionRecord replayed = engine.replayInjection(
+        job, injection, campaignJson.find("max_cycle_factor")->asUint());
 
     const char* got = faultOutcomeName(replayed.outcome);
     std::printf("replay #%llu: %s @ cycle %llu -> %s (recorded %s)%s%s\n",

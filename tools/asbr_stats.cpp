@@ -9,17 +9,20 @@
 //   report     regenerate the Figure 6 + Figure 11 sweeps as one
 //              asbr.bench_report document (what ci/bench-report.sh runs)
 //   validate   schema-check any report document produced above
+//
+// Every command is a thin job-spec builder over driver::SimEngine; `report`
+// runs its whole batch on the engine worker pool (--threads=N) and is
+// byte-identical at any thread count.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <string>
 
 #include "bench_util.hpp"
 #include "report/analysis_report.hpp"
 #include "report/fault_report.hpp"
+#include "report/sweep_report.hpp"
 #include "util/trace.hpp"
 
 using namespace asbr;
@@ -49,43 +52,9 @@ namespace {
         "  --trace-format=chrome|jsonl   (default chrome)\n"
         "  --trace-start=N --trace-end=N --trace-max=N   trace window / cap\n"
         "\n"
-        "shared options: --quick --seed=N --adpcm=N --g721=N\n",
+        "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
-}
-
-std::optional<std::uint64_t> numArg(const std::string& arg, const char* prefix) {
-    const std::size_t len = std::strlen(prefix);
-    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
-    return std::strtoull(arg.c_str() + len, nullptr, 10);
-}
-
-std::optional<BenchId> benchFromName(const std::string& s) {
-    if (s == "adpcm-enc") return BenchId::kAdpcmEncode;
-    if (s == "adpcm-dec") return BenchId::kAdpcmDecode;
-    if (s == "g721-enc") return BenchId::kG721Encode;
-    if (s == "g721-dec") return BenchId::kG721Decode;
-    if (s == "g711-enc") return BenchId::kG711Encode;
-    if (s == "g711-dec") return BenchId::kG711Decode;
-    return std::nullopt;
-}
-
-std::unique_ptr<BranchPredictor> predictorFromName(const std::string& s) {
-    if (s == "not-taken") return makeNotTaken();
-    if (s == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
-    if (s == "bimodal") return makeBimodal2048();
-    if (s == "gshare") return makeGshare2048();
-    if (s == "tournament") return makeTournament2048();
-    if (s == "bi512") return makeAux512();
-    if (s == "bi256") return makeAux256();
-    return nullptr;
-}
-
-std::optional<ValueStage> stageFromName(const std::string& s) {
-    if (s == "ex_end") return ValueStage::kExEnd;
-    if (s == "mem_end") return ValueStage::kMemEnd;
-    if (s == "commit") return ValueStage::kCommit;
-    return std::nullopt;
 }
 
 void writeTextTo(const std::string& path, const std::string& text,
@@ -110,6 +79,7 @@ int cmdCounters() {
     PipelineStats{}.publish(registry);
     makeBimodal2048()->publishMetrics(registry);
     AsbrUnit().publishMetrics(registry);
+    driver::SimEngine().publishMetrics(registry);
     for (const auto& entry : registry.catalogue()) {
         const char* kind = "counter";
         if (entry.kind == MetricRegistry::Entry::Kind::kHistogram)
@@ -125,54 +95,43 @@ int cmdCounters() {
 int cmdRun(int argc, char** argv) {
     Options options;
     std::string bench;
-    std::string predictorName = "bimodal";
-    bool asbr = false;
-    bool staticFolds = false;
-    bool protectedMode = false;
-    std::size_t bitEntries = 0;  // 0 = the paper's count for the benchmark
-    ValueStage stage = ValueStage::kMemEnd;
-    std::string jsonPath;
+    SimJob job;
+    job.figure = "run";
     std::string tracePath;
     std::string traceFormat = "chrome";
-    TracerConfig traceConfig;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--quick") {
-            options.adpcmSamples = 8'000;
-            options.g721Samples = 2'000;
-        } else if (const auto v = numArg(arg, "--seed=")) {
-            options.seed = *v;
-        } else if (const auto v = numArg(arg, "--adpcm=")) {
-            options.adpcmSamples = *v;
-        } else if (const auto v = numArg(arg, "--g721=")) {
-            options.g721Samples = *v;
+        std::string error;
+        if (driver::consumeSharedOption(arg, options, error)) {
+            if (!error.empty()) {
+                std::fprintf(stderr, "run: %s\n", error.c_str());
+                return 2;
+            }
         } else if (arg.rfind("--bench=", 0) == 0) {
             bench = arg.substr(8);
         } else if (arg.rfind("--predictor=", 0) == 0) {
-            predictorName = arg.substr(12);
+            job.predictor = arg.substr(12);
         } else if (arg == "--asbr") {
-            asbr = true;
+            job.asbr = true;
         } else if (arg == "--static-folds") {
-            staticFolds = true;
-            asbr = true;
+            job.staticFolds = true;
+            job.asbr = true;
         } else if (arg == "--protected") {
-            protectedMode = true;
-            asbr = true;
-        } else if (const auto v = numArg(arg, "--bit=")) {
-            bitEntries = *v;
-            asbr = true;
+            job.parityProtected = true;
+            job.asbr = true;
+        } else if (const auto v = driver::numArg(arg, "--bit=")) {
+            job.bitEntries = *v;
+            job.asbr = true;
         } else if (arg.rfind("--stage=", 0) == 0) {
-            const auto s = stageFromName(arg.substr(8));
+            const auto s = driver::stageFromToken(arg.substr(8));
             if (!s) {
                 std::fprintf(stderr, "run: unknown --stage '%s'\n",
                              arg.substr(8).c_str());
                 return 2;
             }
-            stage = *s;
-            asbr = true;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            jsonPath = arg.substr(7);
+            job.updateStage = *s;
+            job.asbr = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
             tracePath = arg.substr(8);
         } else if (arg.rfind("--trace-format=", 0) == 0) {
@@ -182,12 +141,12 @@ int cmdRun(int argc, char** argv) {
                              traceFormat.c_str());
                 return 2;
             }
-        } else if (const auto v = numArg(arg, "--trace-start=")) {
-            traceConfig.startCycle = *v;
-        } else if (const auto v = numArg(arg, "--trace-end=")) {
-            traceConfig.endCycle = *v;
-        } else if (const auto v = numArg(arg, "--trace-max=")) {
-            traceConfig.maxEvents = *v;
+        } else if (const auto v = driver::numArg(arg, "--trace-start=")) {
+            job.traceConfig.startCycle = *v;
+        } else if (const auto v = driver::numArg(arg, "--trace-end=")) {
+            job.traceConfig.endCycle = *v;
+        } else if (const auto v = driver::numArg(arg, "--trace-max=")) {
+            job.traceConfig.maxEvents = *v;
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -196,59 +155,41 @@ int cmdRun(int argc, char** argv) {
         }
     }
 
-    const auto id = benchFromName(bench);
+    // --workload= (shared spelling) and --bench= (historical) are aliases.
+    auto id = bench.empty() ? options.workload : driver::benchFromToken(bench);
     if (!id) {
-        std::fprintf(stderr,
-                     "run: --bench is required (adpcm-enc|adpcm-dec|g721-enc|"
-                     "g721-dec|g711-enc|g711-dec)\n");
+        std::fprintf(stderr, "run: --bench is required (%s)\n",
+                     driver::benchTokenList());
         return 2;
     }
-    auto predictor = predictorFromName(predictorName);
-    if (predictor == nullptr) {
+    if (driver::makePredictorByToken(job.predictor) == nullptr) {
         std::fprintf(stderr, "run: unknown --predictor '%s'\n",
-                     predictorName.c_str());
+                     job.predictor.c_str());
         return 2;
     }
-
-    const Prepared prepared = prepare(*id, options);
-
-    AsbrSetup setup;
-    FetchCustomizer* customizer = nullptr;
-    if (asbr) {
-        // Selection uses a bimodal-2048 profiling run as the accuracy
-        // reference, exactly as the figure regenerators do.
-        auto baseline = makeBimodal2048();
-        const PipelineResult base = runPipeline(prepared, *baseline);
-        setup = prepareAsbr(prepared,
-                            bitEntries != 0 ? bitEntries : paperBitEntries(*id),
-                            stage, accuracyMap(base.stats), protectedMode,
-                            staticFolds);
-        customizer = setup.unit.get();
-        if (staticFolds)
-            std::fprintf(stderr,
-                         "static folds: %zu branch(es) in the static table, "
-                         "%llu BIT slot(s) reclaimed\n",
-                         setup.staticCandidates.size(),
-                         static_cast<unsigned long long>(
-                             setup.bitSlotsReclaimed));
-    }
-
-    Tracer tracer(traceConfig);
-    PipelineConfig config;
+    job.workload = *id;
+    job.seed = options.seed;
+    job.samples = samplesFor(options, *id);
     if (!tracePath.empty()) {
 #ifndef ASBR_TRACING
         std::fprintf(stderr,
                      "warning: built without ASBR_TRACING; the trace file "
                      "will contain no events\n");
 #endif
-        config.tracer = &tracer;
+        job.trace = true;
     }
 
-    const PipelineResult r = runPipeline(prepared, *predictor, customizer,
-                                         config);
+    SimEngine engine({.threads = options.threads});
+    const JobResult r = engine.runOne(job);
+    if (job.staticFolds)
+        std::fprintf(stderr,
+                     "static folds: %zu branch(es) in the static table, "
+                     "%llu BIT slot(s) reclaimed\n",
+                     r.staticFoldCount,
+                     static_cast<unsigned long long>(r.bitSlotsReclaimed));
 
     TextTable table(std::string("asbr-stats run: ") + benchName(*id) + " / " +
-                    predictor->name() + (asbr ? " + ASBR" : ""));
+                    r.report.meta.predictor + (job.asbr ? " + ASBR" : ""));
     table.setHeader({"cycles", "CPI", "resolution acc", "folds", "fold rate"});
     table.addRow({formatWithCommas(r.stats.cycles),
                   formatFixed(r.stats.cpi(), 3),
@@ -257,36 +198,23 @@ int cmdRun(int argc, char** argv) {
                   formatPercent(r.stats.foldRate())});
     printTable(options, table);
 
-    if (!jsonPath.empty()) {
-        RunMeta meta;
-        meta.benchmark = benchName(*id);
-        meta.predictor = predictor->name();
-        meta.figure = "run";
-        meta.seed = options.seed;
-        meta.samples = samplesFor(options, *id);
-        meta.scheduled = prepared.scheduled;
-        if (setup.unit != nullptr) {
-            meta.asbr = true;
-            meta.bitEntries = setup.unit->config().bitCapacity;
-            meta.updateStage = valueStageName(setup.unit->config().updateStage);
-        }
-        const JsonValue doc = simReportJson(makeSimReport(
-            std::move(meta), r.stats, predictor.get(), setup.unit.get()));
-        writeTextTo(jsonPath, doc.dump(2) + "\n", "sim report");
+    if (!options.jsonPath.empty()) {
+        const JsonValue doc = simReportJson(r.report);
+        writeTextTo(options.jsonPath, doc.dump(2) + "\n", "sim report");
     }
 
     if (!tracePath.empty()) {
         std::ostringstream out;
         if (traceFormat == "jsonl")
-            tracer.writeJsonl(out);
+            r.tracer->writeJsonl(out);
         else
-            tracer.writeChrome(out);
+            r.tracer->writeChrome(out);
         writeTextTo(tracePath, out.str(), "pipeline trace");
-        if (tracer.truncated())
+        if (r.tracer->truncated())
             std::fprintf(stderr,
                          "note: trace truncated at %zu events "
                          "(raise --trace-max or narrow the window)\n",
-                         tracer.events().size());
+                         r.tracer->events().size());
     }
     return 0;
 }
@@ -296,17 +224,14 @@ int cmdReport(int argc, char** argv) {
     options.jsonPath = "BENCH_asbr.json";
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--quick") {
-            options.adpcmSamples = 8'000;
-            options.g721Samples = 2'000;
-        } else if (const auto v = numArg(arg, "--seed=")) {
-            options.seed = *v;
-        } else if (const auto v = numArg(arg, "--adpcm=")) {
-            options.adpcmSamples = *v;
-        } else if (const auto v = numArg(arg, "--g721=")) {
-            options.g721Samples = *v;
-        } else if (arg.rfind("--out=", 0) == 0) {
+        std::string error;
+        if (arg.rfind("--out=", 0) == 0) {
             options.jsonPath = arg.substr(6);
+        } else if (driver::consumeSharedOption(arg, options, error)) {
+            if (!error.empty()) {
+                std::fprintf(stderr, "report: %s\n", error.c_str());
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -315,31 +240,22 @@ int cmdReport(int argc, char** argv) {
         }
     }
 
+    // The whole Figure 6 + Figure 11 grid as one engine batch: per bench,
+    // the three baseline predictors, then ASBR with the paper's BIT size
+    // under each auxiliary predictor.  Submission order fixes report order.
+    SimEngine engine({.threads = options.threads});
     ReportSink sink("asbr-stats report", options);
-    for (const BenchId id : kAllBenches) {
-        const Prepared prepared = prepare(id, options);
-
-        // Figure 6: the three baseline predictors.
-        std::unique_ptr<BranchPredictor> refs[] = {
-            makeNotTaken(), makeBimodal2048(), makeGshare2048()};
-        std::map<std::uint32_t, double> accuracy;
-        for (std::size_t p = 0; p < 3; ++p) {
-            const PipelineResult r = runPipeline(prepared, *refs[p]);
-            sink.add("fig6", prepared, r, *refs[p]);
-            if (p == 1) accuracy = accuracyMap(r.stats);
-        }
-
-        // Figure 11: ASBR with the paper's BIT size + auxiliary predictors.
-        const AsbrSetup setup = prepareAsbr(prepared, paperBitEntries(id),
-                                            ValueStage::kMemEnd, accuracy);
-        std::unique_ptr<BranchPredictor> auxes[] = {
-            makeNotTaken(), makeAux512(), makeAux256()};
-        for (auto& aux : auxes) {
-            const PipelineResult r =
-                runPipeline(prepared, *aux, setup.unit.get());
-            sink.add("fig11", prepared, r, *aux, &setup);
+    std::vector<SimJob> jobs;
+    for (const BenchId id : benchList(options, kAllBenches)) {
+        for (const char* predictor : {"not-taken", "bimodal", "gshare"})
+            jobs.push_back(baseJob(options, id, predictor, "fig6"));
+        for (const char* aux : {"not-taken", "bi512", "bi256"}) {
+            SimJob job = baseJob(options, id, aux, "fig11");
+            job.asbr = true;
+            jobs.push_back(job);
         }
     }
+    for (const JobResult& r : engine.run(jobs)) sink.add(r);
 
     const std::string text = sink.write();
 
@@ -389,6 +305,8 @@ int cmdValidate(const char* path) {
         validation = validateFaultReportJson(*parsed.value);
     } else if (schema->asString() == kAnalysisReportSchema) {
         validation = validateAnalysisReportJson(*parsed.value);
+    } else if (schema->asString() == kSweepReportSchema) {
+        validation = validateSweepReportJson(*parsed.value);
     } else {
         std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
                      schema->asString().c_str());

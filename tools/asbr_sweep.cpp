@@ -1,0 +1,195 @@
+// asbr-sweep — parameter-grid sweeps over the driver engine.
+//
+// Cross-products workload x predictor x BIT-size x update-stage axes into
+// one SimJob batch, runs it on the engine worker pool (--threads=N), and
+// emits a schema-versioned asbr.sweep_report (engine counters + one
+// asbr.sim_report run object per grid point).  Expansion order is fixed and
+// results merge in submission order, so the report is byte-identical at any
+// thread count — ci and the determinism tests diff whole files to prove it.
+//
+// Examples:
+//   asbr-sweep --quick --bits=1,4,16 --predictors=bi512 --json=-
+//   asbr-sweep --workload=g721-enc --stages=commit,mem_end,ex_end
+//              --baseline --threads=8 --json=sweep.json
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/sweep.hpp"
+#include "report/sweep_report.hpp"
+
+using namespace asbr;
+using namespace asbr::bench;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+    std::fputs(
+        "usage: asbr-sweep [options]\n"
+        "\n"
+        "grid axes (comma-separated lists; the cross-product is simulated):\n"
+        "  --workloads=W1,W2,...   default: all six benchmarks\n"
+        "  --predictors=P1,P2,...  default: bimodal\n"
+        "  --bits=N1,N2,...        BIT entries; 0 = the paper's per-benchmark\n"
+        "                          count (default: 0)\n"
+        "  --stages=S1,S2,...      ex_end|mem_end|commit (default: mem_end)\n"
+        "\n"
+        "grid flags (applied to every ASBR point):\n"
+        "  --protected             enable BDT/BIT parity protection\n"
+        "  --static-folds          two-class selection + static fold table\n"
+        "  --baseline              also run each workload x predictor point\n"
+        "                          without ASBR, before its ASBR points\n"
+        "\n"
+        "output:\n"
+        "  --json=FILE             write the asbr.sweep_report (\"-\" = stdout)\n"
+        "\n"
+        "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n"
+        "                --workload=W (single-workload shorthand) --csv\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+std::vector<std::string> splitList(const std::string& text) {
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end = comma == std::string::npos ? text.size() : comma;
+        if (end > start) items.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options options;
+    driver::SweepGrid grid;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string error;
+        if (driver::consumeSharedOption(arg, options, error)) {
+            if (!error.empty()) driver::cliFail(argv[0], error);
+        } else if (arg.rfind("--workloads=", 0) == 0) {
+            grid.workloads.clear();
+            for (const std::string& token : splitList(arg.substr(12))) {
+                const auto id = driver::benchFromToken(token);
+                if (!id)
+                    driver::cliFail(argv[0], "unknown workload '" + token +
+                                                 "' (" +
+                                                 driver::benchTokenList() + ")");
+                grid.workloads.push_back(*id);
+            }
+        } else if (arg.rfind("--predictors=", 0) == 0) {
+            grid.predictors.clear();
+            for (const std::string& token : splitList(arg.substr(13))) {
+                if (driver::makePredictorByToken(token) == nullptr)
+                    driver::cliFail(argv[0],
+                                    "unknown predictor '" + token + "' (" +
+                                        driver::predictorTokenList() + ")");
+                grid.predictors.push_back(token);
+            }
+        } else if (arg.rfind("--bits=", 0) == 0) {
+            grid.bitSizes.clear();
+            for (const std::string& token : splitList(arg.substr(7)))
+                grid.bitSizes.push_back(std::strtoull(token.c_str(), nullptr, 10));
+        } else if (arg.rfind("--stages=", 0) == 0) {
+            grid.stages.clear();
+            for (const std::string& token : splitList(arg.substr(9))) {
+                const auto stage = driver::stageFromToken(token);
+                if (!stage)
+                    driver::cliFail(argv[0], "unknown stage '" + token +
+                                                 "' (ex_end|mem_end|commit)");
+                grid.stages.push_back(*stage);
+            }
+        } else if (arg == "--protected") {
+            grid.parityProtected = true;
+        } else if (arg == "--static-folds") {
+            grid.staticFolds = true;
+        } else if (arg == "--baseline") {
+            grid.includeBaseline = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            driver::cliFail(argv[0],
+                            "unknown option '" + arg + "' (try --help)");
+        }
+    }
+    if (grid.predictors.empty() || grid.bitSizes.empty() ||
+        grid.stages.empty())
+        driver::cliFail(argv[0], "every grid axis needs at least one value");
+    // --workload=W is shorthand for --workloads=W.
+    if (options.workload.has_value()) grid.workloads = {*options.workload};
+
+    const std::vector<SimJob> jobs = driver::expandSweep(grid, options);
+    SimEngine engine({.threads = options.threads});
+    const std::vector<JobResult> results = engine.run(jobs);
+
+    TextTable table("asbr-sweep: " + std::to_string(jobs.size()) +
+                    " grid point(s)");
+    table.setHeader({"benchmark", "predictor", "ASBR", "BIT", "stage",
+                     "cycles", "CPI", "folds"});
+    for (const JobResult& r : results) {
+        table.addRow({r.report.meta.benchmark, r.report.meta.predictor,
+                      r.asbr ? "yes" : "no",
+                      r.asbr ? std::to_string(r.report.meta.bitEntries) : "-",
+                      r.asbr ? r.report.meta.updateStage : "-",
+                      formatWithCommas(r.stats.cycles),
+                      formatFixed(r.stats.cpi(), 3),
+                      formatWithCommas(r.unitStats.folds)});
+    }
+    printTable(options, table);
+
+    const driver::EngineStats stats = engine.stats();
+    std::fprintf(stderr,
+                 "engine: %llu job(s), %llu cache hit(s), %llu busy cycle(s)\n",
+                 static_cast<unsigned long long>(stats.jobsRun),
+                 static_cast<unsigned long long>(stats.cacheHits),
+                 static_cast<unsigned long long>(stats.workerBusyCycles));
+
+    if (!options.jsonPath.empty()) {
+        // The options block records what determined the document's bytes —
+        // deliberately NOT --threads, which must not change them.
+        JsonObject optionsJson;
+        optionsJson.emplace_back(
+            "adpcm_samples", static_cast<std::uint64_t>(options.adpcmSamples));
+        optionsJson.emplace_back(
+            "g721_samples", static_cast<std::uint64_t>(options.g721Samples));
+        optionsJson.emplace_back("seed", options.seed);
+        SweepEngineStats engineJson;
+        engineJson.jobsRun = stats.jobsRun;
+        engineJson.cacheHits = stats.cacheHits;
+        engineJson.workerBusyCycles = stats.workerBusyCycles;
+        std::vector<SimReport> runs;
+        runs.reserve(results.size());
+        for (const JobResult& r : results) runs.push_back(r.report);
+        const JsonValue doc = sweepReportJson(
+            "asbr-sweep", JsonValue(std::move(optionsJson)), engineJson, runs);
+        const std::string text = doc.dump(2) + "\n";
+        if (options.jsonPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(options.jsonPath);
+            if (!out) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             options.jsonPath.c_str());
+                return 1;
+            }
+            out << text;
+            std::fprintf(stderr, "wrote sweep report (%zu runs) to %s\n",
+                         runs.size(), options.jsonPath.c_str());
+        }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asbr-sweep: error: %s\n", e.what());
+    return 1;
+  }
+}
