@@ -43,6 +43,28 @@ echo "ci/bench-report.sh: $OUT is schema-valid and thread-count-invariant"
 
 SWEEP_ARGS=(--quick --workloads=adpcm-enc,g721-enc --predictors=bi512
             --bits=4,16 --baseline)
+# ------------------------------------------------------ bound tightness ----
+# The static timing engine must produce sound bounds on every workload AND
+# the cost-aware fold set must strictly tighten the bound — the wcet report
+# records both checks as integer-derived booleans, so a grep is exact.
+VERIFY="$BUILD_DIR/tools/asbr-verify"
+if [[ ! -x "$VERIFY" ]]; then
+    echo "ci/bench-report.sh: $VERIFY not built; run cmake --build first" >&2
+    exit 1
+fi
+for bench in adpcm-enc adpcm-dec g721-enc g721-dec g711-enc g711-dec; do
+    report="$tmpdir/wcet_$bench.json"
+    "$VERIFY" wcet --bench="$bench" --samples=256 --seed=2001 \
+        --out="$report" --quiet
+    for key in baseline_sound folded_sound folded_tighter; do
+        if ! grep -q "\"$key\": true" "$report"; then
+            echo "FAIL: $bench wcet report has $key != true" >&2
+            exit 1
+        fi
+    done
+    echo "ci/bench-report.sh: $bench bounds sound, folded strictly tighter"
+done
+
 "$SWEEP" "${SWEEP_ARGS[@]}" --json="$tmpdir/sweep_serial.json" > /dev/null
 "$SWEEP" "${SWEEP_ARGS[@]}" --threads="$THREADS" \
     --json="$tmpdir/sweep_parallel.json" > /dev/null

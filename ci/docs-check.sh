@@ -58,11 +58,11 @@ done <<< "$registry"
 # Doc -> registry: every backticked dotted metric name must exist (schema
 # identifiers asbr.sim_report / asbr.bench_report are names of documents,
 # not metrics).
-documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\|engine\)\.[a-z0-9_.]*`' docs/*.md \
+documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\|engine\|wcet\|selection\)\.[a-z0-9_.]*`' docs/*.md \
     | sed 's/.*`\(.*\)`/\1/' \
     | grep -v -e '^asbr\.sim_report$' -e '^asbr\.bench_report$' \
               -e '^asbr\.fault_report$' -e '^asbr\.analysis_report$' \
-              -e '^asbr\.sweep_report$' \
+              -e '^asbr\.sweep_report$' -e '^asbr\.wcet_report$' \
     | sort -u)
 while IFS= read -r name; do
     [[ -n "$name" ]] || continue

@@ -16,13 +16,34 @@ ci/docs-check.sh
 files=$(find src tools -name '*.cpp' | sort)
 for must in src/analysis/absint/absint.cpp src/analysis/absint/domain.cpp \
             src/analysis/dominators.cpp src/analysis/loops.cpp \
-            src/analysis/verify.cpp; do
+            src/analysis/verify.cpp src/analysis/timing/cost_model.cpp \
+            src/analysis/timing/loop_bounds.cpp src/analysis/timing/wcet.cpp; do
     if ! grep -qx "$must" <<< "$files"; then
         echo "FAIL: $must missing from clang-tidy coverage" >&2
         exit 1
     fi
 done
 echo "ok: static-analysis sources are in lint coverage"
+
+# The unbounded-loop lint must keep its teeth: non-strict verification of
+# the fixture stays clean, --strict must reject it.  Skips gracefully when
+# asbr-verify has not been built (same contract as the docs metric check).
+VERIFY="${VERIFY_BUILD_DIR:-build}/tools/asbr-verify"
+if [[ -x "$VERIFY" ]]; then
+    if ! "$VERIFY" tests/fixtures/unbounded_loop.s --all --no-schedule \
+            --quiet; then
+        echo "FAIL: unbounded_loop.s should verify clean without --strict" >&2
+        exit 1
+    fi
+    if "$VERIFY" tests/fixtures/unbounded_loop.s --all --no-schedule \
+            --strict --quiet > /dev/null 2>&1; then
+        echo "FAIL: --strict should reject the unbounded-loop fixture" >&2
+        exit 1
+    fi
+    echo "ok: unbounded-loop lint fires under --strict only"
+else
+    echo "ci/lint.sh: $VERIFY not built; skipping unbounded-loop lint check" >&2
+fi
 
 if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "ci/lint.sh: clang-tidy not found; skipping lint" >&2

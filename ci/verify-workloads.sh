@@ -58,6 +58,30 @@ for bench in adpcm-enc g721-enc; do
     fi
 done
 
+# --------------------------------------------------------- wcet goldens ----
+# The static-timing reports pin the whole WCET pipeline: cost model, loop
+# bounds, solver, cost-aware selection and the measured soundness check.
+# Integer-only documents, so byte-stable at any thread count.  Regenerate
+# intentionally with:
+#   build/tools/asbr-verify wcet --bench=B --samples=256 --seed=2001 \
+#       --out=tests/golden/wcet_B.json
+for bench in adpcm-enc g721-enc; do
+    golden="tests/golden/wcet_${bench//-/_}.json"
+    out="$tmpdir/$(basename "$golden")"
+    if ! "$VERIFY" wcet --bench="$bench" --samples=256 --seed=2001 \
+            --threads=2 --out="$out" --quiet > "$tmpdir/log" 2>&1; then
+        echo "FAIL: asbr-verify wcet --bench=$bench failed:" >&2
+        cat "$tmpdir/log" >&2
+        status=1
+    elif ! diff -q "$golden" "$out" > /dev/null; then
+        echo "FAIL: $golden drifted from the static timing engine:" >&2
+        diff "$golden" "$out" | head -20 >&2
+        status=1
+    else
+        echo "ok: $golden reproduced bit-for-bit"
+    fi
+done
+
 # The fault-injection regression rides along with the workload gate: the
 # same build tree, the same committed goldens (see ci/faults.sh).
 ci/faults.sh || status=1

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 
 namespace asbr::analysis {
 
@@ -88,6 +89,18 @@ struct EdgeRefinement {
     Cond cond = Cond::kEqz;
     InstrIndex targetIdx = 0;   ///< taken-successor instruction index
     InstrIndex fallthroughIdx = 0;
+    // Compare origin: the tested register is a slt/slti/sltu/sltiu flag
+    // computed in the same block, with neither the flag nor the compared
+    // operands redefined between the compare and the branch.  mcc lowers
+    // every relational test (`i < n`) to such a flag feeding beqz/bnez, so
+    // refining only the 0/1 flag would lose the operand bound that keeps
+    // loop-counter intervals finite.
+    bool hasCmp = false;
+    Op cmpOp = Op::kSlt;
+    std::uint8_t cmpA = 0;      ///< left operand register
+    bool cmpBIsReg = false;
+    std::uint8_t cmpB = 0;      ///< right operand register (R-type compares)
+    std::int32_t cmpImm = 0;    ///< right operand immediate (I-type compares)
 };
 
 EdgeRefinement edgeRefinement(const Cfg& cfg, std::size_t b) {
@@ -101,7 +114,70 @@ EdgeRefinement edgeRefinement(const Cfg& cfg, std::size_t b) {
     er.targetIdx = static_cast<InstrIndex>(
         static_cast<std::int64_t>(block.last) + 1 + last.imm);
     er.fallthroughIdx = block.last + 1;
+    if (er.condReg == reg::zero) return er;
+    // Nearest in-block definition of the tested register.
+    for (InstrIndex i = block.last; i-- > block.first;) {
+        const Instruction& ins = cfg.program->code[i];
+        const auto d = destReg(ins);
+        if (!d || *d != er.condReg) continue;
+        const bool rCmp = ins.op == Op::kSlt || ins.op == Op::kSltu;
+        const bool iCmp = ins.op == Op::kSlti || ins.op == Op::kSltiu;
+        if (!rCmp && !iCmp) break;  // defined by something else
+        // Operand values must survive unchanged to the block end: the
+        // compare overwrote condReg itself, and nothing between the
+        // compare and the branch may redefine an operand.
+        if (ins.rs == er.condReg || (rCmp && ins.rt == er.condReg)) break;
+        bool clobbered = false;
+        for (InstrIndex k = i + 1; k < block.last && !clobbered; ++k) {
+            const auto kd = destReg(cfg.program->code[k]);
+            clobbered = kd && (*kd == ins.rs || (rCmp && *kd == ins.rt));
+        }
+        if (clobbered) break;
+        er.hasCmp = true;
+        er.cmpOp = ins.op;
+        er.cmpA = ins.rs;
+        er.cmpBIsReg = rCmp;
+        er.cmpB = ins.rt;
+        er.cmpImm = ins.imm;
+        break;
+    }
     return er;
+}
+
+/// Refine the compare operands along an edge that fixes the truth of the
+/// originating slt-family compare.  Returns false when the refinement
+/// proves the edge infeasible.
+bool refineCmpOperands(const EdgeRefinement& er, bool cmpTrue, RegState& out) {
+    const AbsValue a = out[er.cmpA];
+    const AbsValue b = er.cmpBIsReg ? out[er.cmpB]
+                                    : AbsValue::constant(er.cmpImm);
+    if (a.isBottom() || b.isBottom()) return true;  // nothing reliable to do
+    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+    const bool isUnsigned = er.cmpOp == Op::kSltu || er.cmpOp == Op::kSltiu;
+    AbsValue newA = a, newB = b;
+    if (isUnsigned && !er.cmpBIsReg && er.cmpImm == 1) {
+        // `sltiu x, 1` is the canonical "x == 0" idiom (exec.cpp compares
+        // unsigned, so only x == 0 is below 1): exact for any x.
+        newA = cmpTrue ? a.meet(AbsValue::constant(0))
+                       : refineByCond(Cond::kNez, a);
+    } else if (isUnsigned && a.lo < 0) {
+        return true;  // unsigned order diverges from signed: stay sound
+    } else if (isUnsigned && er.cmpBIsReg && b.lo < 0) {
+        return true;
+    } else if (isUnsigned && !er.cmpBIsReg && er.cmpImm < 0) {
+        return true;  // sign-extended immediate compares as a huge unsigned
+    } else if (cmpTrue) {  // a < b
+        newA = a.meet(AbsValue::range(kMin, b.hi - 1));
+        newB = b.meet(AbsValue::range(a.lo + 1, kMax));
+    } else {  // a >= b
+        newA = a.meet(AbsValue::range(b.lo, kMax));
+        newB = b.meet(AbsValue::range(kMin, a.hi));
+    }
+    if (newA.isBottom() || (er.cmpBIsReg && newB.isBottom())) return false;
+    if (er.cmpA != reg::zero) out[er.cmpA] = newA;
+    if (er.cmpBIsReg && er.cmpB != reg::zero) out[er.cmpB] = newB;
+    return true;
 }
 
 /// Out-state along the edge b -> succ, refined by the branch condition when
@@ -118,6 +194,15 @@ bool refineForEdge(const Cfg& cfg, const EdgeRefinement& er, std::size_t succ,
     const AbsValue refined = refineByCond(c, out[er.condReg]);
     if (refined.isBottom()) return false;
     out[er.condReg] = refined;
+    if (er.hasCmp) {
+        // A slt-family flag is concretely 0 or 1; when the edge condition
+        // separates those two values it fixes the compare's truth and the
+        // operands can be refined too.
+        const bool on1 = evalCond(c, 1);
+        const bool on0 = evalCond(c, 0);
+        if (on1 != on0 && !refineCmpOperands(er, /*cmpTrue=*/on1, out))
+            return false;
+    }
     return true;
 }
 

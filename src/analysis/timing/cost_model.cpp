@@ -1,0 +1,68 @@
+#include "analysis/timing/cost_model.hpp"
+
+namespace asbr::analysis::timing {
+
+TimingCostModel TimingCostModel::fromPipeline(const PipelineConfig& config) {
+    TimingCostModel m;
+    m.mulStall = config.mulLatency - 1;
+    m.divStall = config.divLatency - 1;
+    m.mispredictPenalty = 2 + config.redirectBubbles;
+    m.icacheMissPenalty = config.icache.missPenalty;
+    m.dcacheMissPenalty = config.dcache.missPenalty;
+    m.icacheLineBytes = config.icache.lineBytes;
+    return m;
+}
+
+std::uint64_t blockCost(const Cfg& cfg, std::size_t b,
+                        const TimingCostModel& model,
+                        const std::set<std::uint32_t>& foldedPcs) {
+    const BasicBlock& block = cfg.blocks[b];
+    const auto& code = cfg.program->code;
+    std::uint64_t cost = 0;
+    for (InstrIndex i = block.first; i <= block.last; ++i) {
+        const Instruction& ins = code[i];
+        const Op op = ins.op;
+        if (isCondBranch(op)) {
+            if (foldedPcs.count(cfg.pcOf(i)) != 0) continue;  // never fetched
+            cost += 1 + model.mispredictPenalty;
+            continue;
+        }
+        cost += 1;
+        if (op == Op::kMul || op == Op::kMulh) {
+            cost += model.mulStall;
+        } else if (op == Op::kDiv || op == Op::kDivu || op == Op::kRem ||
+                   op == Op::kRemu) {
+            cost += model.divStall;
+        } else if (isLoad(op) || isStore(op)) {
+            cost += model.dcacheMissPenalty;
+        } else if (op == Op::kJr || op == Op::kJalr) {
+            cost += model.mispredictPenalty;  // indirect: resolves in EX
+        }
+        if (isLoad(op)) {
+            // Load-use interlock: charged when the next instruction consumes
+            // the loaded register, or unconditionally for a block-ending
+            // load (the consumer may be the next block's first instruction).
+            if (i == block.last) {
+                cost += 1;
+            } else {
+                const auto d = destReg(ins);
+                const SrcRegs srcs = srcRegs(code[i + 1]);
+                for (int s = 0; s < srcs.count; ++s)
+                    if (d && srcs.regs[static_cast<std::size_t>(s)] == *d) {
+                        cost += 1;
+                        break;
+                    }
+            }
+        }
+    }
+    // Worst case, every I-cache line the block spans misses on every
+    // execution of the block.
+    const std::uint32_t firstByte = cfg.pcOf(block.first);
+    const std::uint32_t lastByte = cfg.pcOf(block.last) + kInstrBytes - 1;
+    const std::uint64_t lines =
+        lastByte / model.icacheLineBytes - firstByte / model.icacheLineBytes + 1;
+    cost += lines * model.icacheMissPenalty;
+    return cost;
+}
+
+}  // namespace asbr::analysis::timing

@@ -1,0 +1,53 @@
+// Declarative static cycle-cost model for the 5-stage ep32 pipeline.
+//
+// Every constant mirrors a PipelineConfig / pipeline.cpp timing rule, made
+// explicit so the WCET engine's per-block costs are an auditable worst case
+// of what the cycle-accurate simulator can charge:
+//
+//   - 1 cycle per committed instruction (single-issue, in-order)
+//   - mul/mulh occupy EX for mulLatency cycles  => mulLatency-1 extra
+//   - div/divu/rem/remu occupy EX for divLatency => divLatency-1 extra
+//   - every load/store may miss the D-cache     => missPenalty extra
+//   - every I-cache line a block spans may miss on every execution
+//   - a non-folded conditional branch may mispredict every time:
+//     2 flushed stages + redirectBubbles
+//   - jr/jalr always redirect in EX: same penalty as a mispredict
+//   - j/jal redirect in IF (predecode): no penalty
+//   - adjacent load-use dependences stall one cycle; a block-ending load is
+//     charged one cycle unconditionally (its consumer may open the next block)
+//   - a constant pipeline fill/drain allowance covers startup and exit
+//
+// A branch in `foldedPcs` is resolved by the ASBR customizer on every fetch
+// (static fold table entry or a ProvablySafe BIT resident): it never enters
+// the pipeline, so it costs nothing at all.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "sim/pipeline.hpp"
+
+namespace asbr::analysis::timing {
+
+struct TimingCostModel {
+    std::uint32_t mulStall = 3;           ///< mulLatency - 1
+    std::uint32_t divStall = 11;          ///< divLatency - 1
+    std::uint32_t mispredictPenalty = 3;  ///< 2 flushed stages + redirectBubbles
+    std::uint32_t icacheMissPenalty = 8;
+    std::uint32_t dcacheMissPenalty = 8;
+    std::uint32_t icacheLineBytes = 32;
+    std::uint32_t pipelineFillCycles = 8;  ///< one-off fill/drain allowance
+
+    /// Derive the model from a pipeline configuration (the sound direction:
+    /// constants come from the config the measured run will use).
+    [[nodiscard]] static TimingCostModel fromPipeline(const PipelineConfig& config);
+};
+
+/// Worst-case cycles for one execution of block `b`, charging every rule
+/// above.  Branches in `foldedPcs` cost nothing.
+[[nodiscard]] std::uint64_t blockCost(const Cfg& cfg, std::size_t b,
+                                      const TimingCostModel& model,
+                                      const std::set<std::uint32_t>& foldedPcs);
+
+}  // namespace asbr::analysis::timing

@@ -1,0 +1,91 @@
+#include "analysis/timing/loop_bounds.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace asbr::analysis::timing {
+
+const char* boundSourceName(BoundSource s) {
+    switch (s) {
+        case BoundSource::kAnnotation: return "annotation";
+        case BoundSource::kInferred: return "inferred";
+        case BoundSource::kProfile: return "profile";
+        case BoundSource::kNone: return "none";
+    }
+    return "?";
+}
+
+std::optional<std::uint64_t> annotatedLoopBound(
+    const Cfg& cfg, const Loop& localLoop,
+    const std::vector<std::size_t>& localToGlobal) {
+    const std::size_t headGlobal = localToGlobal[localLoop.head];
+    const std::uint32_t headPc = cfg.pcOf(cfg.blocks[headGlobal].first);
+    const auto it = cfg.program->loopBounds.find(headPc);
+    if (it == cfg.program->loopBounds.end()) return std::nullopt;
+    return static_cast<std::uint64_t>(it->second);
+}
+
+std::optional<std::uint64_t> inferLoopBound(
+    const Cfg& cfg, const ValueAnalysis& va, const Loop& localLoop,
+    const DominatorTree& localDoms,
+    const std::vector<std::size_t>& localToGlobal, std::uint32_t clobberMask) {
+    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+    const std::size_t headGlobal = localToGlobal[localLoop.head];
+    // A loop the abstract semantics never reaches runs zero iterations; one
+    // head execution is a sound (if unachievable) bound for it.
+    if (!va.reachable(headGlobal)) return 1;
+
+    std::optional<std::uint64_t> best;
+    for (int r = 1; r < kNumRegs; ++r) {
+        if ((clobberMask >> r) & 1u) continue;
+        // Exactly one write to r anywhere in the body, and it must be a
+        // constant-step self-increment.
+        std::size_t writerLocal = kNoBlock;
+        InstrIndex writerIdx = 0;
+        bool multiple = false;
+        for (const std::size_t lb : localLoop.blocks) {
+            const BasicBlock& block = cfg.blocks[localToGlobal[lb]];
+            for (InstrIndex i = block.first; i <= block.last && !multiple; ++i) {
+                const auto d = destReg(cfg.program->code[i]);
+                if (!d || *d != r) continue;
+                if (writerLocal != kNoBlock) multiple = true;
+                writerLocal = lb;
+                writerIdx = i;
+            }
+            if (multiple) break;
+        }
+        if (multiple || writerLocal == kNoBlock) continue;
+        const Instruction& w = cfg.program->code[writerIdx];
+        if (w.op != Op::kAddiu || w.rs != r || w.imm == 0) continue;
+        // The increment must execute on every completed iteration: its block
+        // dominates every latch (in the function-local graph, dominance by a
+        // body block is exactly "on every head-to-latch path").
+        bool dominatesAll = true;
+        for (const std::size_t latch : localLoop.latches)
+            dominatesAll = dominatesAll && localDoms.dominates(writerLocal, latch);
+        if (!dominatesAll) continue;
+        // No wrap-around at the increment: r is untouched between the block
+        // entry and the write (single writer), so its value there is the
+        // block-in interval.
+        const std::size_t writerGlobal = localToGlobal[writerLocal];
+        if (!va.reachable(writerGlobal)) continue;
+        const AbsValue atWrite = va.blockIn[writerGlobal][r];
+        if (atWrite.isBottom()) continue;
+        const std::int64_t step = w.imm;
+        if (atWrite.lo + step < kMin || atWrite.hi + step > kMax) continue;
+        // Every head execution sees r inside the head's fixpoint interval;
+        // consecutive head values move monotonically by at least |step|.
+        const AbsValue atHead = va.blockIn[headGlobal][r];
+        if (atHead.isBottom()) continue;
+        const std::uint64_t width =
+            static_cast<std::uint64_t>(atHead.hi - atHead.lo);
+        const std::uint64_t iters =
+            width / static_cast<std::uint64_t>(std::llabs(w.imm)) + 1;
+        if (iters > kMaxInferredIterations) continue;
+        if (!best || iters < *best) best = iters;
+    }
+    return best;
+}
+
+}  // namespace asbr::analysis::timing

@@ -1,0 +1,70 @@
+// Loop iteration bounds for the static timing engine.
+//
+// Three sources, in strict precedence order:
+//
+//   kAnnotation — a `.loopbound N` assembler directive placed immediately
+//                 before the loop-head instruction.  Trusted verbatim.
+//   kInferred   — derived from the interval abstract interpretation: if some
+//                 register is written exactly once inside the loop body by
+//                 `addiu r, r, c` (c != 0) on every iteration path, never
+//                 wraps, and the fixpoint confines its value at the loop
+//                 head to a finite interval [L, H], then the loop head runs
+//                 at most (H - L) / |c| + 1 times per entry (consecutive
+//                 head values are distinct, monotone, and at least |c|
+//                 apart inside a window of width H - L).
+//   kProfile    — a dynamically observed per-entry maximum from a concrete
+//                 run (observeLoopBounds).  Sound only for the measured
+//                 input; the WCET report flags these loops explicitly.
+//
+// A loop with none of the three is unbounded: the WCET engine refuses to
+// produce a cycle bound and `asbr-verify --strict` lints it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/absint/absint.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+
+namespace asbr::analysis::timing {
+
+enum class BoundSource : std::uint8_t {
+    kAnnotation,
+    kInferred,
+    kProfile,
+    kNone,
+};
+
+[[nodiscard]] const char* boundSourceName(BoundSource s);
+
+struct LoopBound {
+    std::uint64_t iterations = 0;  ///< max head executions per loop entry
+    BoundSource source = BoundSource::kNone;
+
+    [[nodiscard]] bool bounded() const { return source != BoundSource::kNone; }
+};
+
+/// Inferred bounds beyond this are treated as inference failures: they are
+/// technically sound but useless (a near-full-range interval), and a huge
+/// "bound" would mask a loop that genuinely needs an annotation.
+inline constexpr std::uint64_t kMaxInferredIterations = 1u << 22;
+
+/// The `.loopbound` annotation at the head of `localLoop`, if any.
+/// `localToGlobal` maps the loop's (function-local) block ids to cfg ids.
+[[nodiscard]] std::optional<std::uint64_t> annotatedLoopBound(
+    const Cfg& cfg, const Loop& localLoop,
+    const std::vector<std::size_t>& localToGlobal);
+
+/// Interval-fixpoint inference over a function-local natural loop.
+/// `localDoms` is the dominator tree of the owning function's local graph
+/// (same ids as `localLoop`); `clobberMask` marks registers additionally
+/// treated as rewritten inside the body (callee side effects).
+[[nodiscard]] std::optional<std::uint64_t> inferLoopBound(
+    const Cfg& cfg, const ValueAnalysis& va, const Loop& localLoop,
+    const DominatorTree& localDoms,
+    const std::vector<std::size_t>& localToGlobal, std::uint32_t clobberMask);
+
+}  // namespace asbr::analysis::timing

@@ -1,0 +1,582 @@
+#include "analysis/timing/wcet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sim/functional.hpp"
+#include "util/ensure.hpp"
+
+namespace asbr::analysis::timing {
+
+namespace {
+
+/// Cycle counts saturate well below uint64 so products never wrap.
+constexpr std::uint64_t kSatCap =
+    std::numeric_limits<std::uint64_t>::max() / 4;
+
+std::uint64_t satAdd(std::uint64_t a, std::uint64_t b) {
+    return a >= kSatCap - std::min(b, kSatCap) ? kSatCap
+                                               : std::min(a + b, kSatCap);
+}
+
+std::uint64_t satMul(std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) return 0;
+    if (a > kSatCap / b) return kSatCap;
+    return a * b;
+}
+
+std::size_t findRoot(std::vector<std::size_t>& parent, std::size_t x) {
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];  // path halving
+        x = parent[x];
+    }
+    return x;
+}
+
+std::string hexPc(std::uint32_t pc) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%x", pc);
+    return buf;
+}
+
+}  // namespace
+
+WcetEngine::WcetEngine(const Cfg& cfg, const ValueAnalysis& va,
+                       TimingCostModel model)
+    : cfg_(cfg), va_(va), model_(model) {
+    if (cfg_.blocks.empty() || cfg_.entryBlock == kNoBlock) return;
+    // One function per distinct entry instruction; the program entry is
+    // always among cfg.functionEntries.
+    for (const InstrIndex e : cfg_.functionEntries) {
+        if (funcOfEntry_.count(e) != 0) continue;
+        funcOfEntry_.emplace(e, funcs_.size());
+        funcs_.push_back(FunctionInfo{});
+        funcs_.back().entryInstr = e;
+    }
+    const InstrIndex mainEntry = cfg_.blocks[cfg_.entryBlock].first;
+    ASBR_ENSURE(funcOfEntry_.count(mainEntry) != 0,
+                "WcetEngine: program entry is not a function entry");
+    mainFunc_ = funcOfEntry_.at(mainEntry);
+    for (std::size_t f = 0; f < funcs_.size(); ++f) buildFunction(f);
+
+    // Transitive callee-clobber masks (monotone fixpoint; recursion simply
+    // converges to the union).
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (FunctionInfo& fi : funcs_) {
+            std::uint32_t mask = fi.regsWritten;
+            for (const auto& [block, callee] : fi.calls)
+                mask |= funcs_[callee].regsWritten;
+            if (mask != fi.regsWritten) {
+                fi.regsWritten = mask;
+                changed = true;
+            }
+        }
+    }
+
+    // Loop bounds: annotation first, then interval inference with the
+    // callee clobber effects of any call inside the body.
+    for (FunctionInfo& fi : funcs_) {
+        fi.loopBounds.resize(fi.forest.loops.size());
+        for (std::size_t li = 0; li < fi.forest.loops.size(); ++li) {
+            const Loop& loop = fi.forest.loops[li];
+            std::uint32_t clobber = 0;
+            for (const auto& [block, callee] : fi.calls)
+                if (loop.contains(block)) clobber |= funcs_[callee].regsWritten;
+            for (const std::size_t lb : loop.blocks) {
+                const BasicBlock& b = cfg_.blocks[fi.globalBlocks[lb]];
+                for (InstrIndex i = b.first; i <= b.last; ++i)
+                    if (cfg_.program->code[i].op == Op::kJalr) clobber = ~0u;
+                if (cfg_.blocks[fi.globalBlocks[lb]].endsInUnresolvedIndirect)
+                    clobber = ~0u;
+            }
+            if (const auto ann =
+                    annotatedLoopBound(cfg_, loop, fi.globalBlocks)) {
+                fi.loopBounds[li] = {*ann, BoundSource::kAnnotation};
+            } else if (const auto inf =
+                           inferLoopBound(cfg_, va_, loop, fi.doms,
+                                          fi.globalBlocks, clobber)) {
+                fi.loopBounds[li] = {*inf, BoundSource::kInferred};
+            }
+        }
+    }
+    rebuildRecords();
+}
+
+void WcetEngine::buildFunction(std::size_t f) {
+    FunctionInfo& fi = funcs_[f];
+    std::map<InstrIndex, InstrIndex> callTarget;
+    for (const CallSite& cs : cfg_.callSites) callTarget.emplace(cs.pc, cs.callee);
+
+    const std::size_t entryBlock = cfg_.blockOf[fi.entryInstr];
+    std::map<std::size_t, std::size_t> globalToLocal;
+    std::vector<std::vector<std::size_t>> localSuccs;
+    std::vector<std::size_t> work{entryBlock};
+    globalToLocal.emplace(entryBlock, 0);
+    fi.globalBlocks.push_back(entryBlock);
+    localSuccs.emplace_back();
+
+    // Breadth-first discovery over *intraprocedural* successors: calls step
+    // to their return point, returns end the walk.
+    for (std::size_t w = 0; w < work.size(); ++w) {
+        const std::size_t g = work[w];
+        const std::size_t local = globalToLocal.at(g);
+        const BasicBlock& block = cfg_.blocks[g];
+        const Instruction& last = cfg_.program->code[block.last];
+        std::vector<std::size_t> succs;
+        if (block.endsInUnresolvedIndirect) {
+            fi.hasIndirect = true;
+        } else if (last.op == Op::kJal || last.op == Op::kJalr) {
+            if (last.op == Op::kJalr) {
+                fi.hasIndirect = true;
+            } else if (const auto it = callTarget.find(block.last);
+                       it != callTarget.end()) {
+                fi.calls.emplace_back(local, funcOfEntry_.at(it->second));
+            } else {
+                fi.hasIndirect = true;  // jal outside text
+            }
+            if (block.last + 1 < cfg_.numInstructions())
+                succs.push_back(cfg_.blockOf[block.last + 1]);
+        } else if (last.op == Op::kJr) {
+            // Function exit: no intraprocedural successor.
+        } else {
+            succs = block.succs;
+        }
+        for (const std::size_t s : succs) {
+            const auto [it, inserted] = globalToLocal.emplace(s, work.size());
+            if (inserted) {
+                work.push_back(s);
+                fi.globalBlocks.push_back(s);
+                localSuccs.emplace_back();
+            }
+            localSuccs[local].push_back(it->second);
+        }
+    }
+
+    fi.local.program = cfg_.program;
+    fi.local.entryBlock = 0;
+    fi.local.blocks.resize(fi.globalBlocks.size());
+    for (std::size_t l = 0; l < fi.globalBlocks.size(); ++l) {
+        BasicBlock& lb = fi.local.blocks[l];
+        const BasicBlock& gb = cfg_.blocks[fi.globalBlocks[l]];
+        lb.first = gb.first;
+        lb.last = gb.last;
+        lb.succs = localSuccs[l];
+        for (const std::size_t s : lb.succs)
+            fi.local.blocks[s].preds.push_back(l);
+    }
+    fi.doms = computeDominators(fi.local);
+    fi.forest = computeLoops(fi.local, fi.doms);
+
+    for (const std::size_t g : fi.globalBlocks) {
+        const BasicBlock& b = cfg_.blocks[g];
+        for (InstrIndex i = b.first; i <= b.last; ++i)
+            if (const auto d = destReg(cfg_.program->code[i]))
+                fi.regsWritten |= 1u << *d;
+    }
+    if (fi.hasIndirect) fi.regsWritten = ~0u;
+}
+
+void WcetEngine::rebuildRecords() {
+    std::map<std::uint32_t, LoopRecord> byHead;
+    for (const FunctionInfo& fi : funcs_) {
+        for (std::size_t li = 0; li < fi.forest.loops.size(); ++li) {
+            const Loop& loop = fi.forest.loops[li];
+            const std::size_t headGlobal = fi.globalBlocks[loop.head];
+            const std::uint32_t headPc = cfg_.pcOf(cfg_.blocks[headGlobal].first);
+            std::vector<std::uint32_t> pcs;
+            for (const std::size_t lb : loop.blocks) {
+                const BasicBlock& b = cfg_.blocks[fi.globalBlocks[lb]];
+                for (InstrIndex i = b.first; i <= b.last; ++i)
+                    pcs.push_back(cfg_.pcOf(i));
+            }
+            std::sort(pcs.begin(), pcs.end());
+            const LoopBound& bound = fi.loopBounds[li];
+            auto [it, inserted] = byHead.emplace(
+                headPc, LoopRecord{headPc, cfg_.program->sourceLine(headPc),
+                                   loop.depth, bound, std::move(pcs)});
+            if (!inserted) {
+                // The same head reached from several function entries
+                // (shared code): merge conservatively — unbounded wins,
+                // otherwise the larger bound.
+                LoopRecord& r = it->second;
+                if (!bound.bounded() || !r.bound.bounded()) {
+                    if (!bound.bounded()) r.bound = LoopBound{};
+                } else if (bound.iterations > r.bound.iterations) {
+                    r.bound = bound;
+                }
+                r.depth = std::max(r.depth, loop.depth);
+                std::vector<std::uint32_t> merged;
+                std::set_union(r.memberPcs.begin(), r.memberPcs.end(),
+                               pcs.begin(), pcs.end(),
+                               std::back_inserter(merged));
+                r.memberPcs = std::move(merged);
+            }
+        }
+    }
+    records_.clear();
+    for (auto& [pc, record] : byHead) records_.push_back(std::move(record));
+}
+
+void WcetEngine::applyObservedBounds(
+    const std::map<std::uint32_t, std::uint64_t>& observed) {
+    for (FunctionInfo& fi : funcs_) {
+        for (std::size_t li = 0; li < fi.forest.loops.size(); ++li) {
+            if (fi.loopBounds[li].bounded()) continue;
+            const std::size_t headGlobal =
+                fi.globalBlocks[fi.forest.loops[li].head];
+            const std::uint32_t headPc =
+                cfg_.pcOf(cfg_.blocks[headGlobal].first);
+            const auto it = observed.find(headPc);
+            if (it == observed.end()) continue;
+            // 0 means the head never executed under the measured input; one
+            // head execution keeps the loop formula well-defined.
+            fi.loopBounds[li] = {std::max<std::uint64_t>(it->second, 1),
+                                 BoundSource::kProfile};
+        }
+    }
+    rebuildRecords();
+}
+
+bool WcetEngine::callOrder(std::vector<std::size_t>& topo,
+                           std::string& reason) const {
+    // Iterative DFS from main; post-order emits callees before callers.
+    enum : char { kWhite, kGrey, kBlack };
+    std::vector<char> color(funcs_.size(), kWhite);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (func, call idx)
+    stack.emplace_back(mainFunc_, 0);
+    color[mainFunc_] = kGrey;
+    while (!stack.empty()) {
+        auto& [f, i] = stack.back();
+        if (i < funcs_[f].calls.size()) {
+            const std::size_t callee = funcs_[f].calls[i++].second;
+            if (color[callee] == kGrey) {
+                reason = "recursive call graph (function at " +
+                         hexPc(cfg_.pcOf(funcs_[callee].entryInstr)) + ")";
+                return false;
+            }
+            if (color[callee] == kWhite) {
+                color[callee] = kGrey;
+                stack.emplace_back(callee, 0);
+            }
+            continue;
+        }
+        color[f] = kBlack;
+        topo.push_back(f);
+        stack.pop_back();
+    }
+    return true;
+}
+
+WcetResult WcetEngine::compute(
+    const std::set<std::uint32_t>& foldedPcs) const {
+    WcetResult result;
+    if (funcs_.empty()) {
+        result.reason = "empty program";
+        return result;
+    }
+    std::vector<std::size_t> topo;
+    if (!callOrder(topo, result.reason)) return result;
+
+    std::vector<std::uint64_t> funcWcet(funcs_.size(), 0);
+    std::vector<std::vector<std::uint64_t>> mults(funcs_.size());
+
+    for (const std::size_t f : topo) {
+        const FunctionInfo& fi = funcs_[f];
+        if (fi.hasIndirect) {
+            result.reason = "indirect control flow in function at " +
+                            hexPc(cfg_.pcOf(fi.entryInstr));
+            return result;
+        }
+        for (std::size_t li = 0; li < fi.forest.loops.size(); ++li) {
+            if (fi.loopBounds[li].bounded()) continue;
+            const std::size_t headGlobal =
+                fi.globalBlocks[fi.forest.loops[li].head];
+            result.reason =
+                "unbounded loop at " +
+                hexPc(cfg_.pcOf(cfg_.blocks[headGlobal].first)) +
+                " (no annotation, inference or profile bound)";
+            return result;
+        }
+
+        const std::size_t n = fi.globalBlocks.size();
+        std::vector<std::uint64_t> weight(n);
+        for (std::size_t l = 0; l < n; ++l)
+            weight[l] = blockCost(cfg_, fi.globalBlocks[l], model_, foldedPcs);
+        for (const auto& [block, callee] : fi.calls)
+            weight[block] = satAdd(weight[block], funcWcet[callee]);
+
+        // Worst-case executions of each block per function invocation: the
+        // product of the bounds of every enclosing loop.
+        std::vector<std::uint64_t>& mult = mults[f];
+        mult.assign(n, 1);
+        for (std::size_t l = 0; l < n; ++l)
+            for (std::size_t li = fi.forest.innermost[l]; li != kNoBlock;
+                 li = fi.forest.loops[li].parent)
+                mult[l] = satMul(mult[l], fi.loopBounds[li].iterations);
+
+        // Structured longest path: contract loops innermost-first.
+        std::vector<std::size_t> parent(n);
+        std::iota(parent.begin(), parent.end(), 0);
+        std::vector<std::vector<std::size_t>> groupNodes(n);
+        for (std::size_t l = 0; l < n; ++l) groupNodes[l] = {l};
+
+        auto repSuccs = [&](std::size_t root) {
+            std::set<std::size_t> out;
+            for (const std::size_t orig : groupNodes[root])
+                for (const std::size_t s : fi.local.blocks[orig].succs) {
+                    const std::size_t r = findRoot(parent, s);
+                    if (r != root) out.insert(r);
+                }
+            return out;
+        };
+
+        // Longest node-weighted path over the acyclic rep graph restricted
+        // to `nodes`, edges into `skipTarget` removed (back edges), from
+        // `start`.  Returns false when a cycle remains.
+        std::map<std::size_t, std::uint64_t> dist;
+        auto longestPath = [&](const std::set<std::size_t>& nodes,
+                               std::size_t start, std::size_t skipTarget) {
+            dist.clear();
+            std::map<std::size_t, std::vector<std::size_t>> adj;
+            std::map<std::size_t, std::size_t> indeg;
+            for (const std::size_t u : nodes) indeg[u] = 0;
+            for (const std::size_t u : nodes)
+                for (const std::size_t v : repSuccs(u))
+                    if (nodes.count(v) != 0 && v != skipTarget) {
+                        adj[u].push_back(v);
+                        ++indeg[v];
+                    }
+            std::vector<std::size_t> queue;
+            for (const std::size_t u : nodes)
+                if (indeg[u] == 0) queue.push_back(u);
+            dist[start] = weight[start];
+            std::size_t processed = 0;
+            for (std::size_t q = 0; q < queue.size(); ++q) {
+                const std::size_t u = queue[q];
+                ++processed;
+                const auto du = dist.find(u);
+                for (const std::size_t v : adj[u]) {
+                    if (du != dist.end()) {
+                        const std::uint64_t cand = satAdd(du->second, weight[v]);
+                        auto [it, fresh] = dist.emplace(v, cand);
+                        if (!fresh && cand > it->second) it->second = cand;
+                    }
+                    if (--indeg[v] == 0) queue.push_back(v);
+                }
+            }
+            return processed == nodes.size();
+        };
+
+        std::vector<std::size_t> loopOrder(fi.forest.loops.size());
+        std::iota(loopOrder.begin(), loopOrder.end(), 0);
+        std::stable_sort(loopOrder.begin(), loopOrder.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return fi.forest.loops[a].depth >
+                                    fi.forest.loops[b].depth;
+                         });
+        bool irreducible = false;
+        for (const std::size_t li : loopOrder) {
+            const Loop& loop = fi.forest.loops[li];
+            const std::size_t h = findRoot(parent, loop.head);
+            std::set<std::size_t> members;
+            for (const std::size_t b : loop.blocks)
+                members.insert(findRoot(parent, b));
+            if (!longestPath(members, h, h)) {
+                irreducible = true;
+                break;
+            }
+            std::uint64_t iterCost = weight[h];
+            for (const std::size_t latch : loop.latches) {
+                const auto it = dist.find(findRoot(parent, latch));
+                if (it != dist.end()) iterCost = std::max(iterCost, it->second);
+            }
+            std::uint64_t exitCost = weight[h];
+            for (const std::size_t m : members) {
+                const auto it = dist.find(m);
+                if (it != dist.end()) exitCost = std::max(exitCost, it->second);
+            }
+            const std::uint64_t iterations = fi.loopBounds[li].iterations;
+            const std::uint64_t total = satAdd(
+                satMul(iterations > 0 ? iterations - 1 : 0, iterCost),
+                exitCost);
+            for (const std::size_t m : members) {
+                if (m == h) continue;
+                parent[m] = h;
+                auto& src = groupNodes[m];
+                groupNodes[h].insert(groupNodes[h].end(), src.begin(),
+                                     src.end());
+                src.clear();
+            }
+            weight[h] = total;
+        }
+        if (irreducible) {
+            result.reason = "irreducible cycle in function at " +
+                            hexPc(cfg_.pcOf(fi.entryInstr));
+            return result;
+        }
+        std::set<std::size_t> tops;
+        for (std::size_t l = 0; l < n; ++l) tops.insert(findRoot(parent, l));
+        if (!longestPath(tops, findRoot(parent, 0), kNoBlock)) {
+            result.reason = "irreducible control flow in function at " +
+                            hexPc(cfg_.pcOf(fi.entryInstr));
+            return result;
+        }
+        std::uint64_t best = 0;
+        for (const auto& [node, d] : dist) best = std::max(best, d);
+        funcWcet[f] = best;
+    }
+
+    // Worst-case invocation counts, top-down over the call graph.
+    std::vector<std::uint64_t> funcExec(funcs_.size(), 0);
+    funcExec[mainFunc_] = 1;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const std::size_t f = *it;
+        for (const auto& [block, callee] : funcs_[f].calls)
+            funcExec[callee] = satAdd(
+                funcExec[callee], satMul(funcExec[f], mults[f][block]));
+    }
+
+    // Per-branch static misprediction-cost ranking.
+    std::map<std::uint32_t, BranchCostRecord> byPc;
+    for (const std::size_t f : topo) {
+        const FunctionInfo& fi = funcs_[f];
+        for (std::size_t l = 0; l < fi.globalBlocks.size(); ++l) {
+            const BasicBlock& block = cfg_.blocks[fi.globalBlocks[l]];
+            if (!isCondBranch(cfg_.program->code[block.last].op)) continue;
+            const std::uint32_t pc = cfg_.pcOf(block.last);
+            const std::uint64_t execBound =
+                satMul(funcExec[f], mults[f][l]);
+            auto [it, inserted] = byPc.emplace(pc, BranchCostRecord{});
+            BranchCostRecord& r = it->second;
+            if (inserted) {
+                r.pc = pc;
+                r.sourceLine = cfg_.program->sourceLine(pc);
+            }
+            r.execBound = std::max(r.execBound, execBound);
+        }
+    }
+    result.branches.reserve(byPc.size());
+    for (auto& [pc, r] : byPc) {
+        r.folded = foldedPcs.count(pc) != 0;
+        r.unitCost = r.folded ? 0 : model_.mispredictPenalty;
+        r.totalCost = satMul(r.execBound, r.unitCost);
+        result.branches.push_back(r);
+    }
+    std::sort(result.branches.begin(), result.branches.end(),
+              [](const BranchCostRecord& a, const BranchCostRecord& b) {
+                  if (a.totalCost != b.totalCost)
+                      return a.totalCost > b.totalCost;
+                  return a.pc < b.pc;
+              });
+
+    result.bounded = true;
+    result.cycles = satAdd(funcWcet[mainFunc_], model_.pipelineFillCycles);
+    return result;
+}
+
+std::map<std::uint32_t, std::uint64_t> observeLoopBounds(
+    const Program& program, Memory& memory,
+    const std::vector<LoopRecord>& loops, std::uint64_t maxInstructions) {
+    std::map<std::uint32_t, std::uint64_t> result;
+    std::map<std::uint32_t, std::vector<std::size_t>> headIndex;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        result[loops[i].headPc] = 0;
+        headIndex[loops[i].headPc].push_back(i);
+    }
+    struct Episode {
+        bool active = false;
+        int entryDepth = 0;
+        std::uint64_t count = 0;
+    };
+    std::vector<Episode> state(loops.size());
+    std::vector<std::size_t> activeList;
+    int depth = 0;
+
+    FunctionalSim sim(program, memory);
+    sim.setTraceHook([&](const Instruction& ins, const StepResult& step) {
+        const std::uint32_t pc = step.pc;
+        if (const auto hit = headIndex.find(pc); hit != headIndex.end()) {
+            for (const std::size_t i : hit->second) {
+                Episode& e = state[i];
+                if (!e.active) {
+                    e.active = true;
+                    e.entryDepth = depth;
+                    e.count = 1;
+                    activeList.push_back(i);
+                } else {
+                    ++e.count;
+                }
+            }
+        }
+        for (std::size_t a = 0; a < activeList.size();) {
+            const std::size_t i = activeList[a];
+            Episode& e = state[i];
+            const bool member = std::binary_search(
+                loops[i].memberPcs.begin(), loops[i].memberPcs.end(), pc);
+            if (!member && depth <= e.entryDepth) {
+                auto& mx = result[loops[i].headPc];
+                mx = std::max(mx, e.count);
+                e.active = false;
+                activeList[a] = activeList.back();
+                activeList.pop_back();
+            } else {
+                ++a;
+            }
+        }
+        if (ins.op == Op::kJal || ins.op == Op::kJalr) ++depth;
+        else if (ins.op == Op::kJr) depth = std::max(0, depth - 1);
+    });
+    sim.run(maxInstructions);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (!state[i].active) continue;
+        auto& mx = result[loops[i].headPc];
+        mx = std::max(mx, state[i].count);
+    }
+    return result;
+}
+
+void WcetMetrics::countLoops(const std::vector<LoopRecord>& loops) {
+    loopsTotal = loops.size();
+    for (const LoopRecord& loop : loops) {
+        switch (loop.bound.source) {
+            case BoundSource::kAnnotation: ++loopsBoundedAnnotated; break;
+            case BoundSource::kInferred: ++loopsBoundedInferred; break;
+            case BoundSource::kProfile: ++loopsBoundedProfiled; break;
+            case BoundSource::kNone: ++loopsUnbounded; break;
+        }
+    }
+}
+
+void WcetMetrics::publish(MetricRegistry& registry) const {
+    registry.counter("wcet.loops_total", "natural loops analyzed")
+        .set(loopsTotal);
+    registry
+        .counter("wcet.loops_bounded_annotated",
+                 "loops bounded by a .loopbound directive")
+        .set(loopsBoundedAnnotated);
+    registry
+        .counter("wcet.loops_bounded_inferred",
+                 "loops bounded by interval inference")
+        .set(loopsBoundedInferred);
+    registry
+        .counter("wcet.loops_bounded_profiled",
+                 "loops bounded only by a measured run")
+        .set(loopsBoundedProfiled);
+    registry
+        .counter("wcet.loops_unbounded",
+                 "loops with no iteration bound from any source")
+        .set(loopsUnbounded);
+    registry
+        .counter("wcet.bound_baseline_cycles",
+                 "static cycle bound without folding (0 when unbounded)")
+        .set(boundBaselineCycles);
+    registry
+        .counter("wcet.bound_folded_cycles",
+                 "static cycle bound with the fold set active (0 when "
+                 "unbounded)")
+        .set(boundFoldedCycles);
+}
+
+}  // namespace asbr::analysis::timing

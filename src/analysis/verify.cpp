@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/timing/wcet.hpp"
 #include "asbr/extract.hpp"
 #include "isa/disasm.hpp"
 
@@ -33,6 +34,7 @@ const char* staticLintKindName(StaticLint::Kind k) {
         case StaticLint::Kind::kUnreachableBlock: return "unreachable-block";
         case StaticLint::Kind::kDeadBranchArm: return "dead-branch-arm";
         case StaticLint::Kind::kRefinementWin: return "refinement-win";
+        case StaticLint::Kind::kUnboundedLoop: return "unbounded-loop";
     }
     return "?";
 }
@@ -246,6 +248,25 @@ std::vector<StaticLint> FoldLegalityVerifier::lints(
            << " across threshold " << config.threshold;
         lint.message = os.str();
         out.push_back(std::move(lint));
+    }
+    // Unbounded loops: neither a `.loopbound` annotation nor the interval
+    // inference bounds the iteration count, so no static cycle bound exists.
+    {
+        const timing::WcetEngine engine(
+            cfg_, va_, timing::TimingCostModel::fromPipeline(PipelineConfig{}));
+        for (const timing::LoopRecord& loop : engine.loops()) {
+            if (loop.bound.bounded()) continue;
+            StaticLint lint;
+            lint.kind = StaticLint::Kind::kUnboundedLoop;
+            lint.pc = loop.headPc;
+            lint.sourceLine = loop.sourceLine;
+            std::ostringstream os;
+            os << "loop head 0x" << std::hex << loop.headPc << std::dec
+               << " has no iteration bound (add a .loopbound directive or "
+                  "make the trip count interval-inferable)";
+            lint.message = os.str();
+            out.push_back(std::move(lint));
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const StaticLint& a, const StaticLint& b) {

@@ -104,6 +104,7 @@ struct StaticLint {
         kUnreachableBlock,  ///< block can never execute
         kDeadBranchArm,     ///< branch executes but one arm never does
         kRefinementWin,     ///< informational: pruning raised the distance
+        kUnboundedLoop,     ///< loop with neither inferred nor annotated bound
     };
     Kind kind = Kind::kUnreachableBlock;
     std::uint32_t pc = 0;  ///< block-start or branch pc

@@ -201,6 +201,16 @@ private:
             dataSize_ = (dataSize_ + a - 1) & ~(a - 1);
             return;
         }
+        if (name == ".loopbound") {
+            const auto n = parseIntLit(rest);
+            if (!n || *n < 1 || *n > INT32_MAX)
+                throw AsmError(line, ".loopbound needs a positive iteration count");
+            if (!inText_) throw AsmError(line, ".loopbound only valid in .text");
+            const std::uint32_t addr = program_.textBase + textWords_ * kInstrBytes;
+            if (!program_.loopBounds.emplace(addr, static_cast<std::uint32_t>(*n)).second)
+                throw AsmError(line, "duplicate .loopbound for the same loop head");
+            return;
+        }
         if (name == ".space") {
             const auto n = parseIntLit(rest);
             if (!n || *n < 0) throw AsmError(line, ".space needs a size");

@@ -26,6 +26,11 @@ struct Program {
     std::map<std::string, std::uint32_t> symbols;  ///< label -> address
     std::uint32_t entry = kTextBase;               ///< initial PC
     std::vector<int> lineOf;  ///< source line per instruction (diagnostics)
+    /// `.loopbound N` annotations: text address of the instruction the
+    /// directive precedes (the loop head) -> maximum head executions per
+    /// loop entry. Consumed by the static timing engine when the interval
+    /// domain cannot bound a loop on its own.
+    std::map<std::uint32_t, std::uint32_t> loopBounds;
 
     [[nodiscard]] std::uint32_t textEnd() const {
         return textBase + static_cast<std::uint32_t>(code.size()) * kInstrBytes;

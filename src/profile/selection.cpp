@@ -130,4 +130,88 @@ FoldSelection selectWithStaticVerdicts(
     return selection;
 }
 
+FoldSelection selectBranchesByStaticCost(
+    const Program& program,
+    const std::vector<analysis::timing::BranchCostRecord>& ranking,
+    const SelectionConfig& config) {
+    ASBR_ENSURE(config.threshold >= 2 && config.threshold <= 4,
+                "threshold must be 2, 3 or 4");
+    FoldSelection selection;
+    std::map<std::uint32_t, const analysis::timing::BranchCostRecord*> byPc;
+    for (const auto& r : ranking) byPc.emplace(r.pc, &r);
+
+    const analysis::FoldLegalityVerifier verifier(program);
+    const analysis::ValueAnalysis& va = verifier.values();
+    analysis::VerifyConfig verifyConfig;
+    verifyConfig.threshold = config.threshold;
+
+    // Statically-decided branches fold from the static table on every
+    // execution; rank them by worst-case execution bound so the
+    // staticCapacity cut favours the branches the longest path crosses most.
+    for (const std::uint32_t pc : allConditionalBranches(program)) {
+        const auto dir = va.directionAt(verifier.cfg().indexOf(pc));
+        if (dir != analysis::BranchDirection::kAlwaysTaken &&
+            dir != analysis::BranchDirection::kNeverTaken)
+            continue;
+        const auto it = byPc.find(pc);
+        selection.statics.push_back(
+            {pc, dir == analysis::BranchDirection::kAlwaysTaken,
+             it == byPc.end() ? 0 : it->second->execBound});
+    }
+    std::sort(selection.statics.begin(), selection.statics.end(),
+              [](const StaticFoldCandidate& a, const StaticFoldCandidate& b) {
+                  if (a.execs != b.execs) return a.execs > b.execs;
+                  return a.pc < b.pc;
+              });
+    if (selection.statics.size() > config.staticCapacity)
+        selection.statics.resize(config.staticCapacity);
+    std::unordered_set<std::uint32_t> staticPcs;
+    for (const StaticFoldCandidate& s : selection.statics)
+        staticPcs.insert(s.pc);
+
+    // BIT residents: only branches the verifier proves safe on *every* path
+    // qualify — there is no profile here to justify anything weaker.
+    for (const std::uint32_t pc : allConditionalBranches(program)) {
+        if (staticPcs.count(pc) != 0) continue;
+        const auto it = byPc.find(pc);
+        if (it == byPc.end() || it->second->totalCost == 0) continue;
+        const auto v = verifier.verdictFor(pc, verifyConfig, nullptr);
+        if (v.verdict != analysis::FoldLegality::kProvablySafe) continue;
+        Candidate c;
+        c.pc = pc;
+        c.execs = it->second->execBound;
+        c.score = static_cast<double>(it->second->totalCost);
+        c.verdict = v.verdict;
+        selection.dynamic.push_back(c);
+    }
+    std::sort(selection.dynamic.begin(), selection.dynamic.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.pc < b.pc;
+              });
+    if (selection.dynamic.size() > config.bitCapacity)
+        selection.dynamic.resize(config.bitCapacity);
+    return selection;
+}
+
+void StaticCostSelectionMetrics::countSelection(const FoldSelection& selection) {
+    staticFolds = selection.statics.size();
+    bitResidents = selection.dynamic.size();
+}
+
+void StaticCostSelectionMetrics::publish(MetricRegistry& registry) const {
+    registry
+        .counter("selection.static_cost_candidates",
+                 "branches in the static misprediction-cost ranking")
+        .set(candidates);
+    registry
+        .counter("selection.static_cost_static_folds",
+                 "statically-decided branches selected for the fold table")
+        .set(staticFolds);
+    registry
+        .counter("selection.static_cost_bit_residents",
+                 "provably-safe branches selected for the BIT by static cost")
+        .set(bitResidents);
+}
+
 }  // namespace asbr

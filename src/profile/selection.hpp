@@ -12,9 +12,11 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/timing/wcet.hpp"
 #include "analysis/verify.hpp"
 #include "asm/program.hpp"
 #include "profile/profiler.hpp"
+#include "util/metrics.hpp"
 
 namespace asbr {
 
@@ -87,5 +89,34 @@ struct FoldSelection {
     const Program& program, const ProgramProfile& profile,
     const std::map<std::uint32_t, double>& accuracyByPc,
     const SelectionConfig& config = {});
+
+/// Profile-free, cost-aware selection driven by the static timing engine.
+///
+/// `ranking` is the per-branch worst-case misprediction cost from
+/// analysis::timing::WcetEngine::compute (execution bound x penalty).
+/// Statically-decided branches go to the static fold table as usual (ranked
+/// by their execution bound instead of profiled heat); the BIT is filled
+/// with the top remaining *ProvablySafe* branches by total static cost.
+/// Branches with zero static cost (unreachable on any bounded path) are
+/// skipped.  Candidate::execs carries the execution bound and
+/// Candidate::score the total cost; the profile-only fields (takenRate,
+/// accuracy, foldableFraction) stay at their defaults.
+[[nodiscard]] FoldSelection selectBranchesByStaticCost(
+    const Program& program,
+    const std::vector<analysis::timing::BranchCostRecord>& ranking,
+    const SelectionConfig& config = {});
+
+/// Counters one cost-aware selection publishes (the `selection.static_cost_*`
+/// namespace).  A default-constructed snapshot publishes zeros so
+/// `asbr-stats counters` can enumerate the names.
+struct StaticCostSelectionMetrics {
+    std::uint64_t candidates = 0;   ///< branches in the input cost ranking
+    std::uint64_t staticFolds = 0;  ///< static-table folds selected
+    std::uint64_t bitResidents = 0; ///< BIT slots filled by total static cost
+
+    /// Fill the selection-side counters from a selection result.
+    void countSelection(const FoldSelection& selection);
+    void publish(MetricRegistry& registry) const;
+};
 
 }  // namespace asbr

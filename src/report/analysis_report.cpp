@@ -29,7 +29,7 @@ bool knownLegalityName(const std::string& name) {
 bool knownLintKindName(const std::string& name) {
     for (const StaticLint::Kind k :
          {StaticLint::Kind::kUnreachableBlock, StaticLint::Kind::kDeadBranchArm,
-          StaticLint::Kind::kRefinementWin})
+          StaticLint::Kind::kRefinementWin, StaticLint::Kind::kUnboundedLoop})
         if (name == analysis::staticLintKindName(k)) return true;
     return false;
 }

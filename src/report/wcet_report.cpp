@@ -1,0 +1,410 @@
+#include "report/wcet_report.hpp"
+
+namespace asbr {
+
+namespace {
+
+using analysis::timing::BoundSource;
+
+bool knownBoundSourceName(const std::string& name) {
+    for (const BoundSource s :
+         {BoundSource::kAnnotation, BoundSource::kInferred,
+          BoundSource::kProfile, BoundSource::kNone})
+        if (name == analysis::timing::boundSourceName(s)) return true;
+    return false;
+}
+
+JsonValue boundJson(const analysis::timing::WcetResult& result) {
+    JsonObject b;
+    b.emplace_back("bounded", result.bounded);
+    b.emplace_back("cycles", result.cycles);
+    b.emplace_back("reason", result.reason);
+    return JsonValue(std::move(b));
+}
+
+}  // namespace
+
+JsonValue wcetReportJson(const WcetReportMeta& meta,
+                         const analysis::timing::WcetEngine& engine,
+                         const analysis::timing::WcetResult& baseline,
+                         const analysis::timing::WcetResult& folded,
+                         const std::set<std::uint32_t>& foldedPcs,
+                         std::uint64_t measuredBaselineCycles,
+                         std::uint64_t measuredFoldedCycles) {
+    JsonObject doc;
+    doc.emplace_back("schema", kWcetReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+
+    JsonObject m;
+    m.emplace_back("benchmark", meta.benchmark);
+    m.emplace_back("threshold", static_cast<std::uint64_t>(meta.threshold));
+    m.emplace_back("scheduled", meta.scheduled);
+    m.emplace_back("seed", meta.seed);
+    m.emplace_back("samples", meta.samples);
+    doc.emplace_back("meta", JsonValue(std::move(m)));
+
+    const analysis::timing::TimingCostModel& model = engine.model();
+    JsonObject cost;
+    cost.emplace_back("mul_stall", static_cast<std::uint64_t>(model.mulStall));
+    cost.emplace_back("div_stall", static_cast<std::uint64_t>(model.divStall));
+    cost.emplace_back("mispredict_penalty",
+                      static_cast<std::uint64_t>(model.mispredictPenalty));
+    cost.emplace_back("icache_miss_penalty",
+                      static_cast<std::uint64_t>(model.icacheMissPenalty));
+    cost.emplace_back("dcache_miss_penalty",
+                      static_cast<std::uint64_t>(model.dcacheMissPenalty));
+    cost.emplace_back("icache_line_bytes",
+                      static_cast<std::uint64_t>(model.icacheLineBytes));
+    cost.emplace_back("pipeline_fill_cycles",
+                      static_cast<std::uint64_t>(model.pipelineFillCycles));
+    doc.emplace_back("cost_model", JsonValue(std::move(cost)));
+
+    std::uint64_t annotated = 0, inferred = 0, profiled = 0, unbounded = 0;
+    JsonArray loops;
+    for (const analysis::timing::LoopRecord& loop : engine.loops()) {
+        switch (loop.bound.source) {
+            case BoundSource::kAnnotation: ++annotated; break;
+            case BoundSource::kInferred: ++inferred; break;
+            case BoundSource::kProfile: ++profiled; break;
+            case BoundSource::kNone: ++unbounded; break;
+        }
+        JsonObject l;
+        l.emplace_back("head_pc", static_cast<std::uint64_t>(loop.headPc));
+        l.emplace_back("line", loop.sourceLine);
+        l.emplace_back("depth", static_cast<std::uint64_t>(loop.depth));
+        l.emplace_back("bound", loop.bound.iterations);
+        l.emplace_back("source",
+                       analysis::timing::boundSourceName(loop.bound.source));
+        l.emplace_back("bounded", loop.bound.bounded());
+        loops.push_back(JsonValue(std::move(l)));
+    }
+
+    std::uint64_t foldedBranches = 0;
+    JsonArray branches;
+    for (const analysis::timing::BranchCostRecord& r : baseline.branches) {
+        const bool isFolded = foldedPcs.count(r.pc) != 0;
+        foldedBranches += isFolded ? 1 : 0;
+        JsonObject b;
+        b.emplace_back("pc", static_cast<std::uint64_t>(r.pc));
+        b.emplace_back("line", r.sourceLine);
+        b.emplace_back("exec_bound", r.execBound);
+        b.emplace_back("unit_cost", r.unitCost);
+        b.emplace_back("total_cost", r.totalCost);
+        b.emplace_back("folded", isFolded);
+        branches.push_back(JsonValue(std::move(b)));
+    }
+
+    JsonObject bounds;
+    bounds.emplace_back("baseline", boundJson(baseline));
+    bounds.emplace_back("folded", boundJson(folded));
+    doc.emplace_back("bounds", JsonValue(std::move(bounds)));
+
+    JsonObject measured;
+    measured.emplace_back("baseline_cycles", measuredBaselineCycles);
+    measured.emplace_back("folded_cycles", measuredFoldedCycles);
+    doc.emplace_back("measured", JsonValue(std::move(measured)));
+
+    JsonObject soundness;
+    soundness.emplace_back(
+        "baseline_sound",
+        baseline.bounded && baseline.cycles >= measuredBaselineCycles);
+    soundness.emplace_back(
+        "folded_sound", folded.bounded && folded.cycles >= measuredFoldedCycles);
+    soundness.emplace_back("folded_tighter",
+                           baseline.bounded && folded.bounded &&
+                               folded.cycles < baseline.cycles);
+    doc.emplace_back("soundness", JsonValue(std::move(soundness)));
+
+    JsonObject summary;
+    summary.emplace_back("loops", static_cast<std::uint64_t>(loops.size()));
+    summary.emplace_back("loops_annotated", annotated);
+    summary.emplace_back("loops_inferred", inferred);
+    summary.emplace_back("loops_profiled", profiled);
+    summary.emplace_back("loops_unbounded", unbounded);
+    summary.emplace_back("branches",
+                         static_cast<std::uint64_t>(branches.size()));
+    summary.emplace_back("folded_branches", foldedBranches);
+    doc.emplace_back("summary", JsonValue(std::move(summary)));
+
+    doc.emplace_back("loops", JsonValue(std::move(loops)));
+    doc.emplace_back("branches", JsonValue(std::move(branches)));
+    return JsonValue(std::move(doc));
+}
+
+ReportValidation validateWcetReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("wcet_report: not a JSON object");
+        return out;
+    }
+    const auto member = [&](const JsonValue& obj, const char* key,
+                            const char* context) -> const JsonValue* {
+        const JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    };
+
+    if (const JsonValue* schema = member(doc, "schema", "wcet_report"))
+        if (!schema->isString() || schema->asString() != kWcetReportSchema)
+            fail(std::string("wcet_report: schema is not '") +
+                 kWcetReportSchema + "'");
+    if (const JsonValue* version = member(doc, "version", "wcet_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            fail("wcet_report: unsupported schema version");
+
+    if (const JsonValue* meta = member(doc, "meta", "wcet_report")) {
+        if (!meta->isObject()) {
+            fail("wcet_report: meta is not an object");
+        } else {
+            const JsonValue* bench = meta->find("benchmark");
+            if (bench == nullptr || !bench->isString())
+                fail("wcet_report: meta.benchmark missing or not a string");
+            const JsonValue* threshold = meta->find("threshold");
+            if (threshold == nullptr || !threshold->isNumber() ||
+                threshold->asUint() < 2 || threshold->asUint() > 4)
+                fail("wcet_report: meta.threshold missing or not 2..4");
+            const JsonValue* scheduled = meta->find("scheduled");
+            if (scheduled == nullptr || !scheduled->isBool())
+                fail("wcet_report: meta.scheduled missing or not a bool");
+            for (const char* key : {"seed", "samples"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("wcet_report: meta.") + key +
+                         " missing or not a number");
+            }
+        }
+    }
+
+    if (const JsonValue* cost = member(doc, "cost_model", "wcet_report")) {
+        if (!cost->isObject()) {
+            fail("wcet_report: cost_model is not an object");
+        } else {
+            for (const char* key :
+                 {"mul_stall", "div_stall", "mispredict_penalty",
+                  "icache_miss_penalty", "dcache_miss_penalty",
+                  "icache_line_bytes", "pipeline_fill_cycles"}) {
+                const JsonValue* v = cost->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("wcet_report: cost_model.") + key +
+                         " missing or not a number");
+            }
+        }
+    }
+
+    std::uint64_t baselineBounded = 0, foldedBounded = 0;
+    std::uint64_t baselineCycles = 0, foldedCycles = 0;
+    if (const JsonValue* bounds = member(doc, "bounds", "wcet_report")) {
+        if (!bounds->isObject()) {
+            fail("wcet_report: bounds is not an object");
+        } else {
+            for (const char* which : {"baseline", "folded"}) {
+                const JsonValue* b = bounds->find(which);
+                if (b == nullptr || !b->isObject()) {
+                    fail(std::string("wcet_report: bounds.") + which +
+                         " missing or not an object");
+                    continue;
+                }
+                const JsonValue* bounded = b->find("bounded");
+                if (bounded == nullptr || !bounded->isBool())
+                    fail(std::string("wcet_report: bounds.") + which +
+                         ".bounded missing or not a bool");
+                const JsonValue* cycles = b->find("cycles");
+                if (cycles == nullptr || !cycles->isNumber())
+                    fail(std::string("wcet_report: bounds.") + which +
+                         ".cycles missing or not a number");
+                const JsonValue* reason = b->find("reason");
+                if (reason == nullptr || !reason->isString())
+                    fail(std::string("wcet_report: bounds.") + which +
+                         ".reason missing or not a string");
+                if (bounded != nullptr && bounded->isBool() &&
+                    cycles != nullptr && cycles->isNumber()) {
+                    if (std::string(which) == "baseline") {
+                        baselineBounded = bounded->asBool() ? 1 : 0;
+                        baselineCycles = cycles->asUint();
+                    } else {
+                        foldedBounded = bounded->asBool() ? 1 : 0;
+                        foldedCycles = cycles->asUint();
+                    }
+                }
+            }
+        }
+    }
+
+    std::uint64_t measuredBaseline = 0, measuredFolded = 0;
+    bool haveMeasured = false;
+    if (const JsonValue* measured = member(doc, "measured", "wcet_report")) {
+        if (!measured->isObject()) {
+            fail("wcet_report: measured is not an object");
+        } else {
+            const JsonValue* b = measured->find("baseline_cycles");
+            const JsonValue* f = measured->find("folded_cycles");
+            if (b == nullptr || !b->isNumber())
+                fail("wcet_report: measured.baseline_cycles missing or not a "
+                     "number");
+            if (f == nullptr || !f->isNumber())
+                fail("wcet_report: measured.folded_cycles missing or not a "
+                     "number");
+            if (b != nullptr && b->isNumber() && f != nullptr &&
+                f->isNumber()) {
+                measuredBaseline = b->asUint();
+                measuredFolded = f->asUint();
+                haveMeasured = true;
+            }
+        }
+    }
+
+    if (const JsonValue* sound = member(doc, "soundness", "wcet_report")) {
+        if (!sound->isObject()) {
+            fail("wcet_report: soundness is not an object");
+        } else {
+            for (const char* key :
+                 {"baseline_sound", "folded_sound", "folded_tighter"}) {
+                const JsonValue* v = sound->find(key);
+                if (v == nullptr || !v->isBool())
+                    fail(std::string("wcet_report: soundness.") + key +
+                         " missing or not a bool");
+            }
+            // Cross-field consistency: the booleans must restate the numbers.
+            if (haveMeasured) {
+                const JsonValue* bs = sound->find("baseline_sound");
+                if (bs != nullptr && bs->isBool() &&
+                    bs->asBool() != (baselineBounded != 0 &&
+                                     baselineCycles >= measuredBaseline))
+                    fail("wcet_report: soundness.baseline_sound contradicts "
+                         "bounds/measured");
+                const JsonValue* fs = sound->find("folded_sound");
+                if (fs != nullptr && fs->isBool() &&
+                    fs->asBool() != (foldedBounded != 0 &&
+                                     foldedCycles >= measuredFolded))
+                    fail("wcet_report: soundness.folded_sound contradicts "
+                         "bounds/measured");
+                const JsonValue* ft = sound->find("folded_tighter");
+                if (ft != nullptr && ft->isBool() &&
+                    ft->asBool() != (baselineBounded != 0 &&
+                                     foldedBounded != 0 &&
+                                     foldedCycles < baselineCycles))
+                    fail("wcet_report: soundness.folded_tighter contradicts "
+                         "the bounds");
+            }
+        }
+    }
+
+    std::size_t loopCount = 0;
+    std::uint64_t unbounded = 0;
+    if (const JsonValue* loops = member(doc, "loops", "wcet_report")) {
+        if (!loops->isArray()) {
+            fail("wcet_report: loops is not an array");
+        } else {
+            loopCount = loops->asArray().size();
+            std::size_t index = 0;
+            for (const JsonValue& record : loops->asArray()) {
+                const std::string context =
+                    "wcet_report: loops[" + std::to_string(index) + "]";
+                ++index;
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    continue;
+                }
+                for (const char* key : {"head_pc", "line", "depth", "bound"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* source = record.find("source");
+                if (source == nullptr || !source->isString() ||
+                    !knownBoundSourceName(source->asString()))
+                    fail(context + ".source missing or not a known label");
+                const JsonValue* bounded = record.find("bounded");
+                if (bounded == nullptr || !bounded->isBool())
+                    fail(context + ".bounded missing or not a bool");
+                else if (!bounded->asBool())
+                    ++unbounded;
+            }
+        }
+    }
+
+    std::size_t branchCount = 0;
+    std::uint64_t foldedBranches = 0;
+    if (const JsonValue* branches = member(doc, "branches", "wcet_report")) {
+        if (!branches->isArray()) {
+            fail("wcet_report: branches is not an array");
+        } else {
+            branchCount = branches->asArray().size();
+            std::size_t index = 0;
+            std::uint64_t prevCost = 0;
+            for (const JsonValue& record : branches->asArray()) {
+                const std::string context =
+                    "wcet_report: branches[" + std::to_string(index) + "]";
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    ++index;
+                    continue;
+                }
+                for (const char* key :
+                     {"pc", "line", "exec_bound", "unit_cost", "total_cost"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* folded = record.find("folded");
+                if (folded == nullptr || !folded->isBool())
+                    fail(context + ".folded missing or not a bool");
+                else if (folded->asBool())
+                    ++foldedBranches;
+                // The ranking invariant: total_cost is non-increasing.
+                const JsonValue* cost = record.find("total_cost");
+                if (cost != nullptr && cost->isNumber()) {
+                    if (index > 0 && cost->asUint() > prevCost)
+                        fail(context +
+                             ".total_cost breaks the descending ranking");
+                    prevCost = cost->asUint();
+                }
+                ++index;
+            }
+        }
+    }
+
+    if (const JsonValue* summary = member(doc, "summary", "wcet_report")) {
+        if (!summary->isObject()) {
+            fail("wcet_report: summary is not an object");
+        } else {
+            for (const char* key :
+                 {"loops", "loops_annotated", "loops_inferred",
+                  "loops_profiled", "loops_unbounded", "branches",
+                  "folded_branches"}) {
+                const JsonValue* v = summary->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("wcet_report: summary.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* loops = summary->find("loops");
+            if (loops != nullptr && loops->isNumber() &&
+                loops->asUint() != loopCount)
+                fail("wcet_report: summary.loops does not match the loops "
+                     "array");
+            const JsonValue* unboundedJson = summary->find("loops_unbounded");
+            if (unboundedJson != nullptr && unboundedJson->isNumber() &&
+                unboundedJson->asUint() != unbounded)
+                fail("wcet_report: summary.loops_unbounded does not match the "
+                     "loops array");
+            const JsonValue* branches = summary->find("branches");
+            if (branches != nullptr && branches->isNumber() &&
+                branches->asUint() != branchCount)
+                fail("wcet_report: summary.branches does not match the "
+                     "branches array");
+            const JsonValue* folded = summary->find("folded_branches");
+            if (folded != nullptr && folded->isNumber() &&
+                folded->asUint() != foldedBranches)
+                fail("wcet_report: summary.folded_branches does not match the "
+                     "branches array");
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

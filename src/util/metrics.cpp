@@ -37,20 +37,15 @@ std::uint64_t SiteTable::at(std::uint32_t site) const {
 
 void MetricRegistry::claimName(std::string_view name, Entry::Kind kind,
                                std::string_view help) {
-    const auto it = meta_.find(name);
-    if (it == meta_.end()) {
-        meta_.emplace(std::string(name),
-                      std::make_pair(kind, std::string(help)));
-        return;
-    }
-    ASBR_ENSURE(it->second.first == kind,
-                "metric re-registered with a different kind");
+    ASBR_ENSURE(meta_.find(name) == meta_.end(),
+                "metric '" + std::string(name) +
+                    "' registered twice — every publisher owns its names "
+                    "outright and publishes into a registry exactly once");
+    meta_.emplace(std::string(name), std::make_pair(kind, std::string(help)));
 }
 
 Counter& MetricRegistry::counter(std::string_view name, std::string_view help) {
     claimName(name, Entry::Kind::kCounter, help);
-    const auto it = counters_.find(name);
-    if (it != counters_.end()) return it->second;
     return counters_.emplace(std::string(name), Counter{}).first->second;
 }
 
@@ -58,16 +53,12 @@ Histogram& MetricRegistry::histogram(std::string_view name,
                                      std::string_view help,
                                      std::vector<double> bounds) {
     claimName(name, Entry::Kind::kHistogram, help);
-    const auto it = histograms_.find(name);
-    if (it != histograms_.end()) return it->second;
     return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
         .first->second;
 }
 
 SiteTable& MetricRegistry::sites(std::string_view name, std::string_view help) {
     claimName(name, Entry::Kind::kSites, help);
-    const auto it = siteTables_.find(name);
-    if (it != siteTables_.end()) return it->second;
     return siteTables_.emplace(std::string(name), SiteTable{}).first->second;
 }
 

@@ -12,8 +12,9 @@
 // (PipelineStats, AsbrStats, CacheStats) and publish them into a registry
 // after a run; the registry is therefore the canonical catalogue of metric
 // *names* — docs/metrics.md is checked against it in CI — and the input to
-// the SimReport JSON export.  Registration is idempotent: looking up an
-// existing name returns the existing metric.
+// the SimReport JSON export.  Every name may be registered exactly once: a
+// duplicate registration throws EnsureError, so two components can never
+// silently share (and double-count into) the same metric.
 #pragma once
 
 #include <cstdint>
@@ -80,8 +81,9 @@ private:
 };
 
 /// The registry.  Names are dotted lowercase paths ("pipeline.cycles",
-/// "asbr.folds"); the first registration of a name fixes its kind and help
-/// text, later registrations return the same metric (kind mismatches throw).
+/// "asbr.folds"); each name may be registered exactly once — registering a
+/// name that already exists throws EnsureError regardless of kind, so every
+/// publisher owns its names outright.
 class MetricRegistry {
 public:
     Counter& counter(std::string_view name, std::string_view help);

@@ -1,0 +1,19 @@
+# Unbounded-loop fixture: the trip counter round-trips through memory every
+# iteration, so neither a .loopbound annotation nor the interval inference
+# can bound the loop.  Plain `asbr-verify` must still exit 0 (the branch
+# itself is fold-legal: its producer is threshold instructions ahead), but
+# `asbr-verify --strict` must fail on the unbounded-loop lint.
+        .text
+main:   li   t0, 5
+        sw   t0, count
+loop:   lw   s0, count
+        addiu s0, s0, -1
+        sw   s0, count
+        nop
+        nop
+        bnez s0, loop
+        li   v0, 1
+        li   a0, 0
+        sys
+        .data
+count:  .word 0

@@ -31,13 +31,14 @@ TEST(MetricRegistryTest, CounterIsMonotonic) {
     EXPECT_THROW(c.set(9), EnsureError);
 }
 
-TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+TEST(MetricRegistryTest, DuplicateRegistrationThrows) {
     MetricRegistry registry;
     Counter& a = registry.counter("pipeline.cycles", "total cycles");
     a.add(7);
-    Counter& b = registry.counter("pipeline.cycles", "ignored on re-register");
-    EXPECT_EQ(&a, &b);
-    EXPECT_EQ(b.value(), 7u);
+    EXPECT_THROW(registry.counter("pipeline.cycles", "second claim"),
+                 EnsureError);
+    // The failed re-registration left the original metric untouched.
+    EXPECT_EQ(a.value(), 7u);
     EXPECT_TRUE(registry.contains("pipeline.cycles"));
     EXPECT_FALSE(registry.contains("pipeline.nope"));
 }

@@ -15,6 +15,7 @@
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
 #include "mem/memory.hpp"
+#include "program_gen.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
 #include "util/rng.hpp"
@@ -23,103 +24,6 @@
 
 namespace asbr {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Random structured program generator: nested counted loops with random
-// arithmetic, loads/stores into a scratch array, and data-dependent if-blocks.
-// Programs always terminate and print a checksum.
-// ---------------------------------------------------------------------------
-class ProgramGen {
-public:
-    explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
-
-    std::string generate() {
-        src_ = "main:   li   s7, 0\n";  // checksum
-        emitLoop(0);
-        src_ += "        move a0, s7\n        li v0, 3\n        sys\n";
-        src_ += "        li a0, 0\n        li v0, 1\n        sys\n";
-        src_ += "        .data\nscratch: .space 64\n";
-        return src_;
-    }
-
-private:
-    void emitRandomOp(int depth) {
-        const int t = static_cast<int>(rng_.below(5));
-        const int rd = static_cast<int>(rng_.below(4));
-        const int rs = static_cast<int>(rng_.below(4));
-        switch (t) {
-            case 0:
-                src_ += "        addiu t" + std::to_string(rd) + ", t" +
-                        std::to_string(rs) + ", " +
-                        std::to_string(rng_.range(-20, 20)) + "\n";
-                break;
-            case 1:
-                src_ += "        xor  t" + std::to_string(rd) + ", t" +
-                        std::to_string(rd) + ", t" + std::to_string(rs) + "\n";
-                break;
-            case 2:
-                src_ += "        sw   t" + std::to_string(rd) + ", scratch+" +
-                        std::to_string(4 * rng_.below(16)) + "\n";
-                break;
-            case 3:
-                src_ += "        lw   t" + std::to_string(rd) + ", scratch+" +
-                        std::to_string(4 * rng_.below(16)) + "\n";
-                break;
-            default:
-                src_ += "        sll  t" + std::to_string(rd) + ", t" +
-                        std::to_string(rs) + ", " +
-                        std::to_string(rng_.below(4)) + "\n";
-                break;
-        }
-        (void)depth;
-    }
-
-    void emitIf(int depth) {
-        const int id = labels_++;
-        const char* reg = rng_.chance(0.5) ? "t0" : "t1";
-        const char* cond = rng_.chance(0.5) ? "bltz" : "bnez";
-        src_ += std::string("        ") + cond + " " + reg + ", Ltrue" +
-                std::to_string(id) + "\n";
-        for (int i = 0; i < 1 + static_cast<int>(rng_.below(3)); ++i)
-            emitRandomOp(depth);
-        src_ += "        j Lend" + std::to_string(id) + "\n";
-        src_ += "Ltrue" + std::to_string(id) + ":\n";
-        for (int i = 0; i < 1 + static_cast<int>(rng_.below(3)); ++i)
-            emitRandomOp(depth);
-        src_ += "Lend" + std::to_string(id) + ":\n";
-    }
-
-    void emitLoop(int depth) {
-        const int id = labels_++;
-        const int counterReg = depth;  // s0, s1, s2 nesting
-        const int iterations = 3 + static_cast<int>(rng_.below(12));
-        src_ += "        li   s" + std::to_string(counterReg) + ", " +
-                std::to_string(iterations) + "\n";
-        src_ += "Loop" + std::to_string(id) + ":\n";
-        const int bodyLen = 2 + static_cast<int>(rng_.below(5));
-        for (int i = 0; i < bodyLen; ++i) {
-            if (depth < 2 && rng_.chance(0.25)) {
-                emitLoop(depth + 1);
-            } else if (rng_.chance(0.3)) {
-                emitIf(depth);
-            } else {
-                emitRandomOp(depth);
-            }
-        }
-        src_ += "        addu s7, s7, t0\n";
-        src_ += "        addiu s" + std::to_string(counterReg) + ", s" +
-                std::to_string(counterReg) + ", -1\n";
-        // A couple of independent instructions so the back edge is sometimes
-        // foldable.
-        src_ += "        addiu t2, t2, 1\n        addiu t3, t3, 3\n";
-        src_ += "        bnez s" + std::to_string(counterReg) + ", Loop" +
-                std::to_string(id) + "\n";
-    }
-
-    Xorshift64 rng_;
-    std::string src_;
-    int labels_ = 0;
-};
 
 struct RunResult {
     std::string output;

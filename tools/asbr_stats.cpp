@@ -20,9 +20,11 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
 #include "report/fault_report.hpp"
 #include "report/sweep_report.hpp"
+#include "report/wcet_report.hpp"
 #include "util/trace.hpp"
 
 using namespace asbr;
@@ -80,6 +82,8 @@ int cmdCounters() {
     makeBimodal2048()->publishMetrics(registry);
     AsbrUnit().publishMetrics(registry);
     driver::SimEngine().publishMetrics(registry);
+    analysis::timing::WcetMetrics{}.publish(registry);
+    StaticCostSelectionMetrics{}.publish(registry);
     for (const auto& entry : registry.catalogue()) {
         const char* kind = "counter";
         if (entry.kind == MetricRegistry::Entry::Kind::kHistogram)
@@ -307,6 +311,8 @@ int cmdValidate(const char* path) {
         validation = validateAnalysisReportJson(*parsed.value);
     } else if (schema->asString() == kSweepReportSchema) {
         validation = validateSweepReportJson(*parsed.value);
+    } else if (schema->asString() == kWcetReportSchema) {
+        validation = validateWcetReportJson(*parsed.value);
     } else {
         std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
                      schema->asString().c_str());

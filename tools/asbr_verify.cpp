@@ -20,16 +20,23 @@
 #include <sstream>
 #include <string>
 
+#include <thread>
+
 #include "analysis/dot.hpp"
+#include "analysis/timing/wcet.hpp"
 #include "analysis/verify.hpp"
+#include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "cc/compile.hpp"
 #include "cc/schedule.hpp"
+#include "driver/artifacts.hpp"
+#include "driver/names.hpp"
 #include "mem/memory.hpp"
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
+#include "report/wcet_report.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -40,6 +47,7 @@ using namespace asbr;
     std::fputs(
         "usage: asbr-verify <file.c|file.s> [options]\n"
         "       asbr-verify analyze <file.c|file.s> | --bench=B [options]\n"
+        "       asbr-verify wcet <file.c|file.s> | --bench=B [options]\n"
         "  --threshold=2|3|4   fold-distance threshold (default 3)\n"
         "  --bit=N             BIT ways per set (default 16)\n"
         "  --sets=N            BIT sets (default 1 = fully associative)\n"
@@ -55,7 +63,15 @@ using namespace asbr;
         "  --quiet             summary only, no per-branch table\n"
         "analyze options:\n"
         "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
-        "  --out=FILE          asbr.analysis_report destination (default -)\n",
+        "  --out=FILE          asbr.analysis_report destination (default -)\n"
+        "wcet options:\n"
+        "  --bench=B           workload token (same set as analyze)\n"
+        "  --out=FILE          asbr.wcet_report destination (default -)\n"
+        "  --seed=N            workload input seed (default 2001)\n"
+        "  --samples=N         workload input samples (0 = capacity)\n"
+        "  --threads=N         run the two measured pipeline runs in\n"
+        "                      parallel (the report is byte-identical at any\n"
+        "                      N; default 1)\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -256,6 +272,279 @@ int cmdAnalyze(int argc, char** argv) {
     }
 }
 
+/// `asbr-verify wcet`: static cycle bound vs measured pipeline cycles.
+///
+/// Computes the structured-IPET WCET twice — once with no folds (baseline)
+/// and once with the cost-aware static-cost selection folded — runs the
+/// pipeline under the same two configurations, and emits the schema-
+/// versioned asbr.wcet_report.  Exits nonzero when either bound is missing
+/// or below its measured run (an unsound cost model is a bug, not a
+/// warning).
+int cmdWcet(int argc, char** argv) {
+    std::string path;
+    std::string benchToken;
+    std::string outPath = "-";
+    std::uint32_t threshold = 3;
+    std::uint64_t seed = 2001;
+    std::size_t samples = 0;
+    std::size_t threads = 1;
+    bool schedule = true;
+    bool strict = false;
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--bench=", 0) == 0)
+            benchToken = arg.substr(8);
+        else if (arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+        else if (arg.rfind("--threshold=", 0) == 0)
+            threshold =
+                static_cast<std::uint32_t>(parseCount(arg, arg.substr(12)));
+        else if (arg.rfind("--seed=", 0) == 0)
+            seed = parseCount(arg, arg.substr(7));
+        else if (arg.rfind("--samples=", 0) == 0)
+            samples = parseCount(arg, arg.substr(10));
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads = parseCount(arg, arg.substr(10));
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--strict") strict = true;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") usage(0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asbr-verify wcet: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "asbr-verify wcet: extra argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (path.empty() == benchToken.empty()) {
+        std::fprintf(stderr,
+                     "asbr-verify wcet: need exactly one of <file> or "
+                     "--bench=B\n");
+        return 2;
+    }
+    if (threshold < 2 || threshold > 4) {
+        std::fprintf(stderr, "asbr-verify wcet: threshold must be 2, 3 or 4\n");
+        return 2;
+    }
+
+    Program program;
+    std::optional<driver::Prepared> prepared;
+    WcetReportMeta meta;
+    meta.threshold = threshold;
+    meta.scheduled = schedule;
+    meta.seed = seed;
+    if (!benchToken.empty()) {
+        const auto id = benchFromName(benchToken);
+        if (!id) {
+            std::fprintf(stderr, "asbr-verify wcet: unknown bench '%s'\n",
+                         benchToken.c_str());
+            return 2;
+        }
+        const std::size_t resolved =
+            samples == 0 ? benchMaxSamples(*id)
+                         : std::min(samples, benchMaxSamples(*id));
+        prepared = driver::prepare(*id, schedule, seed, resolved);
+        program = prepared->program;
+        meta.benchmark = benchToken;
+        meta.samples = resolved;
+    } else {
+        program = loadProgram(path, schedule);
+        const std::size_t slash = path.find_last_of('/');
+        meta.benchmark = slash == std::string::npos ? path
+                                                    : path.substr(slash + 1);
+        meta.samples = 0;
+    }
+
+    try {
+        analysis::VerifyConfig config;
+        config.threshold = threshold;
+        const analysis::FoldLegalityVerifier verifier(program);
+
+        const PipelineConfig pipeConfig;
+        analysis::timing::WcetEngine engine(
+            verifier.cfg(), verifier.values(),
+            analysis::timing::TimingCostModel::fromPipeline(pipeConfig));
+
+        // Loops neither annotation nor inference could bound fall back to a
+        // measured per-entry maximum (flagged `profile` in the report).
+        {
+            Memory observeMemory;
+            if (prepared) {
+                observeMemory = driver::makeMemory(*prepared);
+            } else {
+                observeMemory.loadProgram(program);
+            }
+            engine.applyObservedBounds(analysis::timing::observeLoopBounds(
+                program, observeMemory, engine.loops()));
+        }
+
+        const analysis::timing::WcetResult baseline = engine.compute({});
+
+        // Cost-aware selection from the baseline ranking; the fold set of
+        // the folded bound is exactly what the measured folded run loads.
+        SelectionConfig selCfg;
+        selCfg.threshold = threshold;
+        const FoldSelection selection =
+            selectBranchesByStaticCost(program, baseline.branches, selCfg);
+        std::set<std::uint32_t> foldedPcs;
+        for (const StaticFoldCandidate& s : selection.statics)
+            foldedPcs.insert(s.pc);
+        for (const Candidate& c : selection.dynamic) foldedPcs.insert(c.pc);
+
+        const analysis::timing::WcetResult folded = engine.compute(foldedPcs);
+
+        // Publish the run's counters through the metric registry — the same
+        // duplicate-rejecting namespace `asbr-stats counters` catalogues.
+        MetricRegistry metrics;
+        analysis::timing::WcetMetrics wcetMetrics;
+        wcetMetrics.countLoops(engine.loops());
+        wcetMetrics.boundBaselineCycles = baseline.bounded ? baseline.cycles : 0;
+        wcetMetrics.boundFoldedCycles = folded.bounded ? folded.cycles : 0;
+        wcetMetrics.publish(metrics);
+        StaticCostSelectionMetrics selectionMetrics;
+        selectionMetrics.candidates = baseline.branches.size();
+        selectionMetrics.countSelection(selection);
+        selectionMetrics.publish(metrics);
+
+        const auto makeUnit = [&] {
+            AsbrConfig unitConfig;
+            unitConfig.updateStage = threshold == 2   ? ValueStage::kExEnd
+                                     : threshold == 3 ? ValueStage::kMemEnd
+                                                      : ValueStage::kCommit;
+            auto unit = std::make_unique<AsbrUnit>(unitConfig);
+            std::vector<std::uint32_t> pcs;
+            for (const Candidate& c : selection.dynamic) pcs.push_back(c.pc);
+            unit->loadBank(0, extractBranchInfos(program, pcs));
+            std::vector<StaticFoldEntry> statics;
+            for (const StaticFoldCandidate& s : selection.statics)
+                statics.push_back(extractStaticFold(program, s.pc, s.taken));
+            unit->loadStaticFolds(std::move(statics),
+                                  selection.bitSlotsReclaimed);
+            return unit;
+        };
+
+        // The two measured runs are independent; --threads=2 overlaps them.
+        // Either way each run builds its own memory/predictor/unit, so the
+        // cycle counts (and therefore the report) never depend on N.
+        const auto measure = [&](AsbrUnit* unit) -> std::uint64_t {
+            const auto predictor = driver::makePredictorByToken("bimodal");
+            if (prepared)
+                return driver::runPipeline(*prepared, *predictor, unit,
+                                           pipeConfig)
+                    .stats.cycles;
+            Memory memory;
+            memory.loadProgram(program);
+            predictor->reset();
+            PipelineSim sim(program, memory, *predictor, pipeConfig, unit);
+            const PipelineResult result = sim.run();
+            ASBR_ENSURE(result.exited && result.exitCode == 0,
+                        "program did not exit cleanly");
+            return result.stats.cycles;
+        };
+        std::uint64_t measuredBaseline = 0;
+        std::uint64_t measuredFolded = 0;
+        if (threads > 1) {
+            std::thread baselineThread(
+                [&] { measuredBaseline = measure(nullptr); });
+            const auto unit = makeUnit();
+            measuredFolded = measure(unit.get());
+            baselineThread.join();
+        } else {
+            measuredBaseline = measure(nullptr);
+            const auto unit = makeUnit();
+            measuredFolded = measure(unit.get());
+        }
+
+        const JsonValue doc =
+            wcetReportJson(meta, engine, baseline, folded, foldedPcs,
+                           measuredBaseline, measuredFolded);
+        const std::string text = doc.dump(2) + "\n";
+        const ReportValidation validation = validateWcetReportJson(doc);
+        for (const std::string& error : validation.errors)
+            std::fprintf(stderr, "schema error: %s\n", error.c_str());
+        if (!validation.ok()) return 1;
+
+        if (outPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(outPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "asbr-verify wcet: cannot open '%s' for "
+                             "writing\n",
+                             outPath.c_str());
+                return 1;
+            }
+            out << text;
+            std::fprintf(stderr, "wrote wcet report to %s\n", outPath.c_str());
+        }
+
+        std::size_t unbounded = 0;
+        for (const auto& loop : engine.loops())
+            if (!loop.bound.bounded()) ++unbounded;
+        if (!quiet)
+            std::fprintf(stderr,
+                         "asbr-verify wcet: baseline bound %llu (measured "
+                         "%llu), folded bound %llu (measured %llu), %zu "
+                         "loops (%zu unbounded), %zu branches folded\n",
+                         static_cast<unsigned long long>(baseline.cycles),
+                         static_cast<unsigned long long>(measuredBaseline),
+                         static_cast<unsigned long long>(folded.cycles),
+                         static_cast<unsigned long long>(measuredFolded),
+                         engine.loops().size(), unbounded, foldedPcs.size());
+        if (!quiet)
+            for (const auto& [name, counter] : metrics.counters())
+                std::fprintf(stderr, "  %s = %llu\n", name.c_str(),
+                             static_cast<unsigned long long>(counter.value()));
+
+        const std::size_t errorLints = printLints(verifier, config, quiet);
+
+        int exitCode = 0;
+        if (!baseline.bounded) {
+            std::fprintf(stderr, "asbr-verify wcet: no baseline bound: %s\n",
+                         baseline.reason.c_str());
+            exitCode = 1;
+        } else if (baseline.cycles < measuredBaseline) {
+            std::fprintf(stderr,
+                         "asbr-verify wcet: UNSOUND baseline bound (%llu < "
+                         "measured %llu)\n",
+                         static_cast<unsigned long long>(baseline.cycles),
+                         static_cast<unsigned long long>(measuredBaseline));
+            exitCode = 1;
+        }
+        if (!folded.bounded) {
+            std::fprintf(stderr, "asbr-verify wcet: no folded bound: %s\n",
+                         folded.reason.c_str());
+            exitCode = 1;
+        } else if (folded.cycles < measuredFolded) {
+            std::fprintf(stderr,
+                         "asbr-verify wcet: UNSOUND folded bound (%llu < "
+                         "measured %llu)\n",
+                         static_cast<unsigned long long>(folded.cycles),
+                         static_cast<unsigned long long>(measuredFolded));
+            exitCode = 1;
+        }
+        if (strict && errorLints != 0) {
+            std::fprintf(stderr,
+                         "asbr-verify wcet: %zu lint error(s) under "
+                         "--strict\n",
+                         errorLints);
+            exitCode = 1;
+        }
+        return exitCode;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-verify: %s\n", e.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +554,7 @@ int main(int argc, char** argv) {
     if (argc < 2) usage(2);
     if (std::string(argv[1]) == "analyze")
         return cmdAnalyze(argc - 2, argv + 2);
+    if (std::string(argv[1]) == "wcet") return cmdWcet(argc - 2, argv + 2);
     const std::string path = argv[1];
 
     std::uint32_t threshold = 3;
