@@ -65,6 +65,67 @@ for bench in adpcm-enc adpcm-dec g721-enc g721-dec g711-enc g711-dec; do
     echo "ci/bench-report.sh: $bench bounds sound, folded strictly tighter"
 done
 
+# ------------------------------------------------- sampled simulation ----
+# Every workload's sampled CPI estimate must land within its documented
+# error bound (the report's within_bound flag is integer-derived, so grep is
+# exact), and the simulator itself must not regress below a conservative
+# host-speed floor (MIPS_FLOOR, default 2 million instr/s — full runs
+# measure ~13-17 MIPS and sampled runs ~40-90 MIPS on a developer machine,
+# see docs/simulation.md).
+MIPS_FLOOR=${MIPS_FLOOR:-2}
+
+# SIM_SPEED_TABLE=1 regenerates the EXPERIMENTS.md "Simulator throughput"
+# tables: full-size runs of every workload in full and sampled mode, with
+# the achieved sampling error pulled from the --sample-ref report.  Off by
+# default — it adds several full cycle-accurate G.721 runs to a CI pass.
+if [[ "${SIM_SPEED_TABLE:-0}" == "1" ]]; then
+    geometry=2000:10000:200000
+    for mode in baseline asbr; do
+        [[ $mode == asbr ]] && flag=--asbr || flag=
+        echo "| workload | decode-cached full | sampled | sampled CPI err |"
+        echo "|---|---|---|---|"
+        for bench in adpcm-enc adpcm-dec g721-enc g721-dec g711-enc g711-dec; do
+            full_mips=$("$STATS" run --bench="$bench" $flag 2>&1 >/dev/null \
+                | sed -n 's/^sim speed: \([0-9.]*\) MIPS.*/\1/p')
+            # Speed and error come from separate runs: --sample-ref adds a
+            # full cycle-accurate reference to the timed work, which would
+            # drag the sampled MIPS column toward the full-run speed.
+            samp_mips=$("$STATS" run --bench="$bench" $flag \
+                    --sample="$geometry" 2>&1 >/dev/null \
+                | sed -n 's/^sim speed: \([0-9.]*\) MIPS.*/\1/p')
+            report="$tmpdir/speed_$bench.json"
+            "$STATS" run --bench="$bench" $flag --sample="$geometry" \
+                --sample-ref --json="$report" >/dev/null 2>&1
+            err=$(grep -o '"abs_error_micro": [0-9]*' "$report" | grep -o '[0-9]*$')
+            # Second cpi_micro in the report is the full-run reference.
+            cpi=$(grep -o '"cpi_micro": [0-9]*' "$report" | grep -o '[0-9]*$' | tail -1)
+            err_pct=$(awk "BEGIN{printf \"%.2f\", 100*$err/$cpi}")
+            echo "| $bench ($mode) | $full_mips MIPS | $samp_mips MIPS | ${err_pct}% |"
+        done
+        echo
+    done
+fi
+
+for bench in adpcm-enc adpcm-dec g721-enc g721-dec g711-enc g711-dec; do
+    report="$tmpdir/sampling_$bench.json"
+    if ! "$STATS" run --bench="$bench" --quick --asbr \
+            --sample=2000:10000:100000 --sample-ref \
+            --min-mips="$MIPS_FLOOR" --json="$report" \
+            > "$tmpdir/sampling_log" 2>&1; then
+        echo "FAIL: sampled run for $bench failed (or sim speed below" \
+             "${MIPS_FLOOR} MIPS):" >&2
+        tail -5 "$tmpdir/sampling_log" >&2
+        exit 1
+    fi
+    "$STATS" validate "$report" > /dev/null
+    if ! grep -q '"within_bound": true' "$report"; then
+        echo "FAIL: $bench sampled CPI estimate outside its error bound" >&2
+        grep -A5 '"reference"' "$report" >&2
+        exit 1
+    fi
+    echo "ci/bench-report.sh: $bench sampled CPI within bound, >=${MIPS_FLOOR} MIPS"
+done
+
 "$SWEEP" "${SWEEP_ARGS[@]}" --json="$tmpdir/sweep_serial.json" > /dev/null
 "$SWEEP" "${SWEEP_ARGS[@]}" --threads="$THREADS" \
     --json="$tmpdir/sweep_parallel.json" > /dev/null

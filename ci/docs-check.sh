@@ -58,11 +58,12 @@ done <<< "$registry"
 # Doc -> registry: every backticked dotted metric name must exist (schema
 # identifiers asbr.sim_report / asbr.bench_report are names of documents,
 # not metrics).
-documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\|engine\|wcet\|selection\)\.[a-z0-9_.]*`' docs/*.md \
+documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\|engine\|wcet\|selection\|sim\)\.[a-z0-9_.]*`' docs/*.md \
     | sed 's/.*`\(.*\)`/\1/' \
     | grep -v -e '^asbr\.sim_report$' -e '^asbr\.bench_report$' \
               -e '^asbr\.fault_report$' -e '^asbr\.analysis_report$' \
               -e '^asbr\.sweep_report$' -e '^asbr\.wcet_report$' \
+              -e '^asbr\.sampling_report$' \
     | sort -u)
 while IFS= read -r name; do
     [[ -n "$name" ]] || continue
@@ -74,5 +75,38 @@ done <<< "$documented"
 
 if [[ $status -eq 0 ]]; then
     echo "ok: docs/metrics.md matches the metric registry ($(wc -l <<< "$registry") names)"
+fi
+
+# ------------------------------------------------- README <-> --help sync ----
+# `asbr-stats --help` is the single source of truth for the subcommand list:
+# every command it prints (first word of each line in the "commands:" block)
+# must be documented in README.md as `asbr-stats <command>`, in the same
+# order.
+commands=$("$STATS" --help 2>/dev/null \
+    | awk '/^commands:$/{f=1; next} f && /^$/{exit} f {print $1}')
+if [[ -z "$commands" ]]; then
+    echo "FAIL: could not parse the commands block from asbr-stats --help" >&2
+    status=1
+fi
+prev_line=0
+prev_cmd=""
+while IFS= read -r cmd; do
+    [[ -n "$cmd" ]] || continue
+    line=$(grep -n "asbr-stats $cmd" README.md | head -1 | cut -d: -f1)
+    if [[ -z "$line" ]]; then
+        echo "FAIL: README.md does not document 'asbr-stats $cmd'" >&2
+        status=1
+        continue
+    fi
+    if (( line < prev_line )); then
+        echo "FAIL: README.md documents 'asbr-stats $cmd' before" \
+             "'asbr-stats $prev_cmd' — keep --help order" >&2
+        status=1
+    fi
+    prev_line=$line
+    prev_cmd=$cmd
+done <<< "$commands"
+if [[ $status -eq 0 ]]; then
+    echo "ok: README.md documents every asbr-stats subcommand in --help order"
 fi
 exit $status

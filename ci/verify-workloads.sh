@@ -82,6 +82,31 @@ for bench in adpcm-enc g721-enc; do
     fi
 done
 
+# ----------------------------------------------------- sampling golden ----
+# One sampled run (quick inputs, pinned seed and window geometry) with the
+# full cycle-accurate reference attached: the integer-only report must
+# reproduce byte for byte, which pins the decode-cached pipeline, the
+# functional fast-forward, the window scheduler and the error-bound math in
+# one artifact.  Regenerate intentionally with:
+#   build/tools/asbr-stats run --bench=adpcm-enc --quick \
+#       --sample=2000:10000:60000 --sample-ref --asbr \
+#       --json=tests/golden/sampling_adpcm_enc.json
+STATS="$BUILD_DIR/tools/asbr-stats"
+golden="tests/golden/sampling_adpcm_enc.json"
+out="$tmpdir/$(basename "$golden")"
+if ! "$STATS" run --bench=adpcm-enc --quick --sample=2000:10000:60000 \
+        --sample-ref --asbr --json="$out" > "$tmpdir/log" 2>&1; then
+    echo "FAIL: sampled asbr-stats run failed:" >&2
+    cat "$tmpdir/log" >&2
+    status=1
+elif ! diff -q "$golden" "$out" > /dev/null; then
+    echo "FAIL: $golden drifted from the sampled simulation:" >&2
+    diff "$golden" "$out" | head -20 >&2
+    status=1
+else
+    echo "ok: $golden reproduced bit-for-bit"
+fi
+
 # The fault-injection regression rides along with the workload gate: the
 # same build tree, the same committed goldens (see ci/faults.sh).
 ci/faults.sh || status=1

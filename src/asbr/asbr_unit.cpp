@@ -68,24 +68,6 @@ void AsbrUnit::loadStaticFolds(std::vector<StaticFoldEntry> entries,
     bitSlotsReclaimed_ = bitSlotsReclaimed;
 }
 
-void AsbrUnit::chargeRecovery() {
-    ++stats_.parityRecoveries;
-    pendingRecoveryStall_ += config_.parityRecoveryPenalty;
-}
-
-bool AsbrUnit::bdtGate(std::uint8_t reg) {
-    if (!config_.parityProtected) return true;
-    if (bdt_.isQuarantined(reg)) return false;
-    if (!bdt_.parityOk(reg)) {
-        // Detected soft error: scrub the entry out of service for the rest
-        // of the run and pay the resynchronization penalty once.
-        bdt_.quarantine(reg);
-        chargeRecovery();
-        return false;
-    }
-    return true;
-}
-
 std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
     std::uint32_t pc, const Instruction& fetched) {
     // Statically-decided branches resolve before the BIT is even consulted:
@@ -132,33 +114,6 @@ std::optional<FetchCustomizer::FoldOutcome> AsbrUnit::onFetch(
         return FoldOutcome{entry->bti, entry->bta, true};
     }
     return FoldOutcome{entry->bfi, pc + kInstrBytes, false};
-}
-
-void AsbrUnit::onProducerDecoded(std::uint8_t reg) {
-    if (!bdtGate(reg)) return;
-    bdt_.producerDecoded(reg);
-}
-
-void AsbrUnit::onValueAvailable(std::uint8_t reg, std::int32_t value,
-                                ValueStage stage, ValueStage firstStage) {
-    // Values are captured at the configured stage, or at first availability
-    // when that is later (loads cannot be captured before MEM).
-    const ValueStage effective = std::max(config_.updateStage, firstStage);
-    if (stage != effective) return;
-    if (!bdtGate(reg)) return;
-    bdt_.update(reg, value);
-}
-
-void AsbrUnit::onStore(std::uint32_t addr, std::int32_t value) {
-    if (addr != kBitBankSelectAddr) return;
-    ++stats_.bankSwitches;
-    bit_.selectBank(static_cast<std::size_t>(value));
-}
-
-std::uint32_t AsbrUnit::takeRecoveryStall() {
-    const std::uint32_t stall = pendingRecoveryStall_;
-    pendingRecoveryStall_ = 0;
-    return stall;
 }
 
 void AsbrUnit::reset() {

@@ -14,6 +14,7 @@
 // pipeline.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -85,12 +86,47 @@ public:
     /// FetchCustomizer interface --------------------------------------------
     std::optional<FoldOutcome> onFetch(std::uint32_t pc,
                                        const Instruction& fetched) override;
-    void onProducerDecoded(std::uint8_t reg) override;
-    void onValueAvailable(std::uint8_t reg, std::int32_t value, ValueStage stage,
-                          ValueStage firstStage) override;
-    void onStore(std::uint32_t addr, std::int32_t value) override;
-    std::uint32_t takeRecoveryStall() override;
     void reset() override;
+
+    // The per-instruction replay hooks are defined inline: both the pipeline
+    // (through the virtual interface) and the sampled fast-forward loop
+    // (through the concrete type, which inlines them wholesale) fire these
+    // for every committed instruction.
+    void onProducerDecoded(std::uint8_t reg) override {
+        if (!bdtGate(reg)) return;
+        bdt_.producerDecoded(reg);
+    }
+
+    void onValueAvailable(std::uint8_t reg, std::int32_t value,
+                          ValueStage stage, ValueStage firstStage) override {
+        // Values are captured at the configured stage, or at first
+        // availability when that is later (loads cannot be captured before
+        // MEM).
+        const ValueStage effective = std::max(config_.updateStage, firstStage);
+        if (stage != effective) return;
+        if (!bdtGate(reg)) return;
+        bdt_.update(reg, value);
+    }
+
+    void onStore(std::uint32_t addr, std::int32_t value) override {
+        if (addr != kBitBankSelectAddr) return;
+        ++stats_.bankSwitches;
+        bit_.selectBank(static_cast<std::size_t>(value));
+    }
+
+    void onArchStep(const DecodedOp& dec, const StepResult& sr) override {
+        // Same event stream as the base default — instantiating the shared
+        // replay body with the final class type devirtualizes and inlines
+        // every inner hook, which is what makes functional fast-forward
+        // cheap.
+        replayArchStep(*this, dec, sr);
+    }
+
+    std::uint32_t takeRecoveryStall() override {
+        const std::uint32_t stall = pendingRecoveryStall_;
+        pendingRecoveryStall_ = 0;
+        return stall;
+    }
 
     [[nodiscard]] const AsbrStats& stats() const { return stats_; }
     [[nodiscard]] const AsbrConfig& config() const { return config_; }
@@ -127,8 +163,25 @@ private:
     /// Protected-mode gate in front of every BDT access: on a parity mismatch
     /// the entry is quarantined, a recovery is counted and the scrub penalty
     /// is queued.  Returns false when the entry must not be used this access.
-    [[nodiscard]] bool bdtGate(std::uint8_t reg);
-    void chargeRecovery();
+    /// Inline so the unprotected configuration folds to a single compare on
+    /// the replay hot path.
+    [[nodiscard]] bool bdtGate(std::uint8_t reg) {
+        if (!config_.parityProtected) return true;
+        if (bdt_.isQuarantined(reg)) return false;
+        if (!bdt_.parityOk(reg)) {
+            // Detected soft error: scrub the entry out of service for the
+            // rest of the run and pay the resynchronization penalty once.
+            bdt_.quarantine(reg);
+            chargeRecovery();
+            return false;
+        }
+        return true;
+    }
+
+    void chargeRecovery() {
+        ++stats_.parityRecoveries;
+        pendingRecoveryStall_ += config_.parityRecoveryPenalty;
+    }
 
     AsbrConfig config_;
     BranchIdentificationTable bit_;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "isa/isa.hpp"
@@ -44,9 +45,7 @@ public:
         if (e.quarantined) return;
         ASBR_ENSURE(e.pending > 0, "BDT: update without pending producer");
         --e.pending;
-        for (int c = 0; c < kNumConds; ++c)
-            e.bits[static_cast<std::size_t>(c)] =
-                evalCond(static_cast<Cond>(c), value);
+        e.bits = condMask(value);
         e.parity = computeParity(e);
     }
 
@@ -78,7 +77,7 @@ public:
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
         ASBR_ENSURE(static_cast<int>(c) < kNumConds,
                     "BDT: bad condition index");
-        return entries_[r].bits[static_cast<std::size_t>(c)];
+        return ((entries_[r].bits >> static_cast<unsigned>(c)) & 1u) != 0;
     }
 
     [[nodiscard]] std::uint32_t pendingCount(std::uint8_t r) const {
@@ -112,8 +111,7 @@ public:
         ASBR_ENSURE(r < kNumRegs, "BDT: bad register");
         ASBR_ENSURE(static_cast<int>(c) < kNumConds,
                     "BDT: bad condition index");
-        auto& bit = entries_[r].bits[static_cast<std::size_t>(c)];
-        bit = !bit;
+        entries_[r].bits ^= static_cast<std::uint8_t>(1u << static_cast<unsigned>(c));
     }
 
     /// Fault-injection port: flip bit `bit` (0..2) of the validity counter.
@@ -134,9 +132,7 @@ public:
         for (Entry& e : entries_) {
             e.pending = 0;
             e.quarantined = false;
-            for (int c = 0; c < kNumConds; ++c)
-                e.bits[static_cast<std::size_t>(c)] =
-                    evalCond(static_cast<Cond>(c), 0);
+            e.bits = condMask(0);
             e.parity = computeParity(e);
         }
     }
@@ -151,19 +147,33 @@ public:
     [[nodiscard]] static std::uint64_t parityStorageBits() { return kNumRegs; }
 
 private:
+    /// Direction bits are packed as a mask, bit c = evalCond(Cond(c), value)
+    /// — same contents as the paper's per-condition bit vector, but a
+    /// single-byte update/parity on the hot BDT-event path (the pipeline
+    /// and the sampled fast-forward replay fire these events for every
+    /// value-producing instruction).
     struct Entry {
-        std::array<bool, kNumConds> bits{};
+        std::uint8_t bits = 0;     ///< per-condition direction bits
         std::uint8_t pending = 0;  ///< 3-bit validity counter
         bool parity = false;       ///< even parity over bits + pending
         bool quarantined = false;  ///< protected-mode: entry out of service
     };
 
+    /// evalCond over every condition at once; constexpr evalCond folds this
+    /// into a handful of branchless flag computations.
+    [[nodiscard]] static std::uint8_t condMask(std::int32_t value) {
+        std::uint8_t mask = 0;
+        for (int c = 0; c < kNumConds; ++c)
+            if (evalCond(static_cast<Cond>(c), value))
+                mask |= static_cast<std::uint8_t>(1u << c);
+        return mask;
+    }
+
     [[nodiscard]] static bool computeParity(const Entry& e) {
-        bool p = false;
-        for (const bool b : e.bits) p ^= b;
-        for (unsigned bit = 0; bit < 3; ++bit)
-            p ^= ((e.pending >> bit) & 1u) != 0;
-        return p;
+        return (std::popcount(static_cast<unsigned>(e.bits)) +
+                std::popcount(static_cast<unsigned>(e.pending))) %
+                   2 !=
+               0;
     }
 
     std::array<Entry, kNumRegs> entries_;

@@ -59,6 +59,20 @@ PipelineResult runPipeline(const Prepared& prepared, BranchPredictor& predictor,
     return result;
 }
 
+SampledResult runSampledPipeline(const Prepared& prepared,
+                                 BranchPredictor& predictor,
+                                 FetchCustomizer* customizer,
+                                 const SamplingConfig& sampling,
+                                 const PipelineConfig& config) {
+    Memory memory = makeMemory(prepared);
+    predictor.reset();
+    SampledResult result = runSampled(prepared.program, memory, predictor,
+                                      sampling, config, customizer);
+    ASBR_ENSURE(result.exited && result.exitCode == 0,
+                "benchmark did not exit cleanly");
+    return result;
+}
+
 std::map<std::uint32_t, double> accuracyMap(const PipelineStats& stats) {
     std::map<std::uint32_t, double> out;
     for (const auto& [pc, site] : stats.branchSites) out[pc] = site.accuracy();

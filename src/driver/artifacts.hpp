@@ -36,6 +36,7 @@
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
 #include "sim/pipeline.hpp"
+#include "sim/sampling.hpp"
 #include "workloads/workloads.hpp"
 
 namespace asbr::driver {
@@ -62,6 +63,14 @@ struct Prepared {
                                          BranchPredictor& predictor,
                                          FetchCustomizer* customizer = nullptr,
                                          const PipelineConfig& config = {});
+
+/// One sampled run (docs/simulation.md) against a fresh memory image.
+/// Resets the predictor first and asserts a clean exit — a sampled run still
+/// executes every instruction architecturally, so the exit contract holds.
+[[nodiscard]] SampledResult runSampledPipeline(
+    const Prepared& prepared, BranchPredictor& predictor,
+    FetchCustomizer* customizer, const SamplingConfig& sampling,
+    const PipelineConfig& config = {});
 
 /// Per-site accuracy map from a pipeline run (reference-predictor input to
 /// branch selection).

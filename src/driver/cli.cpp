@@ -11,7 +11,7 @@ namespace asbr::driver {
 
 const char* sharedOptionsHelp() {
     return "--quick --seed=N --adpcm=N --g721=N --threads=N --workload=W "
-           "--csv --json=FILE";
+           "--csv --json=FILE --sample=W:M:S";
 }
 
 std::optional<std::uint64_t> numArg(const std::string& arg,
@@ -62,6 +62,37 @@ bool consumeSharedOption(const std::string& arg, CliOptions& out,
     }
     if (arg.rfind("--json=", 0) == 0) {
         out.jsonPath = arg.substr(7);
+        return true;
+    }
+    if (arg.rfind("--sample=", 0) == 0) {
+        // --sample=WARMUP:MEASURE:SKIP, instruction counts per sampling unit.
+        const std::string spec = arg.substr(9);
+        const std::size_t first = spec.find(':');
+        const std::size_t second =
+            first == std::string::npos ? std::string::npos
+                                       : spec.find(':', first + 1);
+        SamplingConfig sampling;
+        char* end = nullptr;
+        bool ok = first != std::string::npos && second != std::string::npos;
+        if (ok) {
+            sampling.warmup = std::strtoull(spec.c_str(), &end, 10);
+            ok = end == spec.c_str() + first;
+        }
+        if (ok) {
+            sampling.measure =
+                std::strtoull(spec.c_str() + first + 1, &end, 10);
+            ok = end == spec.c_str() + second && sampling.measure > 0;
+        }
+        if (ok) {
+            sampling.skip = std::strtoull(spec.c_str() + second + 1, &end, 10);
+            ok = *end == '\0';
+        }
+        if (!ok) {
+            error = "bad --sample spec '" + spec +
+                    "' (want WARMUP:MEASURE:SKIP with MEASURE > 0)";
+            return true;
+        }
+        out.sample = sampling;
         return true;
     }
     return false;

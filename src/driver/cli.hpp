@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/sampling.hpp"
 #include "workloads/workloads.hpp"
 
 namespace asbr::driver {
@@ -27,6 +28,8 @@ namespace asbr::driver {
 ///   --workload=W   restrict to one workload (token, e.g. g721-enc)
 ///   --csv          additionally print tables as CSV
 ///   --json=FILE    write the machine-readable report ("-" = stdout)
+///   --sample=W:M:S sampled simulation: warmup/measure/skip instructions
+///                  per window (docs/simulation.md)
 struct CliOptions {
     std::size_t adpcmSamples = 100'000;
     std::size_t g721Samples = 20'000;
@@ -35,6 +38,7 @@ struct CliOptions {
     std::optional<BenchId> workload;  ///< --workload= filter; nullopt = all
     bool csv = false;
     std::string jsonPath;  ///< empty = no JSON export; "-" = stdout
+    std::optional<SamplingConfig> sample;  ///< --sample= window geometry
 };
 
 /// Help-text fragment describing the shared options (one line, no newline).

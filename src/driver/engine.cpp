@@ -1,6 +1,7 @@
 #include "driver/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "driver/names.hpp"
@@ -65,10 +66,44 @@ JobResult SimEngine::execute(const SimJob& job) {
         pipelineConfig.tracer = out.tracer.get();
     }
 
-    const PipelineResult result = runPipeline(workload->prepared(), *predictor,
-                                              unit.get(), pipelineConfig);
-    jobsRun_.fetch_add(1, std::memory_order_relaxed);
-    busyCycles_.fetch_add(result.stats.cycles, std::memory_order_relaxed);
+    const auto simStart = std::chrono::steady_clock::now();
+    PipelineStats runStats;
+    if (job.sampled) {
+        auto sampled = std::make_shared<SampledResult>(
+            runSampledPipeline(workload->prepared(), *predictor, unit.get(),
+                               job.sampling, pipelineConfig));
+        jobsRun_.fetch_add(1, std::memory_order_relaxed);
+        busyCycles_.fetch_add(sampled->measuredCycles,
+                              std::memory_order_relaxed);
+        runStats = sampled->stats;
+        out.sampled = std::move(sampled);
+        if (job.sampleReference) {
+            // The full cycle-accurate reference runs on fresh hardware state
+            // (the sampled run's predictor/unit are already warm-polluted).
+            auto refPredictor = makePredictorByToken(job.predictor);
+            std::unique_ptr<AsbrUnit> refUnit;
+            if (selection != nullptr)
+                refUnit = selection->makeUnit(job.parityProtected);
+            const PipelineResult ref =
+                runPipeline(workload->prepared(), *refPredictor, refUnit.get(),
+                            pipelineConfig);
+            jobsRun_.fetch_add(1, std::memory_order_relaxed);
+            busyCycles_.fetch_add(ref.stats.cycles, std::memory_order_relaxed);
+            out.hasReference = true;
+            out.referenceCycles = ref.stats.cycles;
+            out.referenceCommitted = ref.stats.committed;
+        }
+    } else {
+        const PipelineResult result = runPipeline(
+            workload->prepared(), *predictor, unit.get(), pipelineConfig);
+        jobsRun_.fetch_add(1, std::memory_order_relaxed);
+        busyCycles_.fetch_add(result.stats.cycles, std::memory_order_relaxed);
+        runStats = result.stats;
+    }
+    out.simSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      simStart)
+            .count();
 
     RunMeta meta;
     meta.benchmark = benchName(job.workload);
@@ -83,9 +118,10 @@ JobResult SimEngine::execute(const SimJob& job) {
         meta.updateStage = valueStageName(unit->config().updateStage);
     }
 
-    out.stats = result.stats;
+    out.stats = runStats;
     out.report =
-        makeSimReport(std::move(meta), result.stats, predictor.get(), unit.get());
+        makeSimReport(std::move(meta), runStats, predictor.get(), unit.get());
+    if (out.sampled != nullptr) out.sampled->publish(out.report.registry);
     if (unit != nullptr) {
         out.asbr = true;
         out.candidates = selection->candidates();

@@ -19,6 +19,7 @@
 #include "profile/selection.hpp"
 #include "report/report.hpp"
 #include "sim/pipeline.hpp"
+#include "sim/sampling.hpp"
 #include "util/trace.hpp"
 #include "workloads/workloads.hpp"
 
@@ -45,6 +46,14 @@ struct SimJob {
     /// ablation deliberately selects without one).
     bool accuracyRef = true;
 
+    // Sampled simulation (docs/simulation.md).  When `sampled` is set the
+    // run alternates cycle-accurate windows with functional fast-forward
+    // under `sampling`; `sampleReference` additionally executes the full
+    // cycle-accurate run so the report can state the achieved CPI error.
+    bool sampled = false;
+    SamplingConfig sampling{};
+    bool sampleReference = false;
+
     // Observability.  The tracer gate is job-scoped: each traced job gets its
     // own Tracer instance, returned in JobResult::tracer — never a
     // process-global pointer two workers could interleave events into.
@@ -67,6 +76,22 @@ struct JobResult {
     std::uint64_t unitStorageBits = 0;
 
     std::uint64_t predictorStorageBits = 0;
+
+    /// Sampled-run outcome (only when SimJob::sampled was set).  `stats`
+    /// then holds the detailed-window statistics; when sampleReference was
+    /// also set, `reference` carries the full run's cycle/commit counts.
+    std::shared_ptr<SampledResult> sampled;
+    bool hasReference = false;
+    std::uint64_t referenceCycles = 0;
+    std::uint64_t referenceCommitted = 0;
+
+    /// Host wall-clock seconds spent in the simulation phase alone — the
+    /// pipeline / sampled run plus any sampleReference run, excluding the
+    /// compile/profile/select artifact work (which is cached across jobs and
+    /// would otherwise dominate short runs).  Host-dependent by nature:
+    /// feeds the human-facing `sim speed` line and the sim.mips counter,
+    /// never a JSON artifact.
+    double simSeconds = 0.0;
 
     /// Per-job tracer (only when SimJob::trace was set).
     std::shared_ptr<Tracer> tracer;

@@ -5,52 +5,20 @@
 
 namespace asbr {
 
-const Memory::Page* Memory::findPage(std::uint32_t addr) const {
-    const auto it = pages_.find(addr >> kPageBits);
-    return it == pages_.end() ? nullptr : it->second.get();
+const Memory::Page* Memory::findPage(std::uint32_t tag) const {
+    const auto it = pages_.find(tag);
+    if (it == pages_.end()) return nullptr;
+    cached_ = it->second.get();
+    cachedTag_ = tag;
+    return cached_;
 }
 
-Memory::Page& Memory::pageFor(std::uint32_t addr) {
-    auto& slot = pages_[addr >> kPageBits];
+Memory::Page& Memory::pageFor(std::uint32_t tag) {
+    auto& slot = pages_[tag];
     if (!slot) slot = std::make_unique<Page>(Page{});
+    cached_ = slot.get();
+    cachedTag_ = tag;
     return *slot;
-}
-
-std::uint8_t Memory::read8(std::uint32_t addr) const {
-    const Page* page = findPage(addr);
-    return page ? (*page)[addr & (kPageSize - 1)] : 0;
-}
-
-std::uint16_t Memory::read16(std::uint32_t addr) const {
-    ASBR_ENSURE((addr & 1u) == 0, "unaligned 16-bit read");
-    return static_cast<std::uint16_t>(read8(addr) |
-                                      (static_cast<std::uint16_t>(read8(addr + 1)) << 8));
-}
-
-std::uint32_t Memory::read32(std::uint32_t addr) const {
-    ASBR_ENSURE((addr & 3u) == 0, "unaligned 32-bit read");
-    return static_cast<std::uint32_t>(read8(addr)) |
-           (static_cast<std::uint32_t>(read8(addr + 1)) << 8) |
-           (static_cast<std::uint32_t>(read8(addr + 2)) << 16) |
-           (static_cast<std::uint32_t>(read8(addr + 3)) << 24);
-}
-
-void Memory::write8(std::uint32_t addr, std::uint8_t value) {
-    pageFor(addr)[addr & (kPageSize - 1)] = value;
-}
-
-void Memory::write16(std::uint32_t addr, std::uint16_t value) {
-    ASBR_ENSURE((addr & 1u) == 0, "unaligned 16-bit write");
-    write8(addr, static_cast<std::uint8_t>(value & 0xFF));
-    write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
-}
-
-void Memory::write32(std::uint32_t addr, std::uint32_t value) {
-    ASBR_ENSURE((addr & 3u) == 0, "unaligned 32-bit write");
-    write8(addr, static_cast<std::uint8_t>(value & 0xFF));
-    write8(addr + 1, static_cast<std::uint8_t>((value >> 8) & 0xFF));
-    write8(addr + 2, static_cast<std::uint8_t>((value >> 16) & 0xFF));
-    write8(addr + 3, static_cast<std::uint8_t>((value >> 24) & 0xFF));
 }
 
 void Memory::writeBlock(std::uint32_t addr, std::span<const std::uint8_t> bytes) {

@@ -1,0 +1,308 @@
+#include "report/sampling_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace asbr {
+
+namespace {
+
+/// Scale a ratio to integer parts-per-million — the single rounding point
+/// that keeps the report free of floating-point values.
+std::uint64_t toMicro(double ratio) {
+    return static_cast<std::uint64_t>(std::llround(ratio * 1e6));
+}
+
+}  // namespace
+
+JsonValue samplingReportJson(const RunMeta& meta,
+                             const SamplingConfig& sampling,
+                             const SampledResult& result,
+                             const std::optional<SamplingReference>& reference) {
+    JsonObject doc;
+    doc.emplace_back("schema", kSamplingReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+
+    JsonObject m;
+    m.emplace_back("benchmark", meta.benchmark);
+    m.emplace_back("predictor", meta.predictor);
+    m.emplace_back("seed", meta.seed);
+    m.emplace_back("samples", meta.samples);
+    m.emplace_back("scheduled", meta.scheduled);
+    m.emplace_back("asbr", meta.asbr);
+    if (meta.asbr) {
+        m.emplace_back("bit_entries", meta.bitEntries);
+        m.emplace_back("update_stage", meta.updateStage);
+    }
+    doc.emplace_back("meta", JsonValue(std::move(m)));
+
+    JsonObject s;
+    s.emplace_back("warmup", sampling.warmup);
+    s.emplace_back("measure", sampling.measure);
+    s.emplace_back("skip", sampling.skip);
+    doc.emplace_back("sampling", JsonValue(std::move(s)));
+
+    JsonObject totals;
+    totals.emplace_back("windows",
+                        static_cast<std::uint64_t>(result.windows.size()));
+    totals.emplace_back("measured_instructions", result.measuredInstructions);
+    totals.emplace_back("measured_cycles", result.measuredCycles);
+    totals.emplace_back("fast_forward_instructions",
+                        result.fastForwardInstructions);
+    totals.emplace_back("total_instructions", result.totalInstructions);
+    totals.emplace_back("cond_branches", result.stats.condBranches);
+    totals.emplace_back("folded_branches", result.stats.foldedBranches);
+    totals.emplace_back("exited", result.exited);
+    totals.emplace_back("exit_code",
+                        static_cast<std::int64_t>(result.exitCode));
+    doc.emplace_back("totals", JsonValue(std::move(totals)));
+
+    // The documented error bound: the CI95 half-width of the window-mean
+    // CPI, floored at 1% of the estimate (the floor guards the bound when
+    // windows are few or eerily uniform — see docs/simulation.md).
+    const std::uint64_t cpiMicro = toMicro(result.cpiEstimate);
+    const std::uint64_t ci95Micro = toMicro(result.ci95HalfWidth);
+    const std::uint64_t boundMicro = std::max(ci95Micro, cpiMicro / 100);
+    JsonObject estimate;
+    estimate.emplace_back("cpi_micro", cpiMicro);
+    estimate.emplace_back("ci95_half_width_micro", ci95Micro);
+    estimate.emplace_back("error_bound_micro", boundMicro);
+    estimate.emplace_back("fold_rate_micro", toMicro(result.stats.foldRate()));
+    doc.emplace_back("estimate", JsonValue(std::move(estimate)));
+
+    if (reference) {
+        const double refCpi =
+            reference->committed == 0
+                ? 0.0
+                : static_cast<double>(reference->cycles) /
+                      static_cast<double>(reference->committed);
+        const std::uint64_t refCpiMicro = toMicro(refCpi);
+        const std::uint64_t absErrorMicro = refCpiMicro > cpiMicro
+                                                ? refCpiMicro - cpiMicro
+                                                : cpiMicro - refCpiMicro;
+        JsonObject ref;
+        ref.emplace_back("cycles", reference->cycles);
+        ref.emplace_back("committed", reference->committed);
+        ref.emplace_back("cpi_micro", refCpiMicro);
+        ref.emplace_back("abs_error_micro", absErrorMicro);
+        ref.emplace_back("within_bound", absErrorMicro <= boundMicro);
+        doc.emplace_back("reference", JsonValue(std::move(ref)));
+    }
+
+    JsonArray windows;
+    for (const SampleWindow& w : result.windows) {
+        JsonObject record;
+        record.emplace_back("start_instruction", w.startInstruction);
+        record.emplace_back("instructions", w.instructions);
+        record.emplace_back("cycles", w.cycles);
+        windows.push_back(JsonValue(std::move(record)));
+    }
+    doc.emplace_back("windows", JsonValue(std::move(windows)));
+    return JsonValue(std::move(doc));
+}
+
+ReportValidation validateSamplingReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("sampling_report: not a JSON object");
+        return out;
+    }
+    const auto member = [&](const JsonValue& obj, const char* key,
+                            const char* context) -> const JsonValue* {
+        const JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    };
+
+    if (const JsonValue* schema = member(doc, "schema", "sampling_report"))
+        if (!schema->isString() || schema->asString() != kSamplingReportSchema)
+            fail(std::string("sampling_report: schema is not '") +
+                 kSamplingReportSchema + "'");
+    if (const JsonValue* version = member(doc, "version", "sampling_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            fail("sampling_report: unsupported schema version");
+
+    if (const JsonValue* meta = member(doc, "meta", "sampling_report")) {
+        if (!meta->isObject()) {
+            fail("sampling_report: meta is not an object");
+        } else {
+            for (const char* key : {"benchmark", "predictor"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isString())
+                    fail(std::string("sampling_report: meta.") + key +
+                         " missing or not a string");
+            }
+            for (const char* key : {"seed", "samples"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("sampling_report: meta.") + key +
+                         " missing or not a number");
+            }
+            for (const char* key : {"scheduled", "asbr"}) {
+                const JsonValue* v = meta->find(key);
+                if (v == nullptr || !v->isBool())
+                    fail(std::string("sampling_report: meta.") + key +
+                         " missing or not a bool");
+            }
+        }
+    }
+
+    std::uint64_t measure = 0;
+    if (const JsonValue* sampling = member(doc, "sampling", "sampling_report")) {
+        if (!sampling->isObject()) {
+            fail("sampling_report: sampling is not an object");
+        } else {
+            for (const char* key : {"warmup", "measure", "skip"}) {
+                const JsonValue* v = sampling->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("sampling_report: sampling.") + key +
+                         " missing or not a number");
+                else if (std::string(key) == "measure")
+                    measure = v->asUint();
+            }
+            if (measure == 0)
+                fail("sampling_report: sampling.measure must be nonzero");
+        }
+    }
+
+    std::uint64_t totalWindows = 0, measuredInstructions = 0,
+                  measuredCycles = 0;
+    if (const JsonValue* totals = member(doc, "totals", "sampling_report")) {
+        if (!totals->isObject()) {
+            fail("sampling_report: totals is not an object");
+        } else {
+            for (const char* key :
+                 {"windows", "measured_instructions", "measured_cycles",
+                  "fast_forward_instructions", "total_instructions",
+                  "cond_branches", "folded_branches", "exit_code"}) {
+                const JsonValue* v = totals->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("sampling_report: totals.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* exited = totals->find("exited");
+            if (exited == nullptr || !exited->isBool())
+                fail("sampling_report: totals.exited missing or not a bool");
+            if (const JsonValue* v = totals->find("windows"))
+                if (v->isNumber()) totalWindows = v->asUint();
+            if (const JsonValue* v = totals->find("measured_instructions"))
+                if (v->isNumber()) measuredInstructions = v->asUint();
+            if (const JsonValue* v = totals->find("measured_cycles"))
+                if (v->isNumber()) measuredCycles = v->asUint();
+        }
+    }
+
+    std::uint64_t cpiMicro = 0, ci95Micro = 0, boundMicro = 0;
+    if (const JsonValue* estimate = member(doc, "estimate", "sampling_report")) {
+        if (!estimate->isObject()) {
+            fail("sampling_report: estimate is not an object");
+        } else {
+            for (const char* key :
+                 {"cpi_micro", "ci95_half_width_micro", "error_bound_micro",
+                  "fold_rate_micro"}) {
+                const JsonValue* v = estimate->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("sampling_report: estimate.") + key +
+                         " missing or not a number");
+            }
+            if (const JsonValue* v = estimate->find("cpi_micro"))
+                if (v->isNumber()) cpiMicro = v->asUint();
+            if (const JsonValue* v = estimate->find("ci95_half_width_micro"))
+                if (v->isNumber()) ci95Micro = v->asUint();
+            if (const JsonValue* v = estimate->find("error_bound_micro"))
+                if (v->isNumber()) boundMicro = v->asUint();
+            // The bound is a pure integer function of the other two fields.
+            if (boundMicro != std::max(ci95Micro, cpiMicro / 100))
+                fail("sampling_report: estimate.error_bound_micro is not "
+                     "max(ci95_half_width_micro, cpi_micro/100)");
+        }
+    }
+
+    if (const JsonValue* ref = doc.find("reference")) {
+        if (!ref->isObject()) {
+            fail("sampling_report: reference is not an object");
+        } else {
+            for (const char* key :
+                 {"cycles", "committed", "cpi_micro", "abs_error_micro"}) {
+                const JsonValue* v = ref->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("sampling_report: reference.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* within = ref->find("within_bound");
+            if (within == nullptr || !within->isBool())
+                fail("sampling_report: reference.within_bound missing or not "
+                     "a bool");
+            const JsonValue* refCpi = ref->find("cpi_micro");
+            const JsonValue* absError = ref->find("abs_error_micro");
+            if (refCpi != nullptr && refCpi->isNumber() && absError != nullptr &&
+                absError->isNumber()) {
+                const std::uint64_t expected =
+                    refCpi->asUint() > cpiMicro ? refCpi->asUint() - cpiMicro
+                                                : cpiMicro - refCpi->asUint();
+                if (absError->asUint() != expected)
+                    fail("sampling_report: reference.abs_error_micro "
+                         "contradicts the CPI fields");
+                if (within != nullptr && within->isBool() &&
+                    within->asBool() != (absError->asUint() <= boundMicro))
+                    fail("sampling_report: reference.within_bound contradicts "
+                         "abs_error/error_bound");
+            }
+        }
+    }
+
+    if (const JsonValue* windows = member(doc, "windows", "sampling_report")) {
+        if (!windows->isArray()) {
+            fail("sampling_report: windows is not an array");
+        } else {
+            std::uint64_t sumInstructions = 0, sumCycles = 0;
+            std::uint64_t prevStart = 0;
+            std::size_t index = 0;
+            for (const JsonValue& record : windows->asArray()) {
+                const std::string context =
+                    "sampling_report: windows[" + std::to_string(index) + "]";
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    ++index;
+                    continue;
+                }
+                for (const char* key :
+                     {"start_instruction", "instructions", "cycles"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* start = record.find("start_instruction");
+                if (start != nullptr && start->isNumber()) {
+                    if (index > 0 && start->asUint() <= prevStart)
+                        fail(context +
+                             ".start_instruction is not strictly increasing");
+                    prevStart = start->asUint();
+                }
+                if (const JsonValue* v = record.find("instructions"))
+                    if (v->isNumber()) sumInstructions += v->asUint();
+                if (const JsonValue* v = record.find("cycles"))
+                    if (v->isNumber()) sumCycles += v->asUint();
+                ++index;
+            }
+            if (index != totalWindows)
+                fail("sampling_report: totals.windows does not match the "
+                     "windows array");
+            if (sumInstructions != measuredInstructions)
+                fail("sampling_report: totals.measured_instructions does not "
+                     "match the windows array");
+            if (sumCycles != measuredCycles)
+                fail("sampling_report: totals.measured_cycles does not match "
+                     "the windows array");
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

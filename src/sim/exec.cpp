@@ -1,72 +1,12 @@
 #include "sim/exec.hpp"
 
-#include <limits>
-
-#include "util/ensure.hpp"
-
 namespace asbr {
 
-namespace {
+namespace exec_detail {
 
-std::int32_t aluOp(Op op, std::int32_t a, std::int32_t b) {
-    const auto ua = static_cast<std::uint32_t>(a);
-    const auto ub = static_cast<std::uint32_t>(b);
-    switch (op) {
-        case Op::kAddu: return static_cast<std::int32_t>(ua + ub);
-        case Op::kSubu: return static_cast<std::int32_t>(ua - ub);
-        case Op::kAnd: return a & b;
-        case Op::kOr: return a | b;
-        case Op::kXor: return a ^ b;
-        case Op::kNor: return ~(a | b);
-        case Op::kSlt: return a < b ? 1 : 0;
-        case Op::kSltu: return ua < ub ? 1 : 0;
-        case Op::kSllv: return static_cast<std::int32_t>(ua << (ub & 31u));
-        case Op::kSrlv: return static_cast<std::int32_t>(ua >> (ub & 31u));
-        case Op::kSrav: return a >> (ub & 31u);
-        case Op::kMul:
-            return static_cast<std::int32_t>(
-                static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b));
-        case Op::kMulh:
-            return static_cast<std::int32_t>(
-                (static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b)) >> 32);
-        case Op::kDiv:
-            // Deterministic trap-free definitions: /0 -> 0; INT_MIN/-1 wraps.
-            if (b == 0) return 0;
-            if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return a;
-            return a / b;
-        case Op::kDivu: return ub == 0 ? 0 : static_cast<std::int32_t>(ua / ub);
-        case Op::kRem:
-            if (b == 0) return a;
-            if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
-            return a % b;
-        case Op::kRemu: return ub == 0 ? a : static_cast<std::int32_t>(ua % ub);
-        default: ASBR_ENSURE(false, "aluOp: not an R-type ALU opcode"); return 0;
-    }
-}
-
-std::int32_t aluImmOp(Op op, std::int32_t a, std::int32_t imm) {
-    switch (op) {
-        case Op::kAddiu:
-            return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
-                                             static_cast<std::uint32_t>(imm));
-        case Op::kAndi: return a & imm;
-        case Op::kOri: return a | imm;
-        case Op::kXori: return a ^ imm;
-        case Op::kSlti: return a < imm ? 1 : 0;
-        case Op::kSltiu:
-            return static_cast<std::uint32_t>(a) < static_cast<std::uint32_t>(imm)
-                       ? 1 : 0;
-        case Op::kLui: return static_cast<std::int32_t>(
-                           static_cast<std::uint32_t>(imm) << 16);
-        case Op::kSll: return static_cast<std::int32_t>(
-                           static_cast<std::uint32_t>(a) << (imm & 31));
-        case Op::kSrl: return static_cast<std::int32_t>(
-                           static_cast<std::uint32_t>(a) >> (imm & 31));
-        case Op::kSra: return a >> (imm & 31);
-        default: ASBR_ENSURE(false, "aluImmOp: not an I-type ALU opcode"); return 0;
-    }
-}
-
+// Out of line deliberately: syscalls are rare (I/O and exit), and keeping
+// the string machinery out of the inline stepDecoded() body keeps the hot
+// switch compact.
 void doSyscall(ArchState& state, IoContext& io) {
     const auto service = static_cast<Syscall>(state.reg(reg::v0));
     const std::int32_t arg = state.reg(reg::a0);
@@ -85,97 +25,12 @@ void doSyscall(ArchState& state, IoContext& io) {
     ASBR_ENSURE(false, "unknown syscall service " + std::to_string(state.reg(reg::v0)));
 }
 
-}  // namespace
+}  // namespace exec_detail
 
 StepResult step(ArchState& state, Memory& memory, const Instruction& ins,
                 IoContext& io, std::optional<std::uint32_t> overridePc) {
-    const std::uint32_t pc = overridePc.value_or(state.pc);
-    StepResult r;
-    r.pc = pc;
-    r.nextPc = pc + kInstrBytes;
-    const Op op = ins.op;
-
-    if (op <= Op::kRemu) {  // R-type ALU
-        const std::int32_t v = aluOp(op, state.reg(ins.rs), state.reg(ins.rt));
-        state.setReg(ins.rd, v);
-        r.write = RegWrite{ins.rd, v};
-    } else if (op >= Op::kAddiu && op <= Op::kSra) {  // I-type ALU
-        const std::int32_t v = aluImmOp(op, state.reg(ins.rs), ins.imm);
-        state.setReg(ins.rd, v);
-        r.write = RegWrite{ins.rd, v};
-    } else if (isLoad(op)) {
-        const std::uint32_t addr =
-            static_cast<std::uint32_t>(state.reg(ins.rs)) +
-            static_cast<std::uint32_t>(ins.imm);
-        std::int32_t v = 0;
-        switch (op) {
-            case Op::kLb: v = static_cast<std::int8_t>(memory.read8(addr)); break;
-            case Op::kLbu: v = memory.read8(addr); break;
-            case Op::kLh: v = static_cast<std::int16_t>(memory.read16(addr)); break;
-            case Op::kLhu: v = memory.read16(addr); break;
-            case Op::kLw: v = static_cast<std::int32_t>(memory.read32(addr)); break;
-            default: break;
-        }
-        state.setReg(ins.rd, v);
-        r.write = RegWrite{ins.rd, v};
-        r.memAccess = true;
-        r.isLoadOp = true;
-        r.memAddr = addr;
-    } else if (isStore(op)) {
-        const std::uint32_t addr =
-            static_cast<std::uint32_t>(state.reg(ins.rs)) +
-            static_cast<std::uint32_t>(ins.imm);
-        const std::int32_t v = state.reg(ins.rt);
-        switch (op) {
-            case Op::kSb: memory.write8(addr, static_cast<std::uint8_t>(v)); break;
-            case Op::kSh:
-                memory.write16(addr, static_cast<std::uint16_t>(v));
-                break;
-            case Op::kSw:
-                memory.write32(addr, static_cast<std::uint32_t>(v));
-                break;
-            default: break;
-        }
-        r.memAccess = true;
-        r.isStoreOp = true;
-        r.memAddr = addr;
-        r.storeValue = v;
-    } else if (isCondBranch(op)) {
-        r.isBranch = true;
-        r.branchTarget = pc + kInstrBytes +
-                         static_cast<std::uint32_t>(ins.imm) * kInstrBytes;
-        r.branchTaken = evalCond(branchCond(op), state.reg(ins.rs));
-        if (r.branchTaken) r.nextPc = r.branchTarget;
-    } else if (op == Op::kJ || op == Op::kJal) {
-        const std::uint32_t target =
-            (pc & 0xF000'0000u) |
-            (static_cast<std::uint32_t>(ins.imm) * kInstrBytes);
-        if (op == Op::kJal) {
-            state.setReg(reg::ra, static_cast<std::int32_t>(pc + kInstrBytes));
-            r.write = RegWrite{reg::ra, static_cast<std::int32_t>(pc + kInstrBytes)};
-        }
-        r.nextPc = target;
-    } else if (op == Op::kJr || op == Op::kJalr) {
-        const auto target = static_cast<std::uint32_t>(state.reg(ins.rs));
-        ASBR_ENSURE((target & 3u) == 0, "jr/jalr to unaligned address");
-        if (op == Op::kJalr) {
-            const auto link = static_cast<std::int32_t>(pc + kInstrBytes);
-            state.setReg(ins.rd, link);
-            r.write = RegWrite{ins.rd, link};
-        }
-        r.nextPc = target;
-    } else if (op == Op::kSys) {
-        doSyscall(state, io);
-    } else {
-        ASBR_ENSURE(op == Op::kNop, "step: unhandled opcode");
-    }
-
-    // Writes to r0 are architecturally discarded; hide them from the timing
-    // model and BDT too.
-    if (r.write && r.write->reg == reg::zero) r.write.reset();
-
-    state.pc = r.nextPc;
-    return r;
+    return stepDecoded(state, memory, decodeOne(ins, overridePc.value_or(state.pc)),
+                       io);
 }
 
 }  // namespace asbr

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "isa/isa.hpp"
+#include "sim/exec.hpp"
 
 namespace asbr {
 
@@ -20,6 +21,39 @@ namespace asbr {
 ///   kMemEnd — forwarding path right after execute (threshold 3)
 ///   kCommit — register commit / writeback (baseline, threshold 4)
 enum class ValueStage : std::uint8_t { kExEnd = 0, kMemEnd = 1, kCommit = 2 };
+
+/// Replay, architecturally, the customizer event stream one instruction
+/// generates on its way down the pipeline: producer registration at ID,
+/// value captures at EX-end (non-loads), MEM-end and commit, and the store
+/// port.  With zero instruction overlap this is exactly the in-order event
+/// sequence, so BDT validity counters return to zero after every instruction
+/// and direction bits track architectural values bit-for-bit.
+///
+/// This is THE definition of the per-instruction event stream — the
+/// fast-forward path of sampled simulation replays it between detailed
+/// windows.  It is a template so that a `final` customizer class (like
+/// AsbrUnit) gets every inner hook devirtualized and inlined; the generic
+/// FetchCustomizer::onArchStep default instantiates it with virtual dispatch.
+template <class Customizer>
+inline void replayArchStep(Customizer& customizer, const DecodedOp& dec,
+                           const StepResult& sr) {
+    if (dec.writesDest) customizer.onProducerDecoded(dec.dest);
+    if (sr.write) {
+        const ValueStage first =
+            sr.isLoadOp ? ValueStage::kMemEnd : ValueStage::kExEnd;
+        if (first == ValueStage::kExEnd)
+            customizer.onValueAvailable(sr.write->reg, sr.write->value,
+                                        ValueStage::kExEnd, first);
+        customizer.onValueAvailable(sr.write->reg, sr.write->value,
+                                    ValueStage::kMemEnd, first);
+        customizer.onValueAvailable(sr.write->reg, sr.write->value,
+                                    ValueStage::kCommit, first);
+    }
+    if (sr.isStoreOp) customizer.onStore(sr.memAddr, sr.storeValue);
+    // There is no fetch stream to stall during a replay; drain any
+    // parity-recovery debt so it cannot leak into later pipeline timing.
+    (void)customizer.takeRecoveryStall();
+}
 
 class FetchCustomizer {
 public:
@@ -56,6 +90,16 @@ public:
     virtual void onStore(std::uint32_t addr, std::int32_t value) {
         (void)addr;
         (void)value;
+    }
+
+    /// Batched replay of the full event stream of one architecturally
+    /// executed instruction (fast-forward hot path).  Semantically identical
+    /// to firing the fine-grained hooks above in pipeline order — the default
+    /// literally does that via replayArchStep().  A concrete customizer may
+    /// override with replayArchStep(*this, ...) to collapse up to five
+    /// virtual dispatches per instruction into one (AsbrUnit does).
+    virtual void onArchStep(const DecodedOp& dec, const StepResult& sr) {
+        replayArchStep(*this, dec, sr);
     }
 
     /// Fetch bubbles the customizer wants inserted after the current fetch —

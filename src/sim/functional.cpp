@@ -5,7 +5,7 @@
 namespace asbr {
 
 FunctionalSim::FunctionalSim(const Program& program, Memory& memory)
-    : program_(program), memory_(memory) {
+    : program_(program), memory_(memory), decode_(program) {
     reset();
 }
 
@@ -24,10 +24,13 @@ FunctionalResult FunctionalSim::run(std::uint64_t maxInstructions) {
             throw SimTimeoutError(
                 "functional watchdog: run exceeded the instruction limit of " +
                 std::to_string(maxInstructions));
-        const Instruction& ins = program_.at(state_.pc);
-        const StepResult sr = step(state_, memory_, ins, io);
+        // Decode-cached hot path: identical semantics to step() — the
+        // record was produced by the same decodeOne() — without re-running
+        // the decoder on every trip around a loop.
+        const DecodedOp& dec = decode_.lookup(state_.pc);
+        const StepResult sr = stepDecoded(state_, memory_, dec, io);
         ++result.instructions;
-        if (hook_) hook_(ins, sr);
+        if (hook_) hook_(dec.ins, sr);
     }
     result.exited = io.exited;
     result.exitCode = io.exitCode;

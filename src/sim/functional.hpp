@@ -10,6 +10,7 @@
 
 #include "asm/program.hpp"
 #include "mem/memory.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/exec.hpp"
 
 namespace asbr {
@@ -45,6 +46,7 @@ public:
 private:
     const Program& program_;
     Memory& memory_;
+    DecodeCache decode_;  ///< per-PC micro-op records; survive reset()
     ArchState state_;
     TraceHook hook_;
 };

@@ -43,6 +43,12 @@ void PipelineStats::publish(MetricRegistry& registry) const {
       dcacheStallCycles);
     c("pipeline.muldiv_stall_cycles",
       "extra EX occupancy cycles of multi-cycle mul/div", mulDivStallCycles);
+    c("sim.decode_cache_lookups",
+      "in-text fetches served through the decode cache", decodeCacheLookups);
+    c("sim.decode_cache_hits",
+      "decode-cache lookups reusing an already-decoded micro-op record "
+      "(host-speed only; simulated timing is unaffected)",
+      decodeCacheHits);
     icache.publish(registry, "mem.icache");
     dcache.publish(registry, "mem.dcache");
 
@@ -105,11 +111,15 @@ PipelineSim::PipelineSim(const Program& program, Memory& memory,
       config_(config),
       customizer_(customizer),
       icache_(config.icache),
-      dcache_(config.dcache) {
+      dcache_(config.dcache),
+      decode_(program) {
     state_.pc = program_.entry;
     state_.setReg(reg::sp, static_cast<std::int32_t>(kStackTop));
     state_.setReg(reg::gp, static_cast<std::int32_t>(program_.dataBase + 0x8000));
     fetchPc_ = program_.entry;
+    // The customizer starts each simulation clean; resetting here (rather
+    // than in run()) lets bounded runs resume without wiping warm BDT state.
+    if (customizer_ != nullptr) customizer_->reset();
 }
 
 std::uint32_t PipelineSim::exOccupancy(Op op) const {
@@ -165,8 +175,8 @@ void PipelineSim::stageExecute() {
                 "executing outside the text segment (runaway control flow)");
     if (!exStarted_) {
         exStarted_ = true;
-        idEx_.exec = step(state_, memory_, idEx_.ins, io_, idEx_.pc);
-        const std::uint32_t occupancy = exOccupancy(idEx_.ins.op);
+        idEx_.exec = stepDecoded(state_, memory_, *idEx_.dec, io_);
+        const std::uint32_t occupancy = exOccupancy(idEx_.dec->ins.op);
         if (occupancy > 1) {
             exBusy_ = occupancy - 1;
             stats_.mulDivStallCycles += occupancy - 1;
@@ -190,7 +200,7 @@ void PipelineSim::stageExecute() {
         ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kFold,
                    .lane = kLaneResolve, .flag = idEx_.foldTaken,
                    .pc = idEx_.foldOrigin, .arg = idEx_.pc,
-                   .name = opName(idEx_.ins.op));
+                   .name = opName(idEx_.dec->ins.op));
     }
     if (e.isBranch) {
         ++stats_.condBranches;
@@ -202,7 +212,7 @@ void PipelineSim::stageExecute() {
         const bool correct = idEx_.predictedNext == e.nextPc;
         ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kBranch,
                    .lane = kLaneResolve, .flag = e.branchTaken, .pc = idEx_.pc,
-                   .arg = e.nextPc, .name = opName(idEx_.ins.op));
+                   .arg = e.nextPc, .name = opName(idEx_.dec->ins.op));
         if (correct) {
             ++stats_.predictedCorrect;
             ++site.predicted;
@@ -211,7 +221,7 @@ void PipelineSim::stageExecute() {
             ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kMispredict,
                        .lane = kLaneResolve, .flag = e.branchTaken,
                        .pc = idEx_.pc, .arg = e.nextPc,
-                       .name = opName(idEx_.ins.op));
+                       .name = opName(idEx_.dec->ins.op));
             redirect(e.nextPc);
         }
     } else if (e.nextPc != idEx_.predictedNext) {
@@ -219,7 +229,7 @@ void PipelineSim::stageExecute() {
         ++stats_.mispredicts;
         ASBR_TRACE(.cycle = stats_.cycles, .kind = TraceKind::kMispredict,
                    .lane = kLaneResolve, .flag = true, .pc = idEx_.pc,
-                   .arg = e.nextPc, .name = opName(idEx_.ins.op));
+                   .arg = e.nextPc, .name = opName(idEx_.dec->ins.op));
         redirect(e.nextPc);
     }
 
@@ -234,6 +244,12 @@ void PipelineSim::stageExecute() {
     exStarted_ = false;
 }
 
+const DecodedOp* PipelineSim::inject(const DecodedOp& dec) {
+    DecodedOp& slot = injected_[injectedIdx_++ % injected_.size()];
+    slot = dec;
+    return &slot;
+}
+
 void PipelineSim::redirect(std::uint32_t target) {
     ifId_.valid = false;
     flushedThisCycle_ = true;
@@ -246,7 +262,7 @@ void PipelineSim::stageDecode() {
     if (!ifId_.valid || flushedThisCycle_ || halting_) return;
     if (idEx_.valid) return;  // EX occupied (multi-cycle op or structural stall)
     if (loadUseHazard_) {
-        const SrcRegs srcs = srcRegs(ifId_.ins);
+        const SrcRegs& srcs = ifId_.dec->srcs;
         // loadUseHazard_ is only set when the EX instruction at cycle start
         // was a load; hazardReg_ is its destination.
         for (int i = 0; i < srcs.count; ++i) {
@@ -256,9 +272,8 @@ void PipelineSim::stageDecode() {
             }
         }
     }
-    if (customizer_) {
-        const auto d = destReg(ifId_.ins);
-        if (d && *d != reg::zero) customizer_->onProducerDecoded(*d);
+    if (customizer_ && ifId_.dec->writesDest) {
+        customizer_->onProducerDecoded(ifId_.dec->dest);
     }
     idEx_ = ifId_;
     ifId_.valid = false;
@@ -284,7 +299,7 @@ void PipelineSim::stageFetch() {
         Slot bubble;
         bubble.valid = true;
         bubble.pc = fetchPc_;
-        bubble.ins = Instruction{};  // nop
+        bubble.dec = inject(decodeOne(Instruction{}, fetchPc_));  // inert nop
         bubble.predictedNext = fetchPc_ + kInstrBytes;
         bubble.outOfText = true;
         fetchPc_ = bubble.predictedNext;
@@ -307,37 +322,40 @@ void PipelineSim::stageFetch() {
         }
     }
 
-    std::uint32_t pc = fetchPc_;
-    Instruction ins = program_.at(pc);
+    // Steady-state hot path: the text word at fetchPc_ was decoded the
+    // first time it was fetched; every later trip is an indexed cache read.
+    const DecodedOp& cached = decode_.lookup(fetchPc_);
 
     Slot slot;
     if (customizer_) {
-        if (const auto fold = customizer_->onFetch(pc, ins)) {
+        if (const auto fold = customizer_->onFetch(fetchPc_, cached.ins)) {
             // Accounting happens when the replacement reaches EX — fetches
-            // on a wrong path are squashed and must not count.
+            // on a wrong path are squashed and must not count.  The
+            // replacement is decoded fresh: a BTI/BFI injected by the BIT is
+            // not guaranteed to match the program image at replacementPc, so
+            // it must never be served from (or written into) the cache.
             slot.wasFolded = true;
-            slot.foldOrigin = pc;
+            slot.foldOrigin = fetchPc_;
             slot.foldTaken = fold->taken;
-            pc = fold->replacementPc;
-            ins = fold->replacement;
+            slot.dec = inject(decodeOne(fold->replacement, fold->replacementPc));
         }
         // A parity recovery inside the customizer costs resync bubbles on
         // the fetches that follow (the fetched instruction itself proceeds).
         parityStall_ += customizer_->takeRecoveryStall();
     }
+    if (!slot.wasFolded) slot.dec = &cached;
 
     slot.valid = true;
-    slot.pc = pc;
-    slot.ins = ins;
-    if (isCondBranch(ins.op)) {
-        const Prediction p = predictor_.predict(pc);
+    slot.pc = slot.dec->pc;
+    if (slot.dec->condBranch) {
+        const Prediction p = predictor_.predict(slot.pc);
         slot.wasPredicted = true;
-        slot.predictedNext = p.effectiveTaken() ? *p.target : pc + kInstrBytes;
-    } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
-        slot.predictedNext = (pc & 0xF000'0000u) |
-                             (static_cast<std::uint32_t>(ins.imm) * kInstrBytes);
+        slot.predictedNext =
+            p.effectiveTaken() ? *p.target : slot.dec->fallthrough;
     } else {
-        slot.predictedNext = pc + kInstrBytes;
+        // Pre-resolved at decode time: j/jal redirect to their target,
+        // everything else falls through.
+        slot.predictedNext = slot.dec->fetchNext;
     }
     fetchPc_ = slot.predictedNext;
     ifId_ = slot;
@@ -353,7 +371,7 @@ void PipelineSim::traceLatches() {
                                           .flag = slot.wasFolded,
                                           .pc = slot.pc,
                                           .arg = 0,
-                                          .name = opName(slot.ins.op)});
+                                          .name = opName(slot.dec->ins.op)});
     };
     // End-of-cycle snapshot of the four inter-stage latches.
     occupied(ifId_, kLaneIfId);
@@ -362,8 +380,33 @@ void PipelineSim::traceLatches() {
     occupied(memWb_, kLaneMemWb);
 }
 
-PipelineResult PipelineSim::run() {
-    if (customizer_) customizer_->reset();
+void PipelineSim::warmStart(const ArchState& state, IoContext io) {
+    state_ = state;
+    io_ = std::move(io);
+    ifId_ = Slot{};
+    idEx_ = Slot{};
+    exMem_ = Slot{};
+    memWb_ = Slot{};
+    fetchPc_ = state_.pc;
+    commitLimit_ = 0;
+    ifBusy_ = 0;
+    exBusy_ = 0;
+    memBusy_ = 0;
+    redirectStall_ = 0;
+    parityStall_ = 0;
+    exStarted_ = false;
+    memStarted_ = false;
+    flushedThisCycle_ = false;
+    halting_ = false;
+    loadUseHazard_ = false;
+    hazardReg_ = reg::zero;
+    // Deliberately untouched: icache_/dcache_/decode_ contents, the
+    // predictor, the customizer's BDT/BIT state, and cumulative stats_ —
+    // a warm start resumes the microarchitecture, not the program.
+}
+
+PipelineResult PipelineSim::run(std::uint64_t maxCommits) {
+    commitLimit_ = maxCommits == 0 ? 0 : stats_.committed + maxCommits;
     while (true) {
         ++stats_.cycles;
         if (stats_.cycles > config_.maxCycles)
@@ -376,8 +419,8 @@ PipelineResult PipelineSim::run() {
         flushedThisCycle_ = false;
         // Snapshot for the load-use interlock: the instruction occupying EX
         // at the start of the cycle.
-        loadUseHazard_ = idEx_.valid && isLoad(idEx_.ins.op);
-        hazardReg_ = loadUseHazard_ ? idEx_.ins.rd : reg::zero;
+        loadUseHazard_ = idEx_.valid && idEx_.dec->load;
+        hazardReg_ = loadUseHazard_ ? idEx_.dec->ins.rd : reg::zero;
 
         stageWriteback();
         stageMemory();
@@ -390,12 +433,24 @@ PipelineResult PipelineSim::run() {
             traceLatches();
 #endif
 
-        if (io_.exited && !idEx_.valid && !exMem_.valid && !memWb_.valid) break;
+        // A spent commit budget halts fetch and drops the not-yet-executed
+        // ifId_ instruction (it re-fetches on resume); in-flight EX/MEM/WB
+        // work drains architecturally, so committed may overshoot slightly.
+        if (commitLimit_ != 0 && stats_.committed >= commitLimit_ &&
+            !halting_) {
+            halting_ = true;
+            ifId_.valid = false;
+        }
+        if ((io_.exited || halting_) && !idEx_.valid && !exMem_.valid &&
+            !memWb_.valid)
+            break;
     }
 
     PipelineResult result;
     stats_.icache = icache_.stats();
     stats_.dcache = dcache_.stats();
+    stats_.decodeCacheLookups = decode_.stats().lookups;
+    stats_.decodeCacheHits = decode_.stats().hits();
     result.stats = stats_;
     result.exited = io_.exited;
     result.exitCode = io_.exitCode;

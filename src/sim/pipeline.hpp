@@ -13,8 +13,16 @@
 // Architectural execution happens when an instruction enters EX; wrong-path
 // instructions never get past ID, so the pipeline is functionally equivalent
 // to the functional ISS by construction.
+//
+// Fetch is served by a decode cache (sim/decode_cache.hpp): each text PC is
+// decoded once into a DecodedOp micro-op record and every later fetch of the
+// same address reuses it.  Customizer-injected fold replacements are decoded
+// on the fly instead — a BTI/BFI is not guaranteed to match the program
+// image — so the cache can never leak a stale or wrong record into the
+// fold path.  The cache affects host speed only, never simulated timing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,6 +31,7 @@
 #include "bp/predictor.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/exec.hpp"
 #include "sim/fetch_customizer.hpp"
 
@@ -98,6 +107,8 @@ struct PipelineStats {
     std::uint64_t icacheStallCycles = 0;
     std::uint64_t dcacheStallCycles = 0;
     std::uint64_t mulDivStallCycles = 0;
+    std::uint64_t decodeCacheLookups = 0;  ///< fetches served by the decode cache
+    std::uint64_t decodeCacheHits = 0;     ///< ... without running the decoder
     CacheStats icache;
     CacheStats dcache;
     std::map<std::uint32_t, BranchSiteStats> branchSites;
@@ -156,15 +167,40 @@ public:
                 BranchPredictor& predictor, const PipelineConfig& config = {},
                 FetchCustomizer* customizer = nullptr);
 
-    /// Run the program to completion (exit syscall).  Throws EnsureError if
-    /// config.maxCycles is exceeded.
-    PipelineResult run();
+    /// Run the program to completion (exit syscall), or — when maxCommits is
+    /// nonzero — until at least that many further instructions commit (the
+    /// pipeline drains in-flight work, so the actual count may overshoot by
+    /// the pipeline depth).  Throws SimTimeoutError if config.maxCycles is
+    /// exceeded.  Cycle/commit counters accumulate across calls; after a
+    /// bounded run, resume with warmStart() + run().
+    PipelineResult run(std::uint64_t maxCommits = 0);
+
+    /// Re-arm a drained simulator to resume execution from `state` with I/O
+    /// context `io`: clears latches and transient stall state, sets the
+    /// fetch PC, and — deliberately — preserves everything warm: caches,
+    /// predictor, customizer (BDT/BIT), decode cache, and cumulative stats.
+    /// Sampled simulation uses this to re-enter cycle-accurate windows after
+    /// functional fast-forward.
+    void warmStart(const ArchState& state, IoContext io);
+
+    /// Cumulative statistics so far (valid between run() calls; cache-stat
+    /// snapshots are refreshed at the end of each run() call).
+    [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+    /// Architectural state after the last run() call.
+    [[nodiscard]] const ArchState& archState() const { return state_; }
+    /// I/O context accumulated so far.
+    [[nodiscard]] const IoContext& io() const { return io_; }
 
 private:
     struct Slot {
         bool valid = false;
         std::uint32_t pc = 0;
-        Instruction ins;
+        /// Pre-decoded micro-op.  Points either into the decode cache (whose
+        /// slots are sized once at bind() and filled in place, so records
+        /// never move) or into injected_ for customizer replacements and
+        /// out-of-text bubbles.  A pointer keeps the per-cycle latch copies
+        /// at one word instead of a full DecodedOp.
+        const DecodedOp* dec = nullptr;
         std::uint32_t predictedNext = 0;
         bool wasPredicted = false;   ///< predictor consulted in IF
         bool wasFolded = false;      ///< injected by the customizer
@@ -173,6 +209,12 @@ private:
         bool outOfText = false;      ///< speculative fetch past the text end
         StepResult exec;             ///< filled when entering EX
     };
+
+    /// Store a freshly-decoded record (fold replacement or out-of-text
+    /// bubble) in the injected-op ring and return its stable address.  At
+    /// most one injection per fetch and at most five slots in flight, so a
+    /// ring of eight can never overwrite a live record.
+    const DecodedOp* inject(const DecodedOp& dec);
 
     void redirect(std::uint32_t target);
     void stageWriteback();
@@ -193,11 +235,15 @@ private:
 
     Cache icache_;
     Cache dcache_;
+    DecodeCache decode_;  ///< per-PC micro-op records; filled lazily
     ArchState state_;
     IoContext io_;
     PipelineStats stats_;
 
     Slot ifId_, idEx_, exMem_, memWb_;
+    std::array<DecodedOp, 8> injected_{};  ///< ring backing injected decodes
+    std::uint32_t injectedIdx_ = 0;
+    std::uint64_t commitLimit_ = 0;  ///< absolute committed-count bound (0 = none)
     std::uint32_t fetchPc_ = 0;
     std::uint32_t ifBusy_ = 0;   ///< remaining I-cache miss stall cycles
     std::uint32_t exBusy_ = 0;   ///< remaining extra EX cycles (mul/div)

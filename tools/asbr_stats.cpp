@@ -4,8 +4,9 @@
 //   counters   print the canonical metric catalogue (docs/metrics.md is
 //              checked against this list by ci/docs-check.sh)
 //   run        simulate one benchmark under a chosen predictor (optionally
-//              with ASBR folding and/or a pipeline trace) and export a
-//              schema-versioned asbr.sim_report
+//              with ASBR folding, a pipeline trace, or --sample=W:M:S sampled
+//              simulation) and export a schema-versioned asbr.sim_report or
+//              asbr.sampling_report
 //   report     regenerate the Figure 6 + Figure 11 sweeps as one
 //              asbr.bench_report document (what ci/bench-report.sh runs)
 //   validate   schema-check any report document produced above
@@ -13,8 +14,11 @@
 // Every command is a thin job-spec builder over driver::SimEngine; `report`
 // runs its whole batch on the engine worker pool (--threads=N) and is
 // byte-identical at any thread count.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -23,8 +27,10 @@
 #include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
 #include "report/fault_report.hpp"
+#include "report/sampling_report.hpp"
 #include "report/sweep_report.hpp"
 #include "report/wcet_report.hpp"
+#include "sim/sampling.hpp"
 #include "util/trace.hpp"
 
 using namespace asbr;
@@ -39,8 +45,7 @@ namespace {
         "commands:\n"
         "  counters              list every metric name the simulator registers\n"
         "  run --bench=B [...]   simulate one benchmark; export report / trace\n"
-        "  report [--out=FILE]   Figure 6 + 11 sweep as one asbr.bench_report\n"
-        "                        (default out: BENCH_asbr.json)\n"
+        "  report [--out=FILE]   Figure 6 + 11 sweep as one asbr.bench_report (default out: BENCH_asbr.json)\n"
         "  validate FILE         schema-check a report document\n"
         "\n"
         "run options:\n"
@@ -49,12 +54,19 @@ namespace {
         "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit] [--protected]\n"
         "  --static-folds        fold statically-decided branches from the\n"
         "                        static table (implies --asbr)\n"
+        "  --sample=W:M:S        sampled simulation: W warmup / M measure\n"
+        "                        instructions per window, S fast-forwarded\n"
+        "                        between windows; exports asbr.sampling_report\n"
+        "  --sample-ref          also run the full cycle-accurate reference\n"
+        "                        and report the achieved sampling error\n"
+        "  --min-mips=N          exit 3 if host sim speed falls below N MIPS\n"
         "  --json=FILE           write an asbr.sim_report (\"-\" = stdout)\n"
         "  --trace=FILE          record a pipeline trace to FILE\n"
         "  --trace-format=chrome|jsonl   (default chrome)\n"
         "  --trace-start=N --trace-end=N --trace-max=N   trace window / cap\n"
         "\n"
-        "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n",
+        "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n"
+        "                --workload=W --csv --json=FILE --sample=W:M:S\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -84,6 +96,8 @@ int cmdCounters() {
     driver::SimEngine().publishMetrics(registry);
     analysis::timing::WcetMetrics{}.publish(registry);
     StaticCostSelectionMetrics{}.publish(registry);
+    SampledResult{}.publish(registry);
+    SimSpeed{}.publish(registry);
     for (const auto& entry : registry.catalogue()) {
         const char* kind = "counter";
         if (entry.kind == MetricRegistry::Entry::Kind::kHistogram)
@@ -103,6 +117,7 @@ int cmdRun(int argc, char** argv) {
     job.figure = "run";
     std::string tracePath;
     std::string traceFormat = "chrome";
+    std::optional<std::uint64_t> minMips;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,6 +151,10 @@ int cmdRun(int argc, char** argv) {
             }
             job.updateStage = *s;
             job.asbr = true;
+        } else if (arg == "--sample-ref") {
+            job.sampleReference = true;
+        } else if (const auto v = driver::numArg(arg, "--min-mips=")) {
+            minMips = *v;
         } else if (arg.rfind("--trace=", 0) == 0) {
             tracePath = arg.substr(8);
         } else if (arg.rfind("--trace-format=", 0) == 0) {
@@ -174,6 +193,14 @@ int cmdRun(int argc, char** argv) {
     job.workload = *id;
     job.seed = options.seed;
     job.samples = samplesFor(options, *id);
+    if (options.sample) {
+        job.sampled = true;
+        job.sampling = *options.sample;
+    }
+    if (job.sampleReference && !job.sampled) {
+        std::fprintf(stderr, "run: --sample-ref requires --sample=W:M:S\n");
+        return 2;
+    }
     if (!tracePath.empty()) {
 #ifndef ASBR_TRACING
         std::fprintf(stderr,
@@ -185,6 +212,10 @@ int cmdRun(int argc, char** argv) {
 
     SimEngine engine({.threads = options.threads});
     const JobResult r = engine.runOne(job);
+    // Simulation-phase wall clock, measured by the engine around the
+    // pipeline / sampled / reference runs only — compile/profile/select
+    // artifact work is cached across jobs and must not skew the speed line.
+    const double hostSeconds = r.simSeconds;
     if (job.staticFolds)
         std::fprintf(stderr,
                      "static folds: %zu branch(es) in the static table, "
@@ -192,19 +223,63 @@ int cmdRun(int argc, char** argv) {
                      r.staticFoldCount,
                      static_cast<unsigned long long>(r.bitSlotsReclaimed));
 
-    TextTable table(std::string("asbr-stats run: ") + benchName(*id) + " / " +
-                    r.report.meta.predictor + (job.asbr ? " + ASBR" : ""));
-    table.setHeader({"cycles", "CPI", "resolution acc", "folds", "fold rate"});
-    table.addRow({formatWithCommas(r.stats.cycles),
-                  formatFixed(r.stats.cpi(), 3),
-                  formatPercent(r.stats.resolutionAccuracy()),
-                  formatWithCommas(r.stats.foldedBranches),
-                  formatPercent(r.stats.foldRate())});
-    printTable(options, table);
+    if (r.sampled != nullptr) {
+        const SampledResult& s = *r.sampled;
+        TextTable table(std::string("asbr-stats run (sampled): ") +
+                        benchName(*id) + " / " + r.report.meta.predictor +
+                        (job.asbr ? " + ASBR" : ""));
+        table.setHeader({"windows", "measured instr", "fast-forwarded",
+                         "CPI estimate", "ci95 +/-", "fold rate"});
+        table.addRow({formatWithCommas(s.windows.size()),
+                      formatWithCommas(s.measuredInstructions),
+                      formatWithCommas(s.fastForwardInstructions),
+                      formatFixed(s.cpiEstimate, 3),
+                      formatFixed(s.ci95HalfWidth, 4),
+                      formatPercent(s.stats.foldRate())});
+        printTable(options, table);
+        if (r.hasReference && r.referenceCommitted > 0) {
+            const double refCpi = static_cast<double>(r.referenceCycles) /
+                                  static_cast<double>(r.referenceCommitted);
+            const double errPct =
+                refCpi == 0.0
+                    ? 0.0
+                    : 100.0 * std::fabs(s.cpiEstimate - refCpi) / refCpi;
+            std::fprintf(
+                stderr,
+                "reference: %s cycles over %s instructions (CPI %s); "
+                "sampled estimate off by %.2f%%\n",
+                formatWithCommas(r.referenceCycles).c_str(),
+                formatWithCommas(r.referenceCommitted).c_str(),
+                formatFixed(refCpi, 3).c_str(), errPct);
+        }
+    } else {
+        TextTable table(std::string("asbr-stats run: ") + benchName(*id) +
+                        " / " + r.report.meta.predictor +
+                        (job.asbr ? " + ASBR" : ""));
+        table.setHeader(
+            {"cycles", "CPI", "resolution acc", "folds", "fold rate"});
+        table.addRow({formatWithCommas(r.stats.cycles),
+                      formatFixed(r.stats.cpi(), 3),
+                      formatPercent(r.stats.resolutionAccuracy()),
+                      formatWithCommas(r.stats.foldedBranches),
+                      formatPercent(r.stats.foldRate())});
+        printTable(options, table);
+    }
 
     if (!options.jsonPath.empty()) {
-        const JsonValue doc = simReportJson(r.report);
-        writeTextTo(options.jsonPath, doc.dump(2) + "\n", "sim report");
+        if (r.sampled != nullptr) {
+            std::optional<SamplingReference> reference;
+            if (r.hasReference)
+                reference =
+                    SamplingReference{r.referenceCycles, r.referenceCommitted};
+            const JsonValue doc = samplingReportJson(
+                r.report.meta, job.sampling, *r.sampled, reference);
+            writeTextTo(options.jsonPath, doc.dump(2) + "\n",
+                        "sampling report");
+        } else {
+            const JsonValue doc = simReportJson(r.report);
+            writeTextTo(options.jsonPath, doc.dump(2) + "\n", "sim report");
+        }
     }
 
     if (!tracePath.empty()) {
@@ -219,6 +294,24 @@ int cmdRun(int argc, char** argv) {
                          "note: trace truncated at %zu events "
                          "(raise --trace-max or narrow the window)\n",
                          r.tracer->events().size());
+    }
+
+    // Host throughput is hardware-dependent by construction, so it stays on
+    // stderr (never in the JSON artifacts CI byte-compares).
+    const std::uint64_t simulated =
+        (r.sampled != nullptr ? r.sampled->totalInstructions
+                              : r.stats.committed) +
+        r.referenceCommitted;
+    const double mips = hostSeconds > 0.0
+                            ? static_cast<double>(simulated) / 1e6 / hostSeconds
+                            : 0.0;
+    std::fprintf(stderr, "sim speed: %.1f MIPS (%s instructions in %.2fs)\n",
+                 mips, formatWithCommas(simulated).c_str(), hostSeconds);
+    if (minMips && mips < static_cast<double>(*minMips)) {
+        std::fprintf(stderr,
+                     "run: sim speed %.1f MIPS below --min-mips floor %llu\n",
+                     mips, static_cast<unsigned long long>(*minMips));
+        return 3;
     }
     return 0;
 }
@@ -313,6 +406,8 @@ int cmdValidate(const char* path) {
         validation = validateSweepReportJson(*parsed.value);
     } else if (schema->asString() == kWcetReportSchema) {
         validation = validateWcetReportJson(*parsed.value);
+    } else if (schema->asString() == kSamplingReportSchema) {
+        validation = validateSamplingReportJson(*parsed.value);
     } else {
         std::fprintf(stderr, "%s: unknown schema '%s'\n", path,
                      schema->asString().c_str());
