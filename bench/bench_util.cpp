@@ -15,13 +15,22 @@ Options parseOptions(int argc, char** argv) {
         if (driver::consumeSharedOption(arg, options, error)) {
             if (!error.empty()) driver::cliFail(argv[0], error);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("options: %s --csv\n", driver::sharedOptionsHelp());
+            std::printf("options: %s --csv\n"
+                        "(--journal=DIR / --resume apply to asbr-sweep and "
+                        "asbr-faults campaign only)\n",
+                        driver::sharedOptionsHelp());
             std::exit(0);
         } else {
             driver::cliFail(argv[0],
                             "unknown option '" + arg + "' (try --help)");
         }
     }
+    // The table regenerators have no journal; rejecting the flag beats
+    // silently dropping a persistence request.
+    if (!options.journalDir.empty() || options.resume)
+        driver::cliFail(argv[0],
+                        "--journal/--resume apply to asbr-sweep and "
+                        "asbr-faults campaign (docs/robustness.md)");
     return options;
 }
 

@@ -109,4 +109,26 @@ done <<< "$commands"
 if [[ $status -eq 0 ]]; then
     echo "ok: README.md documents every asbr-stats subcommand in --help order"
 fi
+
+# ---------------------------------------- durability flags <-> --help sync ----
+# The durable-execution flags (docs/robustness.md) must be discoverable from
+# every tool's --help AND documented in README.md — a flag that exists in
+# code but not in help text (or vice versa) is a docs bug.
+for flag in --journal --resume --job-timeout --max-attempts; do
+    if ! grep -q -- "$flag" README.md; then
+        echo "FAIL: README.md does not mention the $flag flag" >&2
+        status=1
+    fi
+    for tool in asbr-stats asbr-verify asbr-faults asbr-sweep; do
+        bin="$BUILD_DIR/tools/$tool"
+        [[ -x "$bin" ]] || continue
+        if ! "$bin" --help 2>/dev/null | grep -q -- "$flag"; then
+            echo "FAIL: $tool --help does not mention $flag" >&2
+            status=1
+        fi
+    done
+done
+if [[ $status -eq 0 ]]; then
+    echo "ok: durability flags appear in README.md and every tool's --help"
+fi
 exit $status

@@ -111,4 +111,8 @@ fi
 # same build tree, the same committed goldens (see ci/faults.sh).
 ci/faults.sh || status=1
 
+# Crash-safety: SIGKILL'd sweeps/campaigns must resume byte-identically and
+# poisoned jobs must quarantine instead of aborting (see ci/resume.sh).
+ci/resume.sh || status=1
+
 exit $status

@@ -11,7 +11,8 @@ namespace asbr::driver {
 
 const char* sharedOptionsHelp() {
     return "--quick --seed=N --adpcm=N --g721=N --threads=N --workload=W "
-           "--csv --json=FILE --sample=W:M:S";
+           "--csv --json=FILE --sample=W:M:S --job-timeout=MS "
+           "--max-attempts=N --journal=DIR --resume";
 }
 
 std::optional<std::uint64_t> numArg(const std::string& arg,
@@ -58,6 +59,30 @@ bool consumeSharedOption(const std::string& arg, CliOptions& out,
     }
     if (arg == "--csv") {
         out.csv = true;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--job-timeout=")) {
+        out.jobTimeoutMs = *v;
+        return true;
+    }
+    if (const auto v = numArg(arg, "--max-attempts=")) {
+        if (*v == 0) {
+            error = "--max-attempts must be >= 1";
+            return true;
+        }
+        out.maxAttempts = *v;
+        return true;
+    }
+    if (arg.rfind("--journal=", 0) == 0) {
+        out.journalDir = arg.substr(10);
+        if (out.journalDir.empty()) {
+            error = "--journal needs a directory (--journal=DIR)";
+            return true;
+        }
+        return true;
+    }
+    if (arg == "--resume") {
+        out.resume = true;
         return true;
     }
     if (arg.rfind("--json=", 0) == 0) {

@@ -30,6 +30,11 @@ namespace asbr::driver {
 ///   --json=FILE    write the machine-readable report ("-" = stdout)
 ///   --sample=W:M:S sampled simulation: warmup/measure/skip instructions
 ///                  per window (docs/simulation.md)
+///   --job-timeout=MS  per-job wall-clock watchdog (docs/robustness.md)
+///   --max-attempts=N  bounded retry before a job fails/quarantines
+///   --journal=DIR  write-ahead job journal (asbr-sweep, asbr-faults
+///                  campaign; other tools reject it with a clear error)
+///   --resume       resume a --journal=DIR left by an earlier run
 struct CliOptions {
     std::size_t adpcmSamples = 100'000;
     std::size_t g721Samples = 20'000;
@@ -39,6 +44,10 @@ struct CliOptions {
     bool csv = false;
     std::string jsonPath;  ///< empty = no JSON export; "-" = stdout
     std::optional<SamplingConfig> sample;  ///< --sample= window geometry
+    std::string journalDir;          ///< --journal=DIR; empty = no journal
+    bool resume = false;             ///< --resume (requires --journal)
+    std::uint64_t jobTimeoutMs = 0;  ///< --job-timeout=MS; 0 = no watchdog
+    std::uint64_t maxAttempts = 1;   ///< --max-attempts=N; >= 1
 };
 
 /// Help-text fragment describing the shared options (one line, no newline).

@@ -2,16 +2,30 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <thread>
 #include <utility>
 
+#include "driver/cli.hpp"
+#include "driver/deadline.hpp"
+#include "driver/journal.hpp"
 #include "driver/names.hpp"
 #include "driver/pool.hpp"
+#include "report/fault_report.hpp"
 #include "report/report.hpp"
 #include "util/ensure.hpp"
 
 namespace asbr::driver {
 
 SimEngine::SimEngine(EngineConfig config) : config_(config) {}
+
+EngineConfig engineConfigFor(const CliOptions& options) {
+    EngineConfig config;
+    config.threads = options.threads;
+    config.jobTimeoutMs = options.jobTimeoutMs;
+    config.maxAttempts = options.maxAttempts;
+    return config;
+}
 
 WorkloadKey SimEngine::workloadKeyFor(const SimJob& job) const {
     WorkloadKey key;
@@ -45,7 +59,66 @@ std::shared_ptr<const SelectionArtifacts> SimEngine::selectionFor(
     return cache_.selection(selectionKeyFor(job));
 }
 
-JobResult SimEngine::execute(const SimJob& job) {
+std::string SimEngine::jobKey(const SimJob& job) const {
+    const WorkloadKey w = workloadKeyFor(job);
+    std::string key = benchToken(job.workload);
+    key += "-s" + std::to_string(w.seed);
+    key += "-n" + std::to_string(w.samples);
+    if (w.scheduled) key += "-sched";
+    key += "-" + job.predictor;
+    if (job.asbr) {
+        const SelectionKey s = selectionKeyFor(job);
+        key += "-asbr-bit" + std::to_string(s.bitEntries);
+        key += "-";
+        key += valueStageName(s.updateStage);
+        if (job.parityProtected) key += "-pp";
+        if (s.staticFolds) key += "-sf";
+        if (!s.useAccuracy) key += "-noacc";
+    } else {
+        key += "-base";
+    }
+    if (job.sampled) {
+        key += "-sample" + std::to_string(job.sampling.warmup) + "x" +
+               std::to_string(job.sampling.measure) + "x" +
+               std::to_string(job.sampling.skip);
+        if (job.sampleReference) key += "-ref";
+    }
+    // The figure label lands in the report meta, so two keys that differ
+    // only by figure must not alias (sanitized: keys are fs-safe).
+    if (!job.figure.empty()) {
+        key += "-f";
+        for (const char c : job.figure) {
+            const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.';
+            key.push_back(ok ? c : '_');
+        }
+    }
+    return key;
+}
+
+std::string SimEngine::manifestDigest(const std::vector<SimJob>& jobs) const {
+    std::string all;
+    for (const SimJob& job : jobs) {
+        all += jobKey(job);
+        all += '\n';
+    }
+    return fnv1a64Hex(all);
+}
+
+std::string SimEngine::campaignManifestDigest(
+    const SimJob& job, const CampaignConfig& campaign) const {
+    std::string all = jobKey(job);
+    all += "|campaign|seed=" + std::to_string(campaign.seed);
+    all += "|injections=" + std::to_string(campaign.injections);
+    all += "|bdt=" + std::to_string(campaign.faultBdt);
+    all += "|bit=" + std::to_string(campaign.faultBit);
+    all += "|bp=" + std::to_string(campaign.faultBp);
+    all += "|mcf=" + std::to_string(campaign.maxCycleFactor);
+    return fnv1a64Hex(all);
+}
+
+JobResult SimEngine::execute(const SimJob& job, Deadline* deadline) {
     const WorkloadKey workloadKey = workloadKeyFor(job);
     const auto workload = cache_.workload(workloadKey);
     auto predictor = makePredictorByToken(job.predictor);
@@ -65,6 +138,10 @@ JobResult SimEngine::execute(const SimJob& job) {
         out.tracer = std::make_shared<Tracer>(job.traceConfig);
         pipelineConfig.tracer = out.tracer.get();
     }
+    // The wall-clock watchdog rides the cycle-hook seam; an inert deadline
+    // is never installed, so un-watched runs keep a null cycleHook.
+    if (deadline != nullptr && deadline->active())
+        pipelineConfig.cycleHook = deadline;
 
     const auto simStart = std::chrono::steady_clock::now();
     PipelineStats runStats;
@@ -134,13 +211,138 @@ JobResult SimEngine::execute(const SimJob& job) {
     return out;
 }
 
-JobResult SimEngine::runOne(const SimJob& job) { return execute(job); }
+JobResult SimEngine::executeWithRetry(const SimJob& job) {
+    const std::uint64_t maxAttempts =
+        std::max<std::uint64_t>(1, config_.maxAttempts);
+    for (std::uint64_t attempt = 1;; ++attempt) {
+        try {
+            Deadline deadline(config_.jobTimeoutMs);
+            return execute(job, &deadline);
+        } catch (const JobInterruptedError&) {
+            throw;  // a checkpoint request is not a retryable failure
+        } catch (const std::exception&) {
+            if (attempt >= maxAttempts) throw;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffDelayMs(attempt + 1)));
+        }
+    }
+}
+
+JobResult SimEngine::runOne(const SimJob& job) {
+    return executeWithRetry(job);
+}
 
 std::vector<JobResult> SimEngine::run(const std::vector<SimJob>& jobs) {
     std::vector<JobResult> results(jobs.size());
     parallelFor(jobs.size(), config_.threads,
-                [&](std::size_t i) { results[i] = execute(jobs[i]); });
+                [&](std::size_t i) { results[i] = executeWithRetry(jobs[i]); });
     return results;
+}
+
+CellOutcome SimEngine::runDurableOne(const SimJob& job,
+                                     const DurablePolicy& policy,
+                                     JobJournal* journal) {
+    CellOutcome cell;
+    cell.key = jobKey(job);
+
+    const JournalEntry* prior =
+        journal != nullptr ? journal->entry(cell.key) : nullptr;
+    const std::uint64_t priorFailures =
+        prior != nullptr ? prior->failedAttempts : 0;
+    if (prior != nullptr && prior->done) {
+        if (const auto bytes =
+                journal->readArtifact(prior->artifactPath, prior->resultDigest)) {
+            const JsonParseResult parsed = parseJson(*bytes);
+            if (parsed.ok()) {
+                cell.status = CellStatus::kOk;
+                cell.attempts = prior->doneAttempt;
+                cell.resumed = true;
+                cell.report = *parsed.value;
+                jobsResumed_.fetch_add(1, std::memory_order_relaxed);
+                return cell;
+            }
+        }
+        // Missing/corrupt artifact: fall through and recompute.  Attempt
+        // numbering is unaffected (the crash-free run's bytes must still
+        // reproduce), and the fresh artifact overwrites the corrupt one.
+    }
+
+    const std::uint64_t maxAttempts =
+        std::max<std::uint64_t>(1, policy.maxAttempts);
+    if (priorFailures >= maxAttempts) {
+        // Quarantined in a previous process; stays quarantined on resume
+        // unless --max-attempts was raised.
+        cell.status = CellStatus::kFailed;
+        cell.attempts = priorFailures;
+        cell.error = prior->lastError;
+        return cell;
+    }
+
+    for (std::uint64_t attempt = priorFailures + 1;; ++attempt) {
+        if (policy.interrupted != nullptr &&
+            policy.interrupted->load(std::memory_order_relaxed)) {
+            cell.status = CellStatus::kSkipped;
+            return cell;
+        }
+        if (journal != nullptr) journal->recordStart(cell.key, attempt);
+        try {
+            Deadline deadline(policy.jobTimeoutMs, policy.interrupted);
+            const JobResult result = execute(job, &deadline);
+            cell.report = simReportJson(result.report);
+            if (journal != nullptr) {
+                const std::string bytes = cell.report.dump(2) + "\n";
+                const std::string artifact =
+                    JobJournal::artifactPathFor(cell.key);
+                journal->writeArtifact(artifact, bytes);
+                journal->recordDone(cell.key, attempt, artifact,
+                                    fnv1a64Hex(bytes));
+            }
+            cell.status = CellStatus::kOk;
+            cell.attempts = attempt;
+            return cell;
+        } catch (const JobInterruptedError&) {
+            // Deliberately no journal record: the attempt never concluded,
+            // exactly like a crash — resume re-runs it with the same
+            // attempt number and reproduces the uninterrupted bytes.
+            cell.status = CellStatus::kSkipped;
+            return cell;
+        } catch (const std::exception& e) {
+            if (journal != nullptr)
+                journal->recordFailed(cell.key, attempt, e.what());
+            if (attempt >= maxAttempts) {
+                cell.status = CellStatus::kFailed;
+                cell.attempts = attempt;
+                cell.error = e.what();
+                return cell;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffDelayMs(attempt + 1)));
+        }
+    }
+}
+
+DurableRunResult SimEngine::runDurable(const std::vector<SimJob>& jobs,
+                                       const DurablePolicy& policy) {
+    ASBR_ENSURE(!policy.resume || !policy.journalDir.empty(),
+                "engine: resume requires a journal directory");
+    std::unique_ptr<JobJournal> journal;
+    if (!policy.journalDir.empty())
+        journal = std::make_unique<JobJournal>(policy.journalDir, policy.resume,
+                                               manifestDigest(jobs),
+                                               jobs.size());
+    DurableRunResult out;
+    out.cells.resize(jobs.size());
+    parallelFor(jobs.size(), config_.threads, [&](std::size_t i) {
+        out.cells[i] = runDurableOne(jobs[i], policy, journal.get());
+    });
+    out.resumedJobs = 0;
+    for (const CellOutcome& cell : out.cells)
+        if (cell.resumed) ++out.resumedJobs;
+    out.interrupted =
+        out.countWith(CellStatus::kSkipped) > 0 ||
+        (policy.interrupted != nullptr &&
+         policy.interrupted->load(std::memory_order_relaxed));
+    return out;
 }
 
 FaultRunFactory SimEngine::faultFactory(const SimJob& job) {
@@ -188,13 +390,134 @@ CampaignResult SimEngine::runCampaign(const SimJob& job,
     return result;
 }
 
+DurableCampaignResult SimEngine::runCampaignDurable(
+    const SimJob& job, const CampaignConfig& campaign,
+    const DurablePolicy& policy) {
+    ASBR_ENSURE(!policy.resume || !policy.journalDir.empty(),
+                "engine: resume requires a journal directory");
+    const FaultRunFactory factory = faultFactory(job);
+    DurableCampaignResult out;
+    // Context + sampling are deterministic and cheap relative to the grid,
+    // so every (re)start recomputes them instead of journaling them.
+    out.result.context = computeContext(factory);
+    const std::vector<Injection> injections =
+        sampleInjections(campaignSiteClasses(factory, campaign), campaign,
+                         out.result.context.cleanCycles);
+
+    std::unique_ptr<JobJournal> journal;
+    if (!policy.journalDir.empty())
+        journal = std::make_unique<JobJournal>(
+            policy.journalDir, policy.resume,
+            campaignManifestDigest(job, campaign), injections.size());
+
+    const std::uint64_t maxAttempts =
+        std::max<std::uint64_t>(1, policy.maxAttempts);
+    std::vector<std::optional<InjectionRecord>> records(injections.size());
+    std::vector<std::optional<FailedInjection>> failed(injections.size());
+    std::atomic<bool> sawSkip{false};
+    std::atomic<std::uint64_t> resumedCount{0};
+
+    parallelFor(injections.size(), config_.threads, [&](std::size_t i) {
+        const std::string key = "inj" + std::to_string(i);
+        const JournalEntry* prior =
+            journal != nullptr ? journal->entry(key) : nullptr;
+        const std::uint64_t priorFailures =
+            prior != nullptr ? prior->failedAttempts : 0;
+        if (prior != nullptr && prior->done) {
+            if (const auto bytes = journal->readArtifact(prior->artifactPath,
+                                                         prior->resultDigest)) {
+                const JsonParseResult parsed = parseJson(*bytes);
+                if (parsed.ok()) {
+                    records[i] = injectionRecordFromJson(*parsed.value);
+                    jobsResumed_.fetch_add(1, std::memory_order_relaxed);
+                    resumedCount.fetch_add(1, std::memory_order_relaxed);
+                    return;
+                }
+            }
+            // Corrupt artifact: recompute (deterministic — same bytes).
+        }
+        if (priorFailures >= maxAttempts) {
+            FailedInjection f;
+            f.index = i;
+            f.injection = injections[i];
+            f.attempts = priorFailures;
+            f.error = prior->lastError;
+            failed[i] = std::move(f);
+            return;
+        }
+        for (std::uint64_t attempt = priorFailures + 1;; ++attempt) {
+            if (policy.interrupted != nullptr &&
+                policy.interrupted->load(std::memory_order_relaxed)) {
+                sawSkip.store(true, std::memory_order_relaxed);
+                return;
+            }
+            if (journal != nullptr) journal->recordStart(key, attempt);
+            try {
+                Deadline deadline(policy.jobTimeoutMs, policy.interrupted);
+                InjectionRecord record = runInjection(
+                    factory, injections[i], out.result.context,
+                    campaign.maxCycleFactor,
+                    deadline.active() ? &deadline : nullptr);
+                jobsRun_.fetch_add(1, std::memory_order_relaxed);
+                busyCycles_.fetch_add(record.cycles,
+                                      std::memory_order_relaxed);
+                if (journal != nullptr) {
+                    const std::string bytes =
+                        injectionRecordJson(record).dump(2) + "\n";
+                    const std::string artifact =
+                        JobJournal::artifactPathFor(key);
+                    journal->writeArtifact(artifact, bytes);
+                    journal->recordDone(key, attempt, artifact,
+                                        fnv1a64Hex(bytes));
+                }
+                records[i] = std::move(record);
+                return;
+            } catch (const JobInterruptedError&) {
+                sawSkip.store(true, std::memory_order_relaxed);
+                return;
+            } catch (const std::exception& e) {
+                if (journal != nullptr)
+                    journal->recordFailed(key, attempt, e.what());
+                if (attempt >= maxAttempts) {
+                    FailedInjection f;
+                    f.index = i;
+                    f.injection = injections[i];
+                    f.attempts = attempt;
+                    f.error = e.what();
+                    failed[i] = std::move(f);
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoffDelayMs(attempt + 1)));
+            }
+        }
+    });
+
+    for (std::size_t i = 0; i < injections.size(); ++i) {
+        if (records[i].has_value()) {
+            ++out.result.outcomes[static_cast<std::size_t>(
+                records[i]->outcome)];
+            out.result.records.push_back(std::move(*records[i]));
+        } else if (failed[i].has_value()) {
+            out.failed.push_back(std::move(*failed[i]));
+        }
+    }
+    out.resumedJobs = resumedCount.load(std::memory_order_relaxed);
+    out.interrupted = sawSkip.load(std::memory_order_relaxed) ||
+                      (policy.interrupted != nullptr &&
+                       policy.interrupted->load(std::memory_order_relaxed));
+    return out;
+}
+
 InjectionRecord SimEngine::replayInjection(const SimJob& job,
                                            const Injection& injection,
                                            std::uint64_t maxCycleFactor) {
     const FaultRunFactory factory = faultFactory(job);
     const CampaignContext context = computeContext(factory);
+    Deadline deadline(config_.jobTimeoutMs);
     InjectionRecord record =
-        runInjection(factory, injection, context, maxCycleFactor);
+        runInjection(factory, injection, context, maxCycleFactor,
+                     deadline.active() ? &deadline : nullptr);
     jobsRun_.fetch_add(1, std::memory_order_relaxed);
     busyCycles_.fetch_add(record.cycles, std::memory_order_relaxed);
     return record;
@@ -205,6 +528,7 @@ EngineStats SimEngine::stats() const {
     stats.jobsRun = jobsRun_.load(std::memory_order_relaxed);
     stats.cacheHits = cache_.stats().hits;
     stats.workerBusyCycles = busyCycles_.load(std::memory_order_relaxed);
+    stats.jobsResumed = jobsResumed_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -225,6 +549,11 @@ void SimEngine::publishMetrics(MetricRegistry& registry) const {
                  "simulated cycles executed by engine workers (not host "
                  "time)")
         .set(s.workerBusyCycles);
+    registry
+        .counter("engine.jobs_resumed",
+                 "durable jobs satisfied from a journal artifact instead of "
+                 "re-simulating")
+        .set(s.jobsResumed);
 }
 
 }  // namespace asbr::driver

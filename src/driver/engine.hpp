@@ -18,26 +18,97 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "driver/artifacts.hpp"
 #include "driver/job.hpp"
 #include "fault/campaign.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 
 namespace asbr::driver {
+
+class Deadline;
+class JobJournal;
+struct CliOptions;
 
 struct EngineConfig {
     /// Worker threads for batch/campaign execution (0 = hardware
     /// concurrency).  1 runs everything inline on the calling thread.
     std::size_t threads = 1;
+    /// Per-job wall-clock watchdog in milliseconds (0 = off).  Exceeding it
+    /// throws JobTimeoutError — host time never lands in results.
+    std::uint64_t jobTimeoutMs = 0;
+    /// Bounded retry for runOne/run: attempts per job before the failure is
+    /// rethrown.  Retries sleep backoffDelayMs(attempt) between attempts.
+    std::uint64_t maxAttempts = 1;
 };
+
+/// EngineConfig from the shared CLI options (--threads/--job-timeout/
+/// --max-attempts); defined in engine.cpp so cli.hpp stays driver-light.
+[[nodiscard]] EngineConfig engineConfigFor(const CliOptions& options);
 
 /// Deterministic engine counters (see publishMetrics).
 struct EngineStats {
     std::uint64_t jobsRun = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t workerBusyCycles = 0;
+    std::uint64_t jobsResumed = 0;  ///< results spliced from a journal
+};
+
+/// Durable-execution policy for runDurable/runCampaignDurable
+/// (docs/robustness.md).  An empty journalDir runs without persistence —
+/// the watchdog/retry/quarantine semantics still apply, so tools use one
+/// code path whether or not --journal was given.
+struct DurablePolicy {
+    std::string journalDir;  ///< write-ahead journal directory; empty = none
+    bool resume = false;     ///< resume an existing journal (requires dir)
+    std::uint64_t maxAttempts = 1;   ///< attempts before quarantine
+    std::uint64_t jobTimeoutMs = 0;  ///< per-attempt wall-clock bound (0=off)
+    /// Cooperative interrupt flag (SIGINT/SIGTERM handler sets it): pending
+    /// jobs are skipped, the in-flight attempt aborts without a journal
+    /// record, and the caller exits after the journal is checkpointed.
+    const std::atomic<bool>* interrupted = nullptr;
+};
+
+enum class CellStatus : std::uint8_t {
+    kOk = 0,       ///< simulated (or resumed) successfully
+    kFailed = 1,   ///< quarantined after maxAttempts failed attempts
+    kSkipped = 2,  ///< never ran — interrupt arrived first
+};
+
+/// One grid cell's durable outcome.  `report` holds the job's serialized
+/// asbr.sim_report document — resumed cells carry the parsed artifact, and
+/// the JSON writer's round-trip-stable number formatting guarantees both
+/// spellings dump to identical bytes.
+struct CellOutcome {
+    std::string key;
+    CellStatus status = CellStatus::kSkipped;
+    std::uint64_t attempts = 0;
+    bool resumed = false;  ///< satisfied from the journal, not simulated
+    JsonValue report;      ///< kOk only
+    std::string error;     ///< kFailed only: last attempt's failure
+};
+
+struct DurableRunResult {
+    std::vector<CellOutcome> cells;  ///< submission order
+    std::uint64_t resumedJobs = 0;
+    bool interrupted = false;  ///< any cell skipped / interrupt flag raised
+
+    [[nodiscard]] std::uint64_t countWith(CellStatus status) const {
+        std::uint64_t n = 0;
+        for (const CellOutcome& cell : cells)
+            if (cell.status == status) ++n;
+        return n;
+    }
+};
+
+struct DurableCampaignResult {
+    CampaignResult result;  ///< completed records in sampling order
+    std::vector<FailedInjection> failed;  ///< quarantined, by sampling index
+    std::uint64_t resumedJobs = 0;
+    bool interrupted = false;
 };
 
 class SimEngine {
@@ -64,6 +135,33 @@ public:
     /// after the batch drains.
     [[nodiscard]] std::vector<JobResult> run(const std::vector<SimJob>& jobs);
 
+    /// Stable identity of a job's resolved configuration — the journal key.
+    /// Two jobs with the same key produce byte-identical sim reports.
+    [[nodiscard]] std::string jobKey(const SimJob& job) const;
+
+    /// Digest pinning a job batch (or campaign) to one journal; the journal
+    /// manifest refuses to resume a different grid.
+    [[nodiscard]] std::string manifestDigest(
+        const std::vector<SimJob>& jobs) const;
+    [[nodiscard]] std::string campaignManifestDigest(
+        const SimJob& job, const CampaignConfig& campaign) const;
+
+    /// Durable batch execution (docs/robustness.md): write-ahead journal,
+    /// resume, per-attempt wall-clock watchdog, bounded retry with
+    /// deterministic backoff, and quarantine instead of abort.  Cell order
+    /// is submission order; a resumed run splices journal artifacts and
+    /// serializes byte-identically to the uninterrupted run at any thread
+    /// count.
+    [[nodiscard]] DurableRunResult runDurable(const std::vector<SimJob>& jobs,
+                                              const DurablePolicy& policy);
+
+    /// Durable fault campaign: the golden context is recomputed on every
+    /// (re)start — it is deterministic and cheap relative to the grid —
+    /// while each injection is journaled and resumed individually.
+    [[nodiscard]] DurableCampaignResult runCampaignDurable(
+        const SimJob& job, const CampaignConfig& campaign,
+        const DurablePolicy& policy);
+
     /// Build the FaultRunFactory for an ASBR job — every FaultRun it returns
     /// is freshly constructed from cached immutable artifacts, so it is safe
     /// to call from concurrent workers.
@@ -86,17 +184,24 @@ public:
     }
 
     /// Publish engine.jobs_run / engine.cache_hits / engine.worker_busy_cycles
-    /// into `registry`.  A default-constructed engine publishes zeros — the
-    /// `asbr-stats counters` catalogue uses that to enumerate the names.
+    /// / engine.jobs_resumed into `registry`.  A default-constructed engine
+    /// publishes zeros — the `asbr-stats counters` catalogue uses that to
+    /// enumerate the names.
     void publishMetrics(MetricRegistry& registry) const;
 
 private:
-    [[nodiscard]] JobResult execute(const SimJob& job);
+    [[nodiscard]] JobResult execute(const SimJob& job,
+                                    Deadline* deadline = nullptr);
+    [[nodiscard]] JobResult executeWithRetry(const SimJob& job);
+    [[nodiscard]] CellOutcome runDurableOne(const SimJob& job,
+                                            const DurablePolicy& policy,
+                                            JobJournal* journal);
 
     EngineConfig config_;
     ArtifactCache cache_;
     std::atomic<std::uint64_t> jobsRun_{0};
     std::atomic<std::uint64_t> busyCycles_{0};
+    std::atomic<std::uint64_t> jobsResumed_{0};
 };
 
 }  // namespace asbr::driver

@@ -1,0 +1,288 @@
+#include "driver/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/ensure.hpp"
+#include "util/json.hpp"
+
+namespace asbr::driver {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.jsonl";
+constexpr const char* kArtifactDir = "artifacts";
+
+void makeDir(const std::string& path) {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+    ASBR_ENSURE(false, "journal: cannot create directory '" + path + "': " +
+                           std::strerror(errno));
+}
+
+[[nodiscard]] bool fileExists(const std::string& path) {
+    struct stat st {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+[[nodiscard]] std::string readFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+[[nodiscard]] std::string jsonLine(JsonObject fields) {
+    return JsonValue(std::move(fields)).dump() + "\n";
+}
+
+/// Member lookup helpers tolerant of any malformed shape — replay must
+/// treat a half-written record as noise, never crash on it.
+[[nodiscard]] const JsonValue* strMember(const JsonValue& obj,
+                                         const char* key) {
+    const JsonValue* v = obj.find(key);
+    return v != nullptr && v->isString() ? v : nullptr;
+}
+
+[[nodiscard]] const JsonValue* numMember(const JsonValue& obj,
+                                         const char* key) {
+    const JsonValue* v = obj.find(key);
+    return v != nullptr && v->isNumber() ? v : nullptr;
+}
+
+}  // namespace
+
+std::string fnv1a64Hex(std::string_view bytes) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    char out[17];
+    std::snprintf(out, sizeof out, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return out;
+}
+
+JobJournal::JobJournal(std::string dir, bool resume,
+                       const std::string& gridDigest, std::uint64_t jobCount)
+    : dir_(std::move(dir)) {
+    makeDir(dir_);
+    makeDir(dir_ + "/" + kArtifactDir);
+    const std::string path = dir_ + "/" + kJournalFile;
+
+    if (!resume) {
+        struct stat st {};
+        ASBR_ENSURE(::stat(path.c_str(), &st) != 0 || st.st_size == 0,
+                    "journal: '" + path +
+                        "' already holds a journal — pass --resume to "
+                        "continue it, or point --journal at a fresh "
+                        "directory");
+    } else {
+        ASBR_ENSURE(fileExists(path),
+                    "journal: nothing to resume — '" + path +
+                        "' does not exist (run once without --resume first)");
+        replay(readFile(path));
+    }
+
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    ASBR_ENSURE(fd_ >= 0, "journal: cannot open '" + path +
+                              "' for appending: " + std::strerror(errno));
+    if (!resume) {
+        JsonObject manifest;
+        manifest.emplace_back("status", "manifest");
+        manifest.emplace_back("gridDigest", gridDigest);
+        manifest.emplace_back("jobs", jobCount);
+        append(jsonLine(std::move(manifest)));
+        manifestDigest_ = gridDigest;
+        manifestJobs_ = jobCount;
+    }
+    ASBR_ENSURE(!manifestDigest_.empty(),
+                "journal: '" + path +
+                    "' has no readable manifest record — it is not a journal "
+                    "this grid can resume");
+    ASBR_ENSURE(manifestDigest_ == gridDigest && manifestJobs_ == jobCount,
+                "journal: manifest mismatch — '" + path +
+                    "' was written by a different grid (digest " +
+                    manifestDigest_ + ", " + std::to_string(manifestJobs_) +
+                    " job(s); this run: digest " + gridDigest + ", " +
+                    std::to_string(jobCount) +
+                    " job(s)) — refusing to splice mismatched results");
+}
+
+JobJournal::~JobJournal() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void JobJournal::replay(const std::string& text) {
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty()) continue;
+        const JsonParseResult parsed = parseJson(line);
+        // Torn or garbage trailing line: skip, don't trust, don't crash.
+        if (!parsed.ok() || !parsed.value->isObject()) {
+            ++skippedLines_;
+            continue;
+        }
+        const JsonValue& record = *parsed.value;
+        const JsonValue* status = strMember(record, "status");
+        if (status == nullptr) {
+            ++skippedLines_;
+            continue;
+        }
+        if (status->asString() == "manifest") {
+            const JsonValue* digest = strMember(record, "gridDigest");
+            const JsonValue* jobs = numMember(record, "jobs");
+            if (digest == nullptr || jobs == nullptr) {
+                ++skippedLines_;
+                continue;
+            }
+            // First manifest wins; later ones would be corruption.
+            if (manifestDigest_.empty()) {
+                manifestDigest_ = digest->asString();
+                manifestJobs_ = jobs->asUint();
+            }
+            continue;
+        }
+        const JsonValue* key = strMember(record, "jobKey");
+        const JsonValue* attempt = numMember(record, "attempt");
+        if (key == nullptr || attempt == nullptr) {
+            ++skippedLines_;
+            continue;
+        }
+        JournalEntry& entry = entries_[key->asString()];
+        if (status->asString() == "running") {
+            // Write-ahead marker only: a dangling start means the attempt
+            // never concluded — nothing to fold into the entry.
+            continue;
+        }
+        if (status->asString() == "done") {
+            const JsonValue* digest = strMember(record, "resultDigest");
+            const JsonValue* artifact = strMember(record, "artifactPath");
+            if (digest == nullptr || artifact == nullptr) {
+                ++skippedLines_;
+                continue;
+            }
+            entry.done = true;
+            entry.doneAttempt = attempt->asUint();
+            entry.resultDigest = digest->asString();
+            entry.artifactPath = artifact->asString();
+            continue;
+        }
+        if (status->asString() == "failed") {
+            if (attempt->asUint() >= entry.failedAttempts) {
+                entry.failedAttempts = attempt->asUint();
+                const JsonValue* error = strMember(record, "error");
+                entry.lastError =
+                    error != nullptr ? error->asString() : "unknown error";
+            }
+            continue;
+        }
+        ++skippedLines_;
+    }
+}
+
+void JobJournal::append(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t written = 0;
+    while (written < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + written, line.size() - written);
+        ASBR_ENSURE(n >= 0, std::string("journal: append failed: ") +
+                                std::strerror(errno));
+        written += static_cast<std::size_t>(n);
+    }
+    ASBR_ENSURE(::fsync(fd_) == 0,
+                std::string("journal: fsync failed: ") + std::strerror(errno));
+}
+
+void JobJournal::recordStart(const std::string& jobKey, std::uint64_t attempt) {
+    JsonObject record;
+    record.emplace_back("status", "running");
+    record.emplace_back("jobKey", jobKey);
+    record.emplace_back("attempt", attempt);
+    append(jsonLine(std::move(record)));
+}
+
+void JobJournal::recordDone(const std::string& jobKey, std::uint64_t attempt,
+                            const std::string& artifactPath,
+                            const std::string& resultDigest) {
+    JsonObject record;
+    record.emplace_back("status", "done");
+    record.emplace_back("jobKey", jobKey);
+    record.emplace_back("attempt", attempt);
+    record.emplace_back("resultDigest", resultDigest);
+    record.emplace_back("artifactPath", artifactPath);
+    append(jsonLine(std::move(record)));
+}
+
+void JobJournal::recordFailed(const std::string& jobKey, std::uint64_t attempt,
+                              const std::string& error) {
+    JsonObject record;
+    record.emplace_back("status", "failed");
+    record.emplace_back("jobKey", jobKey);
+    record.emplace_back("attempt", attempt);
+    record.emplace_back("error", error);
+    append(jsonLine(std::move(record)));
+}
+
+const JournalEntry* JobJournal::entry(const std::string& jobKey) const {
+    const auto it = entries_.find(jobKey);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string JobJournal::artifactPathFor(const std::string& jobKey) {
+    std::string safe;
+    safe.reserve(jobKey.size());
+    for (const char c : jobKey) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        c == '.';
+        safe.push_back(ok ? c : '_');
+    }
+    return std::string(kArtifactDir) + "/" + safe + "-" +
+           fnv1a64Hex(jobKey).substr(0, 8) + ".json";
+}
+
+void JobJournal::writeArtifact(const std::string& relPath,
+                               const std::string& bytes) {
+    const std::string path = dir_ + "/" + relPath;
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASBR_ENSURE(fd >= 0, "journal: cannot write artifact '" + tmp +
+                             "': " + std::strerror(errno));
+    std::size_t written = 0;
+    bool ok = true;
+    while (ok && written < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + written, bytes.size() - written);
+        ok = n >= 0;
+        if (ok) written += static_cast<std::size_t>(n);
+    }
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    ok = ok && ::rename(tmp.c_str(), path.c_str()) == 0;
+    ASBR_ENSURE(ok, "journal: artifact write failed for '" + path +
+                        "': " + std::strerror(errno));
+}
+
+std::optional<std::string> JobJournal::readArtifact(
+    const std::string& relPath, const std::string& expectDigest) const {
+    const std::string path = dir_ + "/" + relPath;
+    if (!fileExists(path)) return std::nullopt;
+    std::string bytes = readFile(path);
+    if (fnv1a64Hex(bytes) != expectDigest) return std::nullopt;
+    return bytes;
+}
+
+}  // namespace asbr::driver

@@ -1,0 +1,116 @@
+// JobJournal — the write-ahead journal that makes sweeps and fault
+// campaigns crash-safe (docs/robustness.md).
+//
+// Layout of a journal directory:
+//
+//   DIR/journal.jsonl      append-only JSONL, one record per state change
+//   DIR/artifacts/*.json   one result document per completed job
+//
+// Record shapes (all single-line JSON objects):
+//
+//   {"status":"manifest","gridDigest":"<hex16>","jobs":N}
+//   {"status":"running","jobKey":"...","attempt":N}
+//   {"status":"done","jobKey":"...","attempt":N,
+//    "resultDigest":"<hex16>","artifactPath":"artifacts/....json"}
+//   {"status":"failed","jobKey":"...","attempt":N,"error":"..."}
+//
+// Write-ahead discipline: "running" is appended (and fsync'd) before an
+// attempt starts; "done" is appended only after the artifact file has been
+// written, fsync'd and atomically renamed into place.  A crash therefore
+// leaves at worst a dangling "running" record (the job simply re-runs on
+// resume) or a torn trailing line — replay tolerates unparseable lines by
+// skipping them, so a half-written record degrades to "job not finished",
+// never to a corrupt resume.
+//
+// The manifest pins the journal to one exact grid: resuming with a
+// different workload list, sample count or campaign config is refused
+// loudly instead of silently splicing mismatched artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asbr::driver {
+
+/// FNV-1a 64-bit digest, rendered as 16 lowercase hex digits.  Used for the
+/// grid manifest and for artifact content digests.
+[[nodiscard]] std::string fnv1a64Hex(std::string_view bytes);
+
+/// Replayed per-job state, folded from the journal's records.
+struct JournalEntry {
+    /// Highest attempt number that recorded a "failed" outcome.  Dangling
+    /// "running" records (crash mid-attempt) do NOT count — the attempt
+    /// never concluded, so a resumed run repeats its number and reproduces
+    /// the uninterrupted run's bytes.
+    std::uint64_t failedAttempts = 0;
+    std::string lastError;
+    bool done = false;
+    std::uint64_t doneAttempt = 0;
+    std::string resultDigest;
+    std::string artifactPath;  ///< relative to the journal directory
+};
+
+class JobJournal {
+public:
+    /// Opens (resume) or creates (fresh) the journal in `dir`.
+    ///
+    /// Fresh mode refuses a directory that already holds a non-empty
+    /// journal (pass --resume or pick a new directory).  Resume mode
+    /// requires an existing journal whose manifest matches `gridDigest` /
+    /// `jobCount` exactly.  Throws EnsureError on either violation.
+    JobJournal(std::string dir, bool resume, const std::string& gridDigest,
+               std::uint64_t jobCount);
+    ~JobJournal();
+
+    JobJournal(const JobJournal&) = delete;
+    JobJournal& operator=(const JobJournal&) = delete;
+
+    /// Write-ahead records; each append is fsync'd before returning.
+    /// Thread-safe.
+    void recordStart(const std::string& jobKey, std::uint64_t attempt);
+    void recordDone(const std::string& jobKey, std::uint64_t attempt,
+                    const std::string& artifactPath,
+                    const std::string& resultDigest);
+    void recordFailed(const std::string& jobKey, std::uint64_t attempt,
+                      const std::string& error);
+
+    /// Replayed state of a key (null when the journal never mentioned it).
+    [[nodiscard]] const JournalEntry* entry(const std::string& jobKey) const;
+
+    /// Unparseable lines skipped during replay (torn writes, garbage).
+    [[nodiscard]] std::uint64_t skippedLines() const { return skippedLines_; }
+
+    /// Journal-relative artifact path for a job key: fs-sanitized key plus
+    /// a digest suffix so sanitization collisions cannot alias artifacts.
+    [[nodiscard]] static std::string artifactPathFor(const std::string& jobKey);
+
+    /// Durable artifact write: tmp file + fsync + atomic rename.
+    void writeArtifact(const std::string& relPath, const std::string& bytes);
+
+    /// Read an artifact back, verifying its recorded digest.  Returns
+    /// nullopt when the file is missing or its bytes do not digest to
+    /// `expectDigest` — the caller recomputes the job instead of trusting a
+    /// corrupt file.
+    [[nodiscard]] std::optional<std::string> readArtifact(
+        const std::string& relPath, const std::string& expectDigest) const;
+
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+
+private:
+    void append(const std::string& line);
+    void replay(const std::string& text);
+
+    std::string dir_;
+    int fd_ = -1;
+    std::mutex mutex_;
+    std::map<std::string, JournalEntry> entries_;
+    std::uint64_t skippedLines_ = 0;
+    std::string manifestDigest_;  ///< empty until a manifest is seen/written
+    std::uint64_t manifestJobs_ = 0;
+};
+
+}  // namespace asbr::driver

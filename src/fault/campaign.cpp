@@ -58,16 +58,39 @@ CampaignContext computeContext(const FaultRunFactory& factory) {
     return context;
 }
 
+namespace {
+
+/// Chains the fault injector in front of an engine-supplied watchdog hook
+/// on the single PipelineConfig::cycleHook slot.
+class ChainedHook final : public CycleHook {
+public:
+    ChainedHook(CycleHook* first, CycleHook* second)
+        : first_(first), second_(second) {}
+    void onCycle(std::uint64_t cycle) override {
+        first_->onCycle(cycle);
+        second_->onCycle(cycle);
+    }
+
+private:
+    CycleHook* first_;
+    CycleHook* second_;
+};
+
+}  // namespace
+
 InjectionRecord runInjection(const FaultRunFactory& factory,
                              const Injection& injection,
                              const CampaignContext& context,
-                             std::uint64_t maxCycleFactor) {
+                             std::uint64_t maxCycleFactor,
+                             CycleHook* watchdog) {
     InjectionRecord record;
     record.injection = injection;
 
     FaultRun run = factory();
     FaultInjector injector(injection, *run.unit, run.bimodalTarget);
-    run.config.cycleHook = &injector;
+    ChainedHook chained(&injector, watchdog);
+    run.config.cycleHook =
+        watchdog != nullptr ? static_cast<CycleHook*>(&chained) : &injector;
     run.config.maxCycles =
         context.cleanCycles * maxCycleFactor + 10'000;
 
@@ -86,6 +109,12 @@ InjectionRecord runInjection(const FaultRunFactory& factory,
         } else {
             record.outcome = FaultOutcome::kMasked;
         }
+    } catch (const JobTimeoutError&) {
+        // Host wall-clock bound, not a simulated hang — the durable engine
+        // retries/quarantines; never classify it as a fault outcome.
+        throw;
+    } catch (const JobInterruptedError&) {
+        throw;  // cooperative SIGINT/SIGTERM checkpoint, same reasoning
     } catch (const SimTimeoutError& e) {
         record.outcome = FaultOutcome::kHang;
         record.recoveries = run.unit->stats().parityRecoveries;

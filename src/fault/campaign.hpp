@@ -78,6 +78,17 @@ struct InjectionRecord {
     std::string detail;            ///< divergence / abort / hang description
 };
 
+/// An injection the durable engine gave up on: it failed `maxAttempts`
+/// host-level attempts (wall-clock timeouts, crashes of the harness — never
+/// simulated outcomes, which always classify) and was quarantined into the
+/// report's `failed_jobs` section instead of aborting the campaign.
+struct FailedInjection {
+    std::uint64_t index = 0;  ///< sampling-order index within the campaign
+    Injection injection;
+    std::uint64_t attempts = 0;
+    std::string error;  ///< last attempt's one-line failure
+};
+
 /// Golden model + fault-free timing, shared by all injections of a campaign.
 struct CampaignContext {
     GoldenResult golden;
@@ -116,11 +127,16 @@ struct CampaignResult {
     const std::vector<std::vector<FaultSite>>& classes,
     const CampaignConfig& config, std::uint64_t cleanCycles);
 
-/// Execute one injected run and classify it (see FaultOutcome).
+/// Execute one injected run and classify it (see FaultOutcome).  `watchdog`
+/// (optional) is chained after the injector on the cycle-hook seam — the
+/// durable engine uses it for its per-job wall-clock Deadline.  Job-level
+/// exceptions (JobTimeoutError, JobInterruptedError) propagate instead of
+/// classifying: they describe the host run, not the simulated machine.
 [[nodiscard]] InjectionRecord runInjection(const FaultRunFactory& factory,
                                            const Injection& injection,
                                            const CampaignContext& context,
-                                           std::uint64_t maxCycleFactor);
+                                           std::uint64_t maxCycleFactor,
+                                           CycleHook* watchdog = nullptr);
 
 /// Full campaign: context, deterministic site/cycle sampling, classification.
 [[nodiscard]] CampaignResult runCampaign(const FaultRunFactory& factory,

@@ -2,12 +2,54 @@
 
 namespace asbr {
 
+JsonValue injectionRecordJson(const InjectionRecord& record) {
+    JsonObject r;
+    r.emplace_back("site", faultSiteJson(record.injection.site));
+    r.emplace_back("cycle", record.injection.cycle);
+    r.emplace_back("outcome", faultOutcomeName(record.outcome));
+    r.emplace_back("cycles", record.cycles);
+    r.emplace_back("recoveries", record.recoveries);
+    if (!record.detail.empty()) r.emplace_back("detail", record.detail);
+    return JsonValue(std::move(r));
+}
+
+InjectionRecord injectionRecordFromJson(const JsonValue& value) {
+    ASBR_ENSURE(value.isObject(), "injection record: not a JSON object");
+    InjectionRecord record;
+    const JsonValue* site = value.find("site");
+    ASBR_ENSURE(site != nullptr, "injection record: missing site");
+    record.injection.site = faultSiteFromJson(*site);
+    for (const char* key : {"cycle", "cycles", "recoveries"}) {
+        const JsonValue* v = value.find(key);
+        ASBR_ENSURE(v != nullptr && v->isNumber(),
+                    std::string("injection record: ") + key +
+                        " missing or not a number");
+    }
+    record.injection.cycle = value.find("cycle")->asUint();
+    record.cycles = value.find("cycles")->asUint();
+    record.recoveries = value.find("recoveries")->asUint();
+    const JsonValue* outcome = value.find("outcome");
+    ASBR_ENSURE(outcome != nullptr && outcome->isString(),
+                "injection record: outcome missing or not a string");
+    const auto parsed = faultOutcomeFromName(outcome->asString());
+    ASBR_ENSURE(parsed.has_value(), "injection record: unknown outcome '" +
+                                        outcome->asString() + "'");
+    record.outcome = *parsed;
+    if (const JsonValue* detail = value.find("detail")) {
+        ASBR_ENSURE(detail->isString(),
+                    "injection record: detail is not a string");
+        record.detail = detail->asString();
+    }
+    return record;
+}
+
 JsonValue faultReportJson(const FaultReportMeta& meta,
                           const CampaignConfig& config,
-                          const CampaignResult& result) {
+                          const CampaignResult& result,
+                          const std::vector<FailedInjection>& failed) {
     JsonObject doc;
     doc.emplace_back("schema", kFaultReportSchema);
-    doc.emplace_back("version", kReportSchemaVersion);
+    doc.emplace_back("version", kFaultReportVersion);
 
     JsonObject m;
     m.emplace_back("benchmark", meta.benchmark);
@@ -39,30 +81,32 @@ JsonValue faultReportJson(const FaultReportMeta& meta,
 
     JsonArray injections;
     injections.reserve(result.records.size());
-    for (const InjectionRecord& record : result.records) {
-        JsonObject r;
-        r.emplace_back("site", faultSiteJson(record.injection.site));
-        r.emplace_back("cycle", record.injection.cycle);
-        r.emplace_back("outcome", faultOutcomeName(record.outcome));
-        r.emplace_back("cycles", record.cycles);
-        r.emplace_back("recoveries", record.recoveries);
-        if (!record.detail.empty()) r.emplace_back("detail", record.detail);
-        injections.push_back(JsonValue(std::move(r)));
-    }
+    for (const InjectionRecord& record : result.records)
+        injections.push_back(injectionRecordJson(record));
     doc.emplace_back("injections", JsonValue(std::move(injections)));
+
+    JsonArray failedJobs;
+    failedJobs.reserve(failed.size());
+    for (const FailedInjection& f : failed) {
+        JsonObject r;
+        r.emplace_back("index", f.index);
+        r.emplace_back("site", faultSiteJson(f.injection.site));
+        r.emplace_back("cycle", f.injection.cycle);
+        r.emplace_back("attempts", f.attempts);
+        r.emplace_back("error", f.error);
+        failedJobs.push_back(JsonValue(std::move(r)));
+    }
+    doc.emplace_back("failed_jobs", JsonValue(std::move(failedJobs)));
 
     return JsonValue(std::move(doc));
 }
 
-namespace {
-
-bool knownOutcomeName(const std::string& name) {
+std::optional<FaultOutcome> faultOutcomeFromName(const std::string& name) {
     for (std::size_t o = 0; o < kNumFaultOutcomes; ++o)
-        if (name == faultOutcomeName(static_cast<FaultOutcome>(o))) return true;
-    return false;
+        if (name == faultOutcomeName(static_cast<FaultOutcome>(o)))
+            return static_cast<FaultOutcome>(o);
+    return std::nullopt;
 }
-
-}  // namespace
 
 ReportValidation validateFaultReportJson(const JsonValue& doc) {
     ReportValidation out;
@@ -87,8 +131,9 @@ ReportValidation validateFaultReportJson(const JsonValue& doc) {
             fail(std::string("fault_report: schema is not '") +
                  kFaultReportSchema + "'");
     if (const JsonValue* version = member(doc, "version", "fault_report"))
-        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
-            fail("fault_report: unsupported schema version");
+        if (!version->isNumber() || version->asUint() != kFaultReportVersion)
+            fail("fault_report: unsupported schema version (want " +
+                 std::to_string(kFaultReportVersion) + ")");
 
     if (const JsonValue* meta = member(doc, "meta", "fault_report")) {
         if (!meta->isObject()) {
@@ -112,18 +157,25 @@ ReportValidation validateFaultReportJson(const JsonValue& doc) {
         }
     }
 
+    std::uint64_t campaignInjections = 0;
+    bool campaignOk = false;
     if (const JsonValue* campaign = member(doc, "campaign", "fault_report")) {
         if (!campaign->isObject()) {
             fail("fault_report: campaign is not an object");
         } else {
+            campaignOk = true;
             for (const char* key :
                  {"fault_seed", "injections", "max_cycle_factor",
                   "clean_cycles"}) {
                 const JsonValue* v = campaign->find(key);
-                if (v == nullptr || !v->isNumber())
+                if (v == nullptr || !v->isNumber()) {
                     fail(std::string("fault_report: campaign.") + key +
                          " missing or not a number");
+                    campaignOk = false;
+                }
             }
+            if (campaignOk)
+                campaignInjections = campaign->find("injections")->asUint();
             if (const JsonValue* targets =
                     member(*campaign, "targets", "fault_report: campaign"))
                 if (!targets->isObject())
@@ -152,10 +204,12 @@ ReportValidation validateFaultReportJson(const JsonValue& doc) {
         }
     }
 
+    std::size_t injectionCount = 0;
     if (const JsonValue* injections = member(doc, "injections", "fault_report")) {
         if (!injections->isArray()) {
             fail("fault_report: injections is not an array");
         } else {
+            injectionCount = injections->asArray().size();
             std::size_t index = 0;
             for (const JsonValue& record : injections->asArray()) {
                 const std::string context =
@@ -165,6 +219,42 @@ ReportValidation validateFaultReportJson(const JsonValue& doc) {
                     ++index;
                     continue;
                 }
+                try {
+                    (void)injectionRecordFromJson(record);
+                } catch (const EnsureError& e) {
+                    fail(context + ": " + e.what());
+                }
+                ++index;
+            }
+            // Cross-field consistency: the histogram must account for every
+            // injected run, no more, no less.
+            if (outcomesOk && outcomeSum != injectionCount)
+                fail("fault_report: outcome counts do not sum to the number "
+                     "of injections");
+        }
+    }
+
+    if (const JsonValue* failed = member(doc, "failed_jobs", "fault_report")) {
+        if (!failed->isArray()) {
+            fail("fault_report: failed_jobs is not an array");
+        } else {
+            std::size_t index = 0;
+            for (const JsonValue& record : failed->asArray()) {
+                const std::string context =
+                    "fault_report: failed_jobs[" + std::to_string(index) + "]";
+                if (!record.isObject()) {
+                    fail(context + " is not an object");
+                    ++index;
+                    continue;
+                }
+                for (const char* key : {"index", "cycle", "attempts"}) {
+                    const JsonValue* v = record.find(key);
+                    if (v == nullptr || !v->isNumber())
+                        fail(context + "." + key + " missing or not a number");
+                }
+                const JsonValue* error = record.find("error");
+                if (error == nullptr || !error->isString())
+                    fail(context + ".error missing or not a string");
                 if (const JsonValue* site = record.find("site")) {
                     try {
                         (void)faultSiteFromJson(*site);
@@ -174,22 +264,16 @@ ReportValidation validateFaultReportJson(const JsonValue& doc) {
                 } else {
                     fail(context + ": missing required member 'site'");
                 }
-                for (const char* key : {"cycle", "cycles", "recoveries"}) {
-                    const JsonValue* v = record.find(key);
-                    if (v == nullptr || !v->isNumber())
-                        fail(context + "." + key + " missing or not a number");
-                }
-                const JsonValue* outcome = record.find("outcome");
-                if (outcome == nullptr || !outcome->isString() ||
-                    !knownOutcomeName(outcome->asString()))
-                    fail(context + ".outcome missing or not a known label");
                 ++index;
             }
-            // Cross-field consistency: the histogram must account for every
-            // injected run, no more, no less.
-            if (outcomesOk && outcomeSum != injections->asArray().size())
-                fail("fault_report: outcome counts do not sum to the number "
-                     "of injections");
+            // Classified + quarantined must cover the configured campaign:
+            // reports are only written for complete (possibly degraded)
+            // campaigns, never for interrupted ones.
+            if (campaignOk &&
+                injectionCount + failed->asArray().size() !=
+                    campaignInjections)
+                fail("fault_report: injections + failed_jobs do not cover "
+                     "campaign.injections");
         }
     }
     return out;

@@ -8,7 +8,9 @@
 // and ci/faults.sh can diff whole files against committed goldens.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "fault/campaign.hpp"
 #include "report/report.hpp"
@@ -17,6 +19,9 @@
 namespace asbr {
 
 inline constexpr const char* kFaultReportSchema = "asbr.fault_report";
+/// Fault documents version independently of the base kReportSchemaVersion:
+/// v2 added the `failed_jobs` quarantine section (PR 8).
+inline constexpr std::uint64_t kFaultReportVersion = 2;
 
 /// Identity of the campaign's workload/hardware configuration.  The string
 /// fields use the asbr-faults CLI tokens (e.g. benchmark "adpcm-enc",
@@ -32,12 +37,26 @@ struct FaultReportMeta {
     std::string updateStage;    ///< valueStageName(...)
 };
 
-/// Serialize a finished campaign (schema `asbr.fault_report`, version 1).
-[[nodiscard]] JsonValue faultReportJson(const FaultReportMeta& meta,
-                                        const CampaignConfig& config,
-                                        const CampaignResult& result);
+/// Serialize a finished campaign (schema `asbr.fault_report`, version 2).
+/// `failed` lists injections the durable engine quarantined (empty for an
+/// all-green campaign — the section is always present in the document).
+[[nodiscard]] JsonValue faultReportJson(
+    const FaultReportMeta& meta, const CampaignConfig& config,
+    const CampaignResult& result,
+    const std::vector<FailedInjection>& failed = {});
 
 /// Schema validation; shares ReportValidation with the other report kinds.
 [[nodiscard]] ReportValidation validateFaultReportJson(const JsonValue& doc);
+
+/// Inverse of faultOutcomeName (nullopt for an unknown label).
+[[nodiscard]] std::optional<FaultOutcome> faultOutcomeFromName(
+    const std::string& name);
+
+/// JSON round-trip for one injection record — the same object shape the
+/// report's `injections` array uses.  The durable engine stores these as
+/// per-injection journal artifacts; fromJson throws EnsureError on a
+/// malformed document.
+[[nodiscard]] JsonValue injectionRecordJson(const InjectionRecord& record);
+[[nodiscard]] InjectionRecord injectionRecordFromJson(const JsonValue& value);
 
 }  // namespace asbr

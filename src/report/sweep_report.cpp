@@ -3,22 +3,35 @@
 namespace asbr {
 
 JsonValue sweepReportJson(const std::string& generator, JsonValue options,
-                          const SweepEngineStats& engine,
-                          const std::vector<SimReport>& runs) {
+                          const std::vector<SweepCell>& cells) {
     JsonObject doc;
     doc.emplace_back("schema", kSweepReportSchema);
-    doc.emplace_back("version", kReportSchemaVersion);
+    doc.emplace_back("version", kSweepReportVersion);
     doc.emplace_back("generator", generator);
     doc.emplace_back("options", std::move(options));
-    JsonObject engineJson;
-    engineJson.emplace_back("jobs_run", engine.jobsRun);
-    engineJson.emplace_back("cache_hits", engine.cacheHits);
-    engineJson.emplace_back("worker_busy_cycles", engine.workerBusyCycles);
-    doc.emplace_back("engine", JsonValue(std::move(engineJson)));
-    JsonArray runArray;
-    runArray.reserve(runs.size());
-    for (const SimReport& run : runs) runArray.push_back(simReportJson(run));
-    doc.emplace_back("runs", JsonValue(std::move(runArray)));
+
+    JsonArray cellArray;
+    cellArray.reserve(cells.size());
+    JsonArray failedArray;
+    for (const SweepCell& cell : cells) {
+        JsonObject c;
+        c.emplace_back("job", cell.job);
+        c.emplace_back("status", cell.status);
+        c.emplace_back("attempts", cell.attempts);
+        if (cell.status == "ok") {
+            c.emplace_back("report", cell.report);
+        } else {
+            c.emplace_back("error", cell.error);
+            JsonObject f;
+            f.emplace_back("job", cell.job);
+            f.emplace_back("attempts", cell.attempts);
+            f.emplace_back("error", cell.error);
+            failedArray.push_back(JsonValue(std::move(f)));
+        }
+        cellArray.push_back(JsonValue(std::move(c)));
+    }
+    doc.emplace_back("cells", JsonValue(std::move(cellArray)));
+    doc.emplace_back("failed_jobs", JsonValue(std::move(failedArray)));
     return JsonValue(std::move(doc));
 }
 
@@ -38,34 +51,95 @@ ReportValidation validateSweepReportJson(const JsonValue& doc) {
              "'");
     const JsonValue* version = doc.find("version");
     if (version == nullptr || !version->isNumber() ||
-        version->asUint() != kReportSchemaVersion)
-        fail("sweep_report: unsupported schema version");
+        version->asUint() != kSweepReportVersion)
+        fail("sweep_report: unsupported schema version (want " +
+             std::to_string(kSweepReportVersion) + ")");
     const JsonValue* generator = doc.find("generator");
     if (generator == nullptr || !generator->isString())
         fail("sweep_report: generator missing or not a string");
-    const JsonValue* engine = doc.find("engine");
-    if (engine == nullptr || !engine->isObject()) {
-        fail("sweep_report: engine missing or not an object");
-    } else {
-        for (const char* key :
-             {"jobs_run", "cache_hits", "worker_busy_cycles"}) {
-            const JsonValue* v = engine->find(key);
-            if (v == nullptr || !v->isNumber())
-                fail(std::string("sweep_report: engine.") + key +
-                     " missing or not a number");
-        }
-    }
-    const JsonValue* runs = doc.find("runs");
-    if (runs == nullptr || !runs->isArray() || runs->asArray().empty()) {
-        fail("sweep_report: runs missing, not an array, or empty");
+
+    std::size_t failedCells = 0;
+    const JsonValue* cells = doc.find("cells");
+    if (cells == nullptr || !cells->isArray() || cells->asArray().empty()) {
+        fail("sweep_report: cells missing, not an array, or empty");
     } else {
         std::size_t index = 0;
-        for (const JsonValue& run : runs->asArray()) {
-            const ReportValidation inner = validateSimReportJson(run);
-            for (const std::string& error : inner.errors)
-                fail("runs[" + std::to_string(index) + "] " + error);
+        for (const JsonValue& cell : cells->asArray()) {
+            const std::string context =
+                "cells[" + std::to_string(index) + "]";
+            if (!cell.isObject()) {
+                fail("sweep_report: " + context + " is not an object");
+                ++index;
+                continue;
+            }
+            const JsonValue* job = cell.find("job");
+            if (job == nullptr || !job->isString())
+                fail("sweep_report: " + context +
+                     ".job missing or not a string");
+            const JsonValue* attempts = cell.find("attempts");
+            if (attempts == nullptr || !attempts->isNumber())
+                fail("sweep_report: " + context +
+                     ".attempts missing or not a number");
+            const JsonValue* status = cell.find("status");
+            if (status == nullptr || !status->isString() ||
+                (status->asString() != "ok" &&
+                 status->asString() != "failed")) {
+                fail("sweep_report: " + context +
+                     ".status missing or not 'ok'/'failed'");
+            } else if (status->asString() == "ok") {
+                const JsonValue* report = cell.find("report");
+                if (report == nullptr) {
+                    fail("sweep_report: " + context +
+                         " has status ok but no report");
+                } else {
+                    const ReportValidation inner =
+                        validateSimReportJson(*report);
+                    for (const std::string& error : inner.errors)
+                        fail(context + ".report " + error);
+                }
+            } else {
+                ++failedCells;
+                const JsonValue* error = cell.find("error");
+                if (error == nullptr || !error->isString())
+                    fail("sweep_report: " + context +
+                         " has status failed but no error string");
+            }
             ++index;
         }
+    }
+
+    const JsonValue* failed = doc.find("failed_jobs");
+    if (failed == nullptr || !failed->isArray()) {
+        fail("sweep_report: failed_jobs missing or not an array");
+    } else {
+        std::size_t index = 0;
+        for (const JsonValue& entry : failed->asArray()) {
+            const std::string context =
+                "failed_jobs[" + std::to_string(index) + "]";
+            if (!entry.isObject()) {
+                fail("sweep_report: " + context + " is not an object");
+            } else {
+                const JsonValue* job = entry.find("job");
+                if (job == nullptr || !job->isString())
+                    fail("sweep_report: " + context +
+                         ".job missing or not a string");
+                const JsonValue* error = entry.find("error");
+                if (error == nullptr || !error->isString())
+                    fail("sweep_report: " + context +
+                         ".error missing or not a string");
+                const JsonValue* attempts = entry.find("attempts");
+                if (attempts == nullptr || !attempts->isNumber())
+                    fail("sweep_report: " + context +
+                         ".attempts missing or not a number");
+            }
+            ++index;
+        }
+        // Cross-field consistency: the summary must mirror the quarantined
+        // cells exactly.
+        if (cells != nullptr && cells->isArray() &&
+            failed->asArray().size() != failedCells)
+            fail("sweep_report: failed_jobs does not match the number of "
+                 "failed cells");
     }
     return out;
 }

@@ -21,9 +21,8 @@ FunctionalResult FunctionalSim::run(std::uint64_t maxInstructions) {
     IoContext io;
     while (!io.exited) {
         if (result.instructions >= maxInstructions)
-            throw SimTimeoutError(
-                "functional watchdog: run exceeded the instruction limit of " +
-                std::to_string(maxInstructions));
+            throw SimTimeoutError(watchdogMessage(
+                "functional", "instruction", maxInstructions, "instructions"));
         // Decode-cached hot path: identical semantics to step() — the
         // record was produced by the same decodeOne() — without re-running
         // the decoder on every trip around a loop.

@@ -411,9 +411,8 @@ PipelineResult PipelineSim::run(std::uint64_t maxCommits) {
         ++stats_.cycles;
         if (stats_.cycles > config_.maxCycles)
             throw SimTimeoutError(
-                "pipeline watchdog: run exceeded the configured cycle bound "
-                "of " +
-                std::to_string(config_.maxCycles) + " cycles");
+                watchdogMessage("pipeline", "cycle", config_.maxCycles,
+                                "cycles"));
         if (config_.cycleHook != nullptr)
             config_.cycleHook->onCycle(stats_.cycles);
         flushedThisCycle_ = false;

@@ -5,6 +5,7 @@
 // failure paths and embedding applications can recover.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -25,6 +26,37 @@ class SimTimeoutError : public EnsureError {
 public:
     explicit SimTimeoutError(const std::string& what) : EnsureError(what) {}
 };
+
+/// Thrown by the per-job wall-clock watchdog (driver::Deadline).  NOT a
+/// SimTimeoutError on purpose: a simulated hang (cycle bound) is a property
+/// of the simulated machine and fault campaigns classify it as such, while a
+/// wall-clock timeout is a property of the host run — the durable engine
+/// retries and eventually quarantines the job instead.
+class JobTimeoutError : public EnsureError {
+public:
+    explicit JobTimeoutError(const std::string& what) : EnsureError(what) {}
+};
+
+/// Thrown when a cooperative interrupt (SIGINT/SIGTERM checkpoint) asks an
+/// in-flight job to stop.  The durable engine drops the attempt without
+/// recording a failure — a resumed journal re-runs the job from scratch.
+class JobInterruptedError : public EnsureError {
+public:
+    explicit JobInterruptedError(const std::string& what) : EnsureError(what) {}
+};
+
+/// The one structured shape every watchdog message uses:
+///   "<what> watchdog: run exceeded the configured <unit> bound of N <units>"
+/// Shared by the functional ISS (instructions), the pipeline (cycles) and
+/// the per-job wall clock (ms) so timeouts read identically everywhere a
+/// tool reports them (asbr-faults replay, sampled runs, quarantine errors).
+[[nodiscard]] inline std::string watchdogMessage(const char* what,
+                                                 const char* unit,
+                                                 std::uint64_t bound,
+                                                 const char* suffix) {
+    return std::string(what) + " watchdog: run exceeded the configured " +
+           unit + " bound of " + std::to_string(bound) + " " + suffix;
+}
 
 namespace detail {
 [[noreturn]] inline void ensureFail(const char* expr, const char* file, int line,

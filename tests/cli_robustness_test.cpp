@@ -237,4 +237,55 @@ TEST(CliRobustness, FaultsReplayIndexOutOfRange) {
                          "asbr-faults replay");
 }
 
+// ---- durable-execution flags (docs/robustness.md) -------------------------
+
+TEST(CliRobustness, SweepResumeWithoutJournalIsRejected) {
+    expectCleanRejection(runTool("asbr-sweep", "--resume"), "asbr-sweep");
+}
+
+TEST(CliRobustness, SweepEmptyJournalDirIsRejected) {
+    expectCleanRejection(runTool("asbr-sweep", "--journal="), "asbr-sweep");
+}
+
+TEST(CliRobustness, SweepZeroMaxAttemptsIsRejected) {
+    const RunResult r = runTool("asbr-sweep", "--max-attempts=0");
+    expectCleanRejection(r, "asbr-sweep");
+    EXPECT_NE(r.output.find("must be >= 1"), r.output.npos) << r.output;
+}
+
+TEST(CliRobustness, FaultsCampaignResumeWithoutJournalIsRejected) {
+    expectCleanRejection(
+        runTool("asbr-faults", "campaign --bench=adpcm-enc --resume"),
+        "asbr-faults campaign");
+}
+
+TEST(CliRobustness, FaultsCampaignRejectsSampledSimulation) {
+    const RunResult r = runTool(
+        "asbr-faults", "campaign --bench=adpcm-enc --sample=1000:1000:8000");
+    expectCleanRejection(r, "asbr-faults campaign");
+    EXPECT_NE(r.output.find("--sample"), r.output.npos) << r.output;
+}
+
+TEST(CliRobustness, StatsRunRejectsJournalFlags) {
+    expectCleanRejection(
+        runTool("asbr-stats",
+                "run --bench=adpcm-enc --journal=/tmp/nope --quick"),
+        "asbr-stats run");
+}
+
+TEST(CliRobustness, BenchBinariesRejectJournalFlags) {
+    expectCleanRejection(
+        runTool("../bench/fig6_baseline", "--quick --resume"),
+        "fig6_baseline");
+}
+
+TEST_P(CliRobustnessTest, HelpMentionsDurabilityFlags) {
+    const RunResult r = runTool(GetParam(), "--help");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    for (const char* flag :
+         {"--journal", "--resume", "--job-timeout", "--max-attempts"})
+        EXPECT_NE(r.output.find(flag), r.output.npos)
+            << GetParam() << " --help does not mention " << flag;
+}
+
 }  // namespace

@@ -131,16 +131,19 @@ TEST(DriverDeterminism, SweepReportBytesIdenticalAcrossThreadCounts) {
 
     auto sweepText = [&](std::size_t threads) {
         SimEngine engine({.threads = threads});
-        const std::vector<JobResult> results = engine.run(jobs);
-        const EngineStats stats = engine.stats();
-        SweepEngineStats engineJson;
-        engineJson.jobsRun = stats.jobsRun;
-        engineJson.cacheHits = stats.cacheHits;
-        engineJson.workerBusyCycles = stats.workerBusyCycles;
-        std::vector<SimReport> runs;
-        for (const JobResult& r : results) runs.push_back(r.report);
-        return sweepReportJson("driver_test", JsonValue(JsonObject{}),
-                               engineJson, runs)
+        // Durable executor without a journal — the code path asbr-sweep uses.
+        const DurableRunResult outcome = engine.runDurable(jobs, {});
+        std::vector<SweepCell> cells;
+        for (const CellOutcome& cell : outcome.cells) {
+            SweepCell out;
+            out.job = cell.key;
+            out.status = cell.status == CellStatus::kOk ? "ok" : "failed";
+            out.attempts = cell.attempts;
+            out.report = cell.report;
+            out.error = cell.error;
+            cells.push_back(std::move(out));
+        }
+        return sweepReportJson("driver_test", JsonValue(JsonObject{}), cells)
             .dump(2);
     };
     const std::string s1 = sweepText(1);

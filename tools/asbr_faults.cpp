@@ -13,6 +13,8 @@
 // Campaigns run on the driver::SimEngine worker pool — injections are
 // sampled in serial RNG order and merged by index, so --threads=8 emits the
 // same bytes as --threads=1.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -47,10 +49,23 @@ namespace {
         "  --no-bdt --no-bit --no-bp       exclude a fault class\n"
         "  --json=FILE             write the asbr.fault_report (\"-\" = stdout)\n"
         "\n"
+        "campaign durability (docs/robustness.md):\n"
+        "  --journal=DIR           write-ahead injection journal\n"
+        "  --resume                resume DIR's journal (byte-identical)\n"
+        "  --job-timeout=MS        per-injection wall-clock watchdog (0 = off)\n"
+        "  --max-attempts=N        attempts before an injection lands in\n"
+        "                          failed_jobs instead of aborting the grid\n"
+        "  (--sample is rejected: injections are classified against the full\n"
+        "   cycle-accurate golden run)\n"
+        "\n"
         "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
+
+std::atomic<bool> gInterrupted{false};
+
+extern "C" void onSignal(int) { gInterrupted.store(true); }
 
 /// The ASBR job a campaign (or replay) simulates: the paper's BIT size for
 /// the benchmark, bimodal-2048 accuracy reference, chosen aux predictor.
@@ -151,12 +166,35 @@ int cmdCampaign(int argc, char** argv) {
                      predictorName.c_str());
         return 2;
     }
+    if (options.sample.has_value()) {
+        std::fprintf(stderr,
+                     "campaign: --sample is not supported here — injections "
+                     "are classified against the full cycle-accurate golden "
+                     "run\n");
+        return 2;
+    }
+    if (options.resume && options.journalDir.empty()) {
+        std::fprintf(stderr, "campaign: --resume requires --journal=DIR\n");
+        return 2;
+    }
 
-    SimEngine engine({.threads = options.threads});
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    SimEngine engine(driver::engineConfigFor(options));
     const SimJob job =
         campaignJob(*id, options, predictorName, protectedMode, stage);
     const FaultReportMeta meta = metaFor(engine, job);
-    const CampaignResult result = engine.runCampaign(job, campaign);
+
+    driver::DurablePolicy policy;
+    policy.journalDir = options.journalDir;
+    policy.resume = options.resume;
+    policy.maxAttempts = options.maxAttempts;
+    policy.jobTimeoutMs = options.jobTimeoutMs;
+    policy.interrupted = &gInterrupted;
+    const driver::DurableCampaignResult durable =
+        engine.runCampaignDurable(job, campaign, policy);
+    const CampaignResult& result = durable.result;
 
     std::printf("campaign: %s / %s%s, %llu injections, fault seed %llu\n",
                 meta.benchmark.c_str(), predictorName.c_str(),
@@ -166,9 +204,26 @@ int cmdCampaign(int argc, char** argv) {
     std::printf("clean cycles: %llu\n",
                 static_cast<unsigned long long>(result.context.cleanCycles));
     printOutcomes(result);
+    for (const FailedInjection& failed : durable.failed)
+        std::fprintf(stderr,
+                     "campaign: quarantined injection #%llu (%s @ cycle %llu) "
+                     "after %llu attempt(s): %s\n",
+                     static_cast<unsigned long long>(failed.index),
+                     describeSite(failed.injection.site).c_str(),
+                     static_cast<unsigned long long>(failed.injection.cycle),
+                     static_cast<unsigned long long>(failed.attempts),
+                     failed.error.c_str());
+
+    if (durable.interrupted) {
+        std::fprintf(stderr,
+                     "campaign: interrupted — journal checkpointed; rerun "
+                     "with --resume to continue\n");
+        return 130;
+    }
 
     if (!options.jsonPath.empty()) {
-        const JsonValue doc = faultReportJson(meta, campaign, result);
+        const JsonValue doc =
+            faultReportJson(meta, campaign, result, durable.failed);
         const std::string text = doc.dump(2) + "\n";
         if (options.jsonPath == "-") {
             std::fputs(text.c_str(), stdout);
@@ -184,7 +239,7 @@ int cmdCampaign(int argc, char** argv) {
                          options.jsonPath.c_str());
         }
     }
-    return 0;
+    return durable.failed.empty() ? 0 : 3;
 }
 
 /// Load + parse + schema-check a fault report file.  Returns nullopt (after
@@ -313,7 +368,7 @@ int cmdValidate(const char* path) {
         std::fprintf(stderr, "%s: %s\n", path, error.c_str());
     if (!validation.ok()) return 1;
     std::printf("%s: valid %s v%llu document\n", path, kFaultReportSchema,
-                static_cast<unsigned long long>(kReportSchemaVersion));
+                static_cast<unsigned long long>(kFaultReportVersion));
     return 0;
 }
 

@@ -66,9 +66,24 @@ namespace {
         "  --trace-start=N --trace-end=N --trace-max=N   trace window / cap\n"
         "\n"
         "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n"
-        "                --workload=W --csv --json=FILE --sample=W:M:S\n",
+        "                --workload=W --csv --json=FILE --sample=W:M:S\n"
+        "                --job-timeout=MS --max-attempts=N\n"
+        "                (--journal=DIR / --resume are durable-sweep flags —\n"
+        "                 asbr-sweep and asbr-faults campaign only; rejected\n"
+        "                 here with a clear error)\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
+}
+
+/// Single-run commands have no journal: fail fast instead of silently
+/// ignoring a flag the user expected to persist something.
+bool rejectJournalFlags(const char* command, const Options& options) {
+    if (options.journalDir.empty() && !options.resume) return false;
+    std::fprintf(stderr,
+                 "%s: --journal/--resume apply to asbr-sweep and asbr-faults "
+                 "campaign (docs/robustness.md)\n",
+                 command);
+    return true;
 }
 
 void writeTextTo(const std::string& path, const std::string& text,
@@ -190,6 +205,7 @@ int cmdRun(int argc, char** argv) {
                      job.predictor.c_str());
         return 2;
     }
+    if (rejectJournalFlags("run", options)) return 2;
     job.workload = *id;
     job.seed = options.seed;
     job.samples = samplesFor(options, *id);
@@ -210,7 +226,7 @@ int cmdRun(int argc, char** argv) {
         job.trace = true;
     }
 
-    SimEngine engine({.threads = options.threads});
+    SimEngine engine(driver::engineConfigFor(options));
     const JobResult r = engine.runOne(job);
     // Simulation-phase wall clock, measured by the engine around the
     // pipeline / sampled / reference runs only — compile/profile/select
@@ -337,10 +353,12 @@ int cmdReport(int argc, char** argv) {
         }
     }
 
+    if (rejectJournalFlags("report", options)) return 2;
+
     // The whole Figure 6 + Figure 11 grid as one engine batch: per bench,
     // the three baseline predictors, then ASBR with the paper's BIT size
     // under each auxiliary predictor.  Submission order fixes report order.
-    SimEngine engine({.threads = options.threads});
+    SimEngine engine(driver::engineConfigFor(options));
     ReportSink sink("asbr-stats report", options);
     std::vector<SimJob> jobs;
     for (const BenchId id : benchList(options, kAllBenches)) {
@@ -394,16 +412,22 @@ int cmdValidate(const char* path) {
         return 1;
     }
     ReportValidation validation;
+    // The sweep/fault schemas carry their own version constants (bumped to 2
+    // for the durable-execution failed_jobs sections); everything else is
+    // still at the shared kReportSchemaVersion.
+    std::uint64_t version = kReportSchemaVersion;
     if (schema->asString() == kSimReportSchema) {
         validation = validateSimReportJson(*parsed.value);
     } else if (schema->asString() == kBenchReportSchema) {
         validation = validateBenchReportJson(*parsed.value);
     } else if (schema->asString() == kFaultReportSchema) {
         validation = validateFaultReportJson(*parsed.value);
+        version = kFaultReportVersion;
     } else if (schema->asString() == kAnalysisReportSchema) {
         validation = validateAnalysisReportJson(*parsed.value);
     } else if (schema->asString() == kSweepReportSchema) {
         validation = validateSweepReportJson(*parsed.value);
+        version = kSweepReportVersion;
     } else if (schema->asString() == kWcetReportSchema) {
         validation = validateWcetReportJson(*parsed.value);
     } else if (schema->asString() == kSamplingReportSchema) {
@@ -418,7 +442,7 @@ int cmdValidate(const char* path) {
     if (!validation.ok()) return 1;
     std::printf("%s: valid %s v%llu document\n", path,
                 schema->asString().c_str(),
-                static_cast<unsigned long long>(kReportSchemaVersion));
+                static_cast<unsigned long long>(version));
     return 0;
 }
 

@@ -1,16 +1,25 @@
 // asbr-sweep — parameter-grid sweeps over the driver engine.
 //
 // Cross-products workload x predictor x BIT-size x update-stage axes into
-// one SimJob batch, runs it on the engine worker pool (--threads=N), and
-// emits a schema-versioned asbr.sweep_report (engine counters + one
-// asbr.sim_report run object per grid point).  Expansion order is fixed and
-// results merge in submission order, so the report is byte-identical at any
-// thread count — ci and the determinism tests diff whole files to prove it.
+// one SimJob batch and runs it through the engine's durable executor
+// (docs/robustness.md): an optional write-ahead job journal (--journal=DIR,
+// --resume), a per-job wall-clock watchdog (--job-timeout=MS), bounded
+// retry (--max-attempts=N) and quarantine — a persistently failing cell
+// lands in the report's failed_jobs section instead of aborting the grid.
+// Expansion order is fixed and results merge in submission order, so the
+// asbr.sweep_report is byte-identical at any thread count and across a
+// kill/--resume cycle — ci/resume.sh diffs whole files to prove it.
+//
+// Exit codes: 0 success, 2 bad command line, 3 at least one cell
+// quarantined, 130 interrupted (journal checkpointed; rerun with --resume).
 //
 // Examples:
 //   asbr-sweep --quick --bits=1,4,16 --predictors=bi512 --json=-
 //   asbr-sweep --workload=g721-enc --stages=commit,mem_end,ex_end
 //              --baseline --threads=8 --json=sweep.json
+//   asbr-sweep --journal=sweep.j --resume --json=sweep.json
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -43,11 +52,19 @@ namespace {
         "  --baseline              also run each workload x predictor point\n"
         "                          without ASBR, before its ASBR points\n"
         "\n"
+        "durability (docs/robustness.md):\n"
+        "  --journal=DIR           write-ahead job journal + result artifacts\n"
+        "  --resume                resume DIR's journal: completed cells are\n"
+        "                          spliced, the rest re-run (byte-identical)\n"
+        "  --job-timeout=MS        per-attempt wall-clock watchdog (0 = off)\n"
+        "  --max-attempts=N        attempts before a cell is quarantined\n"
+        "\n"
         "output:\n"
         "  --json=FILE             write the asbr.sweep_report (\"-\" = stdout)\n"
         "\n"
         "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n"
-        "                --workload=W (single-workload shorthand) --csv\n",
+        "                --workload=W (single-workload shorthand) --csv\n"
+        "                --sample=W:M:S\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -63,6 +80,27 @@ std::vector<std::string> splitList(const std::string& text) {
         start = comma + 1;
     }
     return items;
+}
+
+const char* stageToken(ValueStage stage) {
+    switch (stage) {
+        case ValueStage::kExEnd: return "ex_end";
+        case ValueStage::kMemEnd: return "mem_end";
+        case ValueStage::kCommit: return "commit";
+    }
+    return "?";
+}
+
+std::atomic<bool> gInterrupted{false};
+
+extern "C" void onSignal(int) { gInterrupted.store(true); }
+
+/// counters["<name>"] from a serialized asbr.sim_report, 0 when absent.
+std::uint64_t reportCounter(const JsonValue& report, const char* name) {
+    const JsonValue* counters = report.find("counters");
+    if (counters == nullptr) return 0;
+    const JsonValue* v = counters->find(name);
+    return v != nullptr && v->isNumber() ? v->asUint() : 0;
 }
 
 }  // namespace
@@ -125,53 +163,113 @@ int main(int argc, char** argv) {
     if (grid.predictors.empty() || grid.bitSizes.empty() ||
         grid.stages.empty())
         driver::cliFail(argv[0], "every grid axis needs at least one value");
+    if (options.resume && options.journalDir.empty())
+        driver::cliFail(argv[0], "--resume requires --journal=DIR");
     // --workload=W is shorthand for --workloads=W.
     if (options.workload.has_value()) grid.workloads = {*options.workload};
 
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
     const std::vector<SimJob> jobs = driver::expandSweep(grid, options);
-    SimEngine engine({.threads = options.threads});
-    const std::vector<JobResult> results = engine.run(jobs);
+    SimEngine engine(driver::engineConfigFor(options));
+
+    driver::DurablePolicy policy;
+    policy.journalDir = options.journalDir;
+    policy.resume = options.resume;
+    policy.maxAttempts = options.maxAttempts;
+    policy.jobTimeoutMs = options.jobTimeoutMs;
+    policy.interrupted = &gInterrupted;
+    const driver::DurableRunResult outcome = engine.runDurable(jobs, policy);
 
     TextTable table("asbr-sweep: " + std::to_string(jobs.size()) +
                     " grid point(s)");
     table.setHeader({"benchmark", "predictor", "ASBR", "BIT", "stage",
-                     "cycles", "CPI", "folds"});
-    for (const JobResult& r : results) {
-        table.addRow({r.report.meta.benchmark, r.report.meta.predictor,
-                      r.asbr ? "yes" : "no",
-                      r.asbr ? std::to_string(r.report.meta.bitEntries) : "-",
-                      r.asbr ? r.report.meta.updateStage : "-",
-                      formatWithCommas(r.stats.cycles),
-                      formatFixed(r.stats.cpi(), 3),
-                      formatWithCommas(r.unitStats.folds)});
+                     "cycles", "CPI", "folds", "status"});
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+        const SimJob& job = jobs[i];
+        const driver::CellOutcome& cell = outcome.cells[i];
+        std::string cycles = "-";
+        std::string cpi = "-";
+        std::string folds = "-";
+        std::string status;
+        switch (cell.status) {
+            case driver::CellStatus::kOk: {
+                cycles = formatWithCommas(
+                    reportCounter(cell.report, "pipeline.cycles"));
+                const JsonValue* derived = cell.report.find("derived");
+                const JsonValue* cpiValue =
+                    derived != nullptr ? derived->find("cpi") : nullptr;
+                if (cpiValue != nullptr && cpiValue->isNumber())
+                    cpi = formatFixed(cpiValue->asDouble(), 3);
+                folds = formatWithCommas(
+                    reportCounter(cell.report, "asbr.folds"));
+                status = cell.resumed ? "ok (resumed)" : "ok";
+                break;
+            }
+            case driver::CellStatus::kFailed:
+                status = "failed x" + std::to_string(cell.attempts);
+                break;
+            case driver::CellStatus::kSkipped:
+                status = "skipped";
+                break;
+        }
+        table.addRow({driver::benchToken(job.workload), job.predictor,
+                      job.asbr ? "yes" : "no",
+                      job.asbr ? std::to_string(job.bitEntries) : "-",
+                      job.asbr ? stageToken(job.updateStage) : "-", cycles, cpi,
+                      folds, status});
     }
     printTable(options, table);
 
     const driver::EngineStats stats = engine.stats();
     std::fprintf(stderr,
-                 "engine: %llu job(s), %llu cache hit(s), %llu busy cycle(s)\n",
+                 "engine: %llu job(s), %llu cache hit(s), %llu busy cycle(s), "
+                 "%llu resumed\n",
                  static_cast<unsigned long long>(stats.jobsRun),
                  static_cast<unsigned long long>(stats.cacheHits),
-                 static_cast<unsigned long long>(stats.workerBusyCycles));
+                 static_cast<unsigned long long>(stats.workerBusyCycles),
+                 static_cast<unsigned long long>(stats.jobsResumed));
+    for (const driver::CellOutcome& cell : outcome.cells)
+        if (cell.status == driver::CellStatus::kFailed)
+            std::fprintf(stderr,
+                         "asbr-sweep: quarantined %s after %llu attempt(s): "
+                         "%s\n",
+                         cell.key.c_str(),
+                         static_cast<unsigned long long>(cell.attempts),
+                         cell.error.c_str());
+
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "asbr-sweep: interrupted — journal checkpointed; rerun "
+                     "with --resume to continue\n");
+        return 130;
+    }
 
     if (!options.jsonPath.empty()) {
         // The options block records what determined the document's bytes —
-        // deliberately NOT --threads, which must not change them.
+        // deliberately NOT --threads / --journal / --resume, which must not
+        // change them.
         JsonObject optionsJson;
         optionsJson.emplace_back(
             "adpcm_samples", static_cast<std::uint64_t>(options.adpcmSamples));
         optionsJson.emplace_back(
             "g721_samples", static_cast<std::uint64_t>(options.g721Samples));
         optionsJson.emplace_back("seed", options.seed);
-        SweepEngineStats engineJson;
-        engineJson.jobsRun = stats.jobsRun;
-        engineJson.cacheHits = stats.cacheHits;
-        engineJson.workerBusyCycles = stats.workerBusyCycles;
-        std::vector<SimReport> runs;
-        runs.reserve(results.size());
-        for (const JobResult& r : results) runs.push_back(r.report);
+        std::vector<SweepCell> cells;
+        cells.reserve(outcome.cells.size());
+        for (const driver::CellOutcome& cell : outcome.cells) {
+            SweepCell out;
+            out.job = cell.key;
+            out.status =
+                cell.status == driver::CellStatus::kOk ? "ok" : "failed";
+            out.attempts = cell.attempts;
+            out.report = cell.report;
+            out.error = cell.error;
+            cells.push_back(std::move(out));
+        }
         const JsonValue doc = sweepReportJson(
-            "asbr-sweep", JsonValue(std::move(optionsJson)), engineJson, runs);
+            "asbr-sweep", JsonValue(std::move(optionsJson)), cells);
         const std::string text = doc.dump(2) + "\n";
         if (options.jsonPath == "-") {
             std::fputs(text.c_str(), stdout);
@@ -183,11 +281,11 @@ int main(int argc, char** argv) {
                 return 1;
             }
             out << text;
-            std::fprintf(stderr, "wrote sweep report (%zu runs) to %s\n",
-                         runs.size(), options.jsonPath.c_str());
+            std::fprintf(stderr, "wrote sweep report (%zu cells) to %s\n",
+                         cells.size(), options.jsonPath.c_str());
         }
     }
-    return 0;
+    return outcome.countWith(driver::CellStatus::kFailed) > 0 ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asbr-sweep: error: %s\n", e.what());
     return 1;

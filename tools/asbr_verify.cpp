@@ -71,7 +71,10 @@ using namespace asbr;
         "  --samples=N         workload input samples (0 = capacity)\n"
         "  --threads=N         run the two measured pipeline runs in\n"
         "                      parallel (the report is byte-identical at any\n"
-        "                      N; default 1)\n",
+        "                      N; default 1)\n"
+        "durable sweeps (--journal=DIR --resume --job-timeout=MS\n"
+        "--max-attempts=N) live in asbr-sweep and asbr-faults campaign — see\n"
+        "docs/robustness.md.\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
