@@ -63,7 +63,7 @@ documented=$(grep -o '`\(pipeline\|mem\|bp\|asbr\|engine\|wcet\|selection\|sim\)
     | grep -v -e '^asbr\.sim_report$' -e '^asbr\.bench_report$' \
               -e '^asbr\.fault_report$' -e '^asbr\.analysis_report$' \
               -e '^asbr\.sweep_report$' -e '^asbr\.wcet_report$' \
-              -e '^asbr\.sampling_report$' \
+              -e '^asbr\.sampling_report$' -e '^asbr\.ipa_report$' \
     | sort -u)
 while IFS= read -r name; do
     [[ -n "$name" ]] || continue

@@ -15,7 +15,11 @@ ci/docs-check.sh
 # assert its sources are in scope so they can never silently drop out.
 files=$(find src tools -name '*.cpp' | sort)
 for must in src/analysis/absint/absint.cpp src/analysis/absint/domain.cpp \
+            src/analysis/absint/refine.cpp \
             src/analysis/dominators.cpp src/analysis/loops.cpp \
+            src/analysis/ipa/callgraph.cpp src/analysis/ipa/ipa.cpp \
+            src/analysis/ipa/sccp.cpp src/analysis/ipa/ssa.cpp \
+            src/analysis/ipa/valueset.cpp \
             src/analysis/verify.cpp src/analysis/timing/cost_model.cpp \
             src/analysis/timing/loop_bounds.cpp src/analysis/timing/wcet.cpp; do
     if ! grep -qx "$must" <<< "$files"; then
@@ -41,8 +45,45 @@ if [[ -x "$VERIFY" ]]; then
         exit 1
     fi
     echo "ok: unbounded-loop lint fires under --strict only"
+
+    # Same contract for the dangling-.loopbound lint: the annotation names
+    # an address that is no loop head, so it silently bounds nothing —
+    # clean without --strict, rejected with it.
+    if ! "$VERIFY" tests/fixtures/dangling_loopbound.s --all --no-schedule \
+            --quiet; then
+        echo "FAIL: dangling_loopbound.s should verify clean without" \
+             "--strict" >&2
+        exit 1
+    fi
+    if "$VERIFY" tests/fixtures/dangling_loopbound.s --all --no-schedule \
+            --strict --quiet > /dev/null 2>&1; then
+        echo "FAIL: --strict should reject the dangling-loopbound fixture" >&2
+        exit 1
+    fi
+    strict_out=$("$VERIFY" tests/fixtures/dangling_loopbound.s --all \
+        --no-schedule --strict 2>&1 || true)  # expected nonzero exit
+    if ! grep -q 'dangling-loopbound' <<< "$strict_out"; then
+        echo "FAIL: --strict rejection must name the dangling-loopbound" \
+             "lint" >&2
+        exit 1
+    fi
+    echo "ok: dangling-loopbound lint fires under --strict only"
 else
     echo "ci/lint.sh: $VERIFY not built; skipping unbounded-loop lint check" >&2
+fi
+
+# cppcheck is a second, independent static-analysis gate; like clang-tidy it
+# is blocking wherever the tool exists and skips (with a notice) where it
+# does not, so the lint job never silently weakens on equipped runners.
+if command -v cppcheck > /dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    cppcheck --std=c++20 --language=c++ --enable=warning,performance \
+        --inline-suppr --error-exitcode=1 \
+        --suppress=internalAstError --suppress=unknownMacro \
+        -I src $files
+    echo "ok: cppcheck clean"
+else
+    echo "ci/lint.sh: cppcheck not found; skipping" >&2
 fi
 
 if ! command -v clang-tidy > /dev/null 2>&1; then

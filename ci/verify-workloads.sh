@@ -82,6 +82,57 @@ for bench in adpcm-enc g721-enc; do
     fi
 done
 
+# ---------------------------------------------------------- ipa goldens ----
+# The interprocedural reports pin the SSA construction, the SCCP solution,
+# the value-set resolution and the call-graph summaries.  Integer-only and
+# purely static, so byte-stable at any thread count.  The jalr fixture is
+# the resolution showcase: its dispatch-table call must stay resolved (two
+# targets) and WCET-bounded.  Regenerate intentionally with
+# ci/regen-goldens.sh.
+STATS="$BUILD_DIR/tools/asbr-stats"
+for target in adpcm-enc g721-enc jalr; do
+    if [[ "$target" == jalr ]]; then
+        golden="tests/golden/ipa_jalr_dispatch.json"
+        args=(tests/fixtures/jalr_dispatch.s)
+    else
+        golden="tests/golden/ipa_${target//-/_}.json"
+        args=(--bench="$target")
+    fi
+    out="$tmpdir/$(basename "$golden")"
+    if ! "$VERIFY" ipa "${args[@]}" --out="$out" --quiet \
+            > "$tmpdir/log" 2>&1; then
+        echo "FAIL: asbr-verify ipa ${args[*]} failed:" >&2
+        cat "$tmpdir/log" >&2
+        status=1
+    elif ! diff -q "$golden" "$out" > /dev/null; then
+        echo "FAIL: $golden drifted from the interprocedural analysis:" >&2
+        diff "$golden" "$out" | head -20 >&2
+        status=1
+    elif ! "$STATS" validate "$out" > /dev/null 2>&1; then
+        echo "FAIL: $out does not validate against asbr.ipa_report" >&2
+        status=1
+    else
+        echo "ok: $golden reproduced bit-for-bit and validated"
+    fi
+done
+
+# The resolved dispatch-table call must keep the fixture WCET-bounded (the
+# acceptance bar for the value-set resolution: previously this program was
+# rejected with "indirect control flow").
+if ! python3 - "$tmpdir/ipa_jalr_dispatch.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["wcet"]["bounded"], doc["wcet"]
+assert doc["resolution"]["resolved_calls"] == 1, doc["resolution"]
+assert len(doc["resolution"]["sites"][0]["targets"]) == 2, doc["resolution"]
+EOF
+then
+    echo "FAIL: jalr dispatch fixture lost its bounded WCET or resolution" >&2
+    status=1
+else
+    echo "ok: jalr dispatch fixture is resolved and WCET-bounded"
+fi
+
 # ----------------------------------------------------- sampling golden ----
 # One sampled run (quick inputs, pinned seed and window geometry) with the
 # full cycle-accurate reference attached: the integer-only report must

@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 
+#include "analysis/absint/refine.hpp"
+
 namespace asbr::analysis {
 
 const char* branchDirectionName(BranchDirection d) {
@@ -25,185 +27,6 @@ RegState topState() {
     s.fill(AbsValue::top());
     s[reg::zero] = AbsValue::constant(0);
     return s;
-}
-
-/// The deterministic machine state both simulators reset to
-/// (sim/functional.cpp, sim/pipeline.cpp): all registers zero except the
-/// stack and global pointers.
-RegState entryState(const Cfg& cfg) {
-    RegState s;
-    s.fill(AbsValue::constant(0));
-    s[reg::sp] = AbsValue::constant(static_cast<std::int32_t>(kStackTop));
-    s[reg::gp] = AbsValue::constant(
-        static_cast<std::int32_t>(cfg.program->dataBase + 0x8000));
-    return s;
-}
-
-void setReg(RegState& s, std::uint8_t rd, const AbsValue& v) {
-    if (rd == reg::zero) return;  // architecturally discarded
-    s[rd] = v;
-}
-
-/// Abstract effect of one instruction.  Returns false when execution
-/// provably halts here (a `sys` whose v0 must be Syscall::kExit).
-bool transferInstruction(const Cfg& cfg, InstrIndex idx,
-                         const Instruction& ins, RegState& s) {
-    const Op op = ins.op;
-    if (op <= Op::kRemu) {
-        setReg(s, ins.rd, absAluOp(op, s[ins.rs], s[ins.rt]));
-    } else if (op >= Op::kAddiu && op <= Op::kSra) {
-        setReg(s, ins.rd, absAluImmOp(op, s[ins.rs], ins.imm));
-    } else if (isLoad(op)) {
-        setReg(s, ins.rd, absLoadResult(op));
-    } else if (op == Op::kJal) {
-        setReg(s, reg::ra,
-               AbsValue::constant(
-                   static_cast<std::int32_t>(cfg.pcOf(idx) + kInstrBytes)));
-    } else if (op == Op::kJalr) {
-        setReg(s, ins.rd,
-               AbsValue::constant(
-                   static_cast<std::int32_t>(cfg.pcOf(idx) + kInstrBytes)));
-    } else if (op == Op::kSys) {
-        // exec.cpp's syscalls write no registers; kExit stops the machine.
-        if (s[reg::v0] ==
-            AbsValue::constant(static_cast<std::int32_t>(Syscall::kExit)))
-            return false;
-    }
-    // Stores, branches, j, jr, nop: no register effect.
-    return true;
-}
-
-/// Walk a whole block from its entry state.  Returns false when the block
-/// provably halts before its end.
-bool transferBlock(const Cfg& cfg, std::size_t b, RegState& s) {
-    const BasicBlock& block = cfg.blocks[b];
-    for (InstrIndex i = block.first; i <= block.last; ++i)
-        if (!transferInstruction(cfg, i, cfg.program->code[i], s))
-            return false;
-    return true;
-}
-
-struct EdgeRefinement {
-    bool isBranch = false;      ///< block ends in a conditional branch
-    std::uint8_t condReg = 0;
-    Cond cond = Cond::kEqz;
-    InstrIndex targetIdx = 0;   ///< taken-successor instruction index
-    InstrIndex fallthroughIdx = 0;
-    // Compare origin: the tested register is a slt/slti/sltu/sltiu flag
-    // computed in the same block, with neither the flag nor the compared
-    // operands redefined between the compare and the branch.  mcc lowers
-    // every relational test (`i < n`) to such a flag feeding beqz/bnez, so
-    // refining only the 0/1 flag would lose the operand bound that keeps
-    // loop-counter intervals finite.
-    bool hasCmp = false;
-    Op cmpOp = Op::kSlt;
-    std::uint8_t cmpA = 0;      ///< left operand register
-    bool cmpBIsReg = false;
-    std::uint8_t cmpB = 0;      ///< right operand register (R-type compares)
-    std::int32_t cmpImm = 0;    ///< right operand immediate (I-type compares)
-};
-
-EdgeRefinement edgeRefinement(const Cfg& cfg, std::size_t b) {
-    EdgeRefinement er;
-    const BasicBlock& block = cfg.blocks[b];
-    const Instruction& last = cfg.program->code[block.last];
-    if (!isCondBranch(last.op)) return er;
-    er.isBranch = true;
-    er.condReg = last.rs;
-    er.cond = branchCond(last.op);
-    er.targetIdx = static_cast<InstrIndex>(
-        static_cast<std::int64_t>(block.last) + 1 + last.imm);
-    er.fallthroughIdx = block.last + 1;
-    if (er.condReg == reg::zero) return er;
-    // Nearest in-block definition of the tested register.
-    for (InstrIndex i = block.last; i-- > block.first;) {
-        const Instruction& ins = cfg.program->code[i];
-        const auto d = destReg(ins);
-        if (!d || *d != er.condReg) continue;
-        const bool rCmp = ins.op == Op::kSlt || ins.op == Op::kSltu;
-        const bool iCmp = ins.op == Op::kSlti || ins.op == Op::kSltiu;
-        if (!rCmp && !iCmp) break;  // defined by something else
-        // Operand values must survive unchanged to the block end: the
-        // compare overwrote condReg itself, and nothing between the
-        // compare and the branch may redefine an operand.
-        if (ins.rs == er.condReg || (rCmp && ins.rt == er.condReg)) break;
-        bool clobbered = false;
-        for (InstrIndex k = i + 1; k < block.last && !clobbered; ++k) {
-            const auto kd = destReg(cfg.program->code[k]);
-            clobbered = kd && (*kd == ins.rs || (rCmp && *kd == ins.rt));
-        }
-        if (clobbered) break;
-        er.hasCmp = true;
-        er.cmpOp = ins.op;
-        er.cmpA = ins.rs;
-        er.cmpBIsReg = rCmp;
-        er.cmpB = ins.rt;
-        er.cmpImm = ins.imm;
-        break;
-    }
-    return er;
-}
-
-/// Refine the compare operands along an edge that fixes the truth of the
-/// originating slt-family compare.  Returns false when the refinement
-/// proves the edge infeasible.
-bool refineCmpOperands(const EdgeRefinement& er, bool cmpTrue, RegState& out) {
-    const AbsValue a = out[er.cmpA];
-    const AbsValue b = er.cmpBIsReg ? out[er.cmpB]
-                                    : AbsValue::constant(er.cmpImm);
-    if (a.isBottom() || b.isBottom()) return true;  // nothing reliable to do
-    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
-    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
-    const bool isUnsigned = er.cmpOp == Op::kSltu || er.cmpOp == Op::kSltiu;
-    AbsValue newA = a, newB = b;
-    if (isUnsigned && !er.cmpBIsReg && er.cmpImm == 1) {
-        // `sltiu x, 1` is the canonical "x == 0" idiom (exec.cpp compares
-        // unsigned, so only x == 0 is below 1): exact for any x.
-        newA = cmpTrue ? a.meet(AbsValue::constant(0))
-                       : refineByCond(Cond::kNez, a);
-    } else if (isUnsigned && a.lo < 0) {
-        return true;  // unsigned order diverges from signed: stay sound
-    } else if (isUnsigned && er.cmpBIsReg && b.lo < 0) {
-        return true;
-    } else if (isUnsigned && !er.cmpBIsReg && er.cmpImm < 0) {
-        return true;  // sign-extended immediate compares as a huge unsigned
-    } else if (cmpTrue) {  // a < b
-        newA = a.meet(AbsValue::range(kMin, b.hi - 1));
-        newB = b.meet(AbsValue::range(a.lo + 1, kMax));
-    } else {  // a >= b
-        newA = a.meet(AbsValue::range(b.lo, kMax));
-        newB = b.meet(AbsValue::range(kMin, a.hi));
-    }
-    if (newA.isBottom() || (er.cmpBIsReg && newB.isBottom())) return false;
-    if (er.cmpA != reg::zero) out[er.cmpA] = newA;
-    if (er.cmpBIsReg && er.cmpB != reg::zero) out[er.cmpB] = newB;
-    return true;
-}
-
-/// Out-state along the edge b -> succ, refined by the branch condition when
-/// the edge is exclusively the taken or the fall-through arm.  Returns false
-/// when the edge is infeasible (refinement emptied the tested register).
-bool refineForEdge(const Cfg& cfg, const EdgeRefinement& er, std::size_t succ,
-                   RegState& out) {
-    if (!er.isBranch) return true;
-    const InstrIndex succFirst = cfg.blocks[succ].first;
-    const bool isTarget = succFirst == er.targetIdx;
-    const bool isFallthrough = succFirst == er.fallthroughIdx;
-    if (isTarget == isFallthrough) return true;  // both arms (imm 0) or neither
-    const Cond c = isTarget ? er.cond : negateCond(er.cond);
-    const AbsValue refined = refineByCond(c, out[er.condReg]);
-    if (refined.isBottom()) return false;
-    out[er.condReg] = refined;
-    if (er.hasCmp) {
-        // A slt-family flag is concretely 0 or 1; when the edge condition
-        // separates those two values it fixes the compare's truth and the
-        // operands can be refined too.
-        const bool on1 = evalCond(c, 1);
-        const bool on0 = evalCond(c, 0);
-        if (on1 != on0 && !refineCmpOperands(er, /*cmpTrue=*/on1, out))
-            return false;
-    }
-    return true;
 }
 
 }  // namespace
@@ -230,7 +53,7 @@ ValueAnalysis analyzeValues(const Cfg& cfg, const LoopForest& loops) {
             worklist.push_back(b);
         }
     };
-    va.blockIn[cfg.entryBlock] = entryState(cfg);
+    va.blockIn[cfg.entryBlock] = entryRegState(cfg);
     va.blockReachable[cfg.entryBlock] = 1;
     enqueue(cfg.entryBlock);
 
@@ -251,7 +74,7 @@ ValueAnalysis analyzeValues(const Cfg& cfg, const LoopForest& loops) {
         }
 
         RegState out = va.blockIn[b];
-        if (!transferBlock(cfg, b, out)) continue;  // provably halts
+        if (!absTransferBlock(cfg, b, out)) continue;  // provably halts
         const EdgeRefinement er = edgeRefinement(cfg, b);
         for (const std::size_t succ : cfg.blocks[b].succs) {
             RegState edgeOut = out;
@@ -289,11 +112,11 @@ ValueAnalysis analyzeValues(const Cfg& cfg, const LoopForest& loops) {
             for (const std::size_t b : doms.rpo) {
                 if (!va.blockReachable[b]) continue;
                 RegState newIn = bottomState();
-                if (b == cfg.entryBlock) newIn = entryState(cfg);
+                if (b == cfg.entryBlock) newIn = entryRegState(cfg);
                 for (const std::size_t p : cfg.blocks[b].preds) {
                     if (!va.blockReachable[p]) continue;
                     RegState out = va.blockIn[p];
-                    if (!transferBlock(cfg, p, out)) continue;
+                    if (!absTransferBlock(cfg, p, out)) continue;
                     if (!refineForEdge(cfg, edgeRefinement(cfg, p), b, out))
                         continue;
                     for (int r = 0; r < kNumRegs; ++r)
@@ -330,7 +153,7 @@ ValueAnalysis analyzeValues(const Cfg& cfg, const LoopForest& loops) {
                         break;
                 }
             }
-            halted = !transferInstruction(cfg, i, ins, s);
+            halted = !absTransferInstruction(cfg, i, ins, s);
         }
         if (halted) continue;  // out-edges stay infeasible
         const EdgeRefinement er = edgeRefinement(cfg, b);

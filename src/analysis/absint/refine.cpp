@@ -1,0 +1,160 @@
+#include "analysis/absint/refine.hpp"
+
+#include <limits>
+
+namespace asbr::analysis {
+
+namespace {
+
+void setReg(RegState& s, std::uint8_t rd, const AbsValue& v) {
+    if (rd == reg::zero) return;  // architecturally discarded
+    s[rd] = v;
+}
+
+/// Refine the compare operands along an edge that fixes the truth of the
+/// originating slt-family compare.  Returns false when the refinement
+/// proves the edge infeasible.
+bool refineCmpOperands(const EdgeRefinement& er, bool cmpTrue, RegState& out) {
+    const AbsValue a = out[er.cmpA];
+    const AbsValue b = er.cmpBIsReg ? out[er.cmpB]
+                                    : AbsValue::constant(er.cmpImm);
+    if (a.isBottom() || b.isBottom()) return true;  // nothing reliable to do
+    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+    const bool isUnsigned = er.cmpOp == Op::kSltu || er.cmpOp == Op::kSltiu;
+    AbsValue newA = a, newB = b;
+    if (isUnsigned && !er.cmpBIsReg && er.cmpImm == 1) {
+        // `sltiu x, 1` is the canonical "x == 0" idiom (exec.cpp compares
+        // unsigned, so only x == 0 is below 1): exact for any x.
+        newA = cmpTrue ? a.meet(AbsValue::constant(0))
+                       : refineByCond(Cond::kNez, a);
+    } else if (isUnsigned && a.lo < 0) {
+        return true;  // unsigned order diverges from signed: stay sound
+    } else if (isUnsigned && er.cmpBIsReg && b.lo < 0) {
+        return true;
+    } else if (isUnsigned && !er.cmpBIsReg && er.cmpImm < 0) {
+        return true;  // sign-extended immediate compares as a huge unsigned
+    } else if (cmpTrue) {  // a < b
+        newA = a.meet(AbsValue::range(kMin, b.hi - 1));
+        newB = b.meet(AbsValue::range(a.lo + 1, kMax));
+    } else {  // a >= b
+        newA = a.meet(AbsValue::range(b.lo, kMax));
+        newB = b.meet(AbsValue::range(kMin, a.hi));
+    }
+    if (newA.isBottom() || (er.cmpBIsReg && newB.isBottom())) return false;
+    if (er.cmpA != reg::zero) out[er.cmpA] = newA;
+    if (er.cmpBIsReg && er.cmpB != reg::zero) out[er.cmpB] = newB;
+    return true;
+}
+
+}  // namespace
+
+RegState entryRegState(const Cfg& cfg) {
+    RegState s;
+    s.fill(AbsValue::constant(0));
+    s[reg::sp] = AbsValue::constant(static_cast<std::int32_t>(kStackTop));
+    s[reg::gp] = AbsValue::constant(
+        static_cast<std::int32_t>(cfg.program->dataBase + 0x8000));
+    return s;
+}
+
+bool absTransferInstruction(const Cfg& cfg, InstrIndex idx,
+                            const Instruction& ins, RegState& s) {
+    const Op op = ins.op;
+    if (op <= Op::kRemu) {
+        setReg(s, ins.rd, absAluOp(op, s[ins.rs], s[ins.rt]));
+    } else if (op >= Op::kAddiu && op <= Op::kSra) {
+        setReg(s, ins.rd, absAluImmOp(op, s[ins.rs], ins.imm));
+    } else if (isLoad(op)) {
+        setReg(s, ins.rd, absLoadResult(op));
+    } else if (op == Op::kJal) {
+        setReg(s, reg::ra,
+               AbsValue::constant(
+                   static_cast<std::int32_t>(cfg.pcOf(idx) + kInstrBytes)));
+    } else if (op == Op::kJalr) {
+        setReg(s, ins.rd,
+               AbsValue::constant(
+                   static_cast<std::int32_t>(cfg.pcOf(idx) + kInstrBytes)));
+    } else if (op == Op::kSys) {
+        // exec.cpp's syscalls write no registers; kExit stops the machine.
+        if (s[reg::v0] ==
+            AbsValue::constant(static_cast<std::int32_t>(Syscall::kExit)))
+            return false;
+    }
+    // Stores, branches, j, jr, nop: no register effect.
+    return true;
+}
+
+bool absTransferBlock(const Cfg& cfg, std::size_t b, RegState& s) {
+    const BasicBlock& block = cfg.blocks[b];
+    for (InstrIndex i = block.first; i <= block.last; ++i)
+        if (!absTransferInstruction(cfg, i, cfg.program->code[i], s))
+            return false;
+    return true;
+}
+
+EdgeRefinement edgeRefinement(const Cfg& cfg, std::size_t b) {
+    EdgeRefinement er;
+    const BasicBlock& block = cfg.blocks[b];
+    const Instruction& last = cfg.program->code[block.last];
+    if (!isCondBranch(last.op)) return er;
+    er.isBranch = true;
+    er.condReg = last.rs;
+    er.cond = branchCond(last.op);
+    er.targetIdx = static_cast<InstrIndex>(
+        static_cast<std::int64_t>(block.last) + 1 + last.imm);
+    er.fallthroughIdx = block.last + 1;
+    if (er.condReg == reg::zero) return er;
+    // Nearest in-block definition of the tested register.
+    for (InstrIndex i = block.last; i-- > block.first;) {
+        const Instruction& ins = cfg.program->code[i];
+        const auto d = destReg(ins);
+        if (!d || *d != er.condReg) continue;
+        const bool rCmp = ins.op == Op::kSlt || ins.op == Op::kSltu;
+        const bool iCmp = ins.op == Op::kSlti || ins.op == Op::kSltiu;
+        if (!rCmp && !iCmp) break;  // defined by something else
+        // Operand values must survive unchanged to the block end: the
+        // compare overwrote condReg itself, and nothing between the
+        // compare and the branch may redefine an operand.
+        if (ins.rs == er.condReg || (rCmp && ins.rt == er.condReg)) break;
+        bool clobbered = false;
+        for (InstrIndex k = i + 1; k < block.last && !clobbered; ++k) {
+            const auto kd = destReg(cfg.program->code[k]);
+            clobbered = kd && (*kd == ins.rs || (rCmp && *kd == ins.rt));
+        }
+        if (clobbered) break;
+        er.hasCmp = true;
+        er.cmpOp = ins.op;
+        er.cmpA = ins.rs;
+        er.cmpBIsReg = rCmp;
+        er.cmpB = ins.rt;
+        er.cmpImm = ins.imm;
+        break;
+    }
+    return er;
+}
+
+bool refineForEdge(const Cfg& cfg, const EdgeRefinement& er, std::size_t succ,
+                   RegState& out) {
+    if (!er.isBranch) return true;
+    const InstrIndex succFirst = cfg.blocks[succ].first;
+    const bool isTarget = succFirst == er.targetIdx;
+    const bool isFallthrough = succFirst == er.fallthroughIdx;
+    if (isTarget == isFallthrough) return true;  // both arms (imm 0) or neither
+    const Cond c = isTarget ? er.cond : negateCond(er.cond);
+    const AbsValue refined = refineByCond(c, out[er.condReg]);
+    if (refined.isBottom()) return false;
+    out[er.condReg] = refined;
+    if (er.hasCmp) {
+        // A slt-family flag is concretely 0 or 1; when the edge condition
+        // separates those two values it fixes the compare's truth and the
+        // operands can be refined too.
+        const bool on1 = evalCond(c, 1);
+        const bool on0 = evalCond(c, 0);
+        if (on1 != on0 && !refineCmpOperands(er, /*cmpTrue=*/on1, out))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace asbr::analysis

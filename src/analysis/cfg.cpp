@@ -29,11 +29,19 @@ std::optional<InstrIndex> jumpTarget(const Program& program, InstrIndex i) {
     return (addr - program.textBase) / kInstrBytes;
 }
 
+/// Resolution entry for instruction i, or nullptr.
+const ResolvedIndirect* resolutionAt(const IndirectMap* resolved,
+                                     InstrIndex i) {
+    if (!resolved) return nullptr;
+    const auto it = resolved->find(i);
+    return it == resolved->end() ? nullptr : &it->second;
+}
+
 /// Intraprocedural successors used for function-membership discovery: calls
-/// are stepped over (flow resumes at the return point) and returns stop the
-/// walk.
-void intraSuccessors(const Program& program, InstrIndex i,
-                     std::vector<InstrIndex>& out) {
+/// are stepped over (flow resumes at the return point), returns stop the
+/// walk, and a value-set-resolved `jr` is a computed goto to its targets.
+void intraSuccessors(const Program& program, const IndirectMap* resolved,
+                     InstrIndex i, std::vector<InstrIndex>& out) {
     const std::size_t n = program.code.size();
     const Instruction& ins = program.code[i];
     out.clear();
@@ -45,7 +53,10 @@ void intraSuccessors(const Program& program, InstrIndex i,
     } else if (ins.op == Op::kJal || ins.op == Op::kJalr) {
         if (i + 1 < n) out.push_back(i + 1);  // resume at the return point
     } else if (ins.op == Op::kJr) {
-        // return — the walk ends here
+        if (const ResolvedIndirect* r = resolutionAt(resolved, i);
+            r && !r->isCall)
+            out.assign(r->targets.begin(), r->targets.end());
+        // else: return — the walk ends here
     } else {
         if (i + 1 < n) out.push_back(i + 1);
     }
@@ -60,7 +71,9 @@ void addEdge(Cfg& cfg, std::size_t from, std::size_t to) {
 
 }  // namespace
 
-Cfg buildCfg(const Program& program) {
+Cfg buildCfg(const Program& program) { return buildCfg(program, nullptr); }
+
+Cfg buildCfg(const Program& program, const IndirectMap* resolved) {
     Cfg cfg;
     cfg.program = &program;
     const std::size_t n = program.code.size();
@@ -69,19 +82,32 @@ Cfg buildCfg(const Program& program) {
     // ---- function entries and call sites -------------------------------
     const InstrIndex entryIdx = cfg.indexOf(program.entry);
     cfg.functionEntries.push_back(entryIdx);
-    bool hasIndirectCall = false;
+    auto addEntry = [&cfg](InstrIndex e) {
+        if (std::find(cfg.functionEntries.begin(), cfg.functionEntries.end(),
+                      e) == cfg.functionEntries.end())
+            cfg.functionEntries.push_back(e);
+    };
+    bool hasUnresolvedCall = false;
     for (InstrIndex i = 0; i < n; ++i) {
         const Instruction& ins = program.code[i];
         if (ins.op == Op::kJal) {
             if (const auto t = jumpTarget(program, i)) {
-                if (std::find(cfg.functionEntries.begin(),
-                              cfg.functionEntries.end(),
-                              *t) == cfg.functionEntries.end())
-                    cfg.functionEntries.push_back(*t);
+                addEntry(*t);
                 cfg.callSites.push_back({i, *t});
             }
         } else if (ins.op == Op::kJalr) {
-            hasIndirectCall = true;
+            // A resolved jalr is a multi-target direct call; each target is
+            // a function entry with its own call-site record, so jr-ra
+            // return matching works exactly as for jal.
+            if (const ResolvedIndirect* r = resolutionAt(resolved, i);
+                r && r->isCall) {
+                for (const InstrIndex t : r->targets) {
+                    addEntry(t);
+                    cfg.callSites.push_back({i, t});
+                }
+            } else {
+                hasUnresolvedCall = true;
+            }
         }
     }
     std::sort(cfg.functionEntries.begin(), cfg.functionEntries.end());
@@ -102,7 +128,7 @@ Cfg buildCfg(const Program& program) {
                 const InstrIndex i = stack.back();
                 stack.pop_back();
                 funcsOf[i].push_back(entry);
-                intraSuccessors(program, i, succs);
+                intraSuccessors(program, resolved, i, succs);
                 for (const InstrIndex s : succs)
                     if (!seen[s]) {
                         seen[s] = 1;
@@ -121,6 +147,9 @@ Cfg buildCfg(const Program& program) {
             if (const auto t = branchTarget(program, i)) leader[*t] = 1;
         } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
             if (const auto t = jumpTarget(program, i)) leader[*t] = 1;
+        } else if (ins.op == Op::kJr || ins.op == Op::kJalr) {
+            if (const ResolvedIndirect* r = resolutionAt(resolved, i))
+                for (const InstrIndex t : r->targets) leader[t] = 1;
         }
         if (isControl(ins.op) && i + 1 < n) leader[i + 1] = 1;
     }
@@ -140,20 +169,28 @@ Cfg buildCfg(const Program& program) {
     }
     cfg.entryBlock = cfg.blockOf[entryIdx];
 
-    // Return points of every direct call site, plus — when indirect calls
-    // exist — of every jalr; used for conservative indirect-jump edges.
+    // Return points of every call site (jal and resolved jalr), plus — when
+    // unresolved indirect calls exist — of every unresolved jalr; used for
+    // conservative indirect-jump edges.
     std::vector<InstrIndex> returnPoints;
     for (const CallSite& cs : cfg.callSites)
         if (cs.pc + 1 < n) returnPoints.push_back(cs.pc + 1);
-    if (hasIndirectCall)
-        for (InstrIndex i = 0; i < n; ++i)
-            if (program.code[i].op == Op::kJalr && i + 1 < n)
-                returnPoints.push_back(i + 1);
+    std::vector<InstrIndex> unresolvedJalrReturns;
+    if (hasUnresolvedCall)
+        for (InstrIndex i = 0; i < n; ++i) {
+            const ResolvedIndirect* r = resolutionAt(resolved, i);
+            if (program.code[i].op == Op::kJalr && !(r && r->isCall) &&
+                i + 1 < n)
+                unresolvedJalrReturns.push_back(i + 1);
+        }
+    returnPoints.insert(returnPoints.end(), unresolvedJalrReturns.begin(),
+                        unresolvedJalrReturns.end());
 
     // ---- edges ----------------------------------------------------------
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
         const InstrIndex lastIdx = cfg.blocks[b].last;
         const Instruction& ins = program.code[lastIdx];
+        const ResolvedIndirect* r = resolutionAt(resolved, lastIdx);
         if (isCondBranch(ins.op)) {
             if (const auto t = branchTarget(program, lastIdx))
                 addEdge(cfg, b, cfg.blockOf[*t]);
@@ -161,12 +198,22 @@ Cfg buildCfg(const Program& program) {
         } else if (ins.op == Op::kJ || ins.op == Op::kJal) {
             if (const auto t = jumpTarget(program, lastIdx))
                 addEdge(cfg, b, cfg.blockOf[*t]);
+        } else if (ins.op == Op::kJalr && r && r->isCall) {
+            // Resolved call: edge into every possible callee; control comes
+            // back through the callee's jr-ra return edges.
+            for (const InstrIndex t : r->targets)
+                addEdge(cfg, b, cfg.blockOf[t]);
+        } else if (ins.op == Op::kJr && r && !r->isCall) {
+            // Resolved computed goto (dispatch-table jr).
+            for (const InstrIndex t : r->targets)
+                addEdge(cfg, b, cfg.blockOf[t]);
         } else if (ins.op == Op::kJr && ins.rs == reg::ra &&
                    !funcsOf[lastIdx].empty()) {
             // Return: edge to the return point of every call site of every
-            // function this instruction belongs to.  With indirect calls in
-            // the program the function may also be entered via jalr, so the
-            // jalr return points are added as well.
+            // function this instruction belongs to.  With unresolved
+            // indirect calls in the program the function may also be
+            // entered via an unresolved jalr, so those return points are
+            // added as well.
             for (const CallSite& cs : cfg.callSites) {
                 if (cs.pc + 1 >= n) continue;
                 const auto& owners = funcsOf[lastIdx];
@@ -174,10 +221,8 @@ Cfg buildCfg(const Program& program) {
                     owners.end())
                     addEdge(cfg, b, cfg.blockOf[cs.pc + 1]);
             }
-            if (hasIndirectCall)
-                for (InstrIndex i = 0; i < n; ++i)
-                    if (program.code[i].op == Op::kJalr && i + 1 < n)
-                        addEdge(cfg, b, cfg.blockOf[i + 1]);
+            for (const InstrIndex rp : unresolvedJalrReturns)
+                addEdge(cfg, b, cfg.blockOf[rp]);
         } else if (ins.op == Op::kJr || ins.op == Op::kJalr) {
             // Unresolvable indirect flow: over-approximate with every
             // function entry and every return point.
@@ -185,8 +230,8 @@ Cfg buildCfg(const Program& program) {
             cfg.hasUnresolvedIndirect = true;
             for (const InstrIndex e : cfg.functionEntries)
                 addEdge(cfg, b, cfg.blockOf[e]);
-            for (const InstrIndex r : returnPoints)
-                addEdge(cfg, b, cfg.blockOf[r]);
+            for (const InstrIndex rp : returnPoints)
+                addEdge(cfg, b, cfg.blockOf[rp]);
         } else {
             if (lastIdx + 1 < n) addEdge(cfg, b, cfg.blockOf[lastIdx + 1]);
         }

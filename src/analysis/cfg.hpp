@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "asm/program.hpp"
@@ -67,7 +68,30 @@ struct Cfg {
     }
 };
 
+/// Statically resolved targets of one indirect-control instruction, as
+/// produced by the value-set analysis (analysis/ipa/valueset).  `isCall`
+/// distinguishes a `jalr` (call: control returns to the site) from a `jr`
+/// through a non-ra register (computed goto: control does not return).
+struct ResolvedIndirect {
+    bool isCall = false;
+    std::vector<InstrIndex> targets;  ///< sorted, deduplicated, inside text
+
+    [[nodiscard]] bool operator==(const ResolvedIndirect&) const = default;
+};
+
+/// Resolved indirect jumps keyed by instruction index.  Sites absent from
+/// the map keep the conservative all-entries/all-return-points edges.
+using IndirectMap = std::map<InstrIndex, ResolvedIndirect>;
+
 /// Build the interprocedural CFG for a linked program.
 [[nodiscard]] Cfg buildCfg(const Program& program);
+
+/// Build the CFG with value-set-resolved indirect jumps: a resolved `jalr`
+/// becomes an ordinary multi-target call (edges into each callee, a call
+/// site per target, returns matched through `jr ra` like direct calls); a
+/// resolved `jr` becomes a precise computed goto.  Passing nullptr (or an
+/// empty map) reproduces buildCfg(program) exactly.
+[[nodiscard]] Cfg buildCfg(const Program& program,
+                           const IndirectMap* resolved);
 
 }  // namespace asbr::analysis

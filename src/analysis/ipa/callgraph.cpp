@@ -1,0 +1,195 @@
+#include "analysis/ipa/callgraph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace asbr::analysis::ipa {
+
+namespace {
+
+const ResolvedIndirect* resolutionAt(const IndirectMap& resolved,
+                                     InstrIndex i) {
+    const auto it = resolved.find(i);
+    return it == resolved.end() ? nullptr : &it->second;
+}
+
+/// Membership walk from `entry` over intraprocedural successors (calls
+/// stepped over, returns stop, resolved gotos followed); fills the body
+/// block set.
+std::vector<std::size_t> functionBlocks(const Cfg& cfg,
+                                        const IndirectMap& resolved,
+                                        InstrIndex entry) {
+    std::vector<std::size_t> body;
+    std::vector<char> seen(cfg.blocks.size(), 0);
+    std::vector<std::size_t> work{cfg.blockOf[entry]};
+    seen[cfg.blockOf[entry]] = 1;
+    while (!work.empty()) {
+        const std::size_t b = work.back();
+        work.pop_back();
+        body.push_back(b);
+        const BasicBlock& block = cfg.blocks[b];
+        const Instruction& last = cfg.program->code[block.last];
+        std::vector<std::size_t> succs;
+        if (block.endsInUnresolvedIndirect) {
+            // No intraprocedural successor knowable.
+        } else if (last.op == Op::kJal || last.op == Op::kJalr) {
+            if (block.last + 1 < cfg.numInstructions())
+                succs.push_back(cfg.blockOf[block.last + 1]);
+        } else if (last.op == Op::kJr) {
+            if (const ResolvedIndirect* r = resolutionAt(resolved, block.last);
+                r && !r->isCall)
+                for (const InstrIndex t : r->targets)
+                    succs.push_back(cfg.blockOf[t]);
+        } else {
+            succs = block.succs;
+        }
+        for (const std::size_t s : succs)
+            if (!seen[s]) {
+                seen[s] = 1;
+                work.push_back(s);
+            }
+    }
+    std::sort(body.begin(), body.end());
+    return body;
+}
+
+std::string hexPc(std::uint32_t pc) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%x", pc);
+    return buf;
+}
+
+}  // namespace
+
+CallGraph buildCallGraph(const Cfg& cfg, const SsaForm& ssa,
+                         const SccpResult& sccp,
+                         const IndirectMap& resolved) {
+    CallGraph graph;
+    if (cfg.blocks.empty() || cfg.entryBlock == kNoBlock) return graph;
+    const Program& program = *cfg.program;
+
+    std::vector<InstrIndex> entries = cfg.functionEntries;
+    std::sort(entries.begin(), entries.end());
+    for (const InstrIndex e : entries) {
+        graph.byEntry.emplace(e, graph.functions.size());
+        FunctionSummary fs;
+        fs.entry = e;
+        fs.entryPc = cfg.pcOf(e);
+        graph.functions.push_back(std::move(fs));
+    }
+    graph.mainIndex = graph.byEntry.at(cfg.blocks[cfg.entryBlock].first);
+
+    // Direct + resolved call targets per call-site pc.
+    std::map<InstrIndex, std::vector<std::size_t>> calleesAt;
+    for (const CallSite& cs : cfg.callSites)
+        calleesAt[cs.pc].push_back(graph.byEntry.at(cs.callee));
+
+    std::vector<std::vector<std::size_t>> bodies(graph.functions.size());
+    for (std::size_t f = 0; f < graph.functions.size(); ++f) {
+        FunctionSummary& fs = graph.functions[f];
+        bodies[f] = functionBlocks(cfg, resolved, fs.entry);
+        fs.blockCount = bodies[f].size();
+        for (const std::size_t b : bodies[f]) {
+            const BasicBlock& block = cfg.blocks[b];
+            if (block.endsInUnresolvedIndirect) fs.hasUnresolvedIndirect = true;
+            for (InstrIndex i = block.first; i <= block.last; ++i)
+                if (const auto d = destReg(program.code[i]))
+                    fs.clobbered |= 1u << *d;
+            const InstrIndex last = block.last;
+            const Op op = program.code[last].op;
+            if (op == Op::kJal ||
+                (op == Op::kJalr && calleesAt.count(last) != 0)) {
+                fs.callSitePcs.push_back(cfg.pcOf(last));
+                if (const auto it = calleesAt.find(last);
+                    it != calleesAt.end())
+                    fs.callees.insert(fs.callees.end(), it->second.begin(),
+                                      it->second.end());
+                else
+                    fs.hasUnresolvedIndirect = true;  // jal outside text
+            } else if (op == Op::kJalr) {
+                fs.hasUnresolvedIndirect = true;
+                fs.callSitePcs.push_back(cfg.pcOf(last));
+            }
+            // Return-value interval at executable jr-ra exits.
+            if (op == Op::kJr && program.code[last].rs == reg::ra &&
+                sccp.blockExecutable[b]) {
+                const std::uint32_t d = ssa.defAtExit[b][reg::v0];
+                fs.returnValue = fs.returnValue.join(
+                    d == kNoDef ? AbsValue::top() : sccp.value[d]);
+            }
+        }
+        std::sort(fs.callees.begin(), fs.callees.end());
+        fs.callees.erase(std::unique(fs.callees.begin(), fs.callees.end()),
+                         fs.callees.end());
+        std::sort(fs.callSitePcs.begin(), fs.callSitePcs.end());
+        if (fs.hasUnresolvedIndirect) {
+            fs.clobbered = ~0u;
+            fs.returnValue = AbsValue::top();
+        }
+    }
+
+    // Transitive clobber closure (monotone; recursion converges to the
+    // union).
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (FunctionSummary& fs : graph.functions) {
+            std::uint32_t mask = fs.clobbered;
+            for (const std::size_t c : fs.callees)
+                mask |= graph.functions[c].clobbered;
+            if (mask != fs.clobbered) {
+                fs.clobbered = mask;
+                changed = true;
+            }
+        }
+    }
+
+    // Bottom-up (postorder) over the part reachable from main; a grey-grey
+    // edge marks recursion and is skipped so the order stays well-defined.
+    enum : char { kWhite, kGrey, kBlack };
+    std::vector<char> color(graph.functions.size(), kWhite);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(graph.mainIndex, 0);
+    color[graph.mainIndex] = kGrey;
+    while (!stack.empty()) {
+        auto& [f, i] = stack.back();
+        if (i < graph.functions[f].callees.size()) {
+            const std::size_t callee = graph.functions[f].callees[i++];
+            if (color[callee] == kGrey) {
+                graph.recursive = true;
+            } else if (color[callee] == kWhite) {
+                color[callee] = kGrey;
+                stack.emplace_back(callee, 0);
+            }
+            continue;
+        }
+        color[f] = kBlack;
+        graph.functions[f].reachableFromMain = true;
+        graph.bottomUp.push_back(f);
+        stack.pop_back();
+    }
+    return graph;
+}
+
+std::string callGraphDot(const CallGraph& graph) {
+    std::ostringstream os;
+    os << "digraph callgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+    for (std::size_t f = 0; f < graph.functions.size(); ++f) {
+        const FunctionSummary& fs = graph.functions[f];
+        os << "  f" << f << " [label=\"" << hexPc(fs.entryPc) << "\\nclobbers="
+           << __builtin_popcount(fs.clobbered);
+        if (fs.wcetBounded) os << "\\nwcet=" << fs.wcetCycles;
+        if (fs.hasUnresolvedIndirect) os << "\\nindirect";
+        os << '"';
+        if (f == graph.mainIndex) os << " style=bold";
+        if (!fs.reachableFromMain) os << " style=dotted";
+        os << "];\n";
+    }
+    for (std::size_t f = 0; f < graph.functions.size(); ++f)
+        for (const std::size_t c : graph.functions[f].callees)
+            os << "  f" << f << " -> f" << c << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace asbr::analysis::ipa

@@ -1,0 +1,76 @@
+// Whole-program call graph with bottom-up per-function summaries.
+//
+// Functions are the entries the CFG discovered (program entry, jal targets,
+// value-set-resolved jalr targets); each body is the intraprocedural walk
+// from its entry — calls stepped over, returns ending the walk, resolved
+// computed gotos followed.  Shared tails belong to every function that
+// reaches them, which keeps all summaries sound over-approximations.
+//
+// Each summary carries
+//   - the transitive clobber mask (registers the call may write, closed
+//     over callees; ~0u as soon as an unresolved indirect is reachable),
+//   - the return-value interval (join of v0's SCCP value at every
+//     executable jr-ra exit),
+//   - the callee set and call-site pcs,
+// and, once the caller has run the WCET engine, the per-invocation cycle
+// bound (WcetResult::functionCycles).  Consumers: the WCET callee
+// inlining, the `asbr-verify callgraph` dump and the asbr.ipa_report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/ipa/sccp.hpp"
+#include "analysis/ipa/ssa.hpp"
+
+namespace asbr::analysis::ipa {
+
+struct FunctionSummary {
+    InstrIndex entry = 0;
+    std::uint32_t entryPc = 0;
+    /// Registers possibly written by a call, callees included.
+    std::uint32_t clobbered = 0;
+    /// v0 at executable returns; bottom when the function provably never
+    /// returns (no executable jr-ra), top past an unresolved call.
+    AbsValue returnValue = AbsValue::bottom();
+    std::vector<std::size_t> callees;      ///< function indices, sorted
+    std::vector<std::uint32_t> callSitePcs;  ///< calls inside the body
+    std::size_t blockCount = 0;            ///< body size (blocks)
+    bool hasUnresolvedIndirect = false;
+    bool reachableFromMain = false;
+    /// Filled by the caller from WcetResult::functionCycles; 0 + false
+    /// until then.
+    std::uint64_t wcetCycles = 0;
+    bool wcetBounded = false;
+};
+
+struct CallGraph {
+    std::vector<FunctionSummary> functions;  ///< ascending entry pc
+    std::map<InstrIndex, std::size_t> byEntry;
+    std::size_t mainIndex = 0;
+    /// Bottom-up (callees-first) order over reachableFromMain functions;
+    /// back edges of recursive cycles are simply skipped.
+    std::vector<std::size_t> bottomUp;
+    bool recursive = false;
+
+    [[nodiscard]] std::size_t numEdges() const {
+        std::size_t n = 0;
+        for (const FunctionSummary& f : functions) n += f.callees.size();
+        return n;
+    }
+};
+
+/// Build the call graph and summaries.  `ssa`/`sccp` must come from `cfg`;
+/// `resolved` must be the map `cfg` was built with (empty is fine).
+[[nodiscard]] CallGraph buildCallGraph(const Cfg& cfg, const SsaForm& ssa,
+                                       const SccpResult& sccp,
+                                       const IndirectMap& resolved);
+
+/// Graphviz rendering: one node per function (entry pc, clobber count,
+/// WCET bound when filled), one edge per caller->callee pair.
+[[nodiscard]] std::string callGraphDot(const CallGraph& graph);
+
+}  // namespace asbr::analysis::ipa

@@ -1,0 +1,247 @@
+#include "analysis/ipa/ssa.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace asbr::analysis::ipa {
+
+namespace {
+
+/// Per-block use/def masks for register liveness: `use` has bit r set when
+/// r is read before any in-block write, `def` when the block writes r.
+struct UseDef {
+    std::uint32_t use = 0;
+    std::uint32_t def = 0;
+};
+
+UseDef blockUseDef(const Cfg& cfg, std::size_t b) {
+    UseDef ud;
+    const BasicBlock& block = cfg.blocks[b];
+    for (InstrIndex i = block.first; i <= block.last; ++i) {
+        const Instruction& ins = cfg.program->code[i];
+        const SrcRegs srcs = srcRegs(ins);
+        for (int s = 0; s < srcs.count; ++s) {
+            const std::uint8_t r = srcs.regs[s];
+            if (((ud.def >> r) & 1u) == 0) ud.use |= 1u << r;
+        }
+        if (const auto d = destReg(ins); d && *d != reg::zero)
+            ud.def |= 1u << *d;
+    }
+    return ud;
+}
+
+}  // namespace
+
+std::size_t SsaForm::numUses() const {
+    std::size_t n = 0;
+    for (const SsaDef& d : defs) n += d.uses.size();
+    return n;
+}
+
+std::vector<std::vector<std::size_t>> dominanceFrontiers(
+    const Cfg& cfg, const DominatorTree& doms) {
+    const std::size_t n = cfg.blocks.size();
+    std::vector<std::vector<std::size_t>> df(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        // No join-node (preds >= 2) filter: a self-loop's head is in its own
+        // frontier even with a single predecessor (b dominates its pred b
+        // but not *strictly* itself), and the φ there is load-bearing.
+        if (!doms.reachable(b)) continue;
+        for (const std::size_t p : cfg.blocks[b].preds) {
+            if (!doms.reachable(p)) continue;
+            // Walk idoms from each predecessor up to b's idom; every block
+            // on the way has b in its frontier.
+            std::size_t runner = p;
+            while (runner != doms.idom[b]) {
+                auto& f = df[runner];
+                if (std::find(f.begin(), f.end(), b) == f.end())
+                    f.push_back(b);
+                if (runner == doms.idom[runner]) break;  // entry self-loop
+                runner = doms.idom[runner];
+            }
+        }
+    }
+    for (auto& f : df) std::sort(f.begin(), f.end());
+    return df;
+}
+
+SsaForm buildSsa(const Cfg& cfg, const DominatorTree& doms) {
+    SsaForm ssa;
+    const std::size_t n = cfg.blocks.size();
+    const std::size_t numIns = cfg.numInstructions();
+    ssa.phisOf.resize(n);
+    ssa.srcDef.assign(numIns, {kNoDef, kNoDef});
+    ssa.outDef.assign(numIns, kNoDef);
+    std::array<std::uint32_t, kNumRegs> noDefs{};
+    noDefs.fill(kNoDef);
+    ssa.defAtEntry.assign(n, noDefs);
+    ssa.defAtExit.assign(n, noDefs);
+    ssa.entryDef.fill(kNoDef);
+    ssa.domChildren.resize(n);
+    ssa.liveIn.assign(n, 0);
+    if (n == 0 || cfg.entryBlock == kNoBlock) return ssa;
+
+    ssa.frontier = dominanceFrontiers(cfg, doms);
+    for (std::size_t b = 0; b < n; ++b) {
+        if (!doms.reachable(b) || b == cfg.entryBlock) continue;
+        ssa.domChildren[doms.idom[b]].push_back(b);
+    }
+
+    // ---- liveness (pruned φ placement needs live-in sets) ----------------
+    std::vector<UseDef> ud(n);
+    for (std::size_t b = 0; b < n; ++b) ud[b] = blockUseDef(cfg, b);
+    std::vector<std::uint32_t> liveOut(n, 0);
+    for (bool changed = true; changed;) {
+        changed = false;
+        // Reverse RPO converges in a couple of sweeps.
+        for (auto it = doms.rpo.rbegin(); it != doms.rpo.rend(); ++it) {
+            const std::size_t b = *it;
+            std::uint32_t out = 0;
+            for (const std::size_t s : cfg.blocks[b].succs) out |= ssa.liveIn[s];
+            const std::uint32_t in = ud[b].use | (out & ~ud[b].def);
+            if (out != liveOut[b] || in != ssa.liveIn[b]) {
+                liveOut[b] = out;
+                ssa.liveIn[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- φ placement (per register, worklist over dominance frontiers) ---
+    auto newDef = [&ssa](std::uint8_t r, std::size_t block) {
+        const auto id = static_cast<std::uint32_t>(ssa.defs.size());
+        SsaDef d;
+        d.reg = r;
+        d.block = block;
+        ssa.defs.push_back(std::move(d));
+        return id;
+    };
+    // Synthetic entry defs: the deterministic reset state defines every
+    // register at the entry block.
+    for (int r = 0; r < kNumRegs; ++r) {
+        const std::uint32_t id =
+            newDef(static_cast<std::uint8_t>(r), cfg.entryBlock);
+        ssa.defs[id].isEntry = true;
+        ssa.entryDef[static_cast<std::size_t>(r)] = id;
+    }
+
+    std::vector<std::vector<char>> hasPhi(
+        kNumRegs, std::vector<char>(n, 0));
+    for (int r = 1; r < kNumRegs; ++r) {  // reg 0 never gets φs
+        std::vector<std::size_t> work;
+        std::vector<char> onWork(n, 0);
+        auto push = [&](std::size_t b) {
+            if (!onWork[b] && doms.reachable(b)) {
+                onWork[b] = 1;
+                work.push_back(b);
+            }
+        };
+        push(cfg.entryBlock);  // the synthetic entry def
+        for (std::size_t b = 0; b < n; ++b)
+            if ((ud[b].def >> r) & 1u) push(b);
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            for (const std::size_t y : ssa.frontier[b]) {
+                if (hasPhi[static_cast<std::size_t>(r)][y]) continue;
+                if (((ssa.liveIn[y] >> r) & 1u) == 0) continue;  // pruned
+                hasPhi[static_cast<std::size_t>(r)][y] = 1;
+                const auto phiId = static_cast<std::uint32_t>(ssa.phis.size());
+                SsaPhi phi;
+                phi.block = y;
+                phi.reg = static_cast<std::uint8_t>(r);
+                phi.args.assign(cfg.blocks[y].preds.size(), kNoDef);
+                phi.def = newDef(static_cast<std::uint8_t>(r), y);
+                ssa.defs[phi.def].isPhi = true;
+                ssa.defs[phi.def].phi = phiId;
+                ssa.phis.push_back(std::move(phi));
+                ssa.phisOf[y].push_back(phiId);
+                push(y);  // the φ is itself a def
+            }
+        }
+    }
+
+    // ---- renaming (iterative DFS over the dominator tree) ----------------
+    std::array<std::vector<std::uint32_t>, kNumRegs> stack;
+    for (int r = 0; r < kNumRegs; ++r)
+        stack[static_cast<std::size_t>(r)].push_back(
+            ssa.entryDef[static_cast<std::size_t>(r)]);
+
+    struct Frame {
+        std::size_t block;
+        std::size_t child = 0;   ///< next dom child to visit
+        std::vector<std::pair<std::uint8_t, std::uint32_t>> pushed;
+    };
+    std::vector<Frame> dfs;
+    dfs.push_back({cfg.entryBlock, 0, {}});
+
+    auto addUse = [&ssa](std::uint32_t def, bool atPhi, std::uint32_t site,
+                         std::uint8_t slot) {
+        ssa.defs[def].uses.push_back({atPhi, site, slot});
+    };
+
+    while (!dfs.empty()) {
+        Frame& frame = dfs.back();
+        const std::size_t b = frame.block;
+        if (frame.child == 0) {
+            // First visit: rename φs, instructions, then fill succ φ args.
+            for (const std::uint32_t phiId : ssa.phisOf[b]) {
+                const std::uint32_t d = ssa.phis[phiId].def;
+                stack[ssa.phis[phiId].reg].push_back(d);
+                frame.pushed.emplace_back(ssa.phis[phiId].reg, d);
+            }
+            for (int r = 0; r < kNumRegs; ++r)
+                ssa.defAtEntry[b][static_cast<std::size_t>(r)] =
+                    stack[static_cast<std::size_t>(r)].back();
+            const BasicBlock& block = cfg.blocks[b];
+            for (InstrIndex i = block.first; i <= block.last; ++i) {
+                const Instruction& ins = cfg.program->code[i];
+                const SrcRegs srcs = srcRegs(ins);
+                for (int s = 0; s < srcs.count; ++s) {
+                    const std::uint32_t d = stack[srcs.regs[s]].back();
+                    ssa.srcDef[i][static_cast<std::size_t>(s)] = d;
+                    addUse(d, /*atPhi=*/false, i,
+                           static_cast<std::uint8_t>(s));
+                }
+                if (const auto dst = destReg(ins);
+                    dst && *dst != reg::zero) {
+                    const std::uint32_t d = newDef(*dst, b);
+                    ssa.defs[d].instr = i;
+                    ssa.outDef[i] = d;
+                    stack[*dst].push_back(d);
+                    frame.pushed.emplace_back(*dst, d);
+                }
+            }
+            for (int r = 0; r < kNumRegs; ++r)
+                ssa.defAtExit[b][static_cast<std::size_t>(r)] =
+                    stack[static_cast<std::size_t>(r)].back();
+            for (const std::size_t succ : block.succs) {
+                // This block's position in the successor's pred list names
+                // the φ-argument slot.
+                const auto& preds = cfg.blocks[succ].preds;
+                const auto pit = std::find(preds.begin(), preds.end(), b);
+                ASBR_ENSURE(pit != preds.end(), "buildSsa: broken pred link");
+                const auto slot =
+                    static_cast<std::uint8_t>(pit - preds.begin());
+                for (const std::uint32_t phiId : ssa.phisOf[succ]) {
+                    SsaPhi& phi = ssa.phis[phiId];
+                    const std::uint32_t d = stack[phi.reg].back();
+                    phi.args[slot] = d;
+                    addUse(d, /*atPhi=*/true, phiId, slot);
+                }
+            }
+        }
+        if (frame.child < ssa.domChildren[b].size()) {
+            const std::size_t next = ssa.domChildren[b][frame.child++];
+            dfs.push_back({next, 0, {}});
+            continue;
+        }
+        for (auto it = frame.pushed.rbegin(); it != frame.pushed.rend(); ++it)
+            stack[it->first].pop_back();
+        dfs.pop_back();
+    }
+    return ssa;
+}
+
+}  // namespace asbr::analysis::ipa

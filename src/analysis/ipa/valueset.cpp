@@ -1,0 +1,184 @@
+#include "analysis/ipa/valueset.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace asbr::analysis::ipa {
+
+namespace {
+
+/// Largest dispatch table (in words) the resolver will enumerate; bigger
+/// intervals are treated as unresolved.
+constexpr std::int64_t kMaxTableWords = 64;
+/// φ-chain recursion limit for unioning operand value sets.
+constexpr int kMaxPhiDepth = 4;
+/// Largest target set worth tracking; beyond this the conservative CFG
+/// edges are cheaper than the refined ones.
+constexpr std::size_t kMaxTargets = 64;
+
+struct StoreRange {
+    std::int64_t lo;
+    std::int64_t hi;  ///< inclusive last byte written
+};
+
+/// Byte intervals possibly written by executable stores.  `wild` is set
+/// when some store's address is unbounded — every table read is then
+/// unsafe.
+struct StoreCoverage {
+    std::vector<StoreRange> ranges;
+    bool wild = false;
+
+    [[nodiscard]] bool overlaps(std::int64_t lo, std::int64_t hi) const {
+        if (wild) return true;
+        for (const StoreRange& r : ranges)
+            if (r.lo <= hi && lo <= r.hi) return true;
+        return false;
+    }
+};
+
+StoreCoverage collectStores(const Cfg& cfg, const SsaForm& ssa,
+                            const SccpResult& sccp) {
+    StoreCoverage cov;
+    const Program& program = *cfg.program;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!sccp.blockExecutable[b]) continue;
+        const BasicBlock& block = cfg.blocks[b];
+        for (InstrIndex i = block.first; i <= block.last; ++i) {
+            const Instruction& ins = program.code[i];
+            if (!isStore(ins.op)) continue;
+            const std::uint32_t base = ssa.srcDef[i][0];
+            const AbsValue v =
+                base == kNoDef ? AbsValue::top() : sccp.value[base];
+            if (v.isBottom()) continue;  // store never executes
+            const std::int64_t width =
+                ins.op == Op::kSw ? 4 : (ins.op == Op::kSh ? 2 : 1);
+            if (v.isTop() || v.hi - v.lo > std::int64_t{1} << 32) {
+                cov.wild = true;
+                return cov;
+            }
+            cov.ranges.push_back({v.lo + ins.imm, v.hi + ins.imm + width - 1});
+        }
+    }
+    return cov;
+}
+
+struct Resolver {
+    const Cfg& cfg;
+    const SsaForm& ssa;
+    const SccpResult& sccp;
+    const StoreCoverage stores;
+    bool usedTableLoad = false;
+
+    Resolver(const Cfg& c, const SsaForm& s, const SccpResult& v)
+        : cfg(c), ssa(s), sccp(v), stores(collectStores(c, s, v)) {}
+
+    /// Append the value set of def `d` to `out` as text addresses; false
+    /// when the set cannot be bounded (treat as top).
+    bool resolveDef(std::uint32_t d, int depth,
+                    std::vector<std::uint32_t>& out) {
+        if (d == kNoDef) return false;
+        const AbsValue v = sccp.value[d];
+        if (v.isBottom()) return true;  // unreachable operand contributes {}
+        if (v.isConstant()) {
+            out.push_back(static_cast<std::uint32_t>(v.lo));
+            return out.size() <= kMaxTargets;
+        }
+        const SsaDef& def = ssa.defs[d];
+        if (def.isPhi) {
+            if (depth == 0) return false;
+            for (const std::uint32_t arg : ssa.phis[def.phi].args) {
+                if (arg == kNoDef) continue;  // unreachable pred
+                if (!resolveDef(arg, depth - 1, out)) return false;
+            }
+            return true;
+        }
+        if (!def.isEntry && cfg.program->code[def.instr].op == Op::kLw)
+            return resolveTableLoad(def.instr, out);
+        return false;
+    }
+
+    /// `lw` from a provably read-only, in-data, bounded address interval:
+    /// enumerate the aligned words of the table from the program image.
+    bool resolveTableLoad(InstrIndex i, std::vector<std::uint32_t>& out) {
+        const Program& program = *cfg.program;
+        const Instruction& ins = program.code[i];
+        const std::uint32_t base = ssa.srcDef[i][0];
+        if (base == kNoDef) return false;
+        const AbsValue v = sccp.value[base];
+        if (v.isBottom() || v.isTop()) return false;
+        const std::int64_t lo = v.lo + ins.imm;
+        const std::int64_t hi = v.hi + ins.imm;
+        const auto dataBase = static_cast<std::int64_t>(program.dataBase);
+        const std::int64_t dataEnd =
+            dataBase + static_cast<std::int64_t>(program.data.size());
+        // Confined to the initialized data segment, word-aligned start, and
+        // small enough to enumerate.
+        if (lo < dataBase || hi + 4 > dataEnd) return false;
+        if ((lo & 3) != 0) return false;
+        if ((hi - lo) / 4 + 1 > kMaxTableWords) return false;
+        // Read-only: no executable store may touch the table.
+        if (stores.overlaps(lo, hi + 3)) return false;
+        for (std::int64_t a = lo; a <= hi; a += 4) {
+            if ((a & 3) != 0) continue;  // unaligned loads trap; infeasible
+            const auto off = static_cast<std::size_t>(a - dataBase);
+            const std::uint32_t word =
+                static_cast<std::uint32_t>(program.data[off]) |
+                static_cast<std::uint32_t>(program.data[off + 1]) << 8 |
+                static_cast<std::uint32_t>(program.data[off + 2]) << 16 |
+                static_cast<std::uint32_t>(program.data[off + 3]) << 24;
+            out.push_back(word);
+            if (out.size() > kMaxTargets) return false;
+        }
+        usedTableLoad = true;
+        return true;
+    }
+};
+
+}  // namespace
+
+IndirectResolution resolveIndirects(const Cfg& cfg, const SsaForm& ssa,
+                                    const SccpResult& sccp) {
+    IndirectResolution res;
+    const Program& program = *cfg.program;
+    Resolver resolver(cfg, ssa, sccp);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!sccp.blockExecutable[b]) continue;
+        const InstrIndex i = cfg.blocks[b].last;
+        const Instruction& ins = program.code[i];
+        const bool isCall = ins.op == Op::kJalr;
+        if (!isCall && !(ins.op == Op::kJr && ins.rs != reg::ra)) continue;
+        std::vector<std::uint32_t> addrs;
+        resolver.usedTableLoad = false;
+        const bool ok =
+            resolver.resolveDef(ssa.srcDef[i][0], kMaxPhiDepth, addrs);
+        // Every member of the set must be a text address; a single escapee
+        // means the interval over-approximated and the set is unusable.
+        const bool allText =
+            ok && !addrs.empty() &&
+            std::all_of(addrs.begin(), addrs.end(), [&](std::uint32_t a) {
+                return program.inText(a);
+            });
+        if (!allText) {
+            ++res.unresolvedSites;
+            continue;
+        }
+        ResolvedIndirect entry;
+        entry.isCall = isCall;
+        for (const std::uint32_t a : addrs)
+            entry.targets.push_back((a - program.textBase) / kInstrBytes);
+        std::sort(entry.targets.begin(), entry.targets.end());
+        entry.targets.erase(
+            std::unique(entry.targets.begin(), entry.targets.end()),
+            entry.targets.end());
+        res.map.emplace(i, std::move(entry));
+        if (resolver.usedTableLoad) ++res.tableLoads;
+        if (isCall)
+            ++res.resolvedCalls;
+        else
+            ++res.resolvedGotos;
+    }
+    return res;
+}
+
+}  // namespace asbr::analysis::ipa

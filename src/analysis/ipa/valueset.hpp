@@ -1,0 +1,45 @@
+// Value-set resolution of indirect jumps (`jalr`, non-return `jr`).
+//
+// For each indirect site in an executable block, the value set of the
+// address register is recovered from the SCCP solution over the SSA form:
+//   - a constant def is itself the (singleton) set — the function-pointer-
+//     in-a-register pattern;
+//   - a φ of resolvable defs is the union of its operands' sets (depth
+//     limited), covering "r = f or r = g" diamonds;
+//   - a `lw` whose address interval lies inside the data segment reads the
+//     dispatch table directly from the program image, provided the table is
+//     provably read-only: no store in any executable block may overlap the
+//     interval, and a single store with an unbounded address poisons all
+//     tables.  Every word in the interval must decode to a text address.
+// Anything else stays unresolved (the register's value set is treated as
+// top), and the conservative every-entry/every-return-point CFG edges
+// remain — so a wrong guess can only cost precision, never soundness.
+//
+// The resulting IndirectMap feeds the refined buildCfg overload
+// (analysis/cfg.hpp) and the WCET engine's callee inlining.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/cfg.hpp"
+#include "analysis/ipa/sccp.hpp"
+#include "analysis/ipa/ssa.hpp"
+
+namespace asbr::analysis::ipa {
+
+struct IndirectResolution {
+    /// Resolved sites only; unresolved ones simply have no entry.
+    IndirectMap map;
+    std::size_t resolvedCalls = 0;  ///< jalr sites with a proved target set
+    std::size_t resolvedGotos = 0;  ///< non-return jr sites resolved
+    std::size_t unresolvedSites = 0;
+    std::size_t tableLoads = 0;  ///< sites resolved via a dispatch-table lw
+};
+
+/// Resolve every executable indirect site of `cfg` from the SCCP solution.
+/// `ssa` and `sccp` must come from the same cfg.
+[[nodiscard]] IndirectResolution resolveIndirects(const Cfg& cfg,
+                                                  const SsaForm& ssa,
+                                                  const SccpResult& sccp);
+
+}  // namespace asbr::analysis::ipa

@@ -43,8 +43,8 @@ std::string hexPc(std::uint32_t pc) {
 }  // namespace
 
 WcetEngine::WcetEngine(const Cfg& cfg, const ValueAnalysis& va,
-                       TimingCostModel model)
-    : cfg_(cfg), va_(va), model_(model) {
+                       TimingCostModel model, const IndirectMap* resolved)
+    : cfg_(cfg), va_(va), model_(model), resolved_(resolved) {
     if (cfg_.blocks.empty() || cfg_.entryBlock == kNoBlock) return;
     // One function per distinct entry instruction; the program entry is
     // always among cfg.functionEntries.
@@ -87,7 +87,11 @@ WcetEngine::WcetEngine(const Cfg& cfg, const ValueAnalysis& va,
             for (const std::size_t lb : loop.blocks) {
                 const BasicBlock& b = cfg_.blocks[fi.globalBlocks[lb]];
                 for (InstrIndex i = b.first; i <= b.last; ++i)
-                    if (cfg_.program->code[i].op == Op::kJalr) clobber = ~0u;
+                    // A resolved jalr's clobber is the union of its callees'
+                    // masks, already collected through fi.calls above.
+                    if (cfg_.program->code[i].op == Op::kJalr &&
+                        !isResolvedCall(i))
+                        clobber = ~0u;
                 if (cfg_.blocks[fi.globalBlocks[lb]].endsInUnresolvedIndirect)
                     clobber = ~0u;
             }
@@ -104,10 +108,23 @@ WcetEngine::WcetEngine(const Cfg& cfg, const ValueAnalysis& va,
     rebuildRecords();
 }
 
+const ResolvedIndirect* WcetEngine::resolutionAt(InstrIndex i) const {
+    if (!resolved_) return nullptr;
+    const auto it = resolved_->find(i);
+    return it == resolved_->end() ? nullptr : &it->second;
+}
+
+bool WcetEngine::isResolvedCall(InstrIndex i) const {
+    const ResolvedIndirect* r = resolutionAt(i);
+    return r != nullptr && r->isCall;
+}
+
 void WcetEngine::buildFunction(std::size_t f) {
     FunctionInfo& fi = funcs_[f];
-    std::map<InstrIndex, InstrIndex> callTarget;
-    for (const CallSite& cs : cfg_.callSites) callTarget.emplace(cs.pc, cs.callee);
+    // A pc can carry several call edges (resolved multi-target jalr).
+    std::map<InstrIndex, std::vector<InstrIndex>> callTarget;
+    for (const CallSite& cs : cfg_.callSites)
+        callTarget[cs.pc].push_back(cs.callee);
 
     const std::size_t entryBlock = cfg_.blockOf[fi.entryInstr];
     std::map<std::size_t, std::size_t> globalToLocal;
@@ -128,18 +145,28 @@ void WcetEngine::buildFunction(std::size_t f) {
         if (block.endsInUnresolvedIndirect) {
             fi.hasIndirect = true;
         } else if (last.op == Op::kJal || last.op == Op::kJalr) {
-            if (last.op == Op::kJalr) {
+            if (last.op == Op::kJalr && !isResolvedCall(block.last)) {
                 fi.hasIndirect = true;
             } else if (const auto it = callTarget.find(block.last);
                        it != callTarget.end()) {
-                fi.calls.emplace_back(local, funcOfEntry_.at(it->second));
+                // jal, or value-set-resolved jalr: one call edge per
+                // possible callee (compute() charges the block the maximum
+                // callee bound).
+                for (const InstrIndex callee : it->second)
+                    fi.calls.emplace_back(local, funcOfEntry_.at(callee));
             } else {
                 fi.hasIndirect = true;  // jal outside text
             }
             if (block.last + 1 < cfg_.numInstructions())
                 succs.push_back(cfg_.blockOf[block.last + 1]);
         } else if (last.op == Op::kJr) {
-            // Function exit: no intraprocedural successor.
+            if (const ResolvedIndirect* r = resolutionAt(block.last);
+                r && !r->isCall) {
+                // Resolved computed goto: stays inside the function.
+                for (const InstrIndex t : r->targets)
+                    succs.push_back(cfg_.blockOf[t]);
+            }
+            // else: function exit, no intraprocedural successor.
         } else {
             succs = block.succs;
         }
@@ -304,8 +331,16 @@ WcetResult WcetEngine::compute(
         std::vector<std::uint64_t> weight(n);
         for (std::size_t l = 0; l < n; ++l)
             weight[l] = blockCost(cfg_, fi.globalBlocks[l], model_, foldedPcs);
-        for (const auto& [block, callee] : fi.calls)
-            weight[block] = satAdd(weight[block], funcWcet[callee]);
+        // A block holds at most one call site; several entries for the same
+        // block are the alternative callees of a resolved jalr, and the
+        // worst case takes the most expensive one — not their sum.
+        std::map<std::size_t, std::uint64_t> calleeMax;
+        for (const auto& [block, callee] : fi.calls) {
+            auto [it, fresh] = calleeMax.emplace(block, funcWcet[callee]);
+            if (!fresh) it->second = std::max(it->second, funcWcet[callee]);
+        }
+        for (const auto& [block, w] : calleeMax)
+            weight[block] = satAdd(weight[block], w);
 
         // Worst-case executions of each block per function invocation: the
         // product of the bounds of every enclosing loop.
@@ -473,6 +508,10 @@ WcetResult WcetEngine::compute(
 
     result.bounded = true;
     result.cycles = satAdd(funcWcet[mainFunc_], model_.pipelineFillCycles);
+    for (const std::size_t f : topo)
+        result.functionCycles.emplace_back(cfg_.pcOf(funcs_[f].entryInstr),
+                                           funcWcet[f]);
+    std::sort(result.functionCycles.begin(), result.functionCycles.end());
     return result;
 }
 

@@ -69,13 +69,22 @@ struct WcetResult {
     std::string reason;        ///< failure cause when !bounded
     std::uint64_t cycles = 0;  ///< bound incl. the fill/drain allowance
     std::vector<BranchCostRecord> branches;  ///< totalCost desc, then pc asc
+    /// Per-function bound (entry pc -> cycles), ascending pc; the callee
+    /// summaries the interprocedural report publishes.  Empty when
+    /// !bounded.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> functionCycles;
 };
 
 class WcetEngine {
 public:
     /// `cfg` and `va` must outlive the engine (FoldLegalityVerifier owns
-    /// both for the usual caller).
-    WcetEngine(const Cfg& cfg, const ValueAnalysis& va, TimingCostModel model);
+    /// both for the usual caller).  `resolved` (optional, must outlive the
+    /// engine) carries value-set-resolved indirect sites: a resolved jalr
+    /// becomes a direct call to each possible callee (the block is charged
+    /// the *maximum* callee bound), a resolved jr a computed goto — instead
+    /// of the blanket "indirect control flow" failure.
+    WcetEngine(const Cfg& cfg, const ValueAnalysis& va, TimingCostModel model,
+               const IndirectMap* resolved = nullptr);
 
     /// All loops across the program's functions, annotation and inference
     /// already applied, sorted by head pc.
@@ -112,12 +121,16 @@ private:
 
     void buildFunction(std::size_t f);
     void rebuildRecords();
+    /// Value-set resolution entry for instruction i, or nullptr.
+    [[nodiscard]] const ResolvedIndirect* resolutionAt(InstrIndex i) const;
+    [[nodiscard]] bool isResolvedCall(InstrIndex i) const;
     [[nodiscard]] bool callOrder(std::vector<std::size_t>& topo,
                                  std::string& reason) const;
 
     const Cfg& cfg_;
     const ValueAnalysis& va_;
     TimingCostModel model_;
+    const IndirectMap* resolved_ = nullptr;
     std::vector<FunctionInfo> funcs_;
     std::map<InstrIndex, std::size_t> funcOfEntry_;
     std::size_t mainFunc_ = 0;

@@ -35,8 +35,28 @@ const char* staticLintKindName(StaticLint::Kind k) {
         case StaticLint::Kind::kDeadBranchArm: return "dead-branch-arm";
         case StaticLint::Kind::kRefinementWin: return "refinement-win";
         case StaticLint::Kind::kUnboundedLoop: return "unbounded-loop";
+        case StaticLint::Kind::kDanglingLoopBound: return "dangling-loopbound";
+        case StaticLint::Kind::kDeadStore: return "dead-store";
+        case StaticLint::Kind::kNeverWrittenRead: return "never-written-read";
+        case StaticLint::Kind::kCorrelatedBranch: return "correlated-branch";
     }
     return "?";
+}
+
+bool isErrorLint(StaticLint::Kind k) {
+    switch (k) {
+        case StaticLint::Kind::kUnreachableBlock:
+        case StaticLint::Kind::kDeadBranchArm:
+        case StaticLint::Kind::kUnboundedLoop:
+        case StaticLint::Kind::kDanglingLoopBound:
+            return true;
+        case StaticLint::Kind::kRefinementWin:
+        case StaticLint::Kind::kDeadStore:
+        case StaticLint::Kind::kNeverWrittenRead:
+        case StaticLint::Kind::kCorrelatedBranch:
+            return false;
+    }
+    return true;
 }
 
 std::string formatLint(const StaticLint& lint) {
@@ -47,10 +67,9 @@ std::string formatLint(const StaticLint& lint) {
 }
 
 FoldLegalityVerifier::FoldLegalityVerifier(const Program& program)
-    : program_(program), cfg_(buildCfg(program)), doms_(computeDominators(cfg_)),
-      loops_(computeLoops(cfg_, doms_)), va_(analyzeValues(cfg_, loops_)),
-      rpUnrefined_(computeReachingProducers(cfg_)),
-      rp_(computeReachingProducers(cfg_, va_.feasibleEdge)) {}
+    : program_(program), ipa_(ipa::analyzeProgram(program)),
+      rpUnrefined_(computeReachingProducers(ipa_.cfg)),
+      rp_(computeReachingProducers(ipa_.cfg, ipa_.values.feasibleEdge)) {}
 
 BranchVerdict FoldLegalityVerifier::verdictFor(
     std::uint32_t pc, const VerifyConfig& config,
@@ -66,11 +85,11 @@ BranchVerdict FoldLegalityVerifier::verdictFor(
     v.sourceLine = program_.sourceLine(pc);
     v.extractable = isExtractableBranch(program_, pc);
 
-    const InstrIndex idx = cfg_.indexOf(pc);
-    v.reachable = rp_.reachable(cfg_.blockOf[idx]);
-    v.staticMinDistance = distanceAt(cfg_, rp_, idx, ins.rs);
-    v.unrefinedMinDistance = distanceAt(cfg_, rpUnrefined_, idx, ins.rs);
-    v.direction = va_.directionAt(idx);
+    const InstrIndex idx = ipa_.cfg.indexOf(pc);
+    v.reachable = rp_.reachable(ipa_.cfg.blockOf[idx]);
+    v.staticMinDistance = distanceAt(ipa_.cfg, rp_, idx, ins.rs);
+    v.unrefinedMinDistance = distanceAt(ipa_.cfg, rpUnrefined_, idx, ins.rs);
+    v.direction = ipa_.values.directionAt(idx);
 
     if (!v.extractable) {
         v.verdict = FoldLegality::kIllegal;
@@ -200,30 +219,30 @@ VerifyReport FoldLegalityVerifier::verifyBank(
 std::vector<StaticLint> FoldLegalityVerifier::lints(
     const VerifyConfig& config) const {
     std::vector<StaticLint> out;
-    for (const std::size_t b : va_.unreachableBlocks) {
+    for (const std::size_t b : ipa_.values.unreachableBlocks) {
         StaticLint lint;
         lint.kind = StaticLint::Kind::kUnreachableBlock;
-        lint.pc = cfg_.pcOf(cfg_.blocks[b].first);
+        lint.pc = ipa_.cfg.pcOf(ipa_.cfg.blocks[b].first);
         lint.sourceLine = program_.sourceLine(lint.pc);
         std::ostringstream os;
         os << "block B" << b << " (0x" << std::hex
-           << cfg_.pcOf(cfg_.blocks[b].first) << "..0x"
-           << cfg_.pcOf(cfg_.blocks[b].last) << std::dec
+           << ipa_.cfg.pcOf(ipa_.cfg.blocks[b].first) << "..0x"
+           << ipa_.cfg.pcOf(ipa_.cfg.blocks[b].last) << std::dec
            << ") can never execute";
         lint.message = os.str();
         out.push_back(std::move(lint));
     }
-    for (const DeadArmLint& arm : va_.deadArms) {
+    for (const DeadArmLint& arm : ipa_.values.deadArms) {
         StaticLint lint;
         lint.kind = StaticLint::Kind::kDeadBranchArm;
-        lint.pc = cfg_.pcOf(arm.branch);
+        lint.pc = ipa_.cfg.pcOf(arm.branch);
         lint.sourceLine = program_.sourceLine(lint.pc);
         const Instruction& ins = program_.code[arm.branch];
         std::ostringstream os;
         os << opName(ins.op) << " " << regName(ins.rs) << " is "
-           << branchDirectionName(va_.directionAt(arm.branch)) << " ("
+           << branchDirectionName(ipa_.values.directionAt(arm.branch)) << " ("
            << regName(ins.rs) << " in "
-           << va_.condAtBranch[arm.branch].str() << "); its "
+           << ipa_.values.condAtBranch[arm.branch].str() << "); its "
            << (arm.takenArm ? "taken" : "fall-through")
            << " arm can never execute";
         lint.message = os.str();
@@ -231,16 +250,16 @@ std::vector<StaticLint> FoldLegalityVerifier::lints(
     }
     // Refinement wins: PR 1 rejected the fold, the pruned dataflow proves it
     // safe — the loop-carried-producer false positives this PR removes.
-    for (InstrIndex i = 0; i < cfg_.numInstructions(); ++i) {
+    for (InstrIndex i = 0; i < ipa_.cfg.numInstructions(); ++i) {
         const Instruction& ins = program_.code[i];
         if (!isCondBranch(ins.op)) continue;
-        const Dist refined = distanceAt(cfg_, rp_, i, ins.rs);
-        const Dist unrefined = distanceAt(cfg_, rpUnrefined_, i, ins.rs);
+        const Dist refined = distanceAt(ipa_.cfg, rp_, i, ins.rs);
+        const Dist unrefined = distanceAt(ipa_.cfg, rpUnrefined_, i, ins.rs);
         if (unrefined >= config.threshold || refined < config.threshold)
             continue;
         StaticLint lint;
         lint.kind = StaticLint::Kind::kRefinementWin;
-        lint.pc = cfg_.pcOf(i);
+        lint.pc = ipa_.cfg.pcOf(i);
         lint.sourceLine = program_.sourceLine(lint.pc);
         std::ostringstream os;
         os << "feasible-path pruning lifted " << regName(ins.rs)
@@ -253,8 +272,12 @@ std::vector<StaticLint> FoldLegalityVerifier::lints(
     // inference bounds the iteration count, so no static cycle bound exists.
     {
         const timing::WcetEngine engine(
-            cfg_, va_, timing::TimingCostModel::fromPipeline(PipelineConfig{}));
+            ipa_.cfg, ipa_.values,
+            timing::TimingCostModel::fromPipeline(PipelineConfig{}),
+            &ipa_.resolution.map);
+        std::set<std::uint32_t> loopHeads;
         for (const timing::LoopRecord& loop : engine.loops()) {
+            loopHeads.insert(loop.headPc);
             if (loop.bound.bounded()) continue;
             StaticLint lint;
             lint.kind = StaticLint::Kind::kUnboundedLoop;
@@ -267,13 +290,127 @@ std::vector<StaticLint> FoldLegalityVerifier::lints(
             lint.message = os.str();
             out.push_back(std::move(lint));
         }
+        // Dangling `.loopbound`: the directive annotated a line that is not
+        // the head of any detected loop, so the bound silently applies to
+        // nothing — almost always a directive that drifted off its loop.
+        for (const auto& [pc, bound] : program_.loopBounds) {
+            if (loopHeads.count(pc) != 0) continue;
+            StaticLint lint;
+            lint.kind = StaticLint::Kind::kDanglingLoopBound;
+            lint.pc = pc;
+            lint.sourceLine = program_.sourceLine(pc);
+            std::ostringstream os;
+            os << ".loopbound " << bound << " annotates 0x" << std::hex << pc
+               << std::dec << ", which is not a loop head (the bound is "
+                  "ignored; move the directive to the loop's first "
+                  "instruction)";
+            lint.message = os.str();
+            out.push_back(std::move(lint));
+        }
     }
+    appendSsaLints(out);
     std::sort(out.begin(), out.end(),
               [](const StaticLint& a, const StaticLint& b) {
                   if (a.pc != b.pc) return a.pc < b.pc;
                   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
               });
     return out;
+}
+
+void FoldLegalityVerifier::appendSsaLints(std::vector<StaticLint>& out) const {
+    const ipa::SsaForm& ssa = ipa_.ssa;
+    const ipa::SccpResult& sccp = ipa_.sccp;
+    const Cfg& cfg = ipa_.cfg;
+
+    // Dead stores: a side-effect-free register write whose SSA def has no
+    // use anywhere — the def–use chains make this exact, not heuristic.
+    for (const ipa::SsaDef& def : ssa.defs) {
+        if (def.isPhi || def.isEntry || !def.uses.empty()) continue;
+        if (def.block == kNoBlock || !sccp.blockExecutable[def.block]) continue;
+        const Op op = program_.code[def.instr].op;
+        const bool pure = op <= Op::kRemu ||
+                          (op >= Op::kAddiu && op <= Op::kSra) || isLoad(op);
+        if (!pure) continue;  // call links etc. have other effects
+        StaticLint lint;
+        lint.kind = StaticLint::Kind::kDeadStore;
+        lint.pc = cfg.pcOf(def.instr);
+        lint.sourceLine = program_.sourceLine(lint.pc);
+        std::ostringstream os;
+        os << "value written to " << regName(def.reg) << " by "
+           << opName(op) << " is never read";
+        lint.message = os.str();
+        out.push_back(std::move(lint));
+    }
+
+    // Reads of never-written registers: the only reaching def is the
+    // synthetic reset-state one and no instruction anywhere writes the
+    // register.  sp/gp are part of the reset contract and stay silent.
+    std::array<bool, kNumRegs> written{};
+    for (const ipa::SsaDef& def : ssa.defs)
+        if (!def.isEntry && !def.isPhi) written[def.reg] = true;
+    for (int r = 1; r < kNumRegs; ++r) {
+        const auto reg8 = static_cast<std::uint8_t>(r);
+        if (written[reg8] || reg8 == reg::sp || reg8 == reg::gp) continue;
+        const ipa::SsaDef& entry = ssa.defs[ssa.entryDef[reg8]];
+        InstrIndex firstUse = 0;
+        bool found = false;
+        for (const ipa::SsaUse& use : entry.uses) {
+            if (use.atPhi) continue;
+            if (!sccp.blockExecutable[cfg.blockOf[use.site]]) continue;
+            if (!found || use.site < firstUse) {
+                firstUse = use.site;
+                found = true;
+            }
+        }
+        if (!found) continue;
+        StaticLint lint;
+        lint.kind = StaticLint::Kind::kNeverWrittenRead;
+        lint.pc = cfg.pcOf(firstUse);
+        lint.sourceLine = program_.sourceLine(lint.pc);
+        std::ostringstream os;
+        os << regName(reg8) << " is read but no instruction ever writes it "
+           << "(only the reset value 0 is observable)";
+        lint.message = os.str();
+        out.push_back(std::move(lint));
+    }
+
+    // Correlated branches: a branch re-testing the exact SSA value a
+    // dominating branch already tested — its outcome is pinned on each of
+    // the dominator's arms even when no single verdict exists.
+    std::map<std::uint32_t, std::vector<InstrIndex>> tested;
+    for (InstrIndex i = 0; i < cfg.numInstructions(); ++i) {
+        if (!isCondBranch(program_.code[i].op)) continue;
+        if (!sccp.blockExecutable[cfg.blockOf[i]]) continue;
+        if (ipa_.values.branchDir[i] == BranchDirection::kUnreachable) continue;
+        const std::uint32_t d = ssa.srcDef[i][0];
+        if (d != ipa::kNoDef) tested[d].push_back(i);
+    }
+    for (const auto& [def, branches] : tested) {
+        for (std::size_t j = 1; j < branches.size(); ++j) {
+            const InstrIndex b2 = branches[j];
+            InstrIndex b1 = 0;
+            bool found = false;
+            for (std::size_t k = 0; k < j; ++k) {
+                if (!ipa_.doms.dominates(cfg.blockOf[branches[k]],
+                                         cfg.blockOf[b2]))
+                    continue;
+                b1 = branches[k];
+                found = true;
+                break;
+            }
+            if (!found) continue;
+            StaticLint lint;
+            lint.kind = StaticLint::Kind::kCorrelatedBranch;
+            lint.pc = cfg.pcOf(b2);
+            lint.sourceLine = program_.sourceLine(lint.pc);
+            std::ostringstream os;
+            os << opName(program_.code[b2].op) << " re-tests the value the "
+               << "dominating branch at 0x" << std::hex << cfg.pcOf(b1)
+               << std::dec << " already decided on (correlated outcomes)";
+            lint.message = os.str();
+            out.push_back(std::move(lint));
+        }
+    }
 }
 
 }  // namespace asbr::analysis

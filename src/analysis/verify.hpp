@@ -34,6 +34,7 @@
 #include "analysis/absint/absint.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/dominators.hpp"
+#include "analysis/ipa/ipa.hpp"
 #include "analysis/loops.hpp"
 #include "analysis/reaching.hpp"
 #include "asbr/bit.hpp"
@@ -101,10 +102,14 @@ struct BranchVerdict {
 /// `kind pc=0x... line=N: message` line (the asbr-verify lint surface).
 struct StaticLint {
     enum class Kind : std::uint8_t {
-        kUnreachableBlock,  ///< block can never execute
-        kDeadBranchArm,     ///< branch executes but one arm never does
-        kRefinementWin,     ///< informational: pruning raised the distance
-        kUnboundedLoop,     ///< loop with neither inferred nor annotated bound
+        kUnreachableBlock,   ///< block can never execute
+        kDeadBranchArm,      ///< branch executes but one arm never does
+        kRefinementWin,      ///< informational: pruning raised the distance
+        kUnboundedLoop,      ///< loop with neither inferred nor annotated bound
+        kDanglingLoopBound,  ///< .loopbound on a line that is no loop head
+        kDeadStore,          ///< informational: register value never read
+        kNeverWrittenRead,   ///< informational: only the reset value is read
+        kCorrelatedBranch,   ///< informational: re-test of a decided value
     };
     Kind kind = Kind::kUnreachableBlock;
     std::uint32_t pc = 0;  ///< block-start or branch pc
@@ -113,6 +118,9 @@ struct StaticLint {
 };
 
 [[nodiscard]] const char* staticLintKindName(StaticLint::Kind k);
+
+/// Error-class lints fail `--strict` runs; the others are informational.
+[[nodiscard]] bool isErrorLint(StaticLint::Kind k);
 
 /// Render in the one-line structured form consumed by CI greps.
 [[nodiscard]] std::string formatLint(const StaticLint& lint);
@@ -157,23 +165,29 @@ public:
     [[nodiscard]] std::vector<StaticLint> lints(
         const VerifyConfig& config) const;
 
-    [[nodiscard]] const Cfg& cfg() const { return cfg_; }
+    [[nodiscard]] const Cfg& cfg() const { return ipa_.cfg; }
     /// Refined reaching-producer fixpoint (infeasible edges pruned).
     [[nodiscard]] const ReachingProducers& dataflow() const { return rp_; }
     /// The PR 1 fixpoint over every graph edge, for comparison.
     [[nodiscard]] const ReachingProducers& unrefinedDataflow() const {
         return rpUnrefined_;
     }
-    [[nodiscard]] const DominatorTree& dominators() const { return doms_; }
-    [[nodiscard]] const LoopForest& loops() const { return loops_; }
-    [[nodiscard]] const ValueAnalysis& values() const { return va_; }
+    [[nodiscard]] const DominatorTree& dominators() const { return ipa_.doms; }
+    [[nodiscard]] const LoopForest& loops() const { return ipa_.loops; }
+    /// Dense fixpoint with SCCP merged in (the interprocedural reduced
+    /// product) — every consumer of the dense analysis upgrades for free.
+    [[nodiscard]] const ValueAnalysis& values() const { return ipa_.values; }
+    /// The full interprocedural pipeline outputs (SSA form, SCCP solution,
+    /// indirect-jump resolution, call graph).
+    [[nodiscard]] const ipa::IpaAnalysis& ipa() const { return ipa_; }
 
 private:
+    /// SSA-based lints: dead stores, reads of never-written registers,
+    /// correlated branch pairs (all informational).
+    void appendSsaLints(std::vector<StaticLint>& out) const;
+
     const Program& program_;
-    Cfg cfg_;
-    DominatorTree doms_;
-    LoopForest loops_;
-    ValueAnalysis va_;
+    ipa::IpaAnalysis ipa_;
     ReachingProducers rpUnrefined_;
     ReachingProducers rp_;
 };

@@ -29,7 +29,10 @@ bool knownLegalityName(const std::string& name) {
 bool knownLintKindName(const std::string& name) {
     for (const StaticLint::Kind k :
          {StaticLint::Kind::kUnreachableBlock, StaticLint::Kind::kDeadBranchArm,
-          StaticLint::Kind::kRefinementWin, StaticLint::Kind::kUnboundedLoop})
+          StaticLint::Kind::kRefinementWin, StaticLint::Kind::kUnboundedLoop,
+          StaticLint::Kind::kDanglingLoopBound, StaticLint::Kind::kDeadStore,
+          StaticLint::Kind::kNeverWrittenRead,
+          StaticLint::Kind::kCorrelatedBranch})
         if (name == analysis::staticLintKindName(k)) return true;
     return false;
 }

@@ -1,0 +1,368 @@
+#include "report/ipa_report.hpp"
+
+#include <bit>
+
+#include "analysis/timing/wcet.hpp"
+
+namespace asbr {
+
+namespace {
+
+using analysis::InstrIndex;
+using analysis::ipa::CallGraph;
+using analysis::ipa::FunctionSummary;
+using analysis::ipa::IpaAnalysis;
+
+/// First label naming `pc`, or "" — symbols is an ordered map, so the
+/// choice is deterministic.
+std::string symbolAt(const Program& program, std::uint32_t pc) {
+    for (const auto& [name, addr] : program.symbols)
+        if (addr == pc) return name;
+    return {};
+}
+
+JsonValue pcArray(const analysis::Cfg& cfg,
+                  const std::vector<InstrIndex>& indices) {
+    JsonArray a;
+    for (const InstrIndex i : indices)
+        a.push_back(JsonValue(static_cast<std::uint64_t>(cfg.pcOf(i))));
+    return JsonValue(std::move(a));
+}
+
+}  // namespace
+
+JsonValue ipaReportJson(const IpaReportMeta& meta,
+                        const analysis::FoldLegalityVerifier& verifier) {
+    const IpaAnalysis& ipa = verifier.ipa();
+    const analysis::Cfg& cfg = ipa.cfg;
+    const Program& program = *cfg.program;
+
+    // Resolution-aware static WCET: default cost model, no profile.  The
+    // per-function cycles feed the summary records below.
+    analysis::timing::WcetEngine engine(cfg, ipa.values,
+                                        analysis::timing::TimingCostModel{},
+                                        &ipa.resolution.map);
+    const analysis::timing::WcetResult wcet = engine.compute({});
+    std::map<std::uint32_t, std::uint64_t> cyclesByEntry(
+        wcet.functionCycles.begin(), wcet.functionCycles.end());
+
+    JsonObject doc;
+    doc.emplace_back("schema", kIpaReportSchema);
+    doc.emplace_back("version", kReportSchemaVersion);
+
+    JsonObject m;
+    m.emplace_back("benchmark", meta.benchmark);
+    doc.emplace_back("meta", JsonValue(std::move(m)));
+
+    JsonObject pipeline;
+    pipeline.emplace_back("rounds",
+                          static_cast<std::uint64_t>(ipa.stats.rounds));
+    pipeline.emplace_back("ssa_defs",
+                          static_cast<std::uint64_t>(ipa.stats.ssaDefs));
+    pipeline.emplace_back("ssa_phis",
+                          static_cast<std::uint64_t>(ipa.stats.ssaPhis));
+    pipeline.emplace_back("ssa_uses",
+                          static_cast<std::uint64_t>(ipa.stats.ssaUses));
+    pipeline.emplace_back(
+        "sccp_iterations",
+        static_cast<std::uint64_t>(ipa.stats.sccpIterations));
+    pipeline.emplace_back("sccp_converged", ipa.stats.sccpConverged);
+    pipeline.emplace_back("dense_decided",
+                          static_cast<std::uint64_t>(ipa.stats.denseDecided));
+    pipeline.emplace_back("sccp_decided",
+                          static_cast<std::uint64_t>(ipa.stats.sccpDecided));
+    pipeline.emplace_back(
+        "merged_decided",
+        static_cast<std::uint64_t>(ipa.stats.mergedDecided));
+    doc.emplace_back("pipeline", JsonValue(std::move(pipeline)));
+
+    JsonObject resolution;
+    resolution.emplace_back(
+        "resolved_calls",
+        static_cast<std::uint64_t>(ipa.resolution.resolvedCalls));
+    resolution.emplace_back(
+        "resolved_gotos",
+        static_cast<std::uint64_t>(ipa.resolution.resolvedGotos));
+    resolution.emplace_back(
+        "unresolved_sites",
+        static_cast<std::uint64_t>(ipa.resolution.unresolvedSites));
+    resolution.emplace_back(
+        "table_loads", static_cast<std::uint64_t>(ipa.resolution.tableLoads));
+    JsonArray sites;
+    for (const auto& [index, r] : ipa.resolution.map) {
+        JsonObject s;
+        s.emplace_back("pc", static_cast<std::uint64_t>(cfg.pcOf(index)));
+        s.emplace_back("kind", r.isCall ? "call" : "goto");
+        s.emplace_back("targets", pcArray(cfg, r.targets));
+        sites.push_back(JsonValue(std::move(s)));
+    }
+    resolution.emplace_back("sites", JsonValue(std::move(sites)));
+    doc.emplace_back("resolution", JsonValue(std::move(resolution)));
+
+    const CallGraph& graph = ipa.callGraph;
+    JsonObject callgraph;
+    callgraph.emplace_back("functions",
+                           static_cast<std::uint64_t>(graph.functions.size()));
+    callgraph.emplace_back("edges",
+                           static_cast<std::uint64_t>(graph.numEdges()));
+    callgraph.emplace_back("recursive", graph.recursive);
+    callgraph.emplace_back(
+        "main_pc",
+        static_cast<std::uint64_t>(
+            graph.functions.empty()
+                ? program.entry
+                : graph.functions[graph.mainIndex].entryPc));
+    JsonArray nodes;
+    for (const FunctionSummary& f : graph.functions) {
+        JsonObject n;
+        n.emplace_back("entry_pc", static_cast<std::uint64_t>(f.entryPc));
+        n.emplace_back("symbol", symbolAt(program, f.entryPc));
+        n.emplace_back("blocks", static_cast<std::uint64_t>(f.blockCount));
+        n.emplace_back("clobber_mask",
+                       static_cast<std::uint64_t>(f.clobbered));
+        n.emplace_back(
+            "clobber_count",
+            static_cast<std::uint64_t>(std::popcount(f.clobbered)));
+        n.emplace_back("return_value", f.returnValue.str());
+        JsonArray callees;
+        for (const std::size_t c : f.callees)
+            callees.push_back(JsonValue(
+                static_cast<std::uint64_t>(graph.functions[c].entryPc)));
+        n.emplace_back("callees", JsonValue(std::move(callees)));
+        JsonArray callPcs;
+        for (const std::uint32_t pc : f.callSitePcs)
+            callPcs.push_back(JsonValue(static_cast<std::uint64_t>(pc)));
+        n.emplace_back("call_site_pcs", JsonValue(std::move(callPcs)));
+        n.emplace_back("unresolved_indirect", f.hasUnresolvedIndirect);
+        n.emplace_back("reachable_from_main", f.reachableFromMain);
+        const auto it = cyclesByEntry.find(f.entryPc);
+        n.emplace_back("wcet_bounded", it != cyclesByEntry.end());
+        n.emplace_back("wcet_cycles",
+                       it != cyclesByEntry.end() ? it->second
+                                                 : std::uint64_t{0});
+        nodes.push_back(JsonValue(std::move(n)));
+    }
+    callgraph.emplace_back("nodes", JsonValue(std::move(nodes)));
+    doc.emplace_back("callgraph", JsonValue(std::move(callgraph)));
+
+    JsonObject wcetJson;
+    wcetJson.emplace_back("bounded", wcet.bounded);
+    wcetJson.emplace_back("cycles", wcet.cycles);
+    wcetJson.emplace_back("reason", wcet.reason);
+    doc.emplace_back("wcet", JsonValue(std::move(wcetJson)));
+    return JsonValue(std::move(doc));
+}
+
+ReportValidation validateIpaReportJson(const JsonValue& doc) {
+    ReportValidation out;
+    const auto fail = [&out](std::string message) {
+        out.errors.push_back(std::move(message));
+    };
+    if (!doc.isObject()) {
+        fail("ipa_report: not a JSON object");
+        return out;
+    }
+    const auto member = [&](const JsonValue& obj, const char* key,
+                            const char* context) -> const JsonValue* {
+        const JsonValue* v = obj.find(key);
+        if (v == nullptr)
+            fail(std::string(context) + ": missing required member '" + key +
+                 "'");
+        return v;
+    };
+
+    if (const JsonValue* schema = member(doc, "schema", "ipa_report"))
+        if (!schema->isString() || schema->asString() != kIpaReportSchema)
+            fail(std::string("ipa_report: schema is not '") + kIpaReportSchema +
+                 "'");
+    if (const JsonValue* version = member(doc, "version", "ipa_report"))
+        if (!version->isNumber() || version->asUint() != kReportSchemaVersion)
+            fail("ipa_report: unsupported schema version");
+
+    if (const JsonValue* meta = member(doc, "meta", "ipa_report")) {
+        if (!meta->isObject()) {
+            fail("ipa_report: meta is not an object");
+        } else {
+            const JsonValue* bench = meta->find("benchmark");
+            if (bench == nullptr || !bench->isString())
+                fail("ipa_report: meta.benchmark missing or not a string");
+        }
+    }
+
+    if (const JsonValue* pipeline = member(doc, "pipeline", "ipa_report")) {
+        if (!pipeline->isObject()) {
+            fail("ipa_report: pipeline is not an object");
+        } else {
+            for (const char* key :
+                 {"rounds", "ssa_defs", "ssa_phis", "ssa_uses",
+                  "sccp_iterations", "dense_decided", "sccp_decided",
+                  "merged_decided"}) {
+                const JsonValue* v = pipeline->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("ipa_report: pipeline.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* converged = pipeline->find("sccp_converged");
+            if (converged == nullptr || !converged->isBool())
+                fail("ipa_report: pipeline.sccp_converged missing or not a "
+                     "bool");
+            // The reduced product can only add decided branches.
+            const JsonValue* dense = pipeline->find("dense_decided");
+            const JsonValue* merged = pipeline->find("merged_decided");
+            if (dense != nullptr && dense->isNumber() && merged != nullptr &&
+                merged->isNumber() && merged->asUint() < dense->asUint())
+                fail("ipa_report: pipeline.merged_decided is below "
+                     "dense_decided (reduced product lost precision)");
+        }
+    }
+
+    std::size_t siteCount = 0;
+    if (const JsonValue* resolution = member(doc, "resolution", "ipa_report")) {
+        if (!resolution->isObject()) {
+            fail("ipa_report: resolution is not an object");
+        } else {
+            for (const char* key : {"resolved_calls", "resolved_gotos",
+                                    "unresolved_sites", "table_loads"}) {
+                const JsonValue* v = resolution->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("ipa_report: resolution.") + key +
+                         " missing or not a number");
+            }
+            if (const JsonValue* sites =
+                    member(*resolution, "sites", "ipa_report: resolution")) {
+                if (!sites->isArray()) {
+                    fail("ipa_report: resolution.sites is not an array");
+                } else {
+                    siteCount = sites->asArray().size();
+                    std::size_t index = 0;
+                    for (const JsonValue& record : sites->asArray()) {
+                        const std::string context =
+                            "ipa_report: resolution.sites[" +
+                            std::to_string(index) + "]";
+                        ++index;
+                        if (!record.isObject()) {
+                            fail(context + " is not an object");
+                            continue;
+                        }
+                        const JsonValue* pc = record.find("pc");
+                        if (pc == nullptr || !pc->isNumber())
+                            fail(context + ".pc missing or not a number");
+                        const JsonValue* kind = record.find("kind");
+                        if (kind == nullptr || !kind->isString() ||
+                            (kind->asString() != "call" &&
+                             kind->asString() != "goto"))
+                            fail(context + ".kind is not 'call' or 'goto'");
+                        const JsonValue* targets = record.find("targets");
+                        if (targets == nullptr || !targets->isArray() ||
+                            targets->asArray().empty())
+                            fail(context +
+                                 ".targets missing or not a non-empty array");
+                    }
+                }
+            }
+            const JsonValue* calls = resolution->find("resolved_calls");
+            const JsonValue* gotos = resolution->find("resolved_gotos");
+            if (calls != nullptr && calls->isNumber() && gotos != nullptr &&
+                gotos->isNumber() &&
+                calls->asUint() + gotos->asUint() != siteCount)
+                fail("ipa_report: resolution counters do not match the sites "
+                     "array");
+        }
+    }
+
+    if (const JsonValue* callgraph = member(doc, "callgraph", "ipa_report")) {
+        if (!callgraph->isObject()) {
+            fail("ipa_report: callgraph is not an object");
+        } else {
+            for (const char* key : {"functions", "edges", "main_pc"}) {
+                const JsonValue* v = callgraph->find(key);
+                if (v == nullptr || !v->isNumber())
+                    fail(std::string("ipa_report: callgraph.") + key +
+                         " missing or not a number");
+            }
+            const JsonValue* recursive = callgraph->find("recursive");
+            if (recursive == nullptr || !recursive->isBool())
+                fail("ipa_report: callgraph.recursive missing or not a bool");
+            std::uint64_t edgeSum = 0;
+            std::size_t nodeCount = 0;
+            if (const JsonValue* nodes =
+                    member(*callgraph, "nodes", "ipa_report: callgraph")) {
+                if (!nodes->isArray()) {
+                    fail("ipa_report: callgraph.nodes is not an array");
+                } else {
+                    nodeCount = nodes->asArray().size();
+                    std::size_t index = 0;
+                    for (const JsonValue& record : nodes->asArray()) {
+                        const std::string context =
+                            "ipa_report: callgraph.nodes[" +
+                            std::to_string(index) + "]";
+                        ++index;
+                        if (!record.isObject()) {
+                            fail(context + " is not an object");
+                            continue;
+                        }
+                        for (const char* key :
+                             {"entry_pc", "blocks", "clobber_mask",
+                              "clobber_count", "wcet_cycles"}) {
+                            const JsonValue* v = record.find(key);
+                            if (v == nullptr || !v->isNumber())
+                                fail(context + "." + key +
+                                     " missing or not a number");
+                        }
+                        for (const char* key : {"symbol", "return_value"}) {
+                            const JsonValue* v = record.find(key);
+                            if (v == nullptr || !v->isString())
+                                fail(context + "." + key +
+                                     " missing or not a string");
+                        }
+                        for (const char* key :
+                             {"unresolved_indirect", "reachable_from_main",
+                              "wcet_bounded"}) {
+                            const JsonValue* v = record.find(key);
+                            if (v == nullptr || !v->isBool())
+                                fail(context + "." + key +
+                                     " missing or not a bool");
+                        }
+                        for (const char* key : {"callees", "call_site_pcs"}) {
+                            const JsonValue* v = record.find(key);
+                            if (v == nullptr || !v->isArray())
+                                fail(context + "." + key +
+                                     " missing or not an array");
+                            else if (std::string(key) == "callees")
+                                edgeSum += v->asArray().size();
+                        }
+                    }
+                }
+            }
+            const JsonValue* functions = callgraph->find("functions");
+            if (functions != nullptr && functions->isNumber() &&
+                functions->asUint() != nodeCount)
+                fail("ipa_report: callgraph.functions does not match the "
+                     "nodes array");
+            const JsonValue* edges = callgraph->find("edges");
+            if (edges != nullptr && edges->isNumber() &&
+                edges->asUint() != edgeSum)
+                fail("ipa_report: callgraph.edges does not match the summed "
+                     "callee lists");
+        }
+    }
+
+    if (const JsonValue* wcet = member(doc, "wcet", "ipa_report")) {
+        if (!wcet->isObject()) {
+            fail("ipa_report: wcet is not an object");
+        } else {
+            const JsonValue* bounded = wcet->find("bounded");
+            if (bounded == nullptr || !bounded->isBool())
+                fail("ipa_report: wcet.bounded missing or not a bool");
+            const JsonValue* cycles = wcet->find("cycles");
+            if (cycles == nullptr || !cycles->isNumber())
+                fail("ipa_report: wcet.cycles missing or not a number");
+            const JsonValue* reason = wcet->find("reason");
+            if (reason == nullptr || !reason->isString())
+                fail("ipa_report: wcet.reason missing or not a string");
+        }
+    }
+    return out;
+}
+
+}  // namespace asbr

@@ -1,0 +1,17 @@
+# Dangling-annotation fixture: the .loopbound is attached to a straight-line
+# instruction, not a loop head, so it silently bounds nothing.  Plain
+# `asbr-verify` must still exit 0 (every branch is fold-legal), but
+# `asbr-verify --strict` must fail on the dangling-loopbound lint.  The real
+# loop is bounded by the interval inference, so no unbounded-loop lint
+# fires alongside.
+        .text
+main:   li   s0, 6
+        .loopbound 8
+        li   s1, 0
+loop:   addiu s0, s0, -1
+        nop
+        nop
+        bnez s0, loop
+        li   v0, 1
+        li   a0, 0
+        sys

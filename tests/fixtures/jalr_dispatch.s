@@ -1,0 +1,26 @@
+# Dispatch-table fixture: the jalr target register is loaded from a
+# read-only two-entry table of handler addresses, with the index provably
+# confined to [0,1] by the andi mask.  The value-set analysis must resolve
+# the jalr to exactly {even, odd}, turning the conservative "indirect
+# control flow" WCET failure into a bounded:true result (the call site is
+# charged the more expensive handler), and `asbr-verify` must still verify
+# the program clean.
+        .text
+main:   lw   t0, sel
+        andi t0, t0, 1
+        sll  t0, t0, 2
+        la   t1, table
+        addu t1, t1, t0
+        lw   t2, 0(t1)
+        jalr t2
+        move s0, v0
+        li   v0, 1
+        li   a0, 0
+        sys
+even:   li   v0, 2
+        jr   ra
+odd:    li   v0, 3
+        jr   ra
+        .data
+sel:    .word 1
+table:  .word even, odd

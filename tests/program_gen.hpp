@@ -20,12 +20,63 @@ class ProgramGen {
 public:
     explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
 
+    /// Emit a dispatch-table indirect call (jalr through a word loaded from
+    /// a read-only table of handler addresses) ahead of the loop nest — the
+    /// pattern the value-set analysis must resolve.
+    ProgramGen& withDispatch(bool on = true) {
+        dispatch_ = on;
+        return *this;
+    }
+
+    /// Splice an irreducible region (a two-entry cycle no natural loop can
+    /// describe) between the loop nest and the exit.  Still terminating.
+    ProgramGen& withIrreducible(bool on = true) {
+        irreducible_ = on;
+        return *this;
+    }
+
     std::string generate() {
         src_ = "main:   li   s7, 0\n";  // checksum
+        int handlers = 0;
+        if (dispatch_) {
+            handlers = rng_.chance(0.5) ? 2 : 4;
+            src_ += "        lw   t4, dsel\n";
+            src_ += "        andi t4, t4, " + std::to_string(handlers - 1) +
+                    "\n";
+            src_ += "        sll  t4, t4, 2\n";
+            src_ += "        la   t5, dtable\n";
+            src_ += "        addu t5, t5, t4\n";
+            src_ += "        lw   t5, 0(t5)\n";
+            src_ += "        jalr t5\n";
+        }
         emitLoop(0);
+        if (irreducible_) {
+            // Both cycle blocks are entered from outside the cycle (Lirr1
+            // via the branch, Lirr0 by fall-through), so neither dominates
+            // the other: a retreating edge with no natural-loop head.
+            src_ += "        li   s6, 4\n";
+            src_ += "        lw   t6, dsel\n";
+            src_ += "        bnez t6, Lirr1\n";
+            src_ += "Lirr0:  addiu s6, s6, -1\n";
+            src_ += "Lirr1:  addiu s6, s6, -1\n";
+            src_ += "        bgtz s6, Lirr0\n";
+        }
         src_ += "        move a0, s7\n        li v0, 3\n        sys\n";
         src_ += "        li a0, 0\n        li v0, 1\n        sys\n";
+        for (int h = 0; h < handlers; ++h) {
+            src_ += "Hnd" + std::to_string(h) + ": addiu s7, s7, " +
+                    std::to_string(h + 1) + "\n        jr   ra\n";
+        }
         src_ += "        .data\nscratch: .space 64\n";
+        if (dispatch_) {
+            src_ += "dsel:   .word " + std::to_string(rng_.below(8)) + "\n";
+            src_ += "dtable: .word Hnd0";
+            for (int h = 1; h < handlers; ++h)
+                src_ += ", Hnd" + std::to_string(h);
+            src_ += "\n";
+        } else if (irreducible_) {
+            src_ += "dsel:   .word " + std::to_string(rng_.below(2)) + "\n";
+        }
         return src_;
     }
 
@@ -106,6 +157,8 @@ private:
     Xorshift64 rng_;
     std::string src_;
     int labels_ = 0;
+    bool dispatch_ = false;
+    bool irreducible_ = false;
 };
 
 }  // namespace asbr

@@ -26,6 +26,7 @@
 #include "bench_util.hpp"
 #include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
+#include "report/ipa_report.hpp"
 #include "report/fault_report.hpp"
 #include "report/sampling_report.hpp"
 #include "report/sweep_report.hpp"
@@ -425,6 +426,8 @@ int cmdValidate(const char* path) {
         version = kFaultReportVersion;
     } else if (schema->asString() == kAnalysisReportSchema) {
         validation = validateAnalysisReportJson(*parsed.value);
+    } else if (schema->asString() == kIpaReportSchema) {
+        validation = validateIpaReportJson(*parsed.value);
     } else if (schema->asString() == kSweepReportSchema) {
         validation = validateSweepReportJson(*parsed.value);
         version = kSweepReportVersion;

@@ -36,6 +36,7 @@
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
+#include "report/ipa_report.hpp"
 #include "report/wcet_report.hpp"
 #include "workloads/workloads.hpp"
 
@@ -48,6 +49,8 @@ using namespace asbr;
         "usage: asbr-verify <file.c|file.s> [options]\n"
         "       asbr-verify analyze <file.c|file.s> | --bench=B [options]\n"
         "       asbr-verify wcet <file.c|file.s> | --bench=B [options]\n"
+        "       asbr-verify ipa <file.c|file.s> | --bench=B [options]\n"
+        "       asbr-verify callgraph <file.c|file.s> | --bench=B [options]\n"
         "  --threshold=2|3|4   fold-distance threshold (default 3)\n"
         "  --bit=N             BIT ways per set (default 16)\n"
         "  --sets=N            BIT sets (default 1 = fully associative)\n"
@@ -72,6 +75,12 @@ using namespace asbr;
         "  --threads=N         run the two measured pipeline runs in\n"
         "                      parallel (the report is byte-identical at any\n"
         "                      N; default 1)\n"
+        "ipa options:\n"
+        "  --bench=B           workload token (same set as analyze)\n"
+        "  --out=FILE          asbr.ipa_report destination (default -)\n"
+        "callgraph options:\n"
+        "  --bench=B           workload token (same set as analyze)\n"
+        "  --out=FILE          Graphviz digraph destination (default -)\n"
         "durable sweeps (--journal=DIR --resume --job-timeout=MS\n"
         "--max-attempts=N) live in asbr-sweep and asbr-faults campaign — see\n"
         "docs/robustness.md.\n",
@@ -150,14 +159,14 @@ void dumpCfgTo(const std::string& path,
 }
 
 /// Print the value-analysis lints; returns the number of *error* lints
-/// (unreachable blocks and dead arms — refinement wins are informational).
-/// Lints are diagnostics, so they go to stderr — `analyze --out=-` owns
-/// stdout for the JSON document.
+/// (see isErrorLint — refinement wins and the SSA diagnostics are
+/// informational).  Lints are diagnostics, so they go to stderr —
+/// `analyze --out=-` owns stdout for the JSON document.
 std::size_t printLints(const analysis::FoldLegalityVerifier& verifier,
                        const analysis::VerifyConfig& config, bool quiet) {
     std::size_t errors = 0;
     for (const analysis::StaticLint& lint : verifier.lints(config)) {
-        if (lint.kind != analysis::StaticLint::Kind::kRefinementWin) ++errors;
+        if (analysis::isErrorLint(lint.kind)) ++errors;
         if (!quiet)
             std::fprintf(stderr, "lint: %s\n",
                          analysis::formatLint(lint).c_str());
@@ -373,7 +382,8 @@ int cmdWcet(int argc, char** argv) {
         const PipelineConfig pipeConfig;
         analysis::timing::WcetEngine engine(
             verifier.cfg(), verifier.values(),
-            analysis::timing::TimingCostModel::fromPipeline(pipeConfig));
+            analysis::timing::TimingCostModel::fromPipeline(pipeConfig),
+            &verifier.ipa().resolution.map);
 
         // Loops neither annotation nor inference could bound fall back to a
         // measured per-entry maximum (flagged `profile` in the report).
@@ -548,6 +558,184 @@ int cmdWcet(int argc, char** argv) {
     }
 }
 
+/// Shared <file>|--bench loader for the ipa/callgraph subcommands: resolves
+/// the program and a display name, or exits via usage diagnostics.
+Program loadForSubcommand(const char* sub, const std::string& path,
+                          const std::string& benchToken, bool schedule,
+                          std::string& displayName) {
+    if (path.empty() == benchToken.empty()) {
+        std::fprintf(stderr,
+                     "asbr-verify %s: need exactly one of <file> or "
+                     "--bench=B\n",
+                     sub);
+        std::exit(2);
+    }
+    if (!benchToken.empty()) {
+        const auto id = benchFromName(benchToken);
+        if (!id) {
+            std::fprintf(stderr, "asbr-verify %s: unknown bench '%s'\n", sub,
+                         benchToken.c_str());
+            std::exit(2);
+        }
+        displayName = benchToken;
+        return buildBench(*id, schedule);
+    }
+    const std::size_t slash = path.find_last_of('/');
+    displayName = slash == std::string::npos ? path : path.substr(slash + 1);
+    return loadProgram(path, schedule);
+}
+
+/// `asbr-verify ipa`: emit the schema-versioned asbr.ipa_report — SSA/SCCP
+/// pipeline statistics, indirect-jump resolution, call-graph summaries and
+/// the resolution-aware static WCET.  Purely static and byte-stable.
+int cmdIpa(int argc, char** argv) {
+    std::string path;
+    std::string benchToken;
+    std::string outPath = "-";
+    bool schedule = true;
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--bench=", 0) == 0)
+            benchToken = arg.substr(8);
+        else if (arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") usage(0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asbr-verify ipa: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "asbr-verify ipa: extra argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+
+    IpaReportMeta meta;
+    const Program program =
+        loadForSubcommand("ipa", path, benchToken, schedule, meta.benchmark);
+    try {
+        const analysis::FoldLegalityVerifier verifier(program);
+        const JsonValue doc = ipaReportJson(meta, verifier);
+        const std::string text = doc.dump(2) + "\n";
+
+        // Self-check before anything touches disk.
+        const ReportValidation validation = validateIpaReportJson(doc);
+        for (const std::string& error : validation.errors)
+            std::fprintf(stderr, "schema error: %s\n", error.c_str());
+        if (!validation.ok()) return 1;
+
+        if (outPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(outPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "asbr-verify ipa: cannot open '%s' for writing\n",
+                             outPath.c_str());
+                return 1;
+            }
+            out << text;
+            std::fprintf(stderr, "wrote ipa report to %s\n", outPath.c_str());
+        }
+        if (!quiet) {
+            const analysis::ipa::IpaAnalysis& ipa = verifier.ipa();
+            std::fprintf(
+                stderr,
+                "asbr-verify ipa: %zu round(s), %zu defs (%zu phis), "
+                "%zu/%zu indirect sites resolved, %zu functions, "
+                "%zu decided branches (dense %zu)\n",
+                ipa.stats.rounds, ipa.stats.ssaDefs, ipa.stats.ssaPhis,
+                ipa.resolution.map.size(),
+                ipa.resolution.map.size() + ipa.resolution.unresolvedSites,
+                ipa.callGraph.functions.size(), ipa.stats.mergedDecided,
+                ipa.stats.denseDecided);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-verify: %s\n", e.what());
+        return 1;
+    }
+}
+
+/// `asbr-verify callgraph`: Graphviz render of the whole-program call graph
+/// with the per-function WCET bounds filled in.
+int cmdCallgraph(int argc, char** argv) {
+    std::string path;
+    std::string benchToken;
+    std::string outPath = "-";
+    bool schedule = true;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--bench=", 0) == 0)
+            benchToken = arg.substr(8);
+        else if (arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--help" || arg == "-h") usage(0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asbr-verify callgraph: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "asbr-verify callgraph: extra argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+
+    std::string name;
+    const Program program =
+        loadForSubcommand("callgraph", path, benchToken, schedule, name);
+    try {
+        const analysis::FoldLegalityVerifier verifier(program);
+        const analysis::ipa::IpaAnalysis& ipa = verifier.ipa();
+
+        // Fill the per-function WCET bounds from a resolution-aware static
+        // run (default cost model, no profile) before rendering.
+        analysis::ipa::CallGraph graph = ipa.callGraph;
+        analysis::timing::WcetEngine engine(
+            ipa.cfg, ipa.values, analysis::timing::TimingCostModel{},
+            &ipa.resolution.map);
+        const analysis::timing::WcetResult wcet = engine.compute({});
+        for (const auto& [entryPc, cycles] : wcet.functionCycles)
+            for (analysis::ipa::FunctionSummary& f : graph.functions)
+                if (f.entryPc == entryPc) {
+                    f.wcetCycles = cycles;
+                    f.wcetBounded = true;
+                }
+
+        const std::string dot = analysis::ipa::callGraphDot(graph);
+        if (outPath == "-") {
+            std::fputs(dot.c_str(), stdout);
+        } else {
+            std::ofstream out(outPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "asbr-verify callgraph: cannot open '%s' for "
+                             "writing\n",
+                             outPath.c_str());
+                return 1;
+            }
+            out << dot;
+            std::fprintf(stderr, "wrote call graph to %s\n", outPath.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "asbr-verify: %s\n", e.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -558,6 +746,9 @@ int main(int argc, char** argv) {
     if (std::string(argv[1]) == "analyze")
         return cmdAnalyze(argc - 2, argv + 2);
     if (std::string(argv[1]) == "wcet") return cmdWcet(argc - 2, argv + 2);
+    if (std::string(argv[1]) == "ipa") return cmdIpa(argc - 2, argv + 2);
+    if (std::string(argv[1]) == "callgraph")
+        return cmdCallgraph(argc - 2, argv + 2);
     const std::string path = argv[1];
 
     std::uint32_t threshold = 3;
