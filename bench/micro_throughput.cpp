@@ -8,6 +8,10 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/gshare.hpp"
+#include "bp/perceptron.hpp"
+#include "bp/tage.hpp"
 #include "cc/compile.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
@@ -129,6 +133,16 @@ void BM_GSharePredict(benchmark::State& state) {
     predictorLoop(state, [] { return makeGshare2048(); });
 }
 BENCHMARK(BM_GSharePredict);
+
+void BM_TagePredict(benchmark::State& state) {
+    predictorLoop(state, [] { return makeTage(); });
+}
+BENCHMARK(BM_TagePredict);
+
+void BM_PerceptronPredict(benchmark::State& state) {
+    predictorLoop(state, [] { return makePerceptron(); });
+}
+BENCHMARK(BM_PerceptronPredict);
 
 void BM_BitLookup(benchmark::State& state) {
     const Program& p = adpcmProgram();

@@ -41,7 +41,7 @@ fi
 "$STATS" validate "$OUT"
 echo "ci/bench-report.sh: $OUT is schema-valid and thread-count-invariant"
 
-SWEEP_ARGS=(--quick --workloads=adpcm-enc,g721-enc --predictors=bi512
+SWEEP_ARGS=(--quick --workloads=adpcm-enc,g721-enc --predictors=bi512,tage
             --bits=4,16 --baseline)
 # ------------------------------------------------------ bound tightness ----
 # The static timing engine must produce sound bounds on every workload AND
@@ -140,3 +140,44 @@ fi
 "$STATS" validate "$tmpdir/sweep_serial.json"
 echo "ci/bench-report.sh: asbr-sweep report is schema-valid and" \
      "thread-count-invariant"
+
+# ----------------------------------------------- predictor lookup floor ----
+# The strong predictors sit on the fetch critical path of every simulated
+# cycle, so a throughput collapse is a functional regression for sweep
+# runtimes.  Gate BM_TagePredict / BM_PerceptronPredict (one predict+update
+# round trip) behind a conservative per-op ceiling — defaults to 2000 ns,
+# override with $PREDICT_NS_CEILING; set it to 0 to skip (e.g. on a heavily
+# loaded host).
+MICRO="$BUILD_DIR/bench/micro_throughput"
+PREDICT_NS_CEILING=${PREDICT_NS_CEILING:-2000}
+if [[ ! -x "$MICRO" ]]; then
+    echo "ci/bench-report.sh: $MICRO not built; skipping predictor floor" >&2
+elif [[ "$PREDICT_NS_CEILING" == "0" ]]; then
+    echo "ci/bench-report.sh: predictor floor gate skipped (ceiling 0)"
+else
+    "$MICRO" --benchmark_filter='BM_TagePredict|BM_PerceptronPredict' \
+        --benchmark_format=json > "$tmpdir/micro.json" 2> /dev/null
+    if ! python3 - "$tmpdir/micro.json" "$PREDICT_NS_CEILING" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ceiling = float(sys.argv[2])
+names = set()
+for bench in doc["benchmarks"]:
+    ns = bench["real_time"]  # per-iteration, time_unit ns by default
+    names.add(bench["name"])
+    if bench.get("time_unit", "ns") != "ns" or ns > ceiling:
+        print(f"FAIL: {bench['name']} at {ns:.0f} ns/op exceeds the "
+              f"{ceiling:.0f} ns ceiling", file=sys.stderr)
+        sys.exit(1)
+    print(f"ci/bench-report.sh: {bench['name']} {ns:.0f} ns/op "
+          f"(ceiling {ceiling:.0f})")
+missing = {"BM_TagePredict", "BM_PerceptronPredict"} - names
+if missing:
+    print(f"FAIL: micro_throughput did not run {sorted(missing)}",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+    then
+        exit 1
+    fi
+fi

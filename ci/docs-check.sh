@@ -77,6 +77,43 @@ if [[ $status -eq 0 ]]; then
     echo "ok: docs/metrics.md matches the metric registry ($(wc -l <<< "$registry") names)"
 fi
 
+# -------------------------------------------- predictor tokens <-> docs ----
+# The PredictorRegistry is the single source of truth for construction
+# tokens: every family `asbr-stats predictors` lists must appear backticked
+# in docs/predictors.md and README.md, and every backticked token-looking
+# word in the docs' predictor tables must be a registered family.
+if [[ ! -f docs/predictors.md ]]; then
+    echo "FAIL: docs/predictors.md is missing" >&2
+    status=1
+else
+    tokens=$("$STATS" predictors | awk '{print $1}' | sort)
+    while IFS= read -r token; do
+        [[ -n "$token" ]] || continue
+        for doc in docs/predictors.md README.md; do
+            if ! grep -q "\`$token\`" "$doc"; then
+                echo "FAIL: predictor token '$token' is registered but not" \
+                     "listed in $doc" >&2
+                status=1
+            fi
+        done
+    done <<< "$tokens"
+    # Doc -> registry: the token column of docs/predictors.md's family table
+    # (backticked first cell of each row) must resolve.
+    documented_tokens=$(awk -F'|' '/^\| `/{print $2}' docs/predictors.md \
+        | grep -o '`[a-z0-9-]*`' | tr -d '`' | sort -u)
+    while IFS= read -r token; do
+        [[ -n "$token" ]] || continue
+        if ! grep -qx "$token" <<< "$tokens"; then
+            echo "FAIL: docs/predictors.md lists token '$token' which is not" \
+                 "in the registry" >&2
+            status=1
+        fi
+    done <<< "$documented_tokens"
+    if [[ $status -eq 0 ]]; then
+        echo "ok: docs/predictors.md and README.md list every registry token"
+    fi
+fi
+
 # ------------------------------------------------- README <-> --help sync ----
 # `asbr-stats --help` is the single source of truth for the subcommand list:
 # every command it prints (first word of each line in the "commands:" block)

@@ -9,6 +9,7 @@
 #   wcet_*      asbr-verify wcet             (pinned seed/samples)
 #   ipa_*       asbr-verify ipa              (purely static)
 #   sampling_*  asbr-stats run --sample      (pinned window geometry)
+#   sweep_*     asbr-sweep --predictors      (registry token path)
 #   fault_*     asbr-faults campaign         (pinned fault seeds)
 #
 # Every document is schema-validated before it replaces the golden.  Run
@@ -71,6 +72,13 @@ install_golden "$tmpdir/ipa_jalr_dispatch.json" "ipa_jalr_dispatch.json"
 "$STATS" run --bench=adpcm-enc --quick --sample=2000:10000:60000 \
     --sample-ref --asbr --json="$tmpdir/sampling_adpcm_enc.json" > /dev/null
 install_golden "$tmpdir/sampling_adpcm_enc.json" "sampling_adpcm_enc.json"
+
+# ------------------------------------------------------- predictor sweep ----
+SWEEP="$BUILD_DIR/tools/asbr-sweep"
+"$SWEEP" --quick --workloads=adpcm-enc --predictors=bimodal,tage,perceptron \
+    --bits=4 --baseline --threads=2 \
+    --json="$tmpdir/sweep_predictors.json" > /dev/null
+install_golden "$tmpdir/sweep_predictors.json" "sweep_predictors.json"
 
 # ----------------------------------------------------------------- fault ----
 # ci/faults.sh owns the campaign flag sets; its --regen mode validates each

@@ -158,6 +158,28 @@ else
     echo "ok: $golden reproduced bit-for-bit"
 fi
 
+# ------------------------------------------------ predictor-sweep golden ----
+# One quick sweep over the bimodal baseline plus the two strong predictors
+# (TAGE, perceptron): pins the registry token path through the driver, the
+# per-family metric export and the selection artifacts in one byte-diffed
+# report.  Regenerate intentionally with ci/regen-goldens.sh.
+SWEEP="$BUILD_DIR/tools/asbr-sweep"
+golden="tests/golden/sweep_predictors.json"
+out="$tmpdir/$(basename "$golden")"
+if ! "$SWEEP" --quick --workloads=adpcm-enc \
+        --predictors=bimodal,tage,perceptron --bits=4 --baseline \
+        --threads=2 --json="$out" > "$tmpdir/log" 2>&1; then
+    echo "FAIL: predictor asbr-sweep failed:" >&2
+    cat "$tmpdir/log" >&2
+    status=1
+elif ! diff -q "$golden" "$out" > /dev/null; then
+    echo "FAIL: $golden drifted from the predictor sweep:" >&2
+    diff "$golden" "$out" | head -20 >&2
+    status=1
+else
+    echo "ok: $golden reproduced bit-for-bit"
+fi
+
 # The fault-injection regression rides along with the workload gate: the
 # same build tree, the same committed goldens (see ci/faults.sh).
 ci/faults.sh || status=1

@@ -20,6 +20,7 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/registry.hpp"
 #include "cc/compile.hpp"
 #include "isa/disasm.hpp"
 #include "mem/memory.hpp"
@@ -34,7 +35,9 @@ using namespace asbr;
 [[noreturn]] void usage() {
     std::puts(
         "usage: asbr_tool <file.c|file.s> [options]\n"
-        "  --predictor=nottaken|bi256|bi512|bimodal|gshare   (default bimodal)\n"
+        "  --predictor=TOKEN      registry token, e.g. bimodal, bi512, gshare,\n"
+        "                         tage:h8-16-32-64, perceptron:n256-h12\n"
+        "                         ('asbr-stats predictors' lists all; default bimodal)\n"
         "  --asbr                 profile, select and fold branches\n"
         "  --bit=N                BIT entries for --asbr (default 16)\n"
         "  --stage=ex|mem|commit  BDT update point (default mem)\n"
@@ -45,13 +48,16 @@ using namespace asbr;
 }
 
 std::unique_ptr<BranchPredictor> makePredictor(const std::string& name) {
-    if (name == "nottaken") return makeNotTaken();
-    if (name == "bi256") return makeBimodal(256, 512);
-    if (name == "bi512") return makeBimodal(512, 512);
-    if (name == "bimodal") return makeBimodal2048();
-    if (name == "gshare") return makeGshare2048();
-    std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
-    usage();
+    std::string error;
+    auto predictor = PredictorRegistry::instance().make(name, &error);
+    if (!predictor) {
+        std::fprintf(stderr, "asbr_tool: %s\n",
+                     PredictorRegistry::instance()
+                         .unknownTokenMessage(name)
+                         .c_str());
+        std::exit(2);
+    }
+    return predictor;
 }
 
 }  // namespace

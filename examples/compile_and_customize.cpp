@@ -13,6 +13,7 @@
 #include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "cc/compile.hpp"
 #include "mem/memory.hpp"
 #include "profile/profiler.hpp"

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/gshare.hpp"
+#include "bp/static_predictors.hpp"
 #include "mem/memory.hpp"
 #include "sim/pipeline.hpp"
 #include "workloads/input_gen.hpp"

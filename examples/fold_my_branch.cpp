@@ -12,6 +12,7 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "isa/disasm.hpp"
 #include "mem/memory.hpp"
 #include "sim/pipeline.hpp"

@@ -11,6 +11,7 @@
 
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "mem/memory.hpp"
 #include "sim/pipeline.hpp"
 #include "util/metrics.hpp"

@@ -6,6 +6,7 @@
 
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "mem/memory.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"

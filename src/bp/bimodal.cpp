@@ -1,0 +1,122 @@
+#include "bp/bimodal.hpp"
+
+#include <algorithm>
+
+#include "bp/registry.hpp"
+#include "bp/token_params.hpp"
+
+namespace asbr {
+
+using bp_detail::isPow2;
+using bp_detail::saturate2;
+
+BimodalPredictor::BimodalPredictor(std::uint32_t counters, std::uint32_t btbEntries)
+    : counters_(counters, 1), btb_(btbEntries) {
+    ASBR_ENSURE(isPow2(counters), "counter table size must be a power of two");
+}
+
+std::string BimodalPredictor::name() const {
+    return "bimodal-" + std::to_string(counters_.size()) + "/btb-" +
+           std::to_string(btb_.entries());
+}
+
+std::string BimodalPredictor::token() const {
+    if (counters_.size() == 2048 && btb_.entries() == 2048) return "bimodal";
+    if (counters_.size() == 512 && btb_.entries() == 512) return "bi512";
+    if (counters_.size() == 256 && btb_.entries() == 512) return "bi256";
+    return "bimodal:c" + std::to_string(counters_.size()) + "-b" +
+           std::to_string(btb_.entries());
+}
+
+std::size_t BimodalPredictor::index(std::uint32_t pc) const {
+    return (pc >> 2) & (counters_.size() - 1);
+}
+
+Prediction BimodalPredictor::predict(std::uint32_t pc) {
+    const bool taken = counters_[index(pc)] >= 2;
+    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
+}
+
+void BimodalPredictor::update(std::uint32_t pc, bool taken, std::uint32_t target) {
+    std::uint8_t& counter = counters_[index(pc)];
+    counter = saturate2(counter, taken);
+    if (taken) btb_.update(pc, target);
+}
+
+void BimodalPredictor::reset() {
+    std::fill(counters_.begin(), counters_.end(), std::uint8_t{1});
+    btb_.reset();
+}
+
+std::uint64_t BimodalPredictor::storageBits() const {
+    return counters_.size() * 2ull + btb_.storageBits();
+}
+
+std::unique_ptr<BranchPredictor> makeBimodal2048() {
+    return std::make_unique<BimodalPredictor>(2048, 2048);
+}
+
+std::unique_ptr<BranchPredictor> makeBimodal(std::uint32_t counters,
+                                             std::uint32_t btbEntries) {
+    return std::make_unique<BimodalPredictor>(counters, btbEntries);
+}
+
+namespace {
+
+std::unique_ptr<BranchPredictor> parseBimodal(const std::string& params,
+                                              std::string& error) {
+    std::uint64_t counters = 2048;
+    std::uint64_t btb = 2048;
+    for (const std::string& seg : bp_detail::splitDash(params)) {
+        std::uint64_t value = 0;
+        if (seg.size() < 2 || !bp_detail::parseUint(seg.substr(1), value)) {
+            error = "bimodal: bad parameter '" + seg + "' (want cN or bM)";
+            return nullptr;
+        }
+        switch (seg.front()) {
+            case 'c': counters = value; break;
+            case 'b': btb = value; break;
+            default:
+                error = "bimodal: unknown parameter '" + seg + "'";
+                return nullptr;
+        }
+    }
+    if (!isPow2(static_cast<std::uint32_t>(counters)) ||
+        !isPow2(static_cast<std::uint32_t>(btb)) || counters > (1u << 20) ||
+        btb > (1u << 20)) {
+        error = "bimodal: table sizes must be powers of two (<= 1M entries)";
+        return nullptr;
+    }
+    return makeBimodal(static_cast<std::uint32_t>(counters),
+                       static_cast<std::uint32_t>(btb));
+}
+
+}  // namespace
+
+void registerBimodalFamily(PredictorRegistry& registry) {
+    registry.add({"bimodal", "bimodal[:cN-bM]",
+                  "2-bit saturating counters indexed by PC (default c2048-b2048)",
+                  parseBimodal});
+    registry.add({"bi512", "bi512",
+                  "paper fig 11 auxiliary: bimodal c512 with a quarter BTB",
+                  [](const std::string& params, std::string& error)
+                      -> std::unique_ptr<BranchPredictor> {
+                      if (!params.empty()) {
+                          error = "bi512 takes no parameters";
+                          return nullptr;
+                      }
+                      return makeBimodal(512, 512);
+                  }});
+    registry.add({"bi256", "bi256",
+                  "paper fig 11 auxiliary: bimodal c256 with a quarter BTB",
+                  [](const std::string& params, std::string& error)
+                      -> std::unique_ptr<BranchPredictor> {
+                      if (!params.empty()) {
+                          error = "bi256 takes no parameters";
+                          return nullptr;
+                      }
+                      return makeBimodal(256, 512);
+                  }});
+}
+
+}  // namespace asbr

@@ -1,0 +1,54 @@
+// Bimodal predictor family.  Registry tokens: `bimodal[:cN-bM]` plus the
+// paper's Figure 11 auxiliary aliases `bi512` / `bi256` (bimodal with the
+// BTB cut to a quarter of the baseline's 2048 entries).
+#pragma once
+
+#include <memory>
+
+#include "bp/predictor.hpp"
+
+namespace asbr {
+
+class PredictorRegistry;
+
+/// Classic bimodal predictor: a table of 2-bit saturating counters indexed by
+/// the branch PC, plus a BTB for taken-path targets [McFarling 93].
+class BimodalPredictor final : public BranchPredictor {
+public:
+    BimodalPredictor(std::uint32_t counters, std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string token() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+    /// Fault-injection ports (src/fault): counter-table geometry and a
+    /// single-bit flip of a 2-bit counter.  The predictor is inherently
+    /// self-correcting, so these faults are usually masked — they anchor the
+    /// "timing-only corruption" end of the outcome taxonomy.
+    [[nodiscard]] std::uint32_t counterCount() const {
+        return static_cast<std::uint32_t>(counters_.size());
+    }
+    void flipCounterBit(std::uint32_t index, unsigned bit) {
+        ASBR_ENSURE(index < counters_.size(), "bimodal: bad counter index");
+        ASBR_ENSURE(bit < 2, "bimodal: counters are 2 bits wide");
+        counters_[index] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+
+private:
+    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
+    std::vector<std::uint8_t> counters_;
+    Btb btb_;
+};
+
+/// Factory helpers matching the paper's configurations.
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal2048();
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal(std::uint32_t counters,
+                                                           std::uint32_t btbEntries);
+
+/// Register `bimodal`, `bi512` and `bi256` (called once from
+/// PredictorRegistry::instance()).
+void registerBimodalFamily(PredictorRegistry& registry);
+
+}  // namespace asbr

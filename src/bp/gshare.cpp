@@ -1,0 +1,109 @@
+#include "bp/gshare.hpp"
+
+#include <algorithm>
+
+#include "bp/registry.hpp"
+#include "bp/token_params.hpp"
+
+namespace asbr {
+
+using bp_detail::isPow2;
+using bp_detail::saturate2;
+
+GSharePredictor::GSharePredictor(std::uint32_t historyBits, std::uint32_t counters,
+                                 std::uint32_t btbEntries)
+    : historyBits_(historyBits), counters_(counters, 1), btb_(btbEntries) {
+    ASBR_ENSURE(isPow2(counters), "counter table size must be a power of two");
+    ASBR_ENSURE(historyBits >= 1 && historyBits <= 30, "history bits 1..30");
+}
+
+std::string GSharePredictor::name() const {
+    return "gshare-" + std::to_string(historyBits_) + "/" +
+           std::to_string(counters_.size()) + "/btb-" + std::to_string(btb_.entries());
+}
+
+std::string GSharePredictor::token() const {
+    if (historyBits_ == 11 && counters_.size() == 2048 && btb_.entries() == 2048)
+        return "gshare";
+    return "gshare:h" + std::to_string(historyBits_) + "-c" +
+           std::to_string(counters_.size()) + "-b" +
+           std::to_string(btb_.entries());
+}
+
+std::size_t GSharePredictor::index(std::uint32_t pc) const {
+    return ((pc >> 2) ^ history_) & (counters_.size() - 1);
+}
+
+Prediction GSharePredictor::predict(std::uint32_t pc) {
+    const bool taken = counters_[index(pc)] >= 2;
+    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
+}
+
+void GSharePredictor::update(std::uint32_t pc, bool taken, std::uint32_t target) {
+    std::uint8_t& counter = counters_[index(pc)];
+    counter = saturate2(counter, taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & ((1u << historyBits_) - 1);
+    if (taken) btb_.update(pc, target);
+}
+
+void GSharePredictor::reset() {
+    std::fill(counters_.begin(), counters_.end(), std::uint8_t{1});
+    history_ = 0;
+    btb_.reset();
+}
+
+std::uint64_t GSharePredictor::storageBits() const {
+    return counters_.size() * 2ull + historyBits_ + btb_.storageBits();
+}
+
+std::unique_ptr<BranchPredictor> makeGshare2048() {
+    return std::make_unique<GSharePredictor>(11, 2048, 2048);
+}
+
+namespace {
+
+std::unique_ptr<BranchPredictor> parseGshare(const std::string& params,
+                                             std::string& error) {
+    std::uint64_t history = 11;
+    std::uint64_t counters = 2048;
+    std::uint64_t btb = 2048;
+    for (const std::string& seg : bp_detail::splitDash(params)) {
+        std::uint64_t value = 0;
+        if (seg.size() < 2 || !bp_detail::parseUint(seg.substr(1), value)) {
+            error = "gshare: bad parameter '" + seg + "' (want hH, cN or bM)";
+            return nullptr;
+        }
+        switch (seg.front()) {
+            case 'h': history = value; break;
+            case 'c': counters = value; break;
+            case 'b': btb = value; break;
+            default:
+                error = "gshare: unknown parameter '" + seg + "'";
+                return nullptr;
+        }
+    }
+    if (history < 1 || history > 30) {
+        error = "gshare: history bits must be 1..30";
+        return nullptr;
+    }
+    if (!isPow2(static_cast<std::uint32_t>(counters)) ||
+        !isPow2(static_cast<std::uint32_t>(btb)) || counters > (1u << 20) ||
+        btb > (1u << 20)) {
+        error = "gshare: table sizes must be powers of two (<= 1M entries)";
+        return nullptr;
+    }
+    return std::make_unique<GSharePredictor>(static_cast<std::uint32_t>(history),
+                                             static_cast<std::uint32_t>(counters),
+                                             static_cast<std::uint32_t>(btb));
+}
+
+}  // namespace
+
+void registerGshareFamily(PredictorRegistry& registry) {
+    registry.add({"gshare", "gshare[:hH-cN-bM]",
+                  "global-history XOR PC index [McFarling 93] (default "
+                  "h11-c2048-b2048)",
+                  parseGshare});
+}
+
+}  // namespace asbr

@@ -1,0 +1,38 @@
+// Gshare predictor family.  Registry token: `gshare[:hH-cN-bM]`.
+#pragma once
+
+#include <memory>
+
+#include "bp/predictor.hpp"
+
+namespace asbr {
+
+class PredictorRegistry;
+
+/// Two-level gshare predictor: global history XORed into the PC index
+/// [McFarling 93].  History is updated at resolve time.
+class GSharePredictor final : public BranchPredictor {
+public:
+    GSharePredictor(std::uint32_t historyBits, std::uint32_t counters,
+                    std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string token() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
+    std::uint32_t historyBits_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+    Btb btb_;
+};
+
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeGshare2048();
+
+/// Register `gshare` (called once from PredictorRegistry::instance()).
+void registerGshareFamily(PredictorRegistry& registry);
+
+}  // namespace asbr

@@ -1,0 +1,167 @@
+#include "bp/perceptron.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bp/registry.hpp"
+#include "bp/token_params.hpp"
+#include "util/metrics.hpp"
+
+namespace asbr {
+
+using bp_detail::isPow2;
+
+namespace {
+
+std::int8_t clampWeight(std::int32_t value) {
+    return static_cast<std::int8_t>(std::clamp(value, -128, 127));
+}
+
+}  // namespace
+
+PerceptronPredictor::PerceptronPredictor(std::uint32_t perceptrons,
+                                         std::uint32_t historyBits,
+                                         std::uint32_t btbEntries)
+    : historyBits_(historyBits),
+      threshold_(static_cast<std::int32_t>(1.93 * historyBits + 14)),
+      weights_(static_cast<std::size_t>(perceptrons) * (historyBits + 1), 0),
+      btb_(btbEntries) {
+    ASBR_ENSURE(isPow2(perceptrons), "perceptron count must be a power of two");
+    ASBR_ENSURE(historyBits >= 1 && historyBits <= 62, "history bits 1..62");
+}
+
+std::string PerceptronPredictor::name() const {
+    const std::size_t rows = weights_.size() / (historyBits_ + 1);
+    return "perceptron-" + std::to_string(rows) + "x" +
+           std::to_string(historyBits_) + "/btb-" + std::to_string(btb_.entries());
+}
+
+std::string PerceptronPredictor::token() const {
+    const std::size_t rows = weights_.size() / (historyBits_ + 1);
+    if (rows == 256 && historyBits_ == 12 && btb_.entries() == 2048)
+        return "perceptron";
+    return "perceptron:n" + std::to_string(rows) + "-h" +
+           std::to_string(historyBits_);
+}
+
+std::int32_t PerceptronPredictor::dotProduct(std::size_t row) const {
+    const std::size_t rowBase = row * (historyBits_ + 1);
+    std::int32_t sum = weights_[rowBase];  // bias weight
+    for (std::uint32_t bit = 0; bit < historyBits_; ++bit) {
+        const std::int32_t weight = weights_[rowBase + 1 + bit];
+        sum += (history_ >> bit) & 1 ? weight : -weight;
+    }
+    return sum;
+}
+
+Prediction PerceptronPredictor::predict(std::uint32_t pc) {
+    const std::size_t rows = weights_.size() / (historyBits_ + 1);
+    const bool taken = dotProduct((pc >> 2) & (rows - 1)) >= 0;
+    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
+}
+
+void PerceptronPredictor::update(std::uint32_t pc, bool taken,
+                                 std::uint32_t target) {
+    const std::size_t rows = weights_.size() / (historyBits_ + 1);
+    const std::size_t row = (pc >> 2) & (rows - 1);
+    // History only advances below, so this is the sum predict() computed.
+    const std::int32_t sum = dotProduct(row);
+    const bool predTaken = sum >= 0;
+
+    const bool mispredicted = predTaken != taken;
+    const bool lowConfidence = std::abs(sum) <= threshold_;
+    if (mispredicted || lowConfidence) {
+        ++trainEvents_;
+        if (mispredicted) ++mispredictTrains_;
+        if (!mispredicted) ++lowConfidenceTrains_;
+        const std::size_t rowBase = row * (historyBits_ + 1);
+        weights_[rowBase] =
+            clampWeight(weights_[rowBase] + (taken ? 1 : -1));
+        for (std::uint32_t bit = 0; bit < historyBits_; ++bit) {
+            const bool histTaken = (history_ >> bit) & 1;
+            std::int8_t& weight = weights_[rowBase + 1 + bit];
+            weight = clampWeight(weight + (histTaken == taken ? 1 : -1));
+        }
+    }
+
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+               ((1ull << historyBits_) - 1);
+    if (taken) btb_.update(pc, target);
+}
+
+void PerceptronPredictor::reset() {
+    std::fill(weights_.begin(), weights_.end(), std::int8_t{0});
+    history_ = 0;
+    btb_.reset();
+    trainEvents_ = mispredictTrains_ = lowConfidenceTrains_ = 0;
+}
+
+std::uint64_t PerceptronPredictor::storageBits() const {
+    return weights_.size() * 8ull + historyBits_ + btb_.storageBits();
+}
+
+void PerceptronPredictor::publishFamilyMetrics(MetricRegistry& registry) const {
+    registry
+        .counter("bp.perceptron.train_events",
+                 "perceptron weight-training events (mispredict or "
+                 "low-confidence)")
+        .add(trainEvents_);
+    registry
+        .counter("bp.perceptron.mispredict_trains",
+                 "perceptron trainings triggered by a misprediction")
+        .add(mispredictTrains_);
+    registry
+        .counter("bp.perceptron.low_confidence_trains",
+                 "perceptron trainings triggered by |output| <= theta on a "
+                 "correct prediction")
+        .add(lowConfidenceTrains_);
+}
+
+std::unique_ptr<BranchPredictor> makePerceptron() {
+    return std::make_unique<PerceptronPredictor>(256, 12, 2048);
+}
+
+namespace {
+
+std::unique_ptr<BranchPredictor> parsePerceptron(const std::string& params,
+                                                 std::string& error) {
+    std::uint64_t perceptrons = 256;
+    std::uint64_t history = 12;
+    for (const std::string& seg : bp_detail::splitDash(params)) {
+        std::uint64_t value = 0;
+        if (seg.size() < 2 || !bp_detail::parseUint(seg.substr(1), value)) {
+            error = "perceptron: bad parameter '" + seg + "' (want nN or hH)";
+            return nullptr;
+        }
+        switch (seg.front()) {
+            case 'n': perceptrons = value; break;
+            case 'h': history = value; break;
+            default:
+                error = "perceptron: unknown parameter '" + seg + "'";
+                return nullptr;
+        }
+    }
+    if (history < 1 || history > 62) {
+        error = "perceptron: history bits must be 1..62";
+        return nullptr;
+    }
+    if (!isPow2(static_cast<std::uint32_t>(perceptrons)) ||
+        perceptrons > (1u << 20)) {
+        error = "perceptron: table size must be a power of two (<= 1M rows)";
+        return nullptr;
+    }
+    return std::make_unique<PerceptronPredictor>(
+        static_cast<std::uint32_t>(perceptrons),
+        static_cast<std::uint32_t>(history), 2048);
+}
+
+}  // namespace
+
+void registerPerceptronFamily(PredictorRegistry& registry) {
+    registry.add({"perceptron", "perceptron[:nN-hH]",
+                  "perceptron over global history [Jimenez & Lin 01] "
+                  "(default n256-h12, theta 37)",
+                  parsePerceptron});
+}
+
+}  // namespace asbr

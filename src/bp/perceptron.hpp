@@ -1,0 +1,63 @@
+// Perceptron predictor family.  Registry token: `perceptron[:nN-hH]`.
+#pragma once
+
+#include <memory>
+
+#include "bp/predictor.hpp"
+
+namespace asbr {
+
+class PredictorRegistry;
+
+/// Perceptron branch predictor [Jimenez & Lin 01]: a table of perceptrons
+/// indexed by PC, each a bias weight plus one signed weight per global
+/// history bit.  The prediction is the sign of the dot product; weights
+/// train on a misprediction or whenever the output magnitude is below the
+/// threshold theta = floor(1.93 * history + 14).
+///
+/// Like the other models the predictor keeps no speculative state: update()
+/// recomputes the dot product against the history predict() saw, so runs
+/// are deterministic at any thread count.
+class PerceptronPredictor final : public BranchPredictor {
+public:
+    PerceptronPredictor(std::uint32_t perceptrons, std::uint32_t historyBits,
+                        std::uint32_t btbEntries);
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string token() const override;
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t storageBits() const override;
+    void publishFamilyMetrics(MetricRegistry& registry) const override;
+
+    /// Training threshold theta; exposed for tests.
+    [[nodiscard]] std::int32_t threshold() const { return threshold_; }
+    /// Training event counts since reset; exposed for tests.
+    [[nodiscard]] std::uint64_t trainEvents() const { return trainEvents_; }
+    [[nodiscard]] std::uint64_t mispredictTrains() const {
+        return mispredictTrains_;
+    }
+    [[nodiscard]] std::uint64_t lowConfidenceTrains() const {
+        return lowConfidenceTrains_;
+    }
+
+private:
+    [[nodiscard]] std::int32_t dotProduct(std::size_t row) const;
+
+    std::uint32_t historyBits_;
+    std::int32_t threshold_;
+    std::uint64_t history_ = 0;  ///< bit i set = i-th most recent was taken
+    std::vector<std::int8_t> weights_;  ///< row-major, (historyBits_+1) per row
+    Btb btb_;
+
+    std::uint64_t trainEvents_ = 0;
+    std::uint64_t mispredictTrains_ = 0;
+    std::uint64_t lowConfidenceTrains_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<BranchPredictor> makePerceptron();
+
+/// Register `perceptron` (called once from PredictorRegistry::instance()).
+void registerPerceptronFamily(PredictorRegistry& registry);
+
+}  // namespace asbr

@@ -11,24 +11,15 @@ void BranchPredictor::publishMetrics(MetricRegistry& registry) const {
         .counter("bp.storage_bits",
                  "auxiliary/general-purpose predictor storage cost in bits")
         .add(storageBits());
+    publishFamilyMetrics(registry);
 }
 
-namespace {
-
-bool isPow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
-
-/// 2-bit saturating counter transitions; counters predict taken at >= 2.
-std::uint8_t saturate(std::uint8_t counter, bool taken) {
-    if (taken) return counter < 3 ? static_cast<std::uint8_t>(counter + 1) : counter;
-    return counter > 0 ? static_cast<std::uint8_t>(counter - 1) : counter;
-}
-
-}  // namespace
+void BranchPredictor::publishFamilyMetrics(MetricRegistry&) const {}
 
 // ----------------------------------------------------------------- Btb -----
 
 Btb::Btb(std::uint32_t entries) {
-    ASBR_ENSURE(isPow2(entries), "BTB entries must be a power of two");
+    ASBR_ENSURE(bp_detail::isPow2(entries), "BTB entries must be a power of two");
     lines_.resize(entries);
 }
 
@@ -45,191 +36,6 @@ void Btb::update(std::uint32_t pc, std::uint32_t target) {
 
 void Btb::reset() {
     std::fill(lines_.begin(), lines_.end(), Line{});
-}
-
-// ------------------------------------------------------------- Bimodal -----
-
-BimodalPredictor::BimodalPredictor(std::uint32_t counters, std::uint32_t btbEntries)
-    : counters_(counters, 1), btb_(btbEntries) {
-    ASBR_ENSURE(isPow2(counters), "counter table size must be a power of two");
-}
-
-std::string BimodalPredictor::name() const {
-    return "bimodal-" + std::to_string(counters_.size()) + "/btb-" +
-           std::to_string(btb_.entries());
-}
-
-std::size_t BimodalPredictor::index(std::uint32_t pc) const {
-    return (pc >> 2) & (counters_.size() - 1);
-}
-
-Prediction BimodalPredictor::predict(std::uint32_t pc) {
-    const bool taken = counters_[index(pc)] >= 2;
-    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
-}
-
-void BimodalPredictor::update(std::uint32_t pc, bool taken, std::uint32_t target) {
-    std::uint8_t& counter = counters_[index(pc)];
-    counter = saturate(counter, taken);
-    if (taken) btb_.update(pc, target);
-}
-
-void BimodalPredictor::reset() {
-    std::fill(counters_.begin(), counters_.end(), std::uint8_t{1});
-    btb_.reset();
-}
-
-std::uint64_t BimodalPredictor::storageBits() const {
-    return counters_.size() * 2ull + btb_.storageBits();
-}
-
-// -------------------------------------------------------------- GShare -----
-
-GSharePredictor::GSharePredictor(std::uint32_t historyBits, std::uint32_t counters,
-                                 std::uint32_t btbEntries)
-    : historyBits_(historyBits), counters_(counters, 1), btb_(btbEntries) {
-    ASBR_ENSURE(isPow2(counters), "counter table size must be a power of two");
-    ASBR_ENSURE(historyBits >= 1 && historyBits <= 30, "history bits 1..30");
-}
-
-std::string GSharePredictor::name() const {
-    return "gshare-" + std::to_string(historyBits_) + "/" +
-           std::to_string(counters_.size()) + "/btb-" + std::to_string(btb_.entries());
-}
-
-std::size_t GSharePredictor::index(std::uint32_t pc) const {
-    return ((pc >> 2) ^ history_) & (counters_.size() - 1);
-}
-
-Prediction GSharePredictor::predict(std::uint32_t pc) {
-    const bool taken = counters_[index(pc)] >= 2;
-    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
-}
-
-void GSharePredictor::update(std::uint32_t pc, bool taken, std::uint32_t target) {
-    std::uint8_t& counter = counters_[index(pc)];
-    counter = saturate(counter, taken);
-    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & ((1u << historyBits_) - 1);
-    if (taken) btb_.update(pc, target);
-}
-
-void GSharePredictor::reset() {
-    std::fill(counters_.begin(), counters_.end(), std::uint8_t{1});
-    history_ = 0;
-    btb_.reset();
-}
-
-std::uint64_t GSharePredictor::storageBits() const {
-    return counters_.size() * 2ull + historyBits_ + btb_.storageBits();
-}
-
-// ---------------------------------------------------------- Tournament -----
-
-TournamentPredictor::TournamentPredictor(std::uint32_t choosers,
-                                         std::uint32_t counters,
-                                         std::uint32_t historyBits,
-                                         std::uint32_t btbEntries)
-    : choosers_(choosers, 1),
-      bimodal_(counters, 1),
-      gshare_(counters, 1),
-      historyBits_(historyBits),
-      btb_(btbEntries) {
-    ASBR_ENSURE(isPow2(choosers) && isPow2(counters),
-                "table sizes must be powers of two");
-    ASBR_ENSURE(historyBits >= 1 && historyBits <= 30, "history bits 1..30");
-}
-
-std::string TournamentPredictor::name() const {
-    return "tournament-" + std::to_string(bimodal_.size()) + "/btb-" +
-           std::to_string(btb_.entries());
-}
-
-bool TournamentPredictor::bimodalTaken(std::uint32_t pc) const {
-    return bimodal_[(pc >> 2) & (bimodal_.size() - 1)] >= 2;
-}
-
-bool TournamentPredictor::gshareTaken(std::uint32_t pc) const {
-    return gshare_[((pc >> 2) ^ history_) & (gshare_.size() - 1)] >= 2;
-}
-
-Prediction TournamentPredictor::predict(std::uint32_t pc) {
-    const bool useGshare = choosers_[(pc >> 2) & (choosers_.size() - 1)] >= 2;
-    const bool taken = useGshare ? gshareTaken(pc) : bimodalTaken(pc);
-    return {taken, taken ? btb_.lookup(pc) : std::nullopt};
-}
-
-void TournamentPredictor::update(std::uint32_t pc, bool taken,
-                                 std::uint32_t target) {
-    const bool bimodalWasRight = bimodalTaken(pc) == taken;
-    const bool gshareWasRight = gshareTaken(pc) == taken;
-    std::uint8_t& chooser = choosers_[(pc >> 2) & (choosers_.size() - 1)];
-    if (gshareWasRight != bimodalWasRight)
-        chooser = saturate(chooser, gshareWasRight);
-
-    std::uint8_t& bi = bimodal_[(pc >> 2) & (bimodal_.size() - 1)];
-    bi = saturate(bi, taken);
-    std::uint8_t& gs = gshare_[((pc >> 2) ^ history_) & (gshare_.size() - 1)];
-    gs = saturate(gs, taken);
-    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & ((1u << historyBits_) - 1);
-    if (taken) btb_.update(pc, target);
-}
-
-void TournamentPredictor::reset() {
-    std::fill(choosers_.begin(), choosers_.end(), std::uint8_t{1});
-    std::fill(bimodal_.begin(), bimodal_.end(), std::uint8_t{1});
-    std::fill(gshare_.begin(), gshare_.end(), std::uint8_t{1});
-    history_ = 0;
-    btb_.reset();
-}
-
-std::uint64_t TournamentPredictor::storageBits() const {
-    return (choosers_.size() + bimodal_.size() + gshare_.size()) * 2ull +
-           historyBits_ + btb_.storageBits();
-}
-
-// ------------------------------------------------------------ Profiled -----
-
-ProfiledStaticPredictor::ProfiledStaticPredictor(std::vector<Entry> entries)
-    : entries_(std::move(entries)) {
-    std::sort(entries_.begin(), entries_.end(),
-              [](const Entry& a, const Entry& b) { return a.pc < b.pc; });
-}
-
-Prediction ProfiledStaticPredictor::predict(std::uint32_t pc) {
-    const auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), pc,
-        [](const Entry& e, std::uint32_t key) { return e.pc < key; });
-    if (it == entries_.end() || it->pc != pc) return {};
-    if (!it->taken) return {};
-    return {true, it->target};
-}
-
-std::uint64_t ProfiledStaticPredictor::storageBits() const {
-    // pc tag (30) + direction (1) + target (30) per entry.
-    return entries_.size() * 61ull;
-}
-
-// ----------------------------------------------------------- factories -----
-
-std::unique_ptr<BranchPredictor> makeNotTaken() {
-    return std::make_unique<NotTakenPredictor>();
-}
-
-std::unique_ptr<BranchPredictor> makeBimodal2048() {
-    return std::make_unique<BimodalPredictor>(2048, 2048);
-}
-
-std::unique_ptr<BranchPredictor> makeGshare2048() {
-    return std::make_unique<GSharePredictor>(11, 2048, 2048);
-}
-
-std::unique_ptr<BranchPredictor> makeBimodal(std::uint32_t counters,
-                                             std::uint32_t btbEntries) {
-    return std::make_unique<BimodalPredictor>(counters, btbEntries);
-}
-
-std::unique_ptr<BranchPredictor> makeTournament2048() {
-    return std::make_unique<TournamentPredictor>(2048, 2048, 11, 2048);
 }
 
 }  // namespace asbr

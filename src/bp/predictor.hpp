@@ -1,14 +1,18 @@
-// Branch predictor library.
+// Branch predictor interface.
 //
 // The paper's baseline architecture uses three general-purpose predictors
 // (not-taken, bimodal-2048 + BTB-2048, gshare 11-bit/2048 + BTB-2048) and,
 // after ASBR folds out the selected branches, small auxiliary bimodal
 // predictors (512/256 counters with a quarter-size BTB).  Everything sits
-// behind one interface so the pipeline and the profiler treat them uniformly.
+// behind one interface so the pipeline and the profiler treat them
+// uniformly.  The concrete families live in per-family modules —
+// bp/static_predictors.*, bp/bimodal.*, bp/gshare.*, bp/tournament.*,
+// bp/tage.*, bp/perceptron.* — and register construction tokens with the
+// PredictorRegistry (bp/registry.hpp), the single source of truth for CLI
+// tokens and storage-bit accounting (docs/predictors.md).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,6 +64,11 @@ public:
 
     [[nodiscard]] virtual std::string name() const = 0;
 
+    /// The canonical registry token that reconstructs this predictor
+    /// (PredictorRegistry::make(token) yields an identical configuration).
+    /// Families built outside the registry fall back to their display name.
+    [[nodiscard]] virtual std::string token() const { return name(); }
+
     /// Fetch-stage query for the conditional branch at `pc`.
     virtual Prediction predict(std::uint32_t pc) = 0;
 
@@ -71,144 +80,30 @@ public:
     /// Storage cost in bits — the paper's area-proxy for predictor cost.
     [[nodiscard]] virtual std::uint64_t storageBits() const = 0;
 
-    /// Register the predictor's cost metrics (`bp.storage_bits`) into the
-    /// registry.  Dynamic outcome counters live in PipelineStats — the
-    /// pipeline owns resolve-time truth, the predictor only its geometry.
+    /// Register the predictor's cost metrics (`bp.storage_bits`) plus any
+    /// family-specific counters into the registry.  Dynamic outcome counters
+    /// live in PipelineStats — the pipeline owns resolve-time truth, the
+    /// predictor only its geometry and internal training events.
     void publishMetrics(MetricRegistry& registry) const;
+
+    /// Family-specific counters only (`bp.tage.*`, `bp.perceptron.*`, ...).
+    /// Split out so metric enumeration can combine one `bp.storage_bits`
+    /// claim with every family's counter names in a single registry.
+    virtual void publishFamilyMetrics(MetricRegistry& registry) const;
 };
 
-/// Always predicts not-taken ("the default in many embedded processors that
-/// lack branch predictors").
-class NotTakenPredictor final : public BranchPredictor {
-public:
-    [[nodiscard]] std::string name() const override { return "not taken"; }
-    Prediction predict(std::uint32_t) override { return {}; }
-    void update(std::uint32_t, bool, std::uint32_t) override {}
-    void reset() override {}
-    [[nodiscard]] std::uint64_t storageBits() const override { return 0; }
-};
+namespace bp_detail {
 
-/// Predicts taken whenever the BTB knows the target.
-class AlwaysTakenPredictor final : public BranchPredictor {
-public:
-    explicit AlwaysTakenPredictor(std::uint32_t btbEntries) : btb_(btbEntries) {}
-    [[nodiscard]] std::string name() const override { return "always taken"; }
-    Prediction predict(std::uint32_t pc) override { return {true, btb_.lookup(pc)}; }
-    void update(std::uint32_t pc, bool taken, std::uint32_t target) override {
-        if (taken) btb_.update(pc, target);
-    }
-    void reset() override { btb_.reset(); }
-    [[nodiscard]] std::uint64_t storageBits() const override {
-        return btb_.storageBits();
-    }
+[[nodiscard]] inline bool isPow2(std::uint32_t v) {
+    return v != 0 && (v & (v - 1)) == 0;
+}
 
-private:
-    Btb btb_;
-};
+/// 2-bit saturating counter transitions; counters predict taken at >= 2.
+[[nodiscard]] inline std::uint8_t saturate2(std::uint8_t counter, bool taken) {
+    if (taken) return counter < 3 ? static_cast<std::uint8_t>(counter + 1) : counter;
+    return counter > 0 ? static_cast<std::uint8_t>(counter - 1) : counter;
+}
 
-/// Classic bimodal predictor: a table of 2-bit saturating counters indexed by
-/// the branch PC, plus a BTB for taken-path targets [McFarling 93].
-class BimodalPredictor final : public BranchPredictor {
-public:
-    BimodalPredictor(std::uint32_t counters, std::uint32_t btbEntries);
-    [[nodiscard]] std::string name() const override;
-    Prediction predict(std::uint32_t pc) override;
-    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
-    void reset() override;
-    [[nodiscard]] std::uint64_t storageBits() const override;
-
-    /// Fault-injection ports (src/fault): counter-table geometry and a
-    /// single-bit flip of a 2-bit counter.  The predictor is inherently
-    /// self-correcting, so these faults are usually masked — they anchor the
-    /// "timing-only corruption" end of the outcome taxonomy.
-    [[nodiscard]] std::uint32_t counterCount() const {
-        return static_cast<std::uint32_t>(counters_.size());
-    }
-    void flipCounterBit(std::uint32_t index, unsigned bit) {
-        ASBR_ENSURE(index < counters_.size(), "bimodal: bad counter index");
-        ASBR_ENSURE(bit < 2, "bimodal: counters are 2 bits wide");
-        counters_[index] ^= static_cast<std::uint8_t>(1u << bit);
-    }
-
-private:
-    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
-    std::vector<std::uint8_t> counters_;
-    Btb btb_;
-};
-
-/// Two-level gshare predictor: global history XORed into the PC index
-/// [McFarling 93].  History is updated at resolve time.
-class GSharePredictor final : public BranchPredictor {
-public:
-    GSharePredictor(std::uint32_t historyBits, std::uint32_t counters,
-                    std::uint32_t btbEntries);
-    [[nodiscard]] std::string name() const override;
-    Prediction predict(std::uint32_t pc) override;
-    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
-    void reset() override;
-    [[nodiscard]] std::uint64_t storageBits() const override;
-
-private:
-    [[nodiscard]] std::size_t index(std::uint32_t pc) const;
-    std::uint32_t historyBits_;
-    std::uint32_t history_ = 0;
-    std::vector<std::uint8_t> counters_;
-    Btb btb_;
-};
-
-/// Profile-directed static predictor: a fixed most-likely direction (and
-/// statically-known target) per branch PC — models compile-time static
-/// prediction [Young & Smith 99] as an extension baseline.
-class ProfiledStaticPredictor final : public BranchPredictor {
-public:
-    struct Entry {
-        std::uint32_t pc = 0;
-        bool taken = false;
-        std::uint32_t target = 0;
-    };
-    explicit ProfiledStaticPredictor(std::vector<Entry> entries);
-    [[nodiscard]] std::string name() const override { return "profiled static"; }
-    Prediction predict(std::uint32_t pc) override;
-    void update(std::uint32_t, bool, std::uint32_t) override {}
-    void reset() override {}
-    [[nodiscard]] std::uint64_t storageBits() const override;
-
-private:
-    std::vector<Entry> entries_;  // sorted by pc
-};
-
-/// McFarling's combining (tournament) predictor [McFarling 93]: a bimodal
-/// and a gshare component share a BTB; a table of 2-bit chooser counters
-/// indexed by PC picks which component to trust, trained towards whichever
-/// component was right when they disagree.
-class TournamentPredictor final : public BranchPredictor {
-public:
-    TournamentPredictor(std::uint32_t choosers, std::uint32_t counters,
-                        std::uint32_t historyBits, std::uint32_t btbEntries);
-    [[nodiscard]] std::string name() const override;
-    Prediction predict(std::uint32_t pc) override;
-    void update(std::uint32_t pc, bool taken, std::uint32_t target) override;
-    void reset() override;
-    [[nodiscard]] std::uint64_t storageBits() const override;
-
-private:
-    [[nodiscard]] bool bimodalTaken(std::uint32_t pc) const;
-    [[nodiscard]] bool gshareTaken(std::uint32_t pc) const;
-
-    std::vector<std::uint8_t> choosers_;  // >=2 prefers gshare
-    std::vector<std::uint8_t> bimodal_;
-    std::vector<std::uint8_t> gshare_;
-    std::uint32_t historyBits_;
-    std::uint32_t history_ = 0;
-    Btb btb_;
-};
-
-/// Factory helpers matching the paper's configurations.
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeNotTaken();
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal2048();
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeGshare2048();
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeBimodal(std::uint32_t counters,
-                                                           std::uint32_t btbEntries);
-[[nodiscard]] std::unique_ptr<BranchPredictor> makeTournament2048();
+}  // namespace bp_detail
 
 }  // namespace asbr

@@ -1,0 +1,73 @@
+// Stateless / profile-directed predictor family: not-taken, always-taken
+// and the profile-directed static predictor.  Registry tokens: `not-taken`,
+// `taken` (docs/predictors.md).
+#pragma once
+
+#include <memory>
+
+#include "bp/predictor.hpp"
+
+namespace asbr {
+
+class PredictorRegistry;
+
+/// Always predicts not-taken ("the default in many embedded processors that
+/// lack branch predictors").
+class NotTakenPredictor final : public BranchPredictor {
+public:
+    [[nodiscard]] std::string name() const override { return "not taken"; }
+    [[nodiscard]] std::string token() const override { return "not-taken"; }
+    Prediction predict(std::uint32_t) override { return {}; }
+    void update(std::uint32_t, bool, std::uint32_t) override {}
+    void reset() override {}
+    [[nodiscard]] std::uint64_t storageBits() const override { return 0; }
+};
+
+/// Predicts taken whenever the BTB knows the target.
+class AlwaysTakenPredictor final : public BranchPredictor {
+public:
+    explicit AlwaysTakenPredictor(std::uint32_t btbEntries) : btb_(btbEntries) {}
+    [[nodiscard]] std::string name() const override { return "always taken"; }
+    [[nodiscard]] std::string token() const override { return "taken"; }
+    Prediction predict(std::uint32_t pc) override { return {true, btb_.lookup(pc)}; }
+    void update(std::uint32_t pc, bool taken, std::uint32_t target) override {
+        if (taken) btb_.update(pc, target);
+    }
+    void reset() override { btb_.reset(); }
+    [[nodiscard]] std::uint64_t storageBits() const override {
+        return btb_.storageBits();
+    }
+
+private:
+    Btb btb_;
+};
+
+/// Profile-directed static predictor: a fixed most-likely direction (and
+/// statically-known target) per branch PC — models compile-time static
+/// prediction [Young & Smith 99] as an extension baseline.  Not registry-
+/// constructible: it needs a profile, not a token.
+class ProfiledStaticPredictor final : public BranchPredictor {
+public:
+    struct Entry {
+        std::uint32_t pc = 0;
+        bool taken = false;
+        std::uint32_t target = 0;
+    };
+    explicit ProfiledStaticPredictor(std::vector<Entry> entries);
+    [[nodiscard]] std::string name() const override { return "profiled static"; }
+    Prediction predict(std::uint32_t pc) override;
+    void update(std::uint32_t, bool, std::uint32_t) override {}
+    void reset() override {}
+    [[nodiscard]] std::uint64_t storageBits() const override;
+
+private:
+    std::vector<Entry> entries_;  // sorted by pc
+};
+
+[[nodiscard]] std::unique_ptr<BranchPredictor> makeNotTaken();
+
+/// Register the `not-taken` and `taken` tokens (called once from
+/// PredictorRegistry::instance()).
+void registerStaticFamily(PredictorRegistry& registry);
+
+}  // namespace asbr

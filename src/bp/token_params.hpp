@@ -1,0 +1,44 @@
+// Internal helpers for parsing registry token parameters — the dash-
+// separated `<letter><number>` segments after a family prefix, e.g.
+// "c512-b512" or "h8-16-32-64-e512-t9" (bare numeric segments extend the
+// preceding letter's list, which is how TAGE history lengths are spelled).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asbr::bp_detail {
+
+/// Split "a-b-c" into {"a","b","c"}; empty input yields an empty list.
+[[nodiscard]] inline std::vector<std::string> splitDash(
+    const std::string& text) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t dash = text.find('-', start);
+        const std::size_t end = dash == std::string::npos ? text.size() : dash;
+        parts.push_back(text.substr(start, end - start));
+        if (dash == std::string::npos) break;
+        start = dash + 1;
+    }
+    if (parts.size() == 1 && parts.front().empty()) parts.clear();
+    return parts;
+}
+
+/// Parse a decimal number; false on empty/non-digit/overflowing input.
+[[nodiscard]] inline bool parseUint(const std::string& text,
+                                    std::uint64_t& out) {
+    if (text.empty()) return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') return false;
+        if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10)
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace asbr::bp_detail

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "asbr/extract.hpp"
+#include "bp/bimodal.hpp"
 #include "driver/names.hpp"
 #include "util/ensure.hpp"
 #include "workloads/input_gen.hpp"
@@ -101,10 +102,46 @@ const std::map<std::uint32_t, double>& WorkloadArtifacts::baselineAccuracy()
     return accuracy_;
 }
 
+std::shared_ptr<const PredictionProfile> WorkloadArtifacts::predictionProfile(
+    const std::string& token) const {
+    std::promise<std::shared_ptr<const PredictionProfile>> promise;
+    std::shared_future<std::shared_ptr<const PredictionProfile>> slot;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(predictionsMutex_);
+        const auto it = predictions_.find(token);
+        if (it != predictions_.end()) {
+            slot = it->second;
+        } else {
+            slot = promise.get_future().share();
+            predictions_.emplace(token, slot);
+            compute = true;
+        }
+    }
+    if (compute) {
+        try {
+            std::string error;
+            auto predictor = makePredictorByToken(token, &error);
+            ASBR_ENSURE(predictor != nullptr, error);
+            Memory memory = makeMemory(prepared_);
+            auto profile = std::make_shared<PredictionProfile>(
+                profilePredictions(prepared_.program, memory, *predictor));
+            promise.set_value(std::move(profile));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return slot.get();
+}
+
 SelectionArtifacts::SelectionArtifacts(
     std::shared_ptr<const WorkloadArtifacts> workload, const SelectionKey& key)
     : workload_(std::move(workload)), key_(key) {
     ASBR_ENSURE(key_.bitEntries > 0, "selection: BIT capacity must be resolved");
+    ASBR_ENSURE(!(key_.staticFolds && key_.predictorAware),
+                "selection: staticFolds and predictorAware are exclusive");
+    ASBR_ENSURE(!key_.predictorAware || !key_.predictorToken.empty(),
+                "selection: predictor-aware needs a predictor token");
     const ProgramProfile& profile = workload_->profile();
     const std::map<std::uint32_t, double> noAccuracy;
     const std::map<std::uint32_t, double>& accuracy =
@@ -113,7 +150,18 @@ SelectionArtifacts::SelectionArtifacts(
     config.bitCapacity = key_.bitEntries;
     config.threshold = thresholdFor(key_.updateStage);
     const Program& program = workload_->prepared().program;
-    if (key_.staticFolds) {
+    if (key_.predictorAware) {
+        // The baseline-era comparison needs the bimodal reference even when
+        // useAccuracy is off — reclaimed slots are measured against the
+        // policy the paper's figures used.
+        PredictorAwareSelection aware = selectBranchesPredictorAware(
+            program, profile,
+            *workload_->predictionProfile(key_.predictorToken),
+            workload_->baselineAccuracy(), config);
+        awareMetrics_.countSelection(aware);
+        candidates_ = std::move(aware.folded);
+        hardness_ = std::move(aware.hardness);
+    } else if (key_.staticFolds) {
         FoldSelection selection =
             selectWithStaticVerdicts(program, profile, accuracy, config);
         candidates_ = std::move(selection.dynamic);

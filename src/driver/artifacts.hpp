@@ -96,6 +96,12 @@ struct SelectionKey {
     /// (every figure regenerator does; ext_predictors deliberately does not).
     bool useAccuracy = true;
     bool staticFolds = false;  ///< two-class selection + static fold table
+    /// Predictor-aware selection: fold only what `predictorToken` loses
+    /// (mutually exclusive with staticFolds).
+    bool predictorAware = false;
+    /// The strong fallback predictor's registry token (predictorAware only;
+    /// empty otherwise so keys that ignore the predictor keep aliasing).
+    std::string predictorToken;
 
     auto operator<=>(const SelectionKey&) const = default;
 };
@@ -118,6 +124,14 @@ public:
     [[nodiscard]] const std::map<std::uint32_t, double>& baselineAccuracy()
         const;
 
+    /// Per-site prediction record of playing the predictor named by a
+    /// registry token over this workload's committed branch stream
+    /// (profilePredictions).  Lazy, once per token: concurrent requesters of
+    /// the same token block on a shared_future; different tokens never
+    /// serialize against each other's computation.
+    [[nodiscard]] std::shared_ptr<const PredictionProfile> predictionProfile(
+        const std::string& token) const;
+
 private:
     WorkloadKey key_;
     Prepared prepared_;
@@ -125,6 +139,10 @@ private:
     mutable std::optional<ProgramProfile> profile_;
     mutable std::once_flag accuracyOnce_;
     mutable std::map<std::uint32_t, double> accuracy_;
+    mutable std::mutex predictionsMutex_;
+    mutable std::map<std::string,
+                     std::shared_future<std::shared_ptr<const PredictionProfile>>>
+        predictions_;
 };
 
 /// Immutable branch selection: candidates plus the extracted table contents,
@@ -151,6 +169,15 @@ public:
     [[nodiscard]] std::uint64_t bitSlotsReclaimed() const {
         return bitSlotsReclaimed_;
     }
+    /// Predictor-aware selection summary (zeros unless key().predictorAware).
+    [[nodiscard]] const PredictorAwareSelectionMetrics& awareMetrics() const {
+        return awareMetrics_;
+    }
+    /// Hardness taxonomy per foldable site (empty unless predictorAware).
+    [[nodiscard]] const std::map<std::uint32_t, BranchHardness>& hardness()
+        const {
+        return hardness_;
+    }
     [[nodiscard]] const std::vector<BranchInfo>& branchInfos() const {
         return infos_;
     }
@@ -166,6 +193,8 @@ private:
     std::vector<Candidate> candidates_;
     std::vector<StaticFoldCandidate> staticCandidates_;
     std::uint64_t bitSlotsReclaimed_ = 0;
+    PredictorAwareSelectionMetrics awareMetrics_{};
+    std::map<std::uint32_t, BranchHardness> hardness_;
     std::vector<BranchInfo> infos_;
     std::vector<StaticFoldEntry> staticEntries_;
 };

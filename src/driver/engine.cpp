@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "driver/cli.hpp"
+#include "bp/bimodal.hpp"
 #include "driver/deadline.hpp"
 #include "driver/journal.hpp"
 #include "driver/names.hpp"
@@ -46,6 +47,8 @@ SelectionKey SimEngine::selectionKeyFor(const SimJob& job) const {
     key.updateStage = job.updateStage;
     key.useAccuracy = job.accuracyRef;
     key.staticFolds = job.staticFolds;
+    key.predictorAware = job.predictorAware;
+    if (job.predictorAware) key.predictorToken = job.predictor;
     return key;
 }
 
@@ -65,7 +68,10 @@ std::string SimEngine::jobKey(const SimJob& job) const {
     key += "-s" + std::to_string(w.seed);
     key += "-n" + std::to_string(w.samples);
     if (w.scheduled) key += "-sched";
-    key += "-" + job.predictor;
+    // Parameterized registry tokens contain ':' (e.g. "tage:h8-16"); keys
+    // double as journal artifact paths, so map it to the fs-safe '+'.
+    key += "-";
+    for (const char c : job.predictor) key.push_back(c == ':' ? '+' : c);
     if (job.asbr) {
         const SelectionKey s = selectionKeyFor(job);
         key += "-asbr-bit" + std::to_string(s.bitEntries);
@@ -73,6 +79,7 @@ std::string SimEngine::jobKey(const SimJob& job) const {
         key += valueStageName(s.updateStage);
         if (job.parityProtected) key += "-pp";
         if (s.staticFolds) key += "-sf";
+        if (s.predictorAware) key += "-pa";
         if (!s.useAccuracy) key += "-noacc";
     } else {
         key += "-base";
@@ -121,9 +128,9 @@ std::string SimEngine::campaignManifestDigest(
 JobResult SimEngine::execute(const SimJob& job, Deadline* deadline) {
     const WorkloadKey workloadKey = workloadKeyFor(job);
     const auto workload = cache_.workload(workloadKey);
-    auto predictor = makePredictorByToken(job.predictor);
-    ASBR_ENSURE(predictor != nullptr,
-                "engine: unknown predictor token '" + job.predictor + "'");
+    std::string predictorError;
+    auto predictor = makePredictorByToken(job.predictor, &predictorError);
+    ASBR_ENSURE(predictor != nullptr, "engine: " + predictorError);
 
     std::shared_ptr<const SelectionArtifacts> selection;
     std::unique_ptr<AsbrUnit> unit;
@@ -185,6 +192,7 @@ JobResult SimEngine::execute(const SimJob& job, Deadline* deadline) {
     RunMeta meta;
     meta.benchmark = benchName(job.workload);
     meta.predictor = predictor->name();
+    meta.predictorToken = predictor->token();
     meta.figure = job.figure;
     meta.seed = job.seed;
     meta.samples = workloadKey.samples;
@@ -193,6 +201,7 @@ JobResult SimEngine::execute(const SimJob& job, Deadline* deadline) {
         meta.asbr = true;
         meta.bitEntries = unit->config().bitCapacity;
         meta.updateStage = valueStageName(unit->config().updateStage);
+        meta.predictorAware = job.predictorAware;
     }
 
     out.stats = runStats;
@@ -206,6 +215,15 @@ JobResult SimEngine::execute(const SimJob& job, Deadline* deadline) {
         out.bitSlotsReclaimed = selection->bitSlotsReclaimed();
         out.unitStats = unit->stats();
         out.unitStorageBits = unit->storageBits();
+        if (job.predictorAware) {
+            const PredictorAwareSelectionMetrics& aware =
+                selection->awareMetrics();
+            out.predictorAware = true;
+            out.awareHardSites = aware.hardSites;
+            out.awareKeptForPredictor = aware.keptForPredictor;
+            out.awareReclaimedSlots = aware.reclaimedSlots;
+            aware.publish(out.report.registry);
+        }
     }
     out.predictorStorageBits = predictor->storageBits();
     return out;

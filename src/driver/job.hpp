@@ -45,6 +45,11 @@ struct SimJob {
     /// reference (every figure regenerator does; the external-predictor
     /// ablation deliberately selects without one).
     bool accuracyRef = true;
+    /// Predictor-aware selection (docs/predictors.md): profile the job's own
+    /// fallback predictor over the workload and fold only the branches it
+    /// demonstrably loses, handing the rest back to the predictor.
+    /// Mutually exclusive with staticFolds.
+    bool predictorAware = false;
 
     // Sampled simulation (docs/simulation.md).  When `sampled` is set the
     // run alternates cycle-accurate windows with functional fast-forward
@@ -76,6 +81,12 @@ struct JobResult {
     std::uint64_t unitStorageBits = 0;
 
     std::uint64_t predictorStorageBits = 0;
+
+    // Predictor-aware selection summary (asbr + predictorAware jobs only).
+    bool predictorAware = false;
+    std::uint64_t awareHardSites = 0;       ///< sites the predictor loses
+    std::uint64_t awareKeptForPredictor = 0;  ///< foldable sites left to it
+    std::uint64_t awareReclaimedSlots = 0;  ///< bimodal-era BIT slots freed
 
     /// Sampled-run outcome (only when SimJob::sampled was set).  `stats`
     /// then holds the detailed-window statistics; when sampleReference was

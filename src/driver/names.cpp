@@ -1,5 +1,7 @@
 #include "driver/names.hpp"
 
+#include "bp/registry.hpp"
+
 namespace asbr::driver {
 
 std::optional<BenchId> benchFromToken(const std::string& token) {
@@ -28,19 +30,16 @@ const char* benchTokenList() {
     return "adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec";
 }
 
-std::unique_ptr<BranchPredictor> makePredictorByToken(const std::string& token) {
-    if (token == "not-taken") return makeNotTaken();
-    if (token == "taken") return std::make_unique<AlwaysTakenPredictor>(2048);
-    if (token == "bimodal") return makeBimodal2048();
-    if (token == "gshare") return makeGshare2048();
-    if (token == "tournament") return makeTournament2048();
-    if (token == "bi512") return makeBimodal(512, 512);
-    if (token == "bi256") return makeBimodal(256, 512);
-    return nullptr;
+std::unique_ptr<BranchPredictor> makePredictorByToken(const std::string& token,
+                                                      std::string* error) {
+    const PredictorRegistry& registry = PredictorRegistry::instance();
+    std::unique_ptr<BranchPredictor> predictor = registry.make(token);
+    if (!predictor && error) *error = registry.unknownTokenMessage(token);
+    return predictor;
 }
 
-const char* predictorTokenList() {
-    return "not-taken|taken|bimodal|gshare|tournament|bi512|bi256";
+std::string predictorTokenList() {
+    return PredictorRegistry::instance().tokenList();
 }
 
 std::optional<ValueStage> stageFromToken(const std::string& token) {

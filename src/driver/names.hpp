@@ -28,15 +28,17 @@ namespace asbr::driver {
 /// Help-text fragment listing every workload token, '|'-separated.
 [[nodiscard]] const char* benchTokenList();
 
-/// "not-taken" | "taken" | "bimodal" | "gshare" | "tournament" | "bi512" |
-/// "bi256" -> a freshly constructed predictor; nullptr for unknown tokens.
-/// bi512/bi256 are the paper's Figure 11 auxiliary predictors (bimodal with
-/// the BTB cut to a quarter of the baseline's 2048 entries).
+/// Resolve a predictor registry token (bp/registry.hpp) — e.g. "bimodal",
+/// "tage:h8-16-32-64", "perceptron:n256" — into a freshly constructed
+/// predictor; nullptr for unknown tokens or malformed parameters.  When
+/// `error` is non-null it receives the registry's structured one-line
+/// diagnostic (offending token plus every registered token grammar).
 [[nodiscard]] std::unique_ptr<BranchPredictor> makePredictorByToken(
-    const std::string& token);
+    const std::string& token, std::string* error = nullptr);
 
-/// Help-text fragment listing every predictor token, '|'-separated.
-[[nodiscard]] const char* predictorTokenList();
+/// Help-text fragment listing every predictor family token, '|'-separated
+/// (sourced from the PredictorRegistry).
+[[nodiscard]] std::string predictorTokenList();
 
 /// "ex_end" | "mem_end" | "commit" -> ValueStage; nullopt otherwise.
 [[nodiscard]] std::optional<ValueStage> stageFromToken(const std::string& token);

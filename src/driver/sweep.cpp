@@ -33,6 +33,7 @@ std::vector<SimJob> expandSweep(const SweepGrid& grid,
                     job.updateStage = stage;
                     job.parityProtected = grid.parityProtected;
                     job.staticFolds = grid.staticFolds;
+                    job.predictorAware = grid.predictorAware;
                     jobs.push_back(job);
                 }
             }

@@ -23,6 +23,9 @@ struct SweepGrid {
     std::vector<ValueStage> stages{ValueStage::kMemEnd};
     bool parityProtected = false;
     bool staticFolds = false;
+    /// Predictor-aware fold selection on every ASBR point: fold only the
+    /// branches each point's own predictor demonstrably loses.
+    bool predictorAware = false;
     /// Also run each workload x predictor point without ASBR, before its
     /// ASBR points, for side-by-side baselines in one report.
     bool includeBaseline = false;

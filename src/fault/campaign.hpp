@@ -27,6 +27,7 @@
 #include "asbr/asbr_unit.hpp"
 #include "asm/program.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "fault/fault.hpp"
 #include "mem/memory.hpp"
 #include "sim/pipeline.hpp"

@@ -17,6 +17,7 @@
 
 #include "asbr/asbr_unit.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "sim/pipeline.hpp"
 #include "util/json.hpp"
 

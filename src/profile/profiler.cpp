@@ -52,4 +52,40 @@ ProgramProfile profileProgram(const Program& program, Memory& memory,
     return profile;
 }
 
+std::map<std::uint32_t, double> PredictionProfile::accuracyMap() const {
+    std::map<std::uint32_t, double> out;
+    for (const auto& [pc, site] : sites) out[pc] = site.accuracy();
+    return out;
+}
+
+PredictionProfile profilePredictions(const Program& program, Memory& memory,
+                                     BranchPredictor& predictor,
+                                     std::uint64_t maxInstructions) {
+    PredictionProfile profile;
+    profile.predictorToken = predictor.token();
+    predictor.reset();
+
+    FunctionalSim sim(program, memory);
+    sim.setTraceHook([&](const Instruction&, const StepResult& sr) {
+        if (!sr.isBranch) return;
+        const Prediction prediction = predictor.predict(sr.pc);
+        // Score like the pipeline: the redirect must hit the architectural
+        // successor, so taken guesses need the BTB to supply the target.
+        const std::uint32_t predictedNext = prediction.effectiveTaken()
+                                                ? *prediction.target
+                                                : sr.pc + 4;
+        SitePrediction& site = profile.sites[sr.pc];
+        site.pc = sr.pc;
+        ++site.execs;
+        ++profile.branches;
+        if (predictedNext != sr.nextPc) {
+            ++site.mispredicts;
+            ++profile.mispredicts;
+        }
+        predictor.update(sr.pc, sr.branchTaken, sr.branchTarget);
+    });
+    (void)sim.run(maxInstructions);
+    return profile;
+}
+
 }  // namespace asbr

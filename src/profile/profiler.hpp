@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "asm/program.hpp"
+#include "bp/predictor.hpp"
 #include "mem/memory.hpp"
 
 namespace asbr {
@@ -46,5 +48,47 @@ struct ProgramProfile {
 [[nodiscard]] ProgramProfile profileProgram(const Program& program, Memory& memory,
                                             std::uint64_t maxInstructions =
                                                 500'000'000);
+
+/// Per-site outcome of playing a direction predictor over the committed
+/// conditional-branch stream.
+struct SitePrediction {
+    std::uint32_t pc = 0;
+    std::uint64_t execs = 0;
+    std::uint64_t mispredicts = 0;  ///< wrong fetch redirects (pipeline rules)
+
+    [[nodiscard]] double accuracy() const {
+        return execs == 0 ? 0.0
+                          : static_cast<double>(execs - mispredicts) /
+                                static_cast<double>(execs);
+    }
+};
+
+/// Prediction profile of one program run under one predictor — what the
+/// fold-selection layer consults to learn which sites a predictor loses.
+struct PredictionProfile {
+    std::string predictorToken;  ///< registry token that reproduces the run
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::map<std::uint32_t, SitePrediction> sites;
+
+    [[nodiscard]] double accuracy() const {
+        return branches == 0 ? 0.0
+                             : static_cast<double>(branches - mispredicts) /
+                                   static_cast<double>(branches);
+    }
+    /// Per-site accuracy map, same shape the pipeline's accuracyMap yields.
+    [[nodiscard]] std::map<std::uint32_t, double> accuracyMap() const;
+};
+
+/// Play `predictor` over the committed conditional-branch stream of a
+/// functional run and record per-site misprediction counts.  A prediction
+/// counts as correct only when the resulting fetch redirect matches the
+/// architectural successor — a taken guess with a cold or aliased BTB
+/// target is a mispredict, exactly like the pipeline scores it.  The
+/// predictor is reset first; `memory` must hold the program image and
+/// workload input.
+[[nodiscard]] PredictionProfile profilePredictions(
+    const Program& program, Memory& memory, BranchPredictor& predictor,
+    std::uint64_t maxInstructions = 500'000'000);
 
 }  // namespace asbr

@@ -194,6 +194,128 @@ FoldSelection selectBranchesByStaticCost(
     return selection;
 }
 
+const char* hardnessName(BranchHardness hardness) {
+    switch (hardness) {
+        case BranchHardness::kColdSite: return "cold-site";
+        case BranchHardness::kWellPredicted: return "well-predicted";
+        case BranchHardness::kHistoryPredictable: return "history-predictable";
+        case BranchHardness::kHardToPredict: return "hard-to-predict";
+    }
+    return "?";
+}
+
+std::uint64_t PredictorAwareSelection::countOf(BranchHardness h) const {
+    std::uint64_t n = 0;
+    for (const auto& [pc, cls] : hardness)
+        if (cls == h) ++n;
+    return n;
+}
+
+bool PredictorAwareSelection::foldsSubsetOfBaselineEra() const {
+    std::unordered_set<std::uint32_t> era;
+    for (const Candidate& c : baselineEra) era.insert(c.pc);
+    for (const Candidate& c : folded)
+        if (era.count(c.pc) == 0) return false;
+    return true;
+}
+
+PredictorAwareSelection selectBranchesPredictorAware(
+    const Program& program, const ProgramProfile& profile,
+    const PredictionProfile& predictions,
+    const std::map<std::uint32_t, double>& baselineAccuracyByPc,
+    const SelectionConfig& config, const PredictorAwareConfig& aware) {
+    ASBR_ENSURE(config.threshold >= 2 && config.threshold <= 4,
+                "threshold must be 2, 3 or 4");
+    PredictorAwareSelection selection;
+    const std::map<std::uint32_t, double> strongAccuracy =
+        predictions.accuracyMap();
+    const auto minExecs = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(config.minExecFraction *
+                                   static_cast<double>(profile.instructions)),
+        1);
+
+    // Classify every structurally foldable site.
+    std::unordered_set<std::uint32_t> hardPcs;
+    for (const auto& [pc, bp] : profile.branches) {
+        if (bp.execs == 0) continue;
+        if (!isExtractableBranch(program, pc)) continue;
+        if (bp.foldableFraction(config.threshold) < config.minFoldableFraction)
+            continue;
+        BranchHardness cls;
+        if (bp.execs < minExecs) {
+            cls = BranchHardness::kColdSite;
+        } else {
+            const auto strongIt = strongAccuracy.find(pc);
+            // Sites the strong predictor never saw executed contribute no
+            // mispredictions — treat as won.
+            const double strong =
+                strongIt == strongAccuracy.end() ? 1.0 : strongIt->second;
+            if (strong < aware.wellPredictedAccuracy) {
+                cls = BranchHardness::kHardToPredict;
+                hardPcs.insert(pc);
+            } else {
+                const auto baseIt = baselineAccuracyByPc.find(pc);
+                const double base =
+                    baseIt == baselineAccuracyByPc.end() ? 1.0 : baseIt->second;
+                cls = base < aware.wellPredictedAccuracy
+                          ? BranchHardness::kHistoryPredictable
+                          : BranchHardness::kWellPredicted;
+            }
+        }
+        selection.hardness.emplace(pc, cls);
+    }
+
+    // The bimodal-era selection: same policy knobs, baseline accuracy.
+    selection.baselineEra =
+        selectImpl(program, profile, baselineAccuracyByPc, config, nullptr);
+
+    // The aware selection: score against the strong predictor and keep only
+    // sites it demonstrably loses.
+    for (const Candidate& c :
+         selectImpl(program, profile, strongAccuracy, config, nullptr))
+        if (hardPcs.count(c.pc) != 0) selection.folded.push_back(c);
+
+    std::unordered_set<std::uint32_t> foldedPcs;
+    for (const Candidate& c : selection.folded) foldedPcs.insert(c.pc);
+    for (const Candidate& c : selection.baselineEra) {
+        if (foldedPcs.count(c.pc) != 0) continue;
+        ++selection.reclaimedSlots;
+        selection.reclaimedPcs.push_back(c.pc);
+    }
+    return selection;
+}
+
+void PredictorAwareSelectionMetrics::countSelection(
+    const PredictorAwareSelection& selection) {
+    folded = selection.folded.size();
+    hardSites = selection.countOf(BranchHardness::kHardToPredict);
+    keptForPredictor =
+        selection.countOf(BranchHardness::kWellPredicted) +
+        selection.countOf(BranchHardness::kHistoryPredictable);
+    reclaimedSlots = selection.reclaimedSlots;
+}
+
+void PredictorAwareSelectionMetrics::publish(MetricRegistry& registry) const {
+    registry
+        .counter("selection.predictor_aware_folded",
+                 "hard-to-predict branches given BIT slots by the "
+                 "predictor-aware policy")
+        .set(folded);
+    registry
+        .counter("selection.predictor_aware_kept",
+                 "foldable sites left to the strong predictor (well-predicted "
+                 "or history-predictable)")
+        .set(keptForPredictor);
+    registry
+        .counter("selection.predictor_aware_hard_sites",
+                 "foldable sites the strong predictor demonstrably loses")
+        .set(hardSites);
+    registry
+        .counter("selection.predictor_aware_reclaimed_slots",
+                 "bimodal-era BIT slots handed back to the strong predictor")
+        .set(reclaimedSlots);
+}
+
 void StaticCostSelectionMetrics::countSelection(const FoldSelection& selection) {
     staticFolds = selection.statics.size();
     bitResidents = selection.dynamic.size();

@@ -106,6 +106,72 @@ struct FoldSelection {
     const std::vector<analysis::timing::BranchCostRecord>& ranking,
     const SelectionConfig& config = {});
 
+/// Non-predictability taxonomy: why a branch site does or does not deserve
+/// a BIT slot once a strong history-based predictor is the fallback.
+enum class BranchHardness {
+    kColdSite = 0,        ///< below the execution floor — never worth a slot
+    kWellPredicted,       ///< both predictors already get it right
+    kHistoryPredictable,  ///< the strong predictor fixes what the baseline lost
+    kHardToPredict,       ///< the strong predictor demonstrably loses — fold it
+};
+
+[[nodiscard]] const char* hardnessName(BranchHardness hardness);
+
+/// Thresholds for the hardness taxonomy.
+struct PredictorAwareConfig {
+    /// A site whose accuracy reaches this under a predictor counts as won
+    /// by that predictor.
+    double wellPredictedAccuracy = 0.99;
+};
+
+/// Result of predictor-aware selection.
+struct PredictorAwareSelection {
+    /// BIT-resident candidates: hard-to-predict sites only, scored against
+    /// the strong predictor's per-site accuracy.
+    std::vector<Candidate> folded;
+    /// Hardness class for every site that passed the structural filters
+    /// (extractable, hot enough is judged per-class; cold sites included).
+    std::map<std::uint32_t, BranchHardness> hardness;
+    /// The selection the bimodal-era policy (same config, baseline
+    /// accuracy, no hardness filter) would have made.
+    std::vector<Candidate> baselineEra;
+    /// BIT slots the bimodal-era policy spent on sites the strong predictor
+    /// now wins — capacity handed back to the predictor.
+    std::uint64_t reclaimedSlots = 0;
+    std::vector<std::uint32_t> reclaimedPcs;
+
+    [[nodiscard]] std::uint64_t countOf(BranchHardness h) const;
+    /// True when `folded` is a subset of the bimodal-era selection.
+    [[nodiscard]] bool foldsSubsetOfBaselineEra() const;
+};
+
+/// Predictor-aware selection: fold only branches the strong fallback
+/// predictor demonstrably loses.  `predictions` is the strong predictor's
+/// per-site record (profilePredictions); `baselineAccuracyByPc` the
+/// bimodal-2048 reference map the pre-existing policy consulted.  Sites the
+/// strong predictor already wins are classified kWellPredicted /
+/// kHistoryPredictable and left to the predictor; the freed BIT occupancy
+/// is reported as reclaimedSlots.
+[[nodiscard]] PredictorAwareSelection selectBranchesPredictorAware(
+    const Program& program, const ProgramProfile& profile,
+    const PredictionProfile& predictions,
+    const std::map<std::uint32_t, double>& baselineAccuracyByPc,
+    const SelectionConfig& config = {},
+    const PredictorAwareConfig& aware = {});
+
+/// Counters one predictor-aware selection publishes (the
+/// `selection.predictor_aware_*` namespace).  A default-constructed
+/// snapshot publishes zeros so `asbr-stats counters` can enumerate them.
+struct PredictorAwareSelectionMetrics {
+    std::uint64_t folded = 0;         ///< BIT slots filled (hard sites)
+    std::uint64_t keptForPredictor = 0;  ///< sites left to the predictor
+    std::uint64_t hardSites = 0;      ///< sites classified hard-to-predict
+    std::uint64_t reclaimedSlots = 0; ///< bimodal-era slots handed back
+
+    void countSelection(const PredictorAwareSelection& selection);
+    void publish(MetricRegistry& registry) const;
+};
+
 /// Counters one cost-aware selection publishes (the `selection.static_cost_*`
 /// namespace).  A default-constructed snapshot publishes zeros so
 /// `asbr-stats counters` can enumerate the names.

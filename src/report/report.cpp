@@ -46,6 +46,8 @@ JsonValue metaJson(const RunMeta& meta) {
     JsonObject out;
     out.emplace_back("benchmark", meta.benchmark);
     out.emplace_back("predictor", meta.predictor);
+    if (!meta.predictorToken.empty())
+        out.emplace_back("predictor_token", meta.predictorToken);
     if (!meta.figure.empty()) out.emplace_back("figure", meta.figure);
     out.emplace_back("seed", meta.seed);
     out.emplace_back("samples", meta.samples);
@@ -54,6 +56,7 @@ JsonValue metaJson(const RunMeta& meta) {
     if (meta.asbr) {
         out.emplace_back("bit_entries", meta.bitEntries);
         out.emplace_back("update_stage", meta.updateStage);
+        if (meta.predictorAware) out.emplace_back("predictor_aware", true);
     }
     return JsonValue(std::move(out));
 }

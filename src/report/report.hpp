@@ -34,6 +34,9 @@ inline constexpr std::uint64_t kReportSchemaVersion = 1;
 struct RunMeta {
     std::string benchmark;     ///< display name ("ADPCM Encode", "custom", ...)
     std::string predictor;     ///< BranchPredictor::name()
+    /// PredictorRegistry token that reconstructs the predictor exactly
+    /// (BranchPredictor::token(); omitted from JSON when empty).
+    std::string predictorToken;
     std::string figure;        ///< paper context ("fig6", "fig11", "") — free-form
     std::uint64_t seed = 0;    ///< input-generator seed (0 = n/a)
     std::uint64_t samples = 0; ///< input sample count (0 = n/a)
@@ -41,6 +44,7 @@ struct RunMeta {
     bool asbr = false;         ///< an AsbrUnit was installed
     std::uint64_t bitEntries = 0;  ///< BIT capacity when asbr
     std::string updateStage;       ///< valueStageName(...) when asbr
+    bool predictorAware = false;   ///< predictor-aware fold selection (asbr)
 };
 
 /// One run's full result: meta + the metric registry all components

@@ -18,6 +18,7 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "mem/memory.hpp"
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"

@@ -6,6 +6,8 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/static_predictors.hpp"
 #include "mem/memory.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"

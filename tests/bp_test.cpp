@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/gshare.hpp"
+#include "bp/tournament.hpp"
+#include "bp/static_predictors.hpp"
 #include "util/rng.hpp"
 
 namespace asbr {

@@ -245,7 +245,7 @@ TEST(CliOptionsTest, SamplesAreCappedAtWorkloadCapacity) {
 TEST(EngineTest, UnknownPredictorTokenIsRethrownFromBatch) {
     SimEngine engine({.threads = 4});
     std::vector<SimJob> jobs = mixedBatch();
-    jobs[2].predictor = "perceptron";  // not a known token
+    jobs[2].predictor = "oracle";  // not a known token
     EXPECT_THROW((void)engine.run(jobs), std::exception);
 }
 

@@ -6,6 +6,8 @@
 
 #include <memory>
 
+#include "bp/bimodal.hpp"
+#include "bp/static_predictors.hpp"
 #include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"

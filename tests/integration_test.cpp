@@ -7,6 +7,8 @@
 #include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/static_predictors.hpp"
 #include "cc/compile.hpp"
 #include "mem/memory.hpp"
 #include "profile/profiler.hpp"

@@ -9,6 +9,7 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/static_predictors.hpp"
 #include "mem/memory.hpp"
 #include "report/report.hpp"
 #include "sim/pipeline.hpp"

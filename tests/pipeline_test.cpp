@@ -3,6 +3,9 @@
 
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/gshare.hpp"
+#include "bp/static_predictors.hpp"
 #include "mem/memory.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"

@@ -14,6 +14,9 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
+#include "bp/gshare.hpp"
+#include "bp/static_predictors.hpp"
 #include "mem/memory.hpp"
 #include "program_gen.hpp"
 #include "sim/functional.hpp"

@@ -16,6 +16,7 @@
 
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "driver/artifacts.hpp"
 #include "driver/engine.hpp"
 #include "mem/memory.hpp"

@@ -16,6 +16,7 @@
 #include "asbr/extract.hpp"
 #include "asm/assembler.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "driver/artifacts.hpp"
 #include "driver/names.hpp"
 #include "mem/memory.hpp"

@@ -6,6 +6,7 @@
 #include "asbr/asbr_unit.hpp"
 #include "asbr/extract.hpp"
 #include "bp/predictor.hpp"
+#include "bp/bimodal.hpp"
 #include "profile/profiler.hpp"
 #include "profile/selection.hpp"
 #include "sim/functional.hpp"

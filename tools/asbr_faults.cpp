@@ -41,7 +41,8 @@ namespace {
         "\n"
         "campaign options:\n"
         "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
-        "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
+        "  --predictor=TOKEN     predictor registry token ('asbr-stats\n"
+        "                        predictors' lists the grammar)\n"
         "  --protected             enable BDT/BIT parity protection\n"
         "  --injections=N          injected runs (default 48)\n"
         "  --fault-seed=N          site/cycle sampling seed (default 1)\n"
@@ -161,9 +162,10 @@ int cmdCampaign(int argc, char** argv) {
                      driver::benchTokenList());
         return 2;
     }
-    if (driver::makePredictorByToken(predictorName) == nullptr) {
-        std::fprintf(stderr, "campaign: unknown --predictor '%s'\n",
-                     predictorName.c_str());
+    std::string predictorError;
+    if (driver::makePredictorByToken(predictorName, &predictorError) ==
+        nullptr) {
+        std::fprintf(stderr, "campaign: %s\n", predictorError.c_str());
         return 2;
     }
     if (options.sample.has_value()) {
@@ -319,9 +321,11 @@ int cmdReplay(int argc, char** argv) {
         return 1;
     }
     const std::string predictorName = meta.find("predictor")->asString();
-    if (driver::makePredictorByToken(predictorName) == nullptr) {
-        std::fprintf(stderr, "%s: meta.predictor is not a known predictor\n",
-                     path);
+    std::string predictorError;
+    if (driver::makePredictorByToken(predictorName, &predictorError) ==
+        nullptr) {
+        std::fprintf(stderr, "%s: meta.predictor: %s\n", path,
+                     predictorError.c_str());
         return 1;
     }
 

@@ -23,6 +23,10 @@
 #include <sstream>
 #include <string>
 
+#include "bp/bimodal.hpp"
+#include "bp/perceptron.hpp"
+#include "bp/registry.hpp"
+#include "bp/tage.hpp"
 #include "bench_util.hpp"
 #include "profile/selection.hpp"
 #include "report/analysis_report.hpp"
@@ -45,16 +49,21 @@ namespace {
         "\n"
         "commands:\n"
         "  counters              list every metric name the simulator registers\n"
+        "  predictors            list predictor families, tokens, storage bits\n"
         "  run --bench=B [...]   simulate one benchmark; export report / trace\n"
         "  report [--out=FILE]   Figure 6 + 11 sweep as one asbr.bench_report (default out: BENCH_asbr.json)\n"
         "  validate FILE         schema-check a report document\n"
         "\n"
         "run options:\n"
         "  --bench=adpcm-enc|adpcm-dec|g721-enc|g721-dec|g711-enc|g711-dec\n"
-        "  --predictor=not-taken|taken|bimodal|gshare|tournament|bi512|bi256\n"
+        "  --predictor=TOKEN     predictor registry token (family, optionally\n"
+        "                        parameterized — 'asbr-stats predictors' lists\n"
+        "                        the grammar; default bimodal)\n"
         "  --asbr [--bit=N] [--stage=ex_end|mem_end|commit] [--protected]\n"
         "  --static-folds        fold statically-decided branches from the\n"
         "                        static table (implies --asbr)\n"
+        "  --predictor-aware     fold only branches the run's own predictor\n"
+        "                        demonstrably loses (implies --asbr)\n"
         "  --sample=W:M:S        sampled simulation: W warmup / M measure\n"
         "                        instructions per window, S fast-forwarded\n"
         "                        between windows; exports asbr.sampling_report\n"
@@ -108,10 +117,14 @@ int cmdCounters() {
     MetricRegistry registry;
     PipelineStats{}.publish(registry);
     makeBimodal2048()->publishMetrics(registry);
+    // Family-specific counters only: bp.storage_bits is already claimed.
+    makeTage()->publishFamilyMetrics(registry);
+    makePerceptron()->publishFamilyMetrics(registry);
     AsbrUnit().publishMetrics(registry);
     driver::SimEngine().publishMetrics(registry);
     analysis::timing::WcetMetrics{}.publish(registry);
     StaticCostSelectionMetrics{}.publish(registry);
+    PredictorAwareSelectionMetrics{}.publish(registry);
     SampledResult{}.publish(registry);
     SimSpeed{}.publish(registry);
     for (const auto& entry : registry.catalogue()) {
@@ -122,6 +135,21 @@ int cmdCounters() {
             kind = "sites";
         std::printf("%-34s %-9s %s\n", entry.name.c_str(), kind,
                     entry.help.c_str());
+    }
+    return 0;
+}
+
+int cmdPredictors() {
+    // One row per registered family: prefix, default storage bits, token
+    // grammar, then the one-line summary.  The prefix is the first word so
+    // scripted consumers (ci/docs-check.sh) can lift the token list with awk.
+    for (const PredictorFamily& family :
+         PredictorRegistry::instance().families()) {
+        const std::uint64_t bits =
+            PredictorRegistry::instance().storageBits(family.prefix);
+        std::printf("%-12s %8llu bits  %-34s %s\n", family.prefix.c_str(),
+                    static_cast<unsigned long long>(bits),
+                    family.grammar.c_str(), family.summary.c_str());
     }
     return 0;
 }
@@ -151,6 +179,9 @@ int cmdRun(int argc, char** argv) {
             job.asbr = true;
         } else if (arg == "--static-folds") {
             job.staticFolds = true;
+            job.asbr = true;
+        } else if (arg == "--predictor-aware") {
+            job.predictorAware = true;
             job.asbr = true;
         } else if (arg == "--protected") {
             job.parityProtected = true;
@@ -201,9 +232,16 @@ int cmdRun(int argc, char** argv) {
                      driver::benchTokenList());
         return 2;
     }
-    if (driver::makePredictorByToken(job.predictor) == nullptr) {
-        std::fprintf(stderr, "run: unknown --predictor '%s'\n",
-                     job.predictor.c_str());
+    std::string predictorError;
+    if (driver::makePredictorByToken(job.predictor, &predictorError) ==
+        nullptr) {
+        std::fprintf(stderr, "run: %s\n", predictorError.c_str());
+        return 2;
+    }
+    if (job.staticFolds && job.predictorAware) {
+        std::fprintf(stderr,
+                     "run: --static-folds and --predictor-aware are "
+                     "exclusive\n");
         return 2;
     }
     if (rejectJournalFlags("run", options)) return 2;
@@ -458,6 +496,7 @@ int main(int argc, char** argv) {
         if (command == "--help" || command == "-h" || command == "help")
             usage(0);
         if (command == "counters") return cmdCounters();
+        if (command == "predictors") return cmdPredictors();
         if (command == "run") return cmdRun(argc - 2, argv + 2);
         if (command == "report") return cmdReport(argc - 2, argv + 2);
         if (command == "validate") {

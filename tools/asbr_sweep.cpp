@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "bp/registry.hpp"
 #include "driver/sweep.hpp"
 #include "report/sweep_report.hpp"
 
@@ -36,12 +37,18 @@ using namespace asbr::bench;
 namespace {
 
 [[noreturn]] void usage(int code) {
+    FILE* out = code == 0 ? stdout : stderr;
     std::fputs(
         "usage: asbr-sweep [options]\n"
         "\n"
         "grid axes (comma-separated lists; the cross-product is simulated):\n"
         "  --workloads=W1,W2,...   default: all six benchmarks\n"
-        "  --predictors=P1,P2,...  default: bimodal\n"
+        "  --predictors=P1,P2,...  default: bimodal; registered tokens:\n",
+        out);
+    for (const PredictorFamily& family : PredictorRegistry::instance().families())
+        std::fprintf(out, "                            %-28s %s\n",
+                     family.grammar.c_str(), family.summary.c_str());
+    std::fputs(
         "  --bits=N1,N2,...        BIT entries; 0 = the paper's per-benchmark\n"
         "                          count (default: 0)\n"
         "  --stages=S1,S2,...      ex_end|mem_end|commit (default: mem_end)\n"
@@ -49,6 +56,8 @@ namespace {
         "grid flags (applied to every ASBR point):\n"
         "  --protected             enable BDT/BIT parity protection\n"
         "  --static-folds          two-class selection + static fold table\n"
+        "  --predictor-aware       fold only branches each point's own\n"
+        "                          predictor demonstrably loses\n"
         "  --baseline              also run each workload x predictor point\n"
         "                          without ASBR, before its ASBR points\n"
         "\n"
@@ -65,7 +74,7 @@ namespace {
         "shared options: --quick --seed=N --adpcm=N --g721=N --threads=N\n"
         "                --workload=W (single-workload shorthand) --csv\n"
         "                --sample=W:M:S\n",
-        code == 0 ? stdout : stderr);
+        out);
     std::exit(code);
 }
 
@@ -128,10 +137,9 @@ int main(int argc, char** argv) {
         } else if (arg.rfind("--predictors=", 0) == 0) {
             grid.predictors.clear();
             for (const std::string& token : splitList(arg.substr(13))) {
-                if (driver::makePredictorByToken(token) == nullptr)
-                    driver::cliFail(argv[0],
-                                    "unknown predictor '" + token + "' (" +
-                                        driver::predictorTokenList() + ")");
+                std::string tokenError;
+                if (driver::makePredictorByToken(token, &tokenError) == nullptr)
+                    driver::cliFail(argv[0], tokenError);
                 grid.predictors.push_back(token);
             }
         } else if (arg.rfind("--bits=", 0) == 0) {
@@ -151,6 +159,8 @@ int main(int argc, char** argv) {
             grid.parityProtected = true;
         } else if (arg == "--static-folds") {
             grid.staticFolds = true;
+        } else if (arg == "--predictor-aware") {
+            grid.predictorAware = true;
         } else if (arg == "--baseline") {
             grid.includeBaseline = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -163,6 +173,9 @@ int main(int argc, char** argv) {
     if (grid.predictors.empty() || grid.bitSizes.empty() ||
         grid.stages.empty())
         driver::cliFail(argv[0], "every grid axis needs at least one value");
+    if (grid.staticFolds && grid.predictorAware)
+        driver::cliFail(argv[0],
+                        "--static-folds and --predictor-aware are exclusive");
     if (options.resume && options.journalDir.empty())
         driver::cliFail(argv[0], "--resume requires --journal=DIR");
     // --workload=W is shorthand for --workloads=W.
